@@ -1,0 +1,80 @@
+// Package-level benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation. Each benchmark regenerates its artifact
+// and prints the same rows/series the paper reports (run with -v to see the
+// tables; b.N repetitions re-run the suite so the timing measures the whole
+// regeneration).
+//
+// The default operating point keeps every benchmark in seconds, not
+// minutes: a benchmark-subset for the heavy speedup grids, full Table II
+// coverage for the cheap artifacts. cmd/paperbench regenerates everything
+// over all 17 workloads.
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"cameo/internal/experiments"
+)
+
+// benchSubset keeps the per-artifact grids tractable under `go test
+// -bench=.`: two capacity-limited and three latency-limited workloads that
+// span the paper's behaviours (thrashing mcf, streaming lbm, sparse milc,
+// hot gcc, small sphinx3).
+var benchSubset = []string{"mcf", "lbm", "milc", "gcc", "sphinx3"}
+
+func benchOptions(full bool) experiments.Options {
+	o := experiments.DefaultOptions()
+	o.InstrPerCore = 200_000
+	if !full {
+		o.Benchmarks = benchSubset
+	}
+	return o
+}
+
+// runExperiment regenerates one artifact b.N times.
+func runExperiment(b *testing.B, id string, full bool) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var out io.Writer = io.Discard
+	if testing.Verbose() {
+		out = os.Stdout
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh suite per iteration: the memoization cache must not let
+		// later iterations measure a no-op.
+		s := experiments.NewSuite(benchOptions(full))
+		e.Run(s, out)
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B)    { runExperiment(b, "table1", true) }
+func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "table2", true) }
+func BenchmarkFig2Motivation(b *testing.B)  { runExperiment(b, "fig2", false) }
+func BenchmarkFig3Specs(b *testing.B)       { runExperiment(b, "fig3", true) }
+func BenchmarkFig8LatencyModel(b *testing.B) {
+	runExperiment(b, "fig8", true)
+}
+func BenchmarkFig9LLTDesigns(b *testing.B)  { runExperiment(b, "fig9", false) }
+func BenchmarkFig12Prediction(b *testing.B) { runExperiment(b, "fig12", false) }
+func BenchmarkTable3Accuracy(b *testing.B)  { runExperiment(b, "table3", false) }
+func BenchmarkFig13Speedup(b *testing.B)    { runExperiment(b, "fig13", false) }
+func BenchmarkTable4Bandwidth(b *testing.B) { runExperiment(b, "table4", false) }
+func BenchmarkFig14PowerEDP(b *testing.B)   { runExperiment(b, "fig14", false) }
+func BenchmarkFig15Placement(b *testing.B)  { runExperiment(b, "fig15", false) }
+
+// Ablations beyond the paper (DESIGN.md §5, EXPERIMENTS.md extensions).
+func BenchmarkExtHybridFilter(b *testing.B)     { runExperiment(b, "ext-hybrid", false) }
+func BenchmarkExtMigrateThreshold(b *testing.B) { runExperiment(b, "ext-threshold", false) }
+func BenchmarkExtStackedRatio(b *testing.B)     { runExperiment(b, "ext-ratio", false) }
+func BenchmarkExtScale(b *testing.B)            { runExperiment(b, "ext-scale", false) }
+func BenchmarkExtMixes(b *testing.B)            { runExperiment(b, "ext-mix", false) }
+func BenchmarkExtController(b *testing.B)       { runExperiment(b, "ext-controller", false) }
+func BenchmarkExtDRAMCache(b *testing.B)        { runExperiment(b, "ext-dramcache", false) }
+func BenchmarkExtKnobs(b *testing.B)            { runExperiment(b, "ext-knobs", false) }
+func BenchmarkExtLLTCache(b *testing.B)         { runExperiment(b, "ext-lltcache", false) }

@@ -1,0 +1,195 @@
+// Command cameo-sim runs one (benchmark, organization) simulation and
+// prints a detailed result: execution time, memory latency, per-module
+// bandwidth, paging behaviour, and organization-specific statistics.
+//
+// Usage:
+//
+//	cameo-sim -bench mcf -org cameo
+//	cameo-sim -bench milc -org cameo -llt embedded -pred sam
+//	cameo-sim -bench sphinx3 -org cache -scale 512 -cores 16 -instr 1000000
+//	cameo-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cameo/internal/cameo"
+	"cameo/internal/report"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+var orgNames = map[string]system.OrgKind{
+	"baseline":    system.Baseline,
+	"cache":       system.Cache,
+	"tlm-static":  system.TLMStatic,
+	"tlm-dynamic": system.TLMDynamic,
+	"tlm-freq":    system.TLMFreq,
+	"tlm-oracle":  system.TLMOracle,
+	"cameo":       system.CAMEO,
+	"doubleuse":   system.DoubleUse,
+	"lh-cache":    system.LHCache,
+	"lh-missmap":  system.LHCacheMM,
+}
+
+var lltNames = map[string]cameo.LLTKind{
+	"colocated": cameo.CoLocatedLLT,
+	"embedded":  cameo.EmbeddedLLT,
+	"ideal":     cameo.IdealLLT,
+}
+
+var predNames = map[string]cameo.PredKind{
+	"llp":     cameo.LLP,
+	"sam":     cameo.SAM,
+	"perfect": cameo.Perfect,
+}
+
+func keys[V any](m map[string]V) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return strings.Join(ks, ", ")
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "sphinx3", "benchmark name from Table II")
+		org     = flag.String("org", "cameo", "organization: "+keys(orgNames))
+		llt     = flag.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
+		pred    = flag.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
+		scale   = flag.Uint64("scale", 1024, "capacity scale divisor")
+		cores   = flag.Int("cores", 32, "core count")
+		instr   = flag.Uint64("instr", 600_000, "instructions per core")
+		seed    = flag.Uint64("seed", 0xCA3E0, "random seed")
+		useL3   = flag.Bool("l3", false, "model the shared L3 explicitly")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		vsBase  = flag.Bool("speedup", true, "also run the baseline and report speedup")
+		mix     = flag.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
+		warmup  = flag.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
+		refresh = flag.Bool("refresh", false, "model DRAM refresh")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
+		hist    = flag.Bool("hist", false, "print the demand-latency histogram")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Specs() {
+			fmt.Printf("%-12s %-9s MPKI=%-5.1f footprint=%.1fGB\n",
+				s.Name, s.Class, s.MPKI, float64(s.FootprintBytes)/float64(1<<30))
+		}
+		return
+	}
+
+	var mixSpecs []workload.Spec
+	if *mix != "" {
+		for _, name := range strings.Split(*mix, ",") {
+			ms, ok := workload.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cameo-sim: unknown mix member %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			mixSpecs = append(mixSpecs, ms)
+		}
+	}
+	spec, ok := workload.SpecByName(*bench)
+	if !ok && len(mixSpecs) == 0 {
+		fmt.Fprintf(os.Stderr, "cameo-sim: unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+	kind, ok := orgNames[strings.ToLower(*org)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cameo-sim: unknown organization %q (have: %s)\n", *org, keys(orgNames))
+		os.Exit(2)
+	}
+	cfg := system.Config{
+		Org:          kind,
+		ScaleDiv:     *scale,
+		Cores:        *cores,
+		InstrPerCore: *instr,
+		Seed:         *seed,
+		UseL3:        *useL3,
+		WarmupInstr:  *warmup,
+		Refresh:      *refresh,
+	}
+	if kind == system.CAMEO {
+		var ok1, ok2 bool
+		cfg.LLT, ok1 = lltNames[strings.ToLower(*llt)]
+		cfg.Pred, ok2 = predNames[strings.ToLower(*pred)]
+		if !ok1 || !ok2 {
+			fmt.Fprintf(os.Stderr, "cameo-sim: bad -llt/-pred (llt: %s; pred: %s)\n",
+				keys(lltNames), keys(predNames))
+			os.Exit(2)
+		}
+	}
+
+	run := func(c system.Config) system.Result {
+		if len(mixSpecs) > 0 {
+			return system.RunMix(mixSpecs, c)
+		}
+		return system.Run(spec, c)
+	}
+	res := run(cfg)
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+	if *hist && res.Latency != nil {
+		fmt.Println("\ndemand latency distribution (cycles):")
+		res.Latency.Render(os.Stdout)
+	}
+
+	if *vsBase && kind != system.Baseline {
+		bcfg := cfg
+		bcfg.Org = system.Baseline
+		base := run(bcfg)
+		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
+			float64(base.Cycles)/float64(res.Cycles), base.Cycles)
+	}
+}
+
+func printResult(r system.Result) {
+	fmt.Printf("organization:   %s\n", r.Org)
+	fmt.Printf("benchmark:      %s (%s-limited)\n", r.Benchmark, r.Class)
+	fmt.Printf("cores:          %d\n", r.Cores)
+	fmt.Printf("instructions:   %d\n", r.Instructions)
+	fmt.Printf("cycles:         %d (aggregate IPC %.2f)\n", r.Cycles, r.IPC())
+	fmt.Printf("demands:        %d (avg latency %.0f cycles, p50<=%d p95<=%d p99<=%d)\n",
+		r.Demands, r.AvgMemLatency, r.LatencyP50, r.LatencyP95, r.LatencyP99)
+	fmt.Printf("writebacks:     %d (%d dropped with evicted pages)\n", r.Writebacks, r.DroppedWritebacks)
+	fmt.Printf("stacked DRAM:   %d accesses, %.1f MB, row-hit %.0f%%\n",
+		r.Stacked.Accesses(), float64(r.Stacked.Bytes())/1e6, 100*r.Stacked.RowHitRate())
+	fmt.Printf("off-chip DRAM:  %d accesses, %.1f MB, row-hit %.0f%%\n",
+		r.OffChip.Accesses(), float64(r.OffChip.Bytes())/1e6, 100*r.OffChip.RowHitRate())
+	fmt.Printf("paging:         %d minor, %d major faults, %.1f MB storage traffic\n",
+		r.VM.MinorFaults, r.VM.MajorFaults, float64(r.StorageBytes())/1e6)
+	if r.Cameo != nil {
+		fmt.Printf("CAMEO:          stacked service %.1f%%, %d swaps, predictor accuracy %.1f%%\n",
+			100*r.Cameo.StackedServiceRate(), r.Cameo.Swaps, 100*r.Cameo.Cases.Accuracy())
+		p := r.Cameo.Cases.Percent()
+		fmt.Printf("LLP cases:      stk/stk %.1f%%  stk/off %.1f%%  off/stk %.1f%%  off/ok %.1f%%  off/wrong %.1f%%\n",
+			p[0], p[1], p[2], p[3], p[4])
+	}
+	if r.Alloy != nil {
+		fmt.Printf("Alloy cache:    hit rate %.1f%%, %d fills, %d dirty evicts, %d wasted reads\n",
+			100*r.Alloy.HitRate(), r.Alloy.Fills, r.Alloy.DirtyEvicts, r.Alloy.WastedReads)
+	}
+	if r.LohHill != nil {
+		fmt.Printf("LH cache:       hit rate %.1f%%, %d fills, %d dirty evicts\n",
+			100*r.LohHill.HitRate(), r.LohHill.Fills, r.LohHill.DirtyEvicts)
+	}
+	if r.Migrations != nil {
+		fmt.Printf("migrations:     %d page swaps, %d promotions\n", r.Migrations.Swaps, r.Migrations.Moves)
+	}
+	if r.L3 != nil {
+		fmt.Printf("L3:             %d hits, %d misses (miss rate %.1f%%)\n",
+			r.L3.Hits, r.L3.Misses, 100*r.L3.MissRate())
+	}
+}

@@ -1,0 +1,117 @@
+// Command cameo-sweep runs one organization across a parameter sweep and
+// emits a CSV grid — the workhorse for sensitivity studies beyond the
+// canned experiments.
+//
+// Sweepable dimensions: benchmark (always), plus one of
+//
+//	-sweep scale   -values 512,1024,2048     capacity scale divisor
+//	-sweep cores   -values 8,16,32           rate-mode copies
+//	-sweep ratio   -values 2,4               stacked share divisor
+//	-sweep seed    -values 1,2,3,4,5         placement/stream seeds
+//
+// Example:
+//
+//	cameo-sweep -org cameo -bench milc,gcc -sweep scale -values 512,1024 -out sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cameo/internal/report"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+var orgNames = map[string]system.OrgKind{
+	"baseline":    system.Baseline,
+	"cache":       system.Cache,
+	"tlm-static":  system.TLMStatic,
+	"tlm-dynamic": system.TLMDynamic,
+	"tlm-freq":    system.TLMFreq,
+	"tlm-oracle":  system.TLMOracle,
+	"cameo":       system.CAMEO,
+	"doubleuse":   system.DoubleUse,
+}
+
+func main() {
+	var (
+		org    = flag.String("org", "cameo", "organization to sweep")
+		bench  = flag.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
+		sweep  = flag.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
+		values = flag.String("values", "512,1024,2048", "comma-separated sweep values")
+		instr  = flag.Uint64("instr", 300_000, "instructions per core")
+		cores  = flag.Int("cores", 16, "core count (unless swept)")
+		out    = flag.String("out", "", "CSV output path (default stdout)")
+	)
+	flag.Parse()
+
+	kind, ok := orgNames[strings.ToLower(*org)]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "cameo-sweep: unknown organization", *org)
+		os.Exit(2)
+	}
+	var vals []uint64
+	for _, v := range strings.Split(*values, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep: bad value:", err)
+			os.Exit(2)
+		}
+		vals = append(vals, n)
+	}
+
+	var results []system.Result
+	for _, bn := range strings.Split(*bench, ",") {
+		spec, ok := workload.SpecByName(strings.TrimSpace(bn))
+		if !ok {
+			fmt.Fprintln(os.Stderr, "cameo-sweep: unknown benchmark", bn)
+			os.Exit(2)
+		}
+		for _, v := range vals {
+			cfg := system.Config{
+				Org:          kind,
+				ScaleDiv:     1024,
+				Cores:        *cores,
+				InstrPerCore: *instr,
+			}
+			switch *sweep {
+			case "scale":
+				cfg.ScaleDiv = v
+			case "cores":
+				cfg.Cores = int(v)
+			case "ratio":
+				cfg.StackedDivisor = int(v)
+			case "seed":
+				cfg.Seed = v
+			default:
+				fmt.Fprintln(os.Stderr, "cameo-sweep: unknown sweep dimension", *sweep)
+				os.Exit(2)
+			}
+			r := system.Run(spec, cfg)
+			// Tag the swept value into the benchmark column so the CSV is
+			// self-describing.
+			r.Benchmark = fmt.Sprintf("%s@%s=%d", spec.Name, *sweep, v)
+			results = append(results, r)
+			fmt.Fprintf(os.Stderr, "done %s (%d cycles)\n", r.Benchmark, r.Cycles)
+		}
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.WriteCSV(w, results); err != nil {
+		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command paperbench regenerates the tables and figures of the CAMEO paper
+// (MICRO 2014) from the simulator in this repository.
+//
+// Usage:
+//
+//	paperbench                          # run every experiment
+//	paperbench -exp fig13               # one experiment
+//	paperbench -exp fig12 -bench milc,mcf -scale 512 -instr 200000
+//
+// Output is fixed-width text; each experiment prints the same rows/series
+// the paper reports (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cameo/internal/experiments"
+	"cameo/internal/report"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		scale = flag.Uint64("scale", 0, "capacity scale divisor (default 1024)")
+		cores = flag.Int("cores", 0, "rate-mode core count (default 32)")
+		instr = flag.Uint64("instr", 0, "instructions per core (default 600000)")
+		seed  = flag.Uint64("seed", 0, "random seed")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all of Table II)")
+		csv   = flag.String("csv", "", "also dump the raw result grid as CSV to this path")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		ScaleDiv:     *scale,
+		Cores:        *cores,
+		InstrPerCore: *instr,
+		Seed:         *seed,
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	suite := experiments.NewSuite(opts)
+	experiments.Describe(suite, os.Stdout)
+
+	if *exp == "all" {
+		experiments.RunAll(suite, os.Stdout)
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (have: %s)\n",
+				*exp, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		fmt.Printf("\n### %s: %s\n\n", e.ID, e.Title)
+		e.Run(suite, os.Stdout)
+	}
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteCSV(f, suite.Results()); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d raw results to %s\n", len(suite.Results()), *csv)
+	}
+}

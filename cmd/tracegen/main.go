@@ -1,0 +1,182 @@
+// Command tracegen captures synthetic benchmark streams as binary trace
+// files and inspects existing traces — the reproduction's stand-in for the
+// paper's Pin-based capture step.
+//
+// Usage:
+//
+//	tracegen -bench milc -out milc.camt -requests 1000000
+//	tracegen -info milc.camt
+//	tracegen -replay milc.camt            # replay against a CAMEO system
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/trace"
+	"cameo/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark to capture")
+		out      = flag.String("out", "", "output trace path")
+		requests = flag.Int("requests", 1_000_000, "records to capture")
+		scale    = flag.Uint64("scale", 1024, "capacity scale divisor")
+		core     = flag.Int("core", 0, "core id (stream seed)")
+		seed     = flag.Uint64("seed", 0xCA3E0, "base seed")
+		info     = flag.String("info", "", "print a trace's header and stats")
+		replay   = flag.String("replay", "", "replay a trace against a small CAMEO system")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		if err := printInfo(*info); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := replayTrace(*replay); err != nil {
+			fail(err)
+		}
+	case *bench != "" && *out != "":
+		if err := capture(*bench, *out, *requests, *scale, *core, *seed); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func capture(bench, out string, requests int, scale uint64, core int, seed uint64) error {
+	spec, ok := workload.SpecByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.Meta{
+		Benchmark: bench, ScaleDiv: scale, Core: core, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	s := workload.NewStream(spec, scale, core, seed)
+	for i := 0; i < requests; i++ {
+		if err := w.Write(s.Next()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d bytes, %.1f B/record) to %s\n",
+		w.Count(), st.Size(), float64(st.Size())/float64(w.Count()), out)
+	return nil
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	m := r.Meta()
+	fmt.Printf("benchmark: %s  scale: 1/%d  core: %d  seed: %#x\n",
+		m.Benchmark, m.ScaleDiv, m.Core, m.Seed)
+	var records, writes, instr uint64
+	minL, maxL := ^uint64(0), uint64(0)
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		records++
+		if req.Write {
+			writes++
+			continue
+		}
+		instr += req.Gap
+		if req.VLine < minL {
+			minL = req.VLine
+		}
+		if req.VLine > maxL {
+			maxL = req.VLine
+		}
+	}
+	fmt.Printf("records: %d (%d writebacks)\n", records, writes)
+	if instr > 0 {
+		fmt.Printf("instructions: %d (MPKI %.1f)\n", instr,
+			float64(records-writes)*1000/float64(instr))
+	}
+	fmt.Printf("line range: [%d, %d] (%.1f MB span)\n", minL, maxL,
+		float64(maxL-minL)*64/(1<<20))
+	return nil
+}
+
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	src, err := trace.NewLoopingSource(r)
+	if err != nil {
+		return err
+	}
+	// A small CAMEO target sized like the default experiments.
+	stacked := dram.NewModule(dram.StackedConfig(4 << 20))
+	off := dram.NewModule(dram.OffChipConfig(12 << 20))
+	groups := cameo.VisibleStackedLines((4 << 20) / dram.LineBytes)
+	sys := cameo.New(cameo.Config{
+		Groups: groups, Segments: 4,
+		LLT: cameo.CoLocatedLLT, Pred: cameo.LLP,
+		Cores: 1, LLPEntries: 256,
+	}, stacked, off)
+	space := sys.VisibleLines()
+
+	at := uint64(0)
+	for i := 0; i < src.Len(); i++ {
+		req := src.Next()
+		sys.Access(at, memsys.Request{
+			Core:  0,
+			PLine: req.VLine % space,
+			PC:    req.PC,
+			Write: req.Write,
+		})
+		at += 2 * req.Gap // IPC 2 pacing, uncontended replay
+	}
+	st := sys.Stats()
+	fmt.Printf("replayed %d records: stacked service %.1f%%, %d swaps, LLP accuracy %.1f%%\n",
+		src.Len(), 100*st.StackedServiceRate(), st.Swaps, 100*st.Cases.Accuracy())
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command workloads inspects the synthetic Table II benchmark generators:
+// it lists the specs, or dry-runs one generator and reports the measured
+// stream statistics (MPKI, footprint coverage, spatial utilization, write
+// fraction, PC diversity) so the calibration can be audited without running
+// a full simulation.
+//
+// Usage:
+//
+//	workloads                       # list all benchmarks
+//	workloads -bench milc           # measure milc's stream
+//	workloads -bench mcf -scale 512 -requests 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cameo/internal/stats"
+	"cameo/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark to measure (empty: list all)")
+		scale    = flag.Uint64("scale", 1024, "capacity scale divisor")
+		requests = flag.Int("requests", 200_000, "demand requests to sample")
+		core     = flag.Int("core", 0, "core id (selects the stream seed)")
+		seed     = flag.Uint64("seed", 0xCA3E0, "base seed")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		tab := stats.NewTable("Table II benchmarks", "Name", "Class", "MPKI",
+			"Footprint GB", "ZipfAlpha", "Stream", "Lines/Page", "Burst", "WriteFrac", "MLP")
+		for _, s := range workload.Specs() {
+			tab.AddRowF(s.Name, s.Class.String(), s.MPKI,
+				float64(s.FootprintBytes)/float64(1<<30), s.ZipfAlpha, s.StreamFrac,
+				s.LinesPerPage, s.BurstLen, s.WriteFrac, s.MLP)
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+
+	spec, ok := workload.SpecByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "workloads: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	s := workload.NewStream(spec, *scale, *core, *seed)
+
+	var instr uint64
+	demands, writes := 0, 0
+	pages := map[uint64]map[uint64]bool{}
+	pcs := map[uint64]int{}
+	for demands < *requests {
+		r := s.Next()
+		if r.Write {
+			writes++
+			continue
+		}
+		instr += r.Gap
+		demands++
+		page := r.VLine / workload.LinesPerPageTotal
+		if pages[page] == nil {
+			pages[page] = map[uint64]bool{}
+		}
+		pages[page][r.VLine%workload.LinesPerPageTotal] = true
+		pcs[r.PC]++
+	}
+
+	linesUsed := 0
+	for _, ls := range pages {
+		linesUsed += len(ls)
+	}
+	fmt.Printf("benchmark:        %s (%s-limited)\n", spec.Name, spec.Class)
+	fmt.Printf("scaled footprint: %d pages per core (%d KB)\n", s.Pages(), s.Pages()*4)
+	fmt.Printf("measured MPKI:    %.1f (spec %.1f)\n", float64(demands)*1000/float64(instr), spec.MPKI)
+	fmt.Printf("write fraction:   %.2f (spec %.2f)\n", float64(writes)/float64(demands), spec.WriteFrac)
+	fmt.Printf("pages touched:    %d of %d (%.0f%%)\n", len(pages), s.Pages(),
+		100*float64(len(pages))/float64(s.Pages()))
+	fmt.Printf("lines per page:   %.1f used on average (spec %d)\n",
+		float64(linesUsed)/float64(len(pages)), spec.LinesPerPage)
+	fmt.Printf("distinct PCs:     %d\n", len(pcs))
+}

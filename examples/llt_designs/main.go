@@ -1,0 +1,63 @@
+// LLT design study: Section IV's storage/latency trade-off. The Line
+// Location Table must map every line in memory (64 MB of state at full
+// scale) — this example shows why the paper lands on co-locating the table
+// entries with the data (LEAD) instead of SRAM or a dedicated DRAM region.
+//
+//	go run ./examples/llt_designs
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cameo/internal/cameo"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+func main() {
+	// The analytic model first (Figure 8): single-request latency in
+	// abstract units.
+	tab := stats.NewTable("Analytic latency (stacked=1 unit, off-chip=2 units)",
+		"Design", "Line in stacked", "Line off-chip")
+	for _, d := range cameo.AnalyticLatencies() {
+		tab.AddRowF(d.Design, d.Hit, d.Miss)
+	}
+	tab.Render(os.Stdout)
+
+	// Storage bookkeeping for the paper's full-scale 16 GB system.
+	groups := uint64(16<<30) / 256
+	fmt.Printf("\nLLT for 16 GB at 256 B congruence groups: %d groups, %d MB of state\n",
+		groups, cameo.NewTable(groups, 4).SizeBytes()>>20)
+	fmt.Printf("   -> too large for SRAM (bigger than the 32 MB L3), hence in-DRAM designs\n")
+	devLines := uint64(4<<30) / 64
+	fmt.Printf("LEAD layout: %d of %d stacked lines stay visible (%.1f%%)\n\n",
+		cameo.VisibleStackedLines(devLines), devLines,
+		100*float64(cameo.VisibleStackedLines(devLines))/float64(devLines))
+
+	// Then measured: run the three implementable designs on a workload with
+	// a real off-chip working set, serial access for all (prediction is a
+	// separate lever; see examples/predictor_tuning).
+	spec, _ := workload.SpecByName("soplex")
+	cfg := system.Config{ScaleDiv: 1024, Cores: 16, InstrPerCore: 300_000}
+	bcfg := cfg
+	bcfg.Org = system.Baseline
+	base := system.Run(spec, bcfg)
+
+	mt := stats.NewTable("Measured on soplex (serial access)",
+		"LLT design", "Speedup", "Avg mem latency", "Stacked service")
+	for _, llt := range []cameo.LLTKind{cameo.EmbeddedLLT, cameo.CoLocatedLLT, cameo.IdealLLT} {
+		ccfg := cfg
+		ccfg.Org = system.CAMEO
+		ccfg.LLT = llt
+		ccfg.Pred = cameo.SAM
+		r := system.Run(spec, ccfg)
+		mt.AddRowF(llt.String(), stats.Speedup(base.Cycles, r.Cycles),
+			r.AvgMemLatency, fmt.Sprintf("%.0f%%", 100*r.Cameo.StackedServiceRate()))
+	}
+	mt.Render(os.Stdout)
+	fmt.Println("\nEmbedded pays a table lookup on every access; Co-Located answers")
+	fmt.Println("stacked residents in one access and trails Ideal only on off-chip")
+	fmt.Println("residents — the gap the Line Location Predictor then closes.")
+}

@@ -1,0 +1,86 @@
+// Predictor tuning: Section V's Line Location Predictor. This example
+// compares serial access (SAM), the PC-indexed last-location predictor
+// (LLP), and the perfect oracle on an off-chip-heavy workload, then sweeps
+// the LLP table size to show why 256 entries (64 B per core) is enough.
+//
+//	go run ./examples/predictor_tuning
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+func main() {
+	spec, _ := workload.SpecByName("gcc")
+	cfg := system.Config{ScaleDiv: 1024, Cores: 16, InstrPerCore: 300_000}
+	bcfg := cfg
+	bcfg.Org = system.Baseline
+	base := system.Run(spec, bcfg)
+
+	tab := stats.NewTable("Prediction schemes on gcc (Co-Located LLT)",
+		"Scheme", "Speedup", "Accuracy", "Case2 waste", "Case3 serial")
+	for _, pred := range []cameo.PredKind{cameo.SAM, cameo.LLP, cameo.Perfect} {
+		ccfg := cfg
+		ccfg.Org = system.CAMEO
+		ccfg.Pred = pred
+		r := system.Run(spec, ccfg)
+		p := r.Cameo.Cases.Percent()
+		tab.AddRowF(pred.String(), stats.Speedup(base.Cycles, r.Cycles),
+			fmt.Sprintf("%.1f%%", 100*r.Cameo.Cases.Accuracy()),
+			fmt.Sprintf("%.1f%%", p[1]), fmt.Sprintf("%.1f%%", p[2]))
+	}
+	tab.Render(os.Stdout)
+
+	// Table-size sweep, driven directly against the cameo package so the
+	// size is under our control (the full-system path fixes it at 256).
+	fmt.Println()
+	// mcf at a larger footprint so a real fraction of its lines live
+	// off-chip and the predictor has four-way choices to get wrong.
+	mcf, _ := workload.SpecByName("mcf")
+	sw := stats.NewTable("LLP table-size sweep (one core, mcf stream)",
+		"Entries", "Bytes/core", "Accuracy")
+	for _, entries := range []int{4, 16, 64, 256, 1024} {
+		acc := accuracyWithTableSize(mcf, entries)
+		p := cameo.NewPredictor(1, entries)
+		sw.AddRowF(entries, p.StorageBytesPerCore(), fmt.Sprintf("%.1f%%", 100*acc))
+	}
+	sw.Render(os.Stdout)
+	fmt.Println("\nThe paper's 256-entry, 64 B/core table sits at the knee: smaller")
+	fmt.Println("tables alias hot and cold PCs (the loss is modest here because the")
+	fmt.Println("synthetic streams carry a few dozen distinct miss PCs; real traces")
+	fmt.Println("have more), and larger tables buy almost nothing.")
+}
+
+// accuracyWithTableSize replays a single-core miss stream against a CAMEO
+// system with the given LLP table size and returns the Table III accuracy.
+func accuracyWithTableSize(spec workload.Spec, entries int) float64 {
+	stacked := dram.NewModule(dram.StackedConfig(4 << 20))
+	off := dram.NewModule(dram.OffChipConfig(12 << 20))
+	groups := cameo.VisibleStackedLines((4 << 20) / dram.LineBytes)
+	sys := cameo.New(cameo.Config{
+		Groups: groups, Segments: 4,
+		LLT: cameo.CoLocatedLLT, Pred: cameo.LLP,
+		Cores: 1, LLPEntries: entries,
+	}, stacked, off)
+
+	stream := workload.NewStream(spec, 128, 0, 1)
+	space := sys.VisibleLines()
+	at := uint64(0)
+	for i := 0; i < 60_000; i++ {
+		r := stream.Next()
+		if r.Write {
+			continue
+		}
+		sys.Access(at, memsys.Request{Core: 0, PLine: r.VLine % space, PC: r.PC})
+		at += 200
+	}
+	return sys.Stats().Cases.Accuracy()
+}

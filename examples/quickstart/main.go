@@ -1,0 +1,64 @@
+// Quickstart: build a CAMEO memory system by hand, touch some lines, and
+// watch the congruence-group swapping and the Line Location Predictor work.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+func main() {
+	// A small system: 4 MB stacked DRAM + 12 MB off-chip DRAM, the paper's
+	// 1:3 ratio. Timing parameters come from Table I.
+	stacked := dram.NewModule(dram.StackedConfig(4 << 20))
+	offchip := dram.NewModule(dram.OffChipConfig(12 << 20))
+
+	groups := cameo.VisibleStackedLines((4 << 20) / dram.LineBytes)
+	sys := cameo.New(cameo.Config{
+		Groups:     groups,
+		Segments:   4, // 1 stacked + 3 off-chip lines per congruence group
+		LLT:        cameo.CoLocatedLLT,
+		Pred:       cameo.LLP,
+		Cores:      1,
+		LLPEntries: 256,
+	}, stacked, offchip)
+
+	fmt.Printf("OS-visible memory: %.1f MB (stacked contributes %.1f MB)\n",
+		float64(sys.VisibleLines()*dram.LineBytes)/(1<<20),
+		float64(groups*dram.LineBytes)/(1<<20))
+
+	// Touch a line whose home is in off-chip memory (segment 1). CAMEO
+	// fetches it and swaps it into stacked DRAM.
+	line := groups + 12345 // segment 1, group 12345
+	now := uint64(0)
+	done := sys.Access(now, memsys.Request{Core: 0, PLine: line, PC: 0x400100})
+	fmt.Printf("first access (off-chip home): %d cycles\n", done-now)
+
+	// Touch it again: it now lives in stacked DRAM.
+	now = 1_000_000
+	done = sys.Access(now, memsys.Request{Core: 0, PLine: line, PC: 0x400100})
+	fmt.Printf("second access (swapped into stacked): %d cycles\n", done-now)
+
+	// Stream through a few off-chip lines with one PC: after the first
+	// miss trains the predictor, the off-chip fetches overlap the probe.
+	for i := uint64(0); i < 8; i++ {
+		now += 1_000_000
+		l := 2*groups + 777 + i // segment 2 lines, same PC
+		done = sys.Access(now, memsys.Request{Core: 0, PLine: l, PC: 0x400200})
+		fmt.Printf("stream access %d: %d cycles\n", i, done-now)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nstacked service rate: %.0f%%\n", 100*st.StackedServiceRate())
+	fmt.Printf("swaps performed:      %d\n", st.Swaps)
+	fmt.Printf("predictor accuracy:   %.0f%% (%d+%d of %d correct)\n",
+		100*st.Cases.Accuracy(), st.Cases.StackedPredStacked,
+		st.Cases.OffPredCorrect, st.Cases.Total())
+	fmt.Printf("LLT storage:          %.1f KB for %d congruence groups\n",
+		float64(sys.LLT().SizeBytes())/1024, sys.LLT().Groups())
+}

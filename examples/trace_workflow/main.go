@@ -1,0 +1,113 @@
+// Trace workflow: capture a benchmark's miss stream to a trace file, audit
+// it, and replay it against two memory organizations — the decoupled
+// capture/replay loop the paper's Pin methodology implies.
+//
+//	go run ./examples/trace_workflow
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"cameo/internal/alloy"
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/trace"
+	"cameo/internal/workload"
+)
+
+func main() {
+	// 1. Capture: 150K requests of mcf into an in-memory trace (a file
+	// works the same; see cmd/tracegen).
+	spec, _ := workload.SpecByName("mcf")
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Meta{
+		Benchmark: spec.Name, ScaleDiv: 128, Core: 0, Seed: 0xCA3E0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := workload.NewStream(spec, 128, 0, 0xCA3E0)
+	for i := 0; i < 150_000; i++ {
+		if err := w.Write(stream.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured %d records in %d bytes (%.1f B/record)\n",
+		w.Count(), buf.Len(), float64(buf.Len())/float64(w.Count()))
+
+	// 2. Audit: decode and recompute stream statistics.
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var demands, writes, instr uint64
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if req.Write {
+			writes++
+			continue
+		}
+		demands++
+		instr += req.Gap
+	}
+	fmt.Printf("audit: %d demands, %d writebacks, measured MPKI %.1f (spec %.1f)\n",
+		demands, writes, float64(demands)*1000/float64(instr), spec.MPKI)
+
+	// 3. Replay the identical stream against CAMEO and the Alloy cache.
+	replay := func(name string, org memsys.Organization) {
+		rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := trace.NewLoopingSource(rd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		space := org.VisibleLines()
+		at := uint64(0)
+		var total, count uint64
+		for i := 0; i < src.Len(); i++ {
+			req := src.Next()
+			done := org.Access(at, memsys.Request{
+				PLine: req.VLine % space, PC: req.PC, Write: req.Write,
+			})
+			if !req.Write {
+				total += done - at
+				count++
+			}
+			at += 2 * req.Gap
+		}
+		fmt.Printf("%-6s avg demand latency %.0f cycles, stacked %.1f MB, off-chip %.1f MB\n",
+			name, float64(total)/float64(count),
+			float64(org.StackedStats().Bytes())/1e6,
+			float64(org.OffChipStats().Bytes())/1e6)
+	}
+
+	mkMods := func() (*dram.Module, *dram.Module) {
+		return dram.NewModule(dram.StackedConfig(4 << 20)),
+			dram.NewModule(dram.OffChipConfig(12 << 20))
+	}
+	stk, off := mkMods()
+	groups := cameo.VisibleStackedLines((4 << 20) / dram.LineBytes)
+	replay("CAMEO", cameo.New(cameo.Config{
+		Groups: groups, Segments: 4, Cores: 1, LLPEntries: 256,
+	}, stk, off))
+
+	stk2, off2 := mkMods()
+	replay("Alloy", alloy.New(alloy.Config{
+		Cores: 1, PredictorEntries: 256, VisibleLines: (12 << 20) / 64,
+	}, stk2, off2))
+}

@@ -1,0 +1,3 @@
+module cameo
+
+go 1.22

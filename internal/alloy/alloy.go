@@ -1,0 +1,209 @@
+package alloy
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// TADBytes is the size of one tag-and-data unit: a 64 B line alloyed with an
+// 8 B tag, streamed in a single burst.
+const TADBytes = 72
+
+// tadsPerRow is how many TADs fit a 2 KB stacked row (28*72 = 2016 B).
+const tadsPerRow = 28
+
+// linesPerRow is the row size in plain 64 B lines.
+const linesPerRow = 32
+
+// Config sizes the cache organization.
+type Config struct {
+	// Name distinguishes "Cache" from the idealistic "DoubleUse" instance.
+	Name string
+	// Cores sizes the per-core predictor array.
+	Cores int
+	// PredictorEntries is the per-core predictor table size (power of two),
+	// 0 for always-serial access.
+	PredictorEntries int
+	// VisibleLines is the off-chip (OS-visible) line address space.
+	VisibleLines uint64
+}
+
+type tadEntry struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats counts cache-level events (DRAM-level traffic lives in the modules).
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	DirtyEvicts uint64
+	WastedReads uint64 // parallel off-chip reads for predicted misses that hit
+}
+
+// HitRate returns read hit rate.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is the Alloy-cache organization: stacked DRAM as a direct-mapped
+// line cache in front of commodity DRAM. It implements memsys.Organization.
+type Cache struct {
+	cfg     Config
+	stacked dram.Device
+	off     dram.Device
+	sets    uint64
+	tags    []tadEntry
+	pred    *Predictor
+	stats   Stats
+}
+
+var _ memsys.Organization = (*Cache)(nil)
+
+// New builds the organization. The number of sets is derived from the
+// stacked module's capacity: 28 TADs per 2 KB row.
+func New(cfg Config, stacked, off dram.Device) *Cache {
+	if stacked == nil || off == nil {
+		panic("alloy: nil DRAM module")
+	}
+	if cfg.VisibleLines == 0 {
+		panic("alloy: zero visible lines")
+	}
+	devLines := stacked.Config().CapacityBytes / dram.LineBytes
+	rows := devLines / linesPerRow
+	sets := rows * tadsPerRow
+	if sets == 0 {
+		panic(fmt.Sprintf("alloy: stacked capacity %d too small", stacked.Config().CapacityBytes))
+	}
+	return &Cache{
+		cfg:     cfg,
+		stacked: stacked,
+		off:     off,
+		sets:    sets,
+		tags:    make([]tadEntry, sets),
+		pred:    NewPredictor(cfg.Cores, cfg.PredictorEntries),
+	}
+}
+
+// Name implements memsys.Organization.
+func (c *Cache) Name() string {
+	if c.cfg.Name != "" {
+		return c.cfg.Name
+	}
+	return "Cache"
+}
+
+// VisibleLines implements memsys.Organization.
+func (c *Cache) VisibleLines() uint64 { return c.cfg.VisibleLines }
+
+// StackedStats implements memsys.Organization.
+func (c *Cache) StackedStats() dram.Stats { return c.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (c *Cache) OffChipStats() dram.Stats { return c.off.Stats() }
+
+// Stats returns cache-level counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats implements memsys.Organization: clears cache and module
+// counters, keeping contents and predictor state (a warm cache stays warm).
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.stacked.ResetStats()
+	c.off.ResetStats()
+}
+
+// Sets returns the number of direct-mapped sets (TAD slots).
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// tadDevLine maps a set to a stacked device line address such that adjacent
+// sets share rows (28 TADs per 32-line row), preserving row-buffer locality
+// for the timing model.
+func (c *Cache) tadDevLine(set uint64) uint64 {
+	return (set/tadsPerRow)*linesPerRow + set%tadsPerRow
+}
+
+// Access implements memsys.Organization.
+func (c *Cache) Access(at uint64, req memsys.Request) uint64 {
+	if req.PLine >= c.cfg.VisibleLines {
+		panic(fmt.Sprintf("alloy: line %d beyond visible space %d", req.PLine, c.cfg.VisibleLines))
+	}
+	set := req.PLine % c.sets
+	entry := &c.tags[set]
+	hit := entry.valid && entry.tag == req.PLine
+
+	if req.Write {
+		return c.writeback(at, req, set, hit)
+	}
+
+	predMiss := c.pred.PredictMiss(req.Core, req.PC)
+
+	// The probe always reads the TAD: tag check and (on hit) data together.
+	probeDone := c.stacked.Access(at, c.tadDevLine(set), TADBytes, false)
+
+	if hit {
+		c.stats.Hits++
+		if predMiss {
+			// Mispredicted miss launched a useless parallel memory read.
+			c.off.Access(at, req.PLine, dram.LineBytes, false)
+			c.stats.WastedReads++
+		}
+		c.pred.Update(req.Core, req.PC, false)
+		return probeDone
+	}
+
+	c.stats.Misses++
+	offStart := probeDone
+	if predMiss {
+		offStart = at // overlapped with the probe
+	}
+	complete := c.off.Access(offStart, req.PLine, dram.LineBytes, false)
+	c.pred.Update(req.Core, req.PC, true)
+	// The fill is timed at the probe's start rather than the miss's
+	// completion so the analytic DRAM model's timestamps stay near-monotone
+	// (see the cameo package's swap comment).
+	c.fill(at, set, req.PLine, false)
+	return complete
+}
+
+// writeback handles posted dirty traffic from the L3: update in place on
+// hit, write around on miss (no write-allocate for writebacks).
+func (c *Cache) writeback(at uint64, req memsys.Request, set uint64, hit bool) uint64 {
+	if hit {
+		c.stats.WriteHits++
+		c.tags[set].dirty = true
+		return c.stacked.Access(at, c.tadDevLine(set), TADBytes, true)
+	}
+	c.stats.WriteMisses++
+	return c.off.Access(at, req.PLine, dram.LineBytes, true)
+}
+
+// fill installs a line after a demand miss, evicting the previous occupant
+// (its data arrived with the probe, so a dirty victim costs only the
+// off-chip write).
+func (c *Cache) fill(at uint64, set uint64, line uint64, dirty bool) {
+	entry := &c.tags[set]
+	if entry.valid && entry.dirty {
+		c.off.Access(at, entry.tag, dram.LineBytes, true)
+		c.stats.DirtyEvicts++
+	}
+	c.stacked.Access(at, c.tadDevLine(set), TADBytes, true)
+	c.stats.Fills++
+	*entry = tadEntry{tag: line, valid: true, dirty: dirty}
+}
+
+// Contains reports residency, for tests.
+func (c *Cache) Contains(line uint64) bool {
+	e := c.tags[line%c.sets]
+	return e.valid && e.tag == line
+}

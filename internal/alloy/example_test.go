@@ -1,0 +1,31 @@
+package alloy_test
+
+import (
+	"fmt"
+
+	"cameo/internal/alloy"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// Example shows the Alloy cache's one-burst hit path: tag and data arrive
+// together, so a warm hit is a single stacked access.
+func Example() {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	offchip := dram.NewModule(dram.OffChipConfig(4 << 20))
+	c := alloy.New(alloy.Config{
+		Cores:            1,
+		PredictorEntries: 256,
+		VisibleLines:     (4 << 20) / 64,
+	}, stacked, offchip)
+
+	c.Access(0, memsys.Request{PLine: 1234, PC: 0x400000})         // miss + fill
+	c.Access(1_000_000, memsys.Request{PLine: 1234, PC: 0x400000}) // hit
+
+	st := c.Stats()
+	fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
+	fmt.Printf("resident: %v\n", c.Contains(1234))
+	// Output:
+	// hits=1 misses=1
+	// resident: true
+}

@@ -1,0 +1,83 @@
+// Package alloy implements the stacked-DRAM hardware cache the paper uses
+// as its "Cache" design point: the Alloy Cache (Qureshi & Loh, MICRO 2012) —
+// a direct-mapped line cache whose tag is alloyed with the data into a TAD
+// (tag-and-data) unit streamed out in one burst — together with a per-core
+// PC-indexed hit/miss predictor in the spirit of MAP-I that lets predicted
+// misses start the off-chip access in parallel with the cache probe.
+package alloy
+
+// Predictor is a per-core hit/miss predictor: a table of 2-bit saturating
+// counters indexed by a hash of the miss PC. High counter values predict
+// MISS (go to memory in parallel).
+type Predictor struct {
+	counters [][]uint8 // [core][entry]
+	mask     uint64
+}
+
+// PredictorStats counts prediction outcomes.
+type PredictorStats struct {
+	PredictMiss uint64
+	PredictHit  uint64
+	MissCorrect uint64 // predicted miss, was miss
+	MissWrong   uint64 // predicted miss, was hit (wasted off-chip read)
+	HitCorrect  uint64 // predicted hit, was hit
+	HitWrong    uint64 // predicted hit, was miss (serialized access)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (s PredictorStats) Accuracy() float64 {
+	t := s.PredictMiss + s.PredictHit
+	if t == 0 {
+		return 0
+	}
+	return float64(s.MissCorrect+s.HitCorrect) / float64(t)
+}
+
+// NewPredictor builds per-core tables of `entries` counters (power of two).
+// entries == 0 disables prediction: every access is serial (predict hit).
+func NewPredictor(cores, entries int) *Predictor {
+	if cores <= 0 {
+		panic("alloy: non-positive core count")
+	}
+	if entries == 0 {
+		return &Predictor{}
+	}
+	if entries&(entries-1) != 0 {
+		panic("alloy: predictor entries must be a power of two")
+	}
+	p := &Predictor{mask: uint64(entries - 1)}
+	p.counters = make([][]uint8, cores)
+	for i := range p.counters {
+		p.counters[i] = make([]uint8, entries)
+		// Start weakly predicting miss so cold streams overlap immediately.
+		for j := range p.counters[i] {
+			p.counters[i][j] = 2
+		}
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// PredictMiss reports whether the access should be treated as a likely miss.
+func (p *Predictor) PredictMiss(core int, pc uint64) bool {
+	if p.counters == nil {
+		return false
+	}
+	return p.counters[core][p.index(pc)] >= 2
+}
+
+// Update trains the predictor with the observed outcome.
+func (p *Predictor) Update(core int, pc uint64, wasMiss bool) {
+	if p.counters == nil {
+		return
+	}
+	c := &p.counters[core][p.index(pc)]
+	if wasMiss {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}

@@ -1,0 +1,283 @@
+// Package cache implements set-associative caches with pluggable
+// replacement. It backs the shared L3 model and is reused by tests and
+// examples; the Alloy DRAM cache has its own organization (tags live in
+// DRAM rows) and only shares the victim bookkeeping conventions.
+//
+// Caches here track metadata only (tags, valid, dirty) — the simulator never
+// stores data contents.
+package cache
+
+import "fmt"
+
+// Replacement selects victims within a set.
+type Replacement int
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Replacement = iota
+	// RandomRepl evicts a pseudo-random way (deterministic xorshift).
+	RandomRepl
+	// ClockRepl approximates LRU with per-way reference bits and a sweeping
+	// hand — the policy OS page caches (and this simulator's VM) use.
+	ClockRepl
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case RandomRepl:
+		return "Random"
+	case ClockRepl:
+		return "Clock"
+	}
+	return fmt.Sprintf("Replacement(%d)", int(r))
+}
+
+// Config sizes a cache. LineBytes is fixed at 64 to match the rest of the
+// system.
+type Config struct {
+	Name       string
+	SizeBytes  uint64
+	Assoc      int
+	Repl       Replacement
+	HitLatency uint64 // CPU cycles
+}
+
+const lineBytes = 64
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() uint64 { return c.SizeBytes / uint64(lineBytes) / uint64(c.Assoc) }
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %q: associativity must be positive, got %d", c.Name, c.Assoc)
+	case c.SizeBytes == 0 || c.SizeBytes%uint64(lineBytes*c.Assoc) != 0:
+		return fmt.Errorf("cache %q: size %d not a multiple of assoc*line", c.Name, c.SizeBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("cache %q: set count %d is not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+	ref   bool   // CLOCK reference bit
+}
+
+// Victim describes the line displaced by an Install.
+type Victim struct {
+	Addr  uint64 // line address of the displaced line
+	Valid bool   // false when an invalid way was filled (nothing displaced)
+	Dirty bool   // displaced line needs a writeback
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Dirty     uint64 // dirty evictions (writebacks generated)
+}
+
+// MissRate returns misses / (hits+misses), or 0 when idle.
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache over 64 B
+// line addresses. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    []way // len = Sets()*Assoc, set-major
+	setMask uint64
+	tick    uint64
+	rng     uint64   // xorshift state for RandomRepl
+	hands   []uint16 // per-set CLOCK hand for ClockRepl
+	stats   Stats
+}
+
+// New builds a cache. It panics on invalid configuration (static data).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]way, cfg.Sets()*uint64(cfg.Assoc)),
+		setMask: cfg.Sets() - 1,
+		rng:     0x9e3779b97f4a7c15,
+	}
+	if cfg.Repl == ClockRepl {
+		c.hands = make([]uint16, cfg.Sets())
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without evicting contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setIndex(line uint64) uint64 { return line & c.setMask }
+func (c *Cache) tagOf(line uint64) uint64    { return line >> trailingZeros(c.setMask+1) }
+
+func trailingZeros(x uint64) uint {
+	var n uint
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) lineOf(set, tag uint64) uint64 {
+	return tag<<trailingZeros(c.setMask+1) | set
+}
+
+// Contains reports whether line is resident, without touching LRU state.
+func (c *Cache) Contains(line uint64) bool {
+	set := c.setIndex(line)
+	tag := c.tagOf(line)
+	base := set * uint64(c.cfg.Assoc)
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.sets[base+uint64(i)]
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up line; on hit it updates recency (and dirtiness for
+// writes) and returns hit=true. On miss it returns hit=false without
+// allocating — callers decide whether to Install (write-allocate policy is
+// the caller's composition of Access+Install).
+func (c *Cache) Access(line uint64, isWrite bool) bool {
+	set := c.setIndex(line)
+	tag := c.tagOf(line)
+	base := set * uint64(c.cfg.Assoc)
+	c.tick++
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.sets[base+uint64(i)]
+		if w.valid && w.tag == tag {
+			w.used = c.tick
+			w.ref = true
+			if isWrite {
+				w.dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Install inserts line (marking it dirty when the triggering access was a
+// write) and returns the displaced victim, if any. Installing a line that is
+// already resident refreshes it in place.
+func (c *Cache) Install(line uint64, dirty bool) Victim {
+	set := c.setIndex(line)
+	tag := c.tagOf(line)
+	base := set * uint64(c.cfg.Assoc)
+	c.tick++
+
+	victimIdx := -1
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.sets[base+uint64(i)]
+		if w.valid && w.tag == tag {
+			// Already resident; refresh.
+			w.used = c.tick
+			w.dirty = w.dirty || dirty
+			return Victim{}
+		}
+		if !w.valid && victimIdx == -1 {
+			victimIdx = i
+		}
+	}
+	if victimIdx == -1 {
+		victimIdx = c.pickVictim(base)
+	}
+	w := &c.sets[base+uint64(victimIdx)]
+	v := Victim{}
+	if w.valid {
+		v = Victim{Addr: c.lineOf(set, w.tag), Valid: true, Dirty: w.dirty}
+		c.stats.Evictions++
+		if w.dirty {
+			c.stats.Dirty++
+		}
+	}
+	*w = way{tag: tag, valid: true, dirty: dirty, used: c.tick}
+	return v
+}
+
+func (c *Cache) pickVictim(base uint64) int {
+	switch c.cfg.Repl {
+	case ClockRepl:
+		set := base / uint64(c.cfg.Assoc)
+		for {
+			h := int(c.hands[set])
+			c.hands[set] = uint16((h + 1) % c.cfg.Assoc)
+			w := &c.sets[base+uint64(h)]
+			if w.ref {
+				w.ref = false
+				continue
+			}
+			return h
+		}
+	case RandomRepl:
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(c.cfg.Assoc))
+	default: // LRU
+		best, bestUsed := 0, c.sets[base].used
+		for i := 1; i < c.cfg.Assoc; i++ {
+			if u := c.sets[base+uint64(i)].used; u < bestUsed {
+				best, bestUsed = i, u
+			}
+		}
+		return best
+	}
+}
+
+// Invalidate drops line if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
+	set := c.setIndex(line)
+	tag := c.tagOf(line)
+	base := set * uint64(c.cfg.Assoc)
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.sets[base+uint64(i)]
+		if w.valid && w.tag == tag {
+			d := w.dirty
+			*w = way{}
+			return d
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines, for tests and reporting.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}

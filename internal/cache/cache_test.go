@@ -1,0 +1,262 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/xrand"
+)
+
+func smallCache() *Cache {
+	return New(Config{Name: "t", SizeBytes: 8 * 64 * 4, Assoc: 4, Repl: LRU})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := L3Config(32 << 20).Validate(); err != nil {
+		t.Fatalf("L3 config invalid: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, Assoc: 0},
+		{SizeBytes: 100, Assoc: 4},        // not a multiple
+		{SizeBytes: 3 * 64 * 4, Assoc: 4}, // 3 sets: not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestHitAfterInstall(t *testing.T) {
+	c := smallCache()
+	if c.Access(42, false) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Install(42, false)
+	if !c.Access(42, false) {
+		t.Fatal("miss after install")
+	}
+	if !c.Contains(42) {
+		t.Fatal("Contains false after install")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache() // 8 sets, 4 ways
+	// Fill set 0 with 4 lines: addresses 0, 8, 16, 24 all map to set 0.
+	for i := uint64(0); i < 4; i++ {
+		c.Install(i*8, false)
+	}
+	// Touch line 0 to make line 8 the LRU.
+	c.Access(0, false)
+	v := c.Install(4*8, false)
+	if !v.Valid || v.Addr != 8 {
+		t.Fatalf("victim = %+v, want line 8", v)
+	}
+	if c.Contains(8) {
+		t.Fatal("evicted line still resident")
+	}
+	if !c.Contains(0) {
+		t.Fatal("recently used line was evicted")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := smallCache()
+	c.Install(0, true) // dirty
+	for i := uint64(1); i <= 4; i++ {
+		v := c.Install(i*8, false)
+		if i == 4 {
+			if !v.Valid || !v.Dirty || v.Addr != 0 {
+				t.Fatalf("victim = %+v, want dirty line 0", v)
+			}
+		}
+	}
+	if c.Stats().Dirty != 1 {
+		t.Fatalf("dirty evictions = %d, want 1", c.Stats().Dirty)
+	}
+}
+
+func TestWriteMarksDirty(t *testing.T) {
+	c := smallCache()
+	c.Install(0, false)
+	c.Access(0, true) // write hit dirties the line
+	for i := uint64(1); i <= 4; i++ {
+		if v := c.Install(i*8, false); v.Valid && v.Addr == 0 && !v.Dirty {
+			t.Fatal("written line evicted clean")
+		}
+	}
+}
+
+func TestInstallExistingRefreshes(t *testing.T) {
+	c := smallCache()
+	c.Install(0, false)
+	v := c.Install(0, true)
+	if v.Valid {
+		t.Fatalf("re-install displaced %+v", v)
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", c.Occupancy())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Install(0, true)
+	if !c.Invalidate(0) {
+		t.Fatal("invalidate did not report dirty")
+	}
+	if c.Contains(0) {
+		t.Fatal("line resident after invalidate")
+	}
+	if c.Invalidate(0) {
+		t.Fatal("second invalidate reported dirty")
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	check := func(seed uint64) bool {
+		c := smallCache()
+		r := xrand.New(seed)
+		for i := 0; i < 500; i++ {
+			line := uint64(r.Intn(256))
+			if !c.Access(line, r.Bool(0.3)) {
+				c.Install(line, false)
+			}
+		}
+		return c.Occupancy() <= 8*4
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetNeverExceedsAssoc(t *testing.T) {
+	// Hammer one set with many distinct tags; at most Assoc of them stay.
+	c := smallCache()
+	for i := uint64(0); i < 100; i++ {
+		c.Install(i*8, false)
+	}
+	resident := 0
+	for i := uint64(0); i < 100; i++ {
+		if c.Contains(i * 8) {
+			resident++
+		}
+	}
+	if resident != 4 {
+		t.Fatalf("resident = %d, want exactly assoc=4", resident)
+	}
+}
+
+func TestRandomReplacementStaysBounded(t *testing.T) {
+	c := New(Config{Name: "r", SizeBytes: 4 * 64 * 2, Assoc: 2, Repl: RandomRepl})
+	for i := uint64(0); i < 1000; i++ {
+		if !c.Access(i%64, false) {
+			c.Install(i%64, false)
+		}
+	}
+	if c.Occupancy() > 8 {
+		t.Fatalf("occupancy %d exceeds capacity 8", c.Occupancy())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := smallCache()
+	if c.Stats().MissRate() != 0 {
+		t.Fatal("idle miss rate nonzero")
+	}
+	c.Access(0, false) // miss
+	c.Install(0, false)
+	c.Access(0, false) // hit
+	if got := c.Stats().MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestL3WriteAllocate(t *testing.T) {
+	l3 := NewL3(Config{Name: "l3", SizeBytes: 8 * 64 * 4, Assoc: 4, Repl: LRU, HitLatency: 24})
+	r := l3.Access(100, true)
+	if r.Hit {
+		t.Fatal("hit in empty L3")
+	}
+	r = l3.Access(100, false)
+	if !r.Hit {
+		t.Fatal("write-allocate did not install the line")
+	}
+	if l3.HitLatency() != 24 {
+		t.Fatalf("hit latency = %d", l3.HitLatency())
+	}
+}
+
+func TestL3WritebackSurfaced(t *testing.T) {
+	l3 := NewL3(Config{Name: "l3", SizeBytes: 64 * 2, Assoc: 2, Repl: LRU}) // 1 set, 2 ways
+	l3.Access(0, true)
+	l3.Access(1, false)
+	r := l3.Access(2, false) // evicts dirty line 0
+	if !r.Writeback.Valid || r.Writeback.Addr != 0 || !r.Writeback.Dirty {
+		t.Fatalf("writeback = %+v, want dirty line 0", r.Writeback)
+	}
+	// Clean victims are suppressed.
+	r = l3.Access(3, false)
+	if r.Writeback.Valid {
+		t.Fatalf("clean eviction surfaced a writeback: %+v", r.Writeback)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	check := func(line uint32) bool {
+		c := smallCache()
+		set := c.setIndex(uint64(line))
+		tag := c.tagOf(uint64(line))
+		return c.lineOf(set, tag) == uint64(line)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkL3Access(b *testing.B) {
+	l3 := NewL3(L3Config(1 << 20))
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l3.Access(uint64(r.Intn(1<<16)), false)
+	}
+}
+
+func TestClockReplacement(t *testing.T) {
+	c := New(Config{Name: "clk", SizeBytes: 4 * 64 * 2, Assoc: 2, Repl: ClockRepl})
+	// Fill set 0 (addresses stride 4 = set count).
+	c.Install(0, false)
+	c.Install(4, false)
+	// Touch line 0 so its ref bit is set; line 4's hand-sweep clears first.
+	c.Access(0, false)
+	c.Install(8, false) // CLOCK should spare the referenced line 0
+	if !c.Contains(0) {
+		t.Fatal("referenced line evicted by CLOCK")
+	}
+	if c.Contains(4) {
+		t.Fatal("unreferenced line survived CLOCK")
+	}
+}
+
+func TestClockBounded(t *testing.T) {
+	c := New(Config{Name: "clk", SizeBytes: 8 * 64 * 4, Assoc: 4, Repl: ClockRepl})
+	for i := uint64(0); i < 500; i++ {
+		if !c.Access(i%100, false) {
+			c.Install(i%100, false)
+		}
+	}
+	if c.Occupancy() > 32 {
+		t.Fatalf("occupancy %d exceeds capacity", c.Occupancy())
+	}
+}
+
+func TestReplacementNames(t *testing.T) {
+	if LRU.String() != "LRU" || RandomRepl.String() != "Random" || ClockRepl.String() != "Clock" {
+		t.Fatal("replacement names")
+	}
+	if Replacement(99).String() == "" {
+		t.Fatal("unknown replacement name empty")
+	}
+}

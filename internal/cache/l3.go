@@ -1,0 +1,54 @@
+package cache
+
+// L3Config returns the paper's shared last-level cache (Table I): 32 MB,
+// 16-way, 24-cycle hit latency. sizeBytes may be scaled down alongside the
+// rest of the system.
+func L3Config(sizeBytes uint64) Config {
+	return Config{
+		Name:       "L3",
+		SizeBytes:  sizeBytes,
+		Assoc:      16,
+		Repl:       LRU,
+		HitLatency: 24,
+	}
+}
+
+// L3 wraps Cache as the shared last-level cache: write-back, write-allocate,
+// with miss/writeback composition handled for the caller.
+type L3 struct {
+	c *Cache
+}
+
+// NewL3 builds the shared L3.
+func NewL3(cfg Config) *L3 { return &L3{c: New(cfg)} }
+
+// AccessResult describes one L3 access.
+type AccessResult struct {
+	Hit bool
+	// Writeback is the dirty victim displaced by the fill on a miss; its
+	// Valid field is false when no writeback is needed.
+	Writeback Victim
+}
+
+// Access performs a write-allocate access: hits update recency/dirtiness;
+// misses allocate the line and surface any dirty victim for the caller to
+// write back to memory.
+func (l *L3) Access(line uint64, isWrite bool) AccessResult {
+	if l.c.Access(line, isWrite) {
+		return AccessResult{Hit: true}
+	}
+	v := l.c.Install(line, isWrite)
+	if !v.Dirty {
+		v = Victim{} // clean victims need no memory traffic
+	}
+	return AccessResult{Writeback: v}
+}
+
+// HitLatency returns the configured hit latency in CPU cycles.
+func (l *L3) HitLatency() uint64 { return l.c.cfg.HitLatency }
+
+// Stats exposes the underlying counters.
+func (l *L3) Stats() Stats { return l.c.Stats() }
+
+// Cache exposes the underlying cache for tests.
+func (l *L3) Cache() *Cache { return l.c }

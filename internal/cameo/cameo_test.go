@@ -1,0 +1,372 @@
+package cameo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/xrand"
+)
+
+// testSystem builds a small CAMEO: 1 MB visible stacked (16384 groups after
+// rounding to LEAD capacity), 3x off-chip.
+func testSystem(llt LLTKind, pred PredKind) *System {
+	stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+	devLines := uint64(1<<20) / 64
+	groups := VisibleStackedLines(devLines)
+	off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+	return New(Config{
+		Groups:     groups,
+		Segments:   4,
+		LLT:        llt,
+		Pred:       pred,
+		Cores:      2,
+		LLPEntries: 256,
+	}, stackedDev, off)
+}
+
+func req(core int, line, pc uint64) memsys.Request {
+	return memsys.Request{Core: core, PLine: line, PC: pc}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Groups: 64, Segments: 4, Cores: 1, LLPEntries: 256}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Groups: 0, Segments: 4, Cores: 1, LLPEntries: 256},
+		{Groups: 64, Segments: 1, Cores: 1, LLPEntries: 256},
+		{Groups: 64, Segments: 5, Cores: 1, LLPEntries: 256},
+		{Groups: 64, Segments: 4, Cores: 0, LLPEntries: 256},
+		{Groups: 64, Segments: 4, Cores: 1, LLPEntries: 0},
+		{Groups: 64, Segments: 4, Cores: 1, LLPEntries: 100},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed", i)
+		}
+	}
+}
+
+func TestVisibleSpaceIsFullCapacity(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	if s.VisibleLines() != s.cfg.Groups*4 {
+		t.Fatalf("visible = %d, want 4x groups", s.VisibleLines())
+	}
+}
+
+func TestStackedResidentSingleAccess(t *testing.T) {
+	s := testSystem(CoLocatedLLT, SAM)
+	// Line in segment 0 is stacked-resident at boot.
+	d := s.Access(0, req(0, 5, 0x40))
+	if s.stats.StackedHits != 1 || s.stats.OffChipHits != 0 {
+		t.Fatalf("hits = %+v", s.stats)
+	}
+	// Exactly one stacked access, no off-chip traffic.
+	if s.stacked.Stats().Reads != 1 || s.off.Stats().Accesses() != 0 {
+		t.Fatalf("stacked reads=%d off accesses=%d", s.stacked.Stats().Reads, s.off.Stats().Accesses())
+	}
+	if d == 0 {
+		t.Fatal("zero completion time")
+	}
+}
+
+func TestOffChipAccessSwaps(t *testing.T) {
+	s := testSystem(CoLocatedLLT, SAM)
+	g := uint64(7)
+	lineB := s.cfg.Groups + g // segment 1
+	s.Access(0, req(0, lineB, 0x40))
+	if s.stats.OffChipHits != 1 || s.stats.Swaps != 1 {
+		t.Fatalf("stats = %+v", s.stats)
+	}
+	// Line B now occupies the stacked slot; line A (segment 0) took B's.
+	if s.llt.SlotOf(g, 1) != 0 || s.llt.SlotOf(g, 0) != 1 {
+		t.Fatalf("LLT after swap: segB@%d segA@%d", s.llt.SlotOf(g, 1), s.llt.SlotOf(g, 0))
+	}
+	// Re-access B: now a stacked hit.
+	s.Access(1_000_000, req(0, lineB, 0x40))
+	if s.stats.StackedHits != 1 {
+		t.Fatalf("re-access not serviced by stacked: %+v", s.stats)
+	}
+}
+
+func TestExactlyOneCopyInvariant(t *testing.T) {
+	// Property: after arbitrary accesses, every group's LLT entry is a
+	// permutation — i.e. exactly one copy of each line exists and all
+	// capacity is addressable.
+	check := func(seed uint64) bool {
+		s := testSystem(CoLocatedLLT, LLP)
+		r := xrand.New(seed)
+		for i := 0; i < 400; i++ {
+			line := uint64(r.Intn(int(s.VisibleLines())))
+			s.Access(uint64(i)*100, memsys.Request{
+				Core:  r.Intn(2),
+				PLine: line,
+				PC:    uint64(r.Intn(32)) * 4,
+				Write: r.Bool(0.2),
+			})
+		}
+		for g := uint64(0); g < 64; g++ {
+			if !s.llt.IsPermutation(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddedPaysLookupOnHits(t *testing.T) {
+	emb := testSystem(EmbeddedLLT, SAM)
+	col := testSystem(CoLocatedLLT, SAM)
+	dEmb := emb.Access(0, req(0, 3, 0x40))
+	dCol := col.Access(0, req(0, 3, 0x40))
+	if dEmb <= dCol {
+		t.Fatalf("embedded hit %d not slower than co-located hit %d", dEmb, dCol)
+	}
+	// Embedded performs two stacked accesses per hit.
+	if emb.stacked.Stats().Reads != 2 {
+		t.Fatalf("embedded stacked reads = %d, want 2", emb.stacked.Stats().Reads)
+	}
+}
+
+func TestIdealFastestOffChip(t *testing.T) {
+	idl := testSystem(IdealLLT, SAM)
+	col := testSystem(CoLocatedLLT, SAM)
+	emb := testSystem(EmbeddedLLT, SAM)
+	line := idl.cfg.Groups + 9 // off-chip resident
+	dIdl := idl.Access(0, req(0, line, 0x40))
+	dCol := col.Access(0, req(0, line, 0x40))
+	dEmb := emb.Access(0, req(0, line, 0x40))
+	if !(dIdl < dCol && dIdl < dEmb) {
+		t.Fatalf("off-chip latencies ideal=%d colocated=%d embedded=%d", dIdl, dCol, dEmb)
+	}
+}
+
+func TestPerfectPredictionOverlaps(t *testing.T) {
+	sam := testSystem(CoLocatedLLT, SAM)
+	per := testSystem(CoLocatedLLT, Perfect)
+	line := sam.cfg.Groups + 11
+	dSam := sam.Access(0, req(0, line, 0x40))
+	dPer := per.Access(0, req(0, line, 0x40))
+	if dPer >= dSam {
+		t.Fatalf("perfect-predicted %d not faster than SAM %d", dPer, dSam)
+	}
+	if per.stats.Cases.OffPredCorrect != 1 {
+		t.Fatalf("cases = %+v", per.stats.Cases)
+	}
+	if sam.stats.Cases.OffPredStacked != 1 {
+		t.Fatalf("SAM cases = %+v", sam.stats.Cases)
+	}
+}
+
+func TestLLPLearnsLocation(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	pc := uint64(0x80)
+	// Two misses to untouched segment-2 lines with the same PC: first is
+	// mispredicted (cold predictor says stacked), second overlaps.
+	l1 := 2*s.cfg.Groups + 100
+	l2 := 2*s.cfg.Groups + 101
+	s.Access(0, req(0, l1, pc))
+	s.Access(1_000_000, req(0, l2, pc))
+	c := s.stats.Cases
+	if c.OffPredStacked != 1 || c.OffPredCorrect != 1 {
+		t.Fatalf("cases = %+v, want one serialized then one correct", c)
+	}
+}
+
+func TestLLPPerCoreIsolation(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	pc := uint64(0x80)
+	s.Access(0, req(0, 2*s.cfg.Groups+50, pc)) // trains core 0 to slot 2
+	// Core 1 with the same PC is still cold (predicts stacked).
+	s.Access(1_000_000, req(1, 2*s.cfg.Groups+51, pc))
+	if s.stats.Cases.OffPredCorrect != 0 {
+		t.Fatalf("core 1 inherited core 0 training: %+v", s.stats.Cases)
+	}
+}
+
+func TestWastedReadAccounting(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	pc := uint64(0x80)
+	// Train PC to off-chip slot 1.
+	s.Access(0, req(0, s.cfg.Groups+70, pc))
+	s.Access(1_000_000, req(0, s.cfg.Groups+71, pc))
+	// Now access a stacked-resident line with the same PC: case 2.
+	s.Access(2_000_000, req(0, 72, pc))
+	if s.stats.Cases.StackedPredOff != 1 || s.stats.WastedReads == 0 {
+		t.Fatalf("cases = %+v wasted = %d", s.stats.Cases, s.stats.WastedReads)
+	}
+}
+
+func TestWrongOffChipPrediction(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	pc := uint64(0x80)
+	g := uint64(33)
+	// Train PC to slot 1 via a different group.
+	s.Access(0, req(0, s.cfg.Groups+200, pc))
+	s.Access(1_000_000, req(0, s.cfg.Groups+201, pc))
+	// Access a segment-2 line (slot 2) of group g: predicted 1, actual 2.
+	s.Access(2_000_000, req(0, 2*s.cfg.Groups+g, pc))
+	if s.stats.Cases.OffPredWrongOff != 1 {
+		t.Fatalf("cases = %+v, want one wrong-off-chip", s.stats.Cases)
+	}
+}
+
+func TestWritebackInPlaceNoSwap(t *testing.T) {
+	s := testSystem(CoLocatedLLT, SAM)
+	line := s.cfg.Groups + 40 // off-chip resident
+	s.Access(0, memsys.Request{Core: 0, PLine: line, PC: 1, Write: true})
+	if s.stats.Swaps != 0 {
+		t.Fatal("writeback triggered a swap")
+	}
+	if s.stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", s.stats.Writebacks)
+	}
+	if s.llt.SlotOf(40%s.cfg.Groups, 1) != 1 {
+		t.Fatal("writeback moved the line")
+	}
+	if s.off.Stats().Writes != 1 {
+		t.Fatalf("off-chip writes = %d, want 1", s.off.Stats().Writes)
+	}
+}
+
+func TestSwapBandwidthAccounting(t *testing.T) {
+	s := testSystem(CoLocatedLLT, SAM)
+	line := s.cfg.Groups + 3
+	s.Access(0, req(0, line, 0x40))
+	// Swap traffic: probe read (80 B) + demand off-chip read (64) +
+	// stacked install write (80) + off-chip victim write (64).
+	if got := s.stacked.Stats().BytesRead; got != LEADBytes {
+		t.Fatalf("stacked read bytes = %d", got)
+	}
+	if got := s.stacked.Stats().BytesWritten; got != LEADBytes {
+		t.Fatalf("stacked write bytes = %d", got)
+	}
+	if got := s.off.Stats().BytesRead; got != 64 {
+		t.Fatalf("off-chip read bytes = %d", got)
+	}
+	if got := s.off.Stats().BytesWritten; got != 64 {
+		t.Fatalf("off-chip write bytes = %d", got)
+	}
+}
+
+func TestCaseStatsMath(t *testing.T) {
+	c := CaseStats{
+		StackedPredStacked: 68, StackedPredOff: 2,
+		OffPredStacked: 2, OffPredCorrect: 24, OffPredWrongOff: 4,
+	}
+	if c.Total() != 100 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if acc := c.Accuracy(); acc != 0.92 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	p := c.Percent()
+	if p[0] != 68 || p[3] != 24 {
+		t.Fatalf("percent = %v", p)
+	}
+	if (CaseStats{}).Accuracy() != 0 {
+		t.Fatal("idle accuracy not 0")
+	}
+}
+
+func TestStackedServiceRate(t *testing.T) {
+	s := testSystem(CoLocatedLLT, SAM)
+	s.Access(0, req(0, 1, 1))
+	s.Access(100000, req(0, s.cfg.Groups+1, 1))
+	if got := s.Stats().StackedServiceRate(); got != 0.5 {
+		t.Fatalf("service rate = %v", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := testSystem(IdealLLT, SAM)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range line accepted")
+		}
+	}()
+	s.Access(0, req(0, s.VisibleLines(), 1))
+}
+
+func TestPredictorStorageMatchesPaper(t *testing.T) {
+	p := NewPredictor(8, 256)
+	if p.StorageBytesPerCore() != 64 {
+		t.Fatalf("per-core storage = %d B, want 64", p.StorageBytesPerCore())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := testSystem(CoLocatedLLT, LLP).Name(); got != "CAMEO(CoLocated-LLT,LLP)" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := testSystem(IdealLLT, SAM).Name(); got != "CAMEO(Ideal-LLT)" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func BenchmarkCAMEOAccess(b *testing.B) {
+	s := testSystem(CoLocatedLLT, LLP)
+	r := xrand.New(1)
+	space := int(s.VisibleLines())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(uint64(i)*50, req(i&1, uint64(r.Intn(space)), uint64(r.Intn(64))*4))
+	}
+}
+
+// TestVariableSegments exercises the 2- and 3-segment geometries the
+// stacked-share sweep (ext-ratio) uses: half- and third-stacked systems.
+func TestVariableSegments(t *testing.T) {
+	for _, segs := range []int{2, 3} {
+		stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+		groups := VisibleStackedLines(uint64(1<<20) / 64)
+		off := dram.NewModule(dram.OffChipConfig(uint64(segs-1) * groups * 64))
+		s := New(Config{
+			Groups: groups, Segments: segs,
+			LLT: CoLocatedLLT, Pred: LLP, Cores: 1, LLPEntries: 256,
+		}, stackedDev, off)
+		if s.VisibleLines() != groups*uint64(segs) {
+			t.Fatalf("segs=%d: visible = %d", segs, s.VisibleLines())
+		}
+		// Touch one line per segment of a group; each off-chip touch swaps.
+		g := uint64(11)
+		at := uint64(0)
+		for seg := 0; seg < segs; seg++ {
+			s.Access(at, memsys.Request{PLine: uint64(seg)*groups + g, PC: 4})
+			at += 1_000_000
+		}
+		if int(s.Stats().Swaps) != segs-1 {
+			t.Fatalf("segs=%d: swaps = %d, want %d", segs, s.Stats().Swaps, segs-1)
+		}
+		if !s.llt.IsPermutation(g) {
+			t.Fatalf("segs=%d: group entry corrupted", segs)
+		}
+		// The last-touched line is stacked-resident.
+		if s.llt.SlotOf(g, segs-1) != 0 {
+			t.Fatalf("segs=%d: last line not in stacked", segs)
+		}
+	}
+}
+
+// TestSegmentsOverflowRejected: a predictor value beyond the segment count
+// must be clamped, not crash (it can happen when LLP state predates a
+// configuration with fewer segments).
+func TestPredictionClampedToSegments(t *testing.T) {
+	stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+	groups := VisibleStackedLines(uint64(1<<20) / 64)
+	off := dram.NewModule(dram.OffChipConfig(uint64(1) * groups * 64))
+	s := New(Config{Groups: groups, Segments: 2,
+		LLT: CoLocatedLLT, Pred: LLP, Cores: 1, LLPEntries: 256}, stackedDev, off)
+	// Force a stale out-of-range prediction.
+	s.pred.Update(0, 0x40, 3)
+	s.Access(0, memsys.Request{PLine: groups + 1, PC: 0x40}) // must not panic
+	if s.Stats().OffChipHits != 1 {
+		t.Fatal("access not serviced")
+	}
+}

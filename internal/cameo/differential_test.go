@@ -1,0 +1,155 @@
+package cameo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/xrand"
+)
+
+// refTracker is a deliberately naive reference implementation of CAMEO's
+// location semantics: a plain map from requested line to its current
+// physical location, with the same swap-on-off-chip-read policy. The packed
+// 2-bit LLT must agree with it on every access of any random workload.
+type refTracker struct {
+	groups uint64
+	segs   int
+	// loc[line] = slot currently holding the line (default: home segment).
+	loc map[uint64]int
+	// occupant[g*MaxSegments+slot] = line currently at that slot.
+	occupant map[uint64]uint64
+}
+
+func newRefTracker(groups uint64, segs int) *refTracker {
+	return &refTracker{
+		groups:   groups,
+		segs:     segs,
+		loc:      map[uint64]int{},
+		occupant: map[uint64]uint64{},
+	}
+}
+
+func (r *refTracker) slotKey(g uint64, slot int) uint64 { return g*MaxSegments + uint64(slot) }
+
+// lineAt returns the requested line currently occupying (g, slot).
+func (r *refTracker) lineAt(g uint64, slot int) uint64 {
+	if l, ok := r.occupant[r.slotKey(g, slot)]; ok {
+		return l
+	}
+	// Untouched slot: identity mapping.
+	return uint64(slot)*r.groups + g
+}
+
+// locate returns the slot holding the line.
+func (r *refTracker) locate(line uint64) int {
+	if s, ok := r.loc[line]; ok {
+		return s
+	}
+	return int(line / r.groups) // identity
+}
+
+// access performs the read-path state change: off-chip residents swap with
+// the stacked occupant.
+func (r *refTracker) access(line uint64) {
+	g := line % r.groups
+	slot := r.locate(line)
+	if slot == 0 {
+		return
+	}
+	victim := r.lineAt(g, 0)
+	r.loc[line] = 0
+	r.loc[victim] = slot
+	r.occupant[r.slotKey(g, 0)] = line
+	r.occupant[r.slotKey(g, slot)] = victim
+}
+
+func TestLLTAgreesWithReferenceModel(t *testing.T) {
+	check := func(seed uint64) bool {
+		sys := testSystem(CoLocatedLLT, SAM)
+		ref := newRefTracker(sys.cfg.Groups, sys.cfg.Segments)
+		r := xrand.New(seed)
+		// Constrain to a few groups so collisions (the interesting part)
+		// are frequent.
+		groups := []uint64{1, 2, 5}
+		at := uint64(0)
+		for i := 0; i < 300; i++ {
+			g := groups[r.Intn(len(groups))]
+			seg := r.Intn(sys.cfg.Segments)
+			line := uint64(seg)*sys.cfg.Groups + g
+
+			// Both models must agree on the line's location BEFORE the
+			// access...
+			wantSlot := ref.locate(line)
+			gotSlot := sys.llt.SlotOf(g, seg)
+			if gotSlot != wantSlot {
+				return false
+			}
+			sys.Access(at, memsys.Request{Core: 0, PLine: line, PC: 0x40})
+			ref.access(line)
+			at += 10_000
+			// ...and after it the line must be stacked-resident in both.
+			if sys.llt.SlotOf(g, seg) != 0 || ref.locate(line) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackedHitCountAgreesWithReference(t *testing.T) {
+	// Replay one pseudo-random trace through both models and compare the
+	// stacked-service classification access by access.
+	sys := testSystem(CoLocatedLLT, LLP)
+	ref := newRefTracker(sys.cfg.Groups, sys.cfg.Segments)
+	r := xrand.New(99)
+	at := uint64(0)
+	var refStacked uint64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		line := uint64(r.Intn(int(sys.VisibleLines())))
+		if ref.locate(line) == 0 {
+			refStacked++
+		}
+		ref.access(line)
+		sys.Access(at, memsys.Request{Core: 0, PLine: line, PC: uint64(r.Intn(16)) * 4})
+		at += 5_000
+	}
+	if got := sys.Stats().StackedHits; got != refStacked {
+		t.Fatalf("stacked hits: llt=%d reference=%d", got, refStacked)
+	}
+	if sys.Stats().Swaps != n-refStacked {
+		t.Fatalf("swaps=%d, want %d", sys.Stats().Swaps, n-refStacked)
+	}
+}
+
+// TestExactlyOneCopyUnderRefModel cross-checks the capacity invariant: at
+// any point, the union of {line at slot s of group g} over slots is exactly
+// the congruence group's line set.
+func TestExactlyOneCopyUnderRefModel(t *testing.T) {
+	sys := testSystem(CoLocatedLLT, SAM)
+	r := xrand.New(5)
+	at := uint64(0)
+	g := uint64(17)
+	for i := 0; i < 100; i++ {
+		seg := r.Intn(4)
+		sys.Access(at, memsys.Request{Core: 0, PLine: uint64(seg)*sys.cfg.Groups + g, PC: 4})
+		at += 10_000
+	}
+	seen := map[int]bool{}
+	for slot := 0; slot < 4; slot++ {
+		seg := sys.llt.SegAt(g, slot)
+		if seen[seg] {
+			t.Fatalf("segment %d present twice", seg)
+		}
+		seen[seg] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("group holds %d distinct lines, want 4", len(seen))
+	}
+	_ = dram.LineBytes
+}

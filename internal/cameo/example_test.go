@@ -1,0 +1,72 @@
+package cameo_test
+
+import (
+	"fmt"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// Example builds a minimal CAMEO system and shows one line being upgraded
+// from off-chip to stacked DRAM by a swap.
+func Example() {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	offchip := dram.NewModule(dram.OffChipConfig(3 << 20))
+	groups := cameo.VisibleStackedLines((1 << 20) / dram.LineBytes)
+
+	sys := cameo.New(cameo.Config{
+		Groups:     groups,
+		Segments:   4,
+		LLT:        cameo.CoLocatedLLT,
+		Pred:       cameo.LLP,
+		Cores:      1,
+		LLPEntries: 256,
+	}, stacked, offchip)
+
+	line := groups + 7 // homed in off-chip segment 1
+	sys.Access(0, memsys.Request{PLine: line, PC: 0x400000})
+	sys.Access(1_000_000, memsys.Request{PLine: line, PC: 0x400000})
+
+	st := sys.Stats()
+	fmt.Printf("off-chip services: %d\n", st.OffChipHits)
+	fmt.Printf("stacked services:  %d\n", st.StackedHits)
+	fmt.Printf("swaps:             %d\n", st.Swaps)
+	// Output:
+	// off-chip services: 1
+	// stacked services:  1
+	// swaps:             1
+}
+
+// ExampleTable shows the Line Location Table's permutation bookkeeping for
+// the paper's Figure 5 scenario.
+func ExampleTable() {
+	llt := cameo.NewTable(1, 4) // one congruence group: lines A,B,C,D
+
+	// Request B (segment 1): B swaps with A (the stacked resident).
+	llt.Swap(0, 1, 0)
+	// Request D (segment 3): D swaps with B (now the stacked resident).
+	llt.Swap(0, 3, llt.SegAt(0, 0))
+
+	for seg, name := range []string{"A", "B", "C", "D"} {
+		fmt.Printf("%s is at slot %d\n", name, llt.SlotOf(0, seg))
+	}
+	// Output:
+	// A is at slot 1
+	// B is at slot 3
+	// C is at slot 2
+	// D is at slot 0
+}
+
+// ExampleLeadDeviceLine demonstrates the X + X/31 LEAD remap from the
+// paper's footnote 5: 31 visible lines fill each 32-line row.
+func ExampleLeadDeviceLine() {
+	for _, x := range []uint64{0, 30, 31, 62} {
+		fmt.Printf("visible %d -> device %d\n", x, cameo.LeadDeviceLine(x))
+	}
+	// Output:
+	// visible 0 -> device 0
+	// visible 30 -> device 30
+	// visible 31 -> device 32
+	// visible 62 -> device 64
+}

@@ -1,0 +1,43 @@
+package cameo
+
+import (
+	"testing"
+
+	"cameo/internal/memsys"
+)
+
+// FuzzAccessSequence drives a CAMEO system with an arbitrary byte-derived
+// access sequence and checks the structural invariants the design depends
+// on: every LLT entry stays a permutation, and a just-read line is always
+// stacked-resident afterwards.
+func FuzzAccessSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 100, 50, 25})
+	f.Add([]byte{255, 255, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		s := testSystem(CoLocatedLLT, LLP)
+		groups := s.cfg.Groups
+		at := uint64(0)
+		for i := 0; i+2 < len(data); i += 3 {
+			seg := int(data[i]) % s.cfg.Segments
+			g := (uint64(data[i+1])<<8 | uint64(data[i+2])) % groups
+			line := uint64(seg)*groups + g
+			write := data[i]&0x80 != 0
+			s.Access(at, memsys.Request{
+				Core:  int(data[i+1]) % 2,
+				PLine: line,
+				PC:    uint64(data[i+2]&0x3f) * 4,
+				Write: write,
+			})
+			at += 1000
+			if !s.llt.IsPermutation(g) {
+				t.Fatalf("group %d entry not a permutation after access %d", g, i)
+			}
+			if !write && s.llt.SlotOf(g, seg) != 0 {
+				t.Fatalf("read line (g=%d seg=%d) not stacked-resident", g, seg)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package cameo
+
+// HotFilter implements the extension Section VI-D sketches: "if page
+// frequency information is available, CAMEO can retain lines from only
+// heavily used pages in stacked DRAM". The filter tracks access frequency
+// per page of the requested address space; CAMEO consults it before
+// swapping so that lines from cold (e.g. streamed-once) pages are serviced
+// in place instead of displacing hot stacked residents and burning swap
+// bandwidth.
+//
+// Counters age by halving every epoch so the filter adapts to phase
+// changes; the hardware equivalent is the same page-activity tracking
+// TLM-Freq (Section VI-D) already assumes.
+
+// linesPerPage4K is the page granularity the filter counts at.
+const linesPerPage4K = 64
+
+// HotFilter is a page-granularity access-frequency filter.
+type HotFilter struct {
+	threshold uint32
+	epoch     uint64
+	counts    map[uint64]uint32
+	since     uint64
+}
+
+// NewHotFilter builds a filter: pages need `threshold` accesses within the
+// current aging window before their lines are considered swap-worthy.
+// epoch is the aging period in observed accesses (0 selects a default).
+func NewHotFilter(threshold uint32, epoch uint64) *HotFilter {
+	if threshold == 0 {
+		panic("cameo: zero HotFilter threshold")
+	}
+	if epoch == 0 {
+		epoch = 1 << 16
+	}
+	return &HotFilter{
+		threshold: threshold,
+		epoch:     epoch,
+		counts:    make(map[uint64]uint32),
+	}
+}
+
+// Observe records a demand access to the requested line and reports whether
+// the line's page has crossed the hot threshold.
+func (h *HotFilter) Observe(line uint64) bool {
+	page := line / linesPerPage4K
+	c := h.counts[page] + 1
+	h.counts[page] = c
+	h.since++
+	if h.since >= h.epoch {
+		h.age()
+	}
+	return c >= h.threshold
+}
+
+// age halves all counters, dropping pages that reach zero so the map stays
+// proportional to the recent working set.
+func (h *HotFilter) age() {
+	h.since = 0
+	for p, c := range h.counts {
+		c /= 2
+		if c == 0 {
+			delete(h.counts, p)
+		} else {
+			h.counts[p] = c
+		}
+	}
+}
+
+// TrackedPages returns the number of pages with live counters.
+func (h *HotFilter) TrackedPages() int { return len(h.counts) }

@@ -1,0 +1,211 @@
+package cameo
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+func TestHotFilterThreshold(t *testing.T) {
+	h := NewHotFilter(3, 0)
+	line := uint64(100)
+	if h.Observe(line) || h.Observe(line) {
+		t.Fatal("page hot before threshold")
+	}
+	if !h.Observe(line) {
+		t.Fatal("page not hot at threshold")
+	}
+	// Another line of the same page shares the counter.
+	if !h.Observe(line + 1) {
+		t.Fatal("page counter not shared within page")
+	}
+	// A different page is independent.
+	if h.Observe(line + linesPerPage4K) {
+		t.Fatal("cold page reported hot")
+	}
+}
+
+func TestHotFilterAging(t *testing.T) {
+	h := NewHotFilter(2, 10)
+	hot := uint64(0)
+	for i := 0; i < 5; i++ {
+		h.Observe(hot)
+	}
+	if h.TrackedPages() != 1 {
+		t.Fatalf("tracked = %d", h.TrackedPages())
+	}
+	// Touch 10 distinct pages to trigger aging twice; the hot page's count
+	// (5) halves toward zero and eventually the page is forgotten.
+	for round := 0; round < 4; round++ {
+		for p := uint64(1); p <= 10; p++ {
+			h.Observe(p * linesPerPage4K)
+		}
+	}
+	if !h.Observe(hot) && h.Observe(hot) {
+		// After decay the page must re-earn hotness: first Observe after
+		// reset is below threshold.
+		t.Log("page re-earning hotness after decay")
+	}
+}
+
+func TestHotFilterZeroThresholdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero threshold accepted")
+		}
+	}()
+	NewHotFilter(0, 0)
+}
+
+// hybridSystem builds a CAMEO with the Section VI-D hot filter enabled.
+func hybridSystem(threshold uint32) *System {
+	stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+	devLines := uint64(1<<20) / 64
+	groups := VisibleStackedLines(devLines)
+	off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+	return New(Config{
+		Groups:           groups,
+		Segments:         4,
+		LLT:              CoLocatedLLT,
+		Pred:             LLP,
+		Cores:            1,
+		LLPEntries:       256,
+		HotSwapThreshold: threshold,
+	}, stackedDev, off)
+}
+
+func TestHybridSuppressesColdSwaps(t *testing.T) {
+	s := hybridSystem(3)
+	// A one-shot stream over off-chip lines in distinct pages: no page gets
+	// hot, so no swaps should occur.
+	at := uint64(0)
+	for i := uint64(0); i < 50; i++ {
+		line := s.cfg.Groups + i*linesPerPage4K // segment 1, one line per page
+		s.Access(at, memsys.Request{Core: 0, PLine: line, PC: 0x40})
+		at += 10_000
+	}
+	st := s.Stats()
+	if st.Swaps != 0 {
+		t.Fatalf("cold stream caused %d swaps", st.Swaps)
+	}
+	if st.SuppressedSwaps != 50 {
+		t.Fatalf("suppressed = %d, want 50", st.SuppressedSwaps)
+	}
+}
+
+func TestHybridSwapsHotPages(t *testing.T) {
+	s := hybridSystem(3)
+	line := s.cfg.Groups + 42 // off-chip resident
+	at := uint64(0)
+	for i := 0; i < 4; i++ {
+		s.Access(at, memsys.Request{Core: 0, PLine: line, PC: 0x40})
+		at += 10_000
+	}
+	st := s.Stats()
+	if st.Swaps == 0 {
+		t.Fatal("hot page never swapped in")
+	}
+	// Once swapped, subsequent accesses are stacked hits.
+	if st.StackedHits == 0 {
+		t.Fatal("hot line never serviced from stacked")
+	}
+}
+
+func TestHybridDisabledByDefault(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	if s.hot != nil {
+		t.Fatal("hot filter present without threshold")
+	}
+	s.Access(0, memsys.Request{Core: 0, PLine: s.cfg.Groups + 1, PC: 1})
+	if s.Stats().SuppressedSwaps != 0 {
+		t.Fatal("suppression without filter")
+	}
+	if s.Stats().Swaps != 1 {
+		t.Fatal("default CAMEO must swap on first touch")
+	}
+}
+
+func TestHybridWorksForAllLLTKinds(t *testing.T) {
+	for _, llt := range []LLTKind{IdealLLT, EmbeddedLLT, CoLocatedLLT} {
+		stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+		groups := VisibleStackedLines(uint64(1<<20) / 64)
+		off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+		s := New(Config{
+			Groups: groups, Segments: 4, LLT: llt, Pred: SAM,
+			Cores: 1, LLPEntries: 256, HotSwapThreshold: 2,
+		}, stackedDev, off)
+		line := groups + 9
+		s.Access(0, memsys.Request{Core: 0, PLine: line, PC: 1})
+		if s.Stats().Swaps != 0 {
+			t.Errorf("%v: first touch swapped despite filter", llt)
+		}
+		s.Access(1_000_000, memsys.Request{Core: 0, PLine: line, PC: 1})
+		if s.Stats().Swaps != 1 {
+			t.Errorf("%v: second touch did not swap (swaps=%d)", llt, s.Stats().Swaps)
+		}
+	}
+}
+
+func TestEmbeddedLLTCache(t *testing.T) {
+	mk := func(entries int) *System {
+		stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+		groups := VisibleStackedLines(uint64(1<<20) / 64)
+		off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+		return New(Config{
+			Groups: groups, Segments: 4, LLT: EmbeddedLLT, Pred: SAM,
+			Cores: 1, LLPEntries: 256, LLTCacheEntries: entries,
+		}, stackedDev, off)
+	}
+	plain := mk(0)
+	cached := mk(1024)
+
+	// Repeated hits to one group: the cached design resolves the entry from
+	// SRAM after the first access.
+	var dPlain, dCached uint64
+	for i := 0; i < 4; i++ {
+		at := uint64(i) * 1_000_000
+		dPlain = plain.Access(at, memsys.Request{PLine: 5, PC: 4}) - at
+		dCached = cached.Access(at, memsys.Request{PLine: 5, PC: 4}) - at
+	}
+	if dCached >= dPlain {
+		t.Fatalf("cached embedded hit %d not faster than plain %d", dCached, dPlain)
+	}
+	st := cached.Stats()
+	if st.LLTCacheHits != 3 || st.LLTCacheMisses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d", st.LLTCacheHits, st.LLTCacheMisses)
+	}
+	if got := st.LLTCacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v", got)
+	}
+	if plain.Stats().LLTCacheHits+plain.Stats().LLTCacheMisses != 0 {
+		t.Fatal("plain embedded counted cache events")
+	}
+}
+
+func TestLLTCacheIgnoredByOtherKinds(t *testing.T) {
+	stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+	groups := VisibleStackedLines(uint64(1<<20) / 64)
+	off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+	s := New(Config{
+		Groups: groups, Segments: 4, LLT: CoLocatedLLT, Pred: SAM,
+		Cores: 1, LLPEntries: 256, LLTCacheEntries: 1024,
+	}, stackedDev, off)
+	s.Access(0, memsys.Request{PLine: 1, PC: 4})
+	if s.Stats().LLTCacheHits+s.Stats().LLTCacheMisses != 0 {
+		t.Fatal("co-located design used the LLT cache")
+	}
+}
+
+func TestLLTCacheBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two cache accepted")
+		}
+	}()
+	stackedDev := dram.NewModule(dram.StackedConfig(1 << 20))
+	groups := VisibleStackedLines(uint64(1<<20) / 64)
+	off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+	New(Config{Groups: groups, Segments: 4, LLT: EmbeddedLLT,
+		Cores: 1, LLPEntries: 256, LLTCacheEntries: 100}, stackedDev, off)
+}

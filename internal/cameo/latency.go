@@ -1,0 +1,33 @@
+package cameo
+
+// Analytic single-request latency model of Section IV-E / Figure 8: an
+// isolated access costs 1 unit from stacked DRAM and 2 units from off-chip
+// DRAM; the table compares where each LLT design's lookups land.
+
+// DesignLatency is one row of the Figure 8 comparison, in abstract latency
+// units (stacked access = 1, off-chip access = 2).
+type DesignLatency struct {
+	Design string
+	// Hit is the latency when the line resides in stacked DRAM; Miss when
+	// it resides off-chip. Baseline has no stacked DRAM, so Hit == Miss.
+	Hit  int
+	Miss int
+}
+
+// AnalyticLatencies reproduces Figure 8.
+func AnalyticLatencies() []DesignLatency {
+	const (
+		stacked = 1
+		offchip = 2
+	)
+	return []DesignLatency{
+		// Baseline: always off-chip.
+		{Design: "Baseline", Hit: offchip, Miss: offchip},
+		// Ideal-LLT: location known for free.
+		{Design: "Ideal-LLT", Hit: stacked, Miss: offchip},
+		// Embedded-LLT: one stacked access for the table, then the data.
+		{Design: "Embedded-LLT", Hit: stacked + stacked, Miss: stacked + offchip},
+		// Co-Located LLT: the probe is the hit; misses serialize behind it.
+		{Design: "CoLocated-LLT", Hit: stacked, Miss: stacked + offchip},
+	}
+}

@@ -1,0 +1,58 @@
+package cameo
+
+// LEAD (Location Entry And Data) layout, Section IV-D: each 64 B data line
+// in stacked DRAM is appended with a 2 B location-table entry, forming a
+// 66 B unit fetched as a burst of five 16 B beats (80 B on the bus). A 2 KB
+// row holds 31 LEADs, sacrificing one line of capacity per row.
+
+// LEADBytes is the bus footprint of one LEAD access (burst of five).
+const LEADBytes = 80
+
+// LEADsPerRow is the number of LEAD units per 2 KB stacked row.
+const LEADsPerRow = 31
+
+// linesPerRow is the plain-line capacity of a 2 KB row.
+const linesPerRow = 32
+
+// LeadDeviceLine maps a visible stacked line index X (equivalently, a
+// congruence-group id) to the device line index where its LEAD begins:
+// X + X/31, the paper's revised-location formula. The division by the
+// constant 31 is what footnote 5 notes can be done with residue arithmetic.
+func LeadDeviceLine(x uint64) uint64 { return x + x/LEADsPerRow }
+
+// VisibleStackedLines returns how many lines of a stacked device with
+// devLines plain lines remain OS-visible under the LEAD layout (31 of every
+// 32, the paper's 97%).
+func VisibleStackedLines(devLines uint64) uint64 {
+	return devLines / linesPerRow * LEADsPerRow
+}
+
+// DivMod31 computes x/31 and x%31 the way footnote 5's hardware would:
+// since 31 = 32 - 1, the quotient is the sum of x's base-32 digits folded
+// down with a few adders (the classic Mersenne-divisor residue trick), no
+// divider circuit required. It is exactly equivalent to x/31 and x%31;
+// LeadDeviceLine could be built from it in hardware within an L3 access.
+func DivMod31(x uint64) (q, r uint64) {
+	// Each round: x = 32*t + d = 31*t + (t + d), so t joins the quotient
+	// and t+d continues — shifts and adds only, converging ~5 bits/round.
+	for x >= 31 {
+		if x == 31 {
+			return q + 1, 0
+		}
+		t := x >> 5
+		q += t
+		x = t + (x & 31)
+	}
+	return q, x
+}
+
+// EmbeddedLLTLines returns the number of stacked device lines reserved for
+// an embedded LLT over `groups` congruence groups: one byte per group, 64
+// entries per line (the paper reserves 64 MB of the 4 GB device).
+func EmbeddedLLTLines(groups uint64) uint64 {
+	return (groups + 63) / 64
+}
+
+// EmbeddedLLTLine returns the reserved-region device line holding group g's
+// entry.
+func EmbeddedLLTLine(g uint64) uint64 { return g / 64 }

@@ -1,0 +1,120 @@
+package cameo
+
+// Line Location Predictor (Section V): a per-core table of 2-bit Line
+// Location Registers indexed by the missing instruction's PC, each holding
+// the slot the LLT provided the last time that PC missed. 256 entries of 2
+// bits = 64 B per core, the paper's "negligible overhead" design.
+
+// PredKind selects the prediction scheme in front of the Co-Located LLT.
+type PredKind int
+
+const (
+	// LLP uses the PC-indexed last-location predictor. It is the paper's
+	// final design, and deliberately the zero value.
+	LLP PredKind = iota
+	// SAM (Serial Access Memory) never predicts: off-chip accesses
+	// serialize behind the stacked probe.
+	SAM
+	// Perfect is the 100%-accurate oracle bound.
+	Perfect
+)
+
+func (k PredKind) String() string {
+	switch k {
+	case SAM:
+		return "SAM"
+	case LLP:
+		return "LLP"
+	case Perfect:
+		return "Perfect"
+	}
+	return "PredKind?"
+}
+
+// Predictor implements the LLP: tables of 2-bit location registers.
+type Predictor struct {
+	tables [][]uint8
+	mask   uint64
+}
+
+// NewPredictor builds per-core tables of `entries` LLRs (power of two; the
+// paper uses 256).
+func NewPredictor(cores, entries int) *Predictor {
+	if cores <= 0 {
+		panic("cameo: non-positive core count")
+	}
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("cameo: predictor entries must be a positive power of two")
+	}
+	p := &Predictor{mask: uint64(entries - 1)}
+	p.tables = make([][]uint8, cores)
+	for i := range p.tables {
+		p.tables[i] = make([]uint8, entries)
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 { return (pc >> 2) & p.mask }
+
+// Predict returns the slot the line is expected to occupy (0 = stacked).
+func (p *Predictor) Predict(core int, pc uint64) int {
+	return int(p.tables[core][p.index(pc)])
+}
+
+// Update records the slot the LLT actually provided.
+func (p *Predictor) Update(core int, pc uint64, slot int) {
+	p.tables[core][p.index(pc)] = uint8(slot)
+}
+
+// StorageBytesPerCore returns the predictor's per-core cost (2 bits per
+// entry), 64 B for the paper's 256-entry table.
+func (p *Predictor) StorageBytesPerCore() uint64 {
+	return (p.mask + 1) * 2 / 8
+}
+
+// CaseStats is the paper's Table III five-way breakdown of prediction
+// outcomes against where the line was actually serviced.
+type CaseStats struct {
+	// StackedPredStacked: serviced by stacked, predicted stacked (correct).
+	StackedPredStacked uint64
+	// StackedPredOff: serviced by stacked, predicted off-chip — a wasted
+	// off-chip fetch (bandwidth cost, no latency cost).
+	StackedPredOff uint64
+	// OffPredStacked: serviced off-chip, predicted stacked — the access
+	// serializes behind the LLT lookup (latency cost).
+	OffPredStacked uint64
+	// OffPredCorrect: serviced off-chip, predicted the correct location.
+	OffPredCorrect uint64
+	// OffPredWrongOff: serviced off-chip, predicted a wrong off-chip
+	// location — both a wasted fetch and a serialized correct fetch.
+	OffPredWrongOff uint64
+}
+
+// Total returns the number of classified demand accesses.
+func (s CaseStats) Total() uint64 {
+	return s.StackedPredStacked + s.StackedPredOff + s.OffPredStacked +
+		s.OffPredCorrect + s.OffPredWrongOff
+}
+
+// Accuracy is the fraction of cases 1 and 4 (the correct predictions).
+func (s CaseStats) Accuracy() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.StackedPredStacked+s.OffPredCorrect) / float64(t)
+}
+
+// Percent returns the five cases as percentages of all accesses, in Table
+// III row order.
+func (s CaseStats) Percent() [5]float64 {
+	t := s.Total()
+	if t == 0 {
+		return [5]float64{}
+	}
+	f := func(v uint64) float64 { return 100 * float64(v) / float64(t) }
+	return [5]float64{
+		f(s.StackedPredStacked), f(s.StackedPredOff),
+		f(s.OffPredStacked), f(s.OffPredCorrect), f(s.OffPredWrongOff),
+	}
+}

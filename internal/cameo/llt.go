@@ -1,0 +1,99 @@
+// Package cameo implements the paper's primary contribution: the CAche-like
+// MEmory Organization. Stacked DRAM and off-chip DRAM form one OS-visible
+// address space; lines swap between them at 64 B granularity within
+// congruence groups, tracked by a Line Location Table (LLT) and accelerated
+// by a Line Location Predictor (LLP).
+package cameo
+
+import "fmt"
+
+// MaxSegments is the largest congruence-group associativity a 2-bit location
+// entry can encode (the paper's configuration uses exactly 4: one stacked +
+// three off-chip segments).
+const MaxSegments = 4
+
+// Table is the Line Location Table: for every congruence group, the
+// permutation mapping each line's home segment to the slot it currently
+// occupies. One byte per group, 2 bits per segment — the layout the paper's
+// 64 MB LLT uses.
+type Table struct {
+	segs   int
+	bytes  []uint8
+	groups uint64
+}
+
+// NewTable builds an identity-mapped LLT for `groups` congruence groups of
+// `segs` segments each.
+func NewTable(groups uint64, segs int) *Table {
+	if groups == 0 {
+		panic("cameo: zero groups")
+	}
+	if segs < 2 || segs > MaxSegments {
+		panic(fmt.Sprintf("cameo: segments %d out of [2,%d]", segs, MaxSegments))
+	}
+	t := &Table{segs: segs, bytes: make([]uint8, groups), groups: groups}
+	var ident uint8
+	for s := 0; s < segs; s++ {
+		ident |= uint8(s) << (2 * s)
+	}
+	for i := range t.bytes {
+		t.bytes[i] = ident
+	}
+	return t
+}
+
+// Groups returns the group count.
+func (t *Table) Groups() uint64 { return t.groups }
+
+// Segments returns the group associativity.
+func (t *Table) Segments() int { return t.segs }
+
+// SlotOf returns the slot currently holding the line whose home is seg.
+func (t *Table) SlotOf(g uint64, seg int) int {
+	return int(t.bytes[g]>>(2*seg)) & 3
+}
+
+// SegAt returns the home segment of the line currently in slot.
+func (t *Table) SegAt(g uint64, slot int) int {
+	b := t.bytes[g]
+	for s := 0; s < t.segs; s++ {
+		if int(b>>(2*s))&3 == slot {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("cameo: group %d entry %08b is not a permutation", g, b))
+}
+
+// Swap exchanges the slots of the lines homed at segA and segB — the LLT
+// update accompanying one line swap.
+func (t *Table) Swap(g uint64, segA, segB int) {
+	if segA == segB {
+		return
+	}
+	a := t.SlotOf(g, segA)
+	b := t.SlotOf(g, segB)
+	e := t.bytes[g]
+	e &^= 3 << (2 * segA)
+	e &^= 3 << (2 * segB)
+	e |= uint8(b) << (2 * segA)
+	e |= uint8(a) << (2 * segB)
+	t.bytes[g] = e
+}
+
+// IsPermutation verifies the group entry, for tests and invariant checks.
+func (t *Table) IsPermutation(g uint64) bool {
+	var seen [MaxSegments]bool
+	b := t.bytes[g]
+	for s := 0; s < t.segs; s++ {
+		slot := int(b>>(2*s)) & 3
+		if slot >= t.segs || seen[slot] {
+			return false
+		}
+		seen[slot] = true
+	}
+	return true
+}
+
+// SizeBytes returns the storage footprint of the table (one byte per group),
+// the quantity Section IV-C sizes at 64 MB for the 16 GB system.
+func (t *Table) SizeBytes() uint64 { return t.groups }

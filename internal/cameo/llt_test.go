@@ -1,0 +1,218 @@
+package cameo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/xrand"
+)
+
+func TestTableIdentity(t *testing.T) {
+	tab := NewTable(100, 4)
+	for g := uint64(0); g < 100; g++ {
+		for s := 0; s < 4; s++ {
+			if tab.SlotOf(g, s) != s {
+				t.Fatalf("group %d seg %d: slot %d, want identity", g, s, tab.SlotOf(g, s))
+			}
+			if tab.SegAt(g, s) != s {
+				t.Fatalf("group %d slot %d: seg %d, want identity", g, s, tab.SegAt(g, s))
+			}
+		}
+	}
+}
+
+func TestTableSwap(t *testing.T) {
+	tab := NewTable(4, 4)
+	// Swap segment 1 (slot 1) into slot 0 (held by segment 0), as when
+	// line B is upgraded into stacked DRAM.
+	tab.Swap(2, 1, 0)
+	if tab.SlotOf(2, 1) != 0 || tab.SlotOf(2, 0) != 1 {
+		t.Fatalf("after swap: seg1@%d seg0@%d", tab.SlotOf(2, 1), tab.SlotOf(2, 0))
+	}
+	// Other groups untouched.
+	if tab.SlotOf(1, 1) != 1 {
+		t.Fatal("swap leaked into another group")
+	}
+	// Figure 5's second step: segment 3 (line D) swaps with segment 1 (now
+	// in stacked). D goes to slot 0; B moves to D's old slot 3.
+	tab.Swap(2, 3, 1)
+	if tab.SlotOf(2, 3) != 0 || tab.SlotOf(2, 1) != 3 || tab.SlotOf(2, 0) != 1 {
+		t.Fatalf("figure-5 sequence wrong: D@%d B@%d A@%d",
+			tab.SlotOf(2, 3), tab.SlotOf(2, 1), tab.SlotOf(2, 0))
+	}
+	if !tab.IsPermutation(2) {
+		t.Fatal("entry no longer a permutation")
+	}
+}
+
+func TestTableSwapSelf(t *testing.T) {
+	tab := NewTable(2, 3)
+	tab.Swap(0, 1, 1)
+	for s := 0; s < 3; s++ {
+		if tab.SlotOf(0, s) != s {
+			t.Fatal("self-swap mutated the entry")
+		}
+	}
+}
+
+func TestTablePermutationInvariant(t *testing.T) {
+	// Property: any sequence of swaps keeps every entry a permutation, and
+	// SegAt remains the inverse of SlotOf.
+	check := func(seed uint64, n uint8) bool {
+		tab := NewTable(16, 4)
+		r := xrand.New(seed)
+		for i := 0; i < int(n); i++ {
+			g := uint64(r.Intn(16))
+			tab.Swap(g, r.Intn(4), r.Intn(4))
+		}
+		for g := uint64(0); g < 16; g++ {
+			if !tab.IsPermutation(g) {
+				return false
+			}
+			for seg := 0; seg < 4; seg++ {
+				if tab.SegAt(g, tab.SlotOf(g, seg)) != seg {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableSizeMatchesPaper(t *testing.T) {
+	// 16 GB of memory in 256 B congruence groups -> 64 Mi groups -> 64 MB.
+	groups := uint64(16<<30) / 256
+	tab := NewTable(groups, 4)
+	if tab.SizeBytes() != 64<<20 {
+		t.Fatalf("LLT size = %d, want 64 MB", tab.SizeBytes())
+	}
+}
+
+func TestTableRejectsBadConfig(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewTable(0, 4) },
+		func() { NewTable(4, 1) },
+		func() { NewTable(4, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLeadDeviceLine(t *testing.T) {
+	// First row: visible lines 0..30 occupy device lines 0..30; visible 31
+	// starts the second row at device 32.
+	cases := map[uint64]uint64{0: 0, 30: 30, 31: 32, 61: 62, 62: 64, 93: 96}
+	for x, want := range cases {
+		if got := LeadDeviceLine(x); got != want {
+			t.Errorf("LeadDeviceLine(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLeadRemapInjective(t *testing.T) {
+	check := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		return LeadDeviceLine(uint64(a)) != LeadDeviceLine(uint64(b))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeadRemapStaysInDevice(t *testing.T) {
+	devLines := uint64(32 * 1000)
+	visible := VisibleStackedLines(devLines)
+	if visible != 31*1000 {
+		t.Fatalf("visible = %d, want 31000", visible)
+	}
+	for x := uint64(0); x < visible; x++ {
+		if d := LeadDeviceLine(x); d >= devLines {
+			t.Fatalf("visible line %d maps to device %d beyond %d", x, d, devLines)
+		}
+	}
+}
+
+func TestVisibleCapacityMatchesPaper(t *testing.T) {
+	// 2 KB row stores 31 LEADs: 97% useful capacity.
+	devLines := uint64(4<<30) / 64
+	frac := float64(VisibleStackedLines(devLines)) / float64(devLines)
+	if frac < 0.96 || frac > 0.97 {
+		t.Fatalf("visible fraction = %v, want ~31/32", frac)
+	}
+}
+
+func TestEmbeddedLLTGeometry(t *testing.T) {
+	// 64 Mi groups at 1 byte each, 64 per line -> 1 Mi lines = 64 MB.
+	groups := uint64(16<<30) / 256
+	if got := EmbeddedLLTLines(groups) * 64; got != 64<<20 {
+		t.Fatalf("embedded LLT bytes = %d, want 64 MB", got)
+	}
+	if EmbeddedLLTLine(0) != 0 || EmbeddedLLTLine(63) != 0 || EmbeddedLLTLine(64) != 1 {
+		t.Fatal("EmbeddedLLTLine packing wrong")
+	}
+}
+
+func TestAnalyticLatencies(t *testing.T) {
+	rows := AnalyticLatencies()
+	byName := map[string]DesignLatency{}
+	for _, r := range rows {
+		byName[r.Design] = r
+	}
+	// Figure 8's exact values.
+	want := map[string][2]int{
+		"Baseline":      {2, 2},
+		"Ideal-LLT":     {1, 2},
+		"Embedded-LLT":  {2, 3},
+		"CoLocated-LLT": {1, 3},
+	}
+	for name, hm := range want {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("design %s missing", name)
+		}
+		if r.Hit != hm[0] || r.Miss != hm[1] {
+			t.Errorf("%s: H/M = %d/%d, want %d/%d", name, r.Hit, r.Miss, hm[0], hm[1])
+		}
+	}
+}
+
+func TestDivMod31MatchesDivision(t *testing.T) {
+	check := func(x uint64) bool {
+		q, r := DivMod31(x)
+		return q == x/31 && r == x%31
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Edge cases the fold must not stall on.
+	for _, x := range []uint64{0, 30, 31, 32, 61, 62, 63, 31 * 31, ^uint64(0)} {
+		q, r := DivMod31(x)
+		if q != x/31 || r != x%31 {
+			t.Fatalf("DivMod31(%d) = %d,%d want %d,%d", x, q, r, x/31, x%31)
+		}
+	}
+}
+
+func TestLeadDeviceLineViaResidue(t *testing.T) {
+	// The hardware path: LeadDeviceLine(x) = x + x/31 computed with the
+	// adder-only divider must equal the arithmetic definition.
+	check := func(x uint32) bool {
+		q, _ := DivMod31(uint64(x))
+		return uint64(x)+q == LeadDeviceLine(uint64(x))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

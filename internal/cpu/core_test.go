@@ -1,0 +1,262 @@
+package cpu
+
+import (
+	"testing"
+
+	"cameo/internal/sim"
+	"cameo/internal/workload"
+)
+
+func testStream(t *testing.T, name string) *workload.Stream {
+	t.Helper()
+	spec, ok := workload.SpecByName(name)
+	if !ok {
+		t.Fatalf("no spec %s", name)
+	}
+	return workload.NewStream(spec, 1024, 0, 1)
+}
+
+// fixedMem returns a MemFunc with constant latency and no blocking.
+func fixedMem(latency uint64, count *int) MemFunc {
+	return func(core int, now uint64, req workload.Request) Outcome {
+		if count != nil {
+			*count++
+		}
+		if req.Write {
+			return Outcome{Complete: now}
+		}
+		return Outcome{Complete: now + latency}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(0, 4, 1000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range []Config{
+		{IPCx2: 0, MLP: 1, Budget: 1},
+		{IPCx2: 4, MLP: 0, Budget: 1},
+		{IPCx2: 4, MLP: 1, Budget: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed", i)
+		}
+	}
+}
+
+func TestCoreRetiresBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	core := New(DefaultConfig(0, 4, 50_000), eng, testStream(t, "gcc"), fixedMem(100, nil))
+	core.Start()
+	eng.Run()
+	if !core.Done() {
+		t.Fatal("core did not finish")
+	}
+	st := core.Stats()
+	if st.Retired < 50_000 {
+		t.Fatalf("retired = %d, want >= budget", st.Retired)
+	}
+	if st.Demands == 0 {
+		t.Fatal("no demand misses recorded")
+	}
+	if st.FinishCycle == 0 {
+		t.Fatal("finish cycle not set")
+	}
+}
+
+func TestLatencySlowsExecution(t *testing.T) {
+	run := func(lat uint64) uint64 {
+		eng := sim.NewEngine()
+		core := New(DefaultConfig(0, 2, 100_000), eng, testStream(t, "milc"), fixedMem(lat, nil))
+		core.Start()
+		eng.Run()
+		return core.Stats().FinishCycle
+	}
+	fast, slow := run(50), run(500)
+	if slow <= fast {
+		t.Fatalf("10x memory latency did not slow the core: %d vs %d", fast, slow)
+	}
+}
+
+func TestMLPOverlapsLatency(t *testing.T) {
+	run := func(mlp int) uint64 {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig(0, mlp, 100_000)
+		core := New(cfg, eng, testStream(t, "milc"), fixedMem(400, nil))
+		core.Start()
+		eng.Run()
+		return core.Stats().FinishCycle
+	}
+	serial, parallel := run(1), run(8)
+	if parallel >= serial {
+		t.Fatalf("MLP=8 (%d cycles) not faster than MLP=1 (%d cycles)", parallel, serial)
+	}
+}
+
+func TestBlockingStallSerializes(t *testing.T) {
+	// A huge BlockUntil on the first access must push the finish time out
+	// beyond the block point.
+	eng := sim.NewEngine()
+	first := true
+	mem := func(core int, now uint64, req workload.Request) Outcome {
+		if req.Write {
+			return Outcome{Complete: now}
+		}
+		if first {
+			first = false
+			return Outcome{Complete: now + 100, BlockUntil: now + 1_000_000}
+		}
+		return Outcome{Complete: now + 100}
+	}
+	core := New(DefaultConfig(0, 4, 10_000), eng, testStream(t, "gcc"), mem)
+	core.Start()
+	eng.Run()
+	if core.Stats().FinishCycle < 1_000_000 {
+		t.Fatalf("finish %d ignored the blocking stall", core.Stats().FinishCycle)
+	}
+}
+
+func TestWritebacksArePosted(t *testing.T) {
+	// Writebacks must not occupy MLP slots or add latency: compare a
+	// write-heavy stream against the same stream with writes ignored.
+	eng := sim.NewEngine()
+	var wb uint64
+	mem := func(core int, now uint64, req workload.Request) Outcome {
+		if req.Write {
+			wb++
+			return Outcome{Complete: now + 10_000_000} // ignored if truly posted
+		}
+		return Outcome{Complete: now + 100}
+	}
+	core := New(DefaultConfig(0, 2, 50_000), eng, testStream(t, "lbm"), mem)
+	core.Start()
+	eng.Run()
+	if wb == 0 {
+		t.Fatal("stream produced no writebacks")
+	}
+	st := core.Stats()
+	if st.Writebacks != wb {
+		t.Fatalf("writeback count %d != mem-observed %d", st.Writebacks, wb)
+	}
+	// lbm at this budget issues ~1445 demands; if writebacks blocked, the
+	// finish cycle would be >> demands*latency.
+	if st.FinishCycle > st.Demands*300+1_000_000 {
+		t.Fatalf("finish %d suggests writebacks stalled the core", st.FinishCycle)
+	}
+}
+
+func TestIPCSetsComputeTime(t *testing.T) {
+	// With near-zero memory latency, execution time approaches
+	// instructions / IPC.
+	eng := sim.NewEngine()
+	core := New(Config{ID: 0, IPCx2: 4, MLP: 4, Budget: 100_000}, eng,
+		testStream(t, "astar"), fixedMem(1, nil))
+	core.Start()
+	eng.Run()
+	got := core.Stats().FinishCycle
+	want := uint64(50_000) // 100k instructions at IPC 2
+	if got < want || got > want*3/2 {
+		t.Fatalf("finish = %d, want within [%d, %d]", got, want, want*3/2)
+	}
+}
+
+func TestAvgMemLatencyAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	core := New(DefaultConfig(0, 4, 20_000), eng, testStream(t, "gcc"), fixedMem(123, nil))
+	core.Start()
+	eng.Run()
+	if got := core.Stats().AvgMemLatency(); got != 123 {
+		t.Fatalf("avg latency = %v, want 123", got)
+	}
+	if (Stats{}).AvgMemLatency() != 0 {
+		t.Fatal("zero-demand AvgMemLatency not 0")
+	}
+}
+
+func TestCompletionBeforeIssuePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := func(core int, now uint64, req workload.Request) Outcome {
+		if req.Write {
+			return Outcome{Complete: now}
+		}
+		return Outcome{Complete: 0}
+	}
+	core := New(DefaultConfig(0, 1, 1000), eng, testStream(t, "gcc"), mem)
+	// First demand may come after a writeback; run until the panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time-travelling completion not rejected")
+		}
+	}()
+	core.Start()
+	for i := 0; i < 100; i++ {
+		eng.Step()
+	}
+}
+
+func TestTwoCoresContendDeterministically(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng := sim.NewEngine()
+		spec, _ := workload.SpecByName("soplex")
+		mem := fixedMem(200, nil)
+		c0 := New(DefaultConfig(0, 2, 30_000), eng, workload.NewStream(spec, 1024, 0, 1), mem)
+		c1 := New(DefaultConfig(1, 2, 30_000), eng, workload.NewStream(spec, 1024, 1, 1), mem)
+		c0.Start()
+		c1.Start()
+		eng.Run()
+		return c0.Stats().FinishCycle, c1.Stats().FinishCycle
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if a0 != b0 || a1 != b1 {
+		t.Fatalf("multicore run not deterministic: (%d,%d) vs (%d,%d)", a0, a1, b0, b1)
+	}
+}
+
+func BenchmarkCoreRun(b *testing.B) {
+	spec, _ := workload.SpecByName("gcc")
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		core := New(DefaultConfig(0, 4, 100_000), eng,
+			workload.NewStream(spec, 1024, 0, 1), fixedMem(150, nil))
+		core.Start()
+		eng.Run()
+	}
+}
+
+func TestCoreWarmupResetsCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(0, 4, 100_000)
+	cfg.Warmup = 50_000
+	warmedAt := uint64(0)
+	core := New(cfg, eng, testStream(t, "gcc"), fixedMem(100, nil))
+	core.OnWarm = func(id int, now uint64) { warmedAt = now }
+	core.Start()
+	eng.Run()
+	if warmedAt == 0 {
+		t.Fatal("OnWarm never fired")
+	}
+	st := core.Stats()
+	// Measured demands cover only the post-warmup half.
+	if st.Demands == 0 {
+		t.Fatal("no measured demands")
+	}
+	full := func() uint64 {
+		e2 := sim.NewEngine()
+		c2 := New(DefaultConfig(0, 4, 100_000), e2, testStream(t, "gcc"), fixedMem(100, nil))
+		c2.Start()
+		e2.Run()
+		return c2.Stats().Demands
+	}()
+	if st.Demands >= full {
+		t.Fatalf("warmed demands %d not below full-run %d", st.Demands, full)
+	}
+}
+
+func TestCoreWarmupValidation(t *testing.T) {
+	cfg := DefaultConfig(0, 1, 100)
+	cfg.Warmup = 100
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("warmup == budget accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package dram_test
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+)
+
+// Example contrasts the two Table I modules: stacked DRAM at roughly half
+// the latency and eight times the bandwidth of commodity DRAM.
+func Example() {
+	stacked := dram.NewModule(dram.StackedConfig(4 << 30))
+	offchip := dram.NewModule(dram.OffChipConfig(12 << 30))
+
+	fmt.Printf("bandwidth ratio: %.1fx\n",
+		stacked.Config().PeakBandwidthGBs()/offchip.Config().PeakBandwidthGBs())
+	fmt.Printf("stacked faster unloaded: %v\n",
+		stacked.UnloadedReadLatency() < offchip.UnloadedReadLatency())
+	// Output:
+	// bandwidth ratio: 8.0x
+	// stacked faster unloaded: true
+}
+
+// Example_rowBuffer shows open-page row-buffer locality: the second access
+// to an open row skips the activate.
+func Example_rowBuffer() {
+	m := dram.NewModule(dram.OffChipConfig(1 << 30))
+	stride := uint64(m.Config().Channels) // stay on channel 0, same row
+
+	first := m.Access(0, 0, 64, false)
+	second := m.Access(first, stride, 64, false) - first
+	fmt.Printf("row hit cheaper: %v\n", second < first)
+	fmt.Printf("row hit rate: %.2f\n", m.Stats().RowHitRate())
+	// Output:
+	// row hit cheaper: true
+	// row hit rate: 0.50
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// tinySuite keeps experiment tests fast: 2 benchmarks, few instructions.
+func tinySuite() *Suite {
+	return NewSuite(Options{
+		ScaleDiv:     2048,
+		Cores:        4,
+		InstrPerCore: 60_000,
+		Seed:         7,
+		Benchmarks:   []string{"sphinx3", "lbm"},
+	})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig3", "fig8", "fig9",
+		"fig12", "table3", "fig13", "table4", "fig14", "fig15",
+		"ext-hybrid", "ext-threshold", "ext-ratio", "ext-scale", "ext-mix", "ext-controller", "ext-dramcache", "ext-knobs", "ext-lltcache"}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %s missing", id)
+			continue
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("bogus id resolved")
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() returned %d entries", len(IDs()))
+	}
+}
+
+func TestEveryExperimentProducesATable(t *testing.T) {
+	s := tinySuite()
+	for _, e := range All() {
+		var b strings.Builder
+		e.Run(s, &b)
+		out := b.String()
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s: no table header in output:\n%s", e.ID, out)
+		}
+		if len(strings.Split(out, "\n")) < 4 {
+			t.Errorf("%s: implausibly short output:\n%s", e.ID, out)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := tinySuite()
+	spec, _ := workload.SpecByName("sphinx3")
+	cfg := s.sysConfig(system.Baseline)
+	a := s.result(spec, cfg)
+	n := len(s.cache)
+	b := s.result(spec, cfg)
+	if len(s.cache) != n {
+		t.Fatal("repeat run was not memoized")
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("memoized result differs")
+	}
+}
+
+func TestSpeedupTableHasGmeanRows(t *testing.T) {
+	s := tinySuite()
+	var b strings.Builder
+	Fig13(s, &b)
+	out := b.String()
+	for _, want := range []string{"Gmean", "Capacity", "Latency", "ALL", "CAMEO", "DoubleUse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig13 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3SumsTo100(t *testing.T) {
+	s := tinySuite()
+	var b strings.Builder
+	Table3(s, &b)
+	out := b.String()
+	if !strings.Contains(out, "Overall Accuracy") {
+		t.Fatalf("table3 missing accuracy row:\n%s", out)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var b strings.Builder
+	Describe(tinySuite(), &b)
+	if !strings.Contains(b.String(), "scale=1/2048") {
+		t.Fatalf("describe output: %s", b.String())
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	s := NewSuite(Options{Benchmarks: []string{"nosuch"}, ScaleDiv: 2048,
+		Cores: 1, InstrPerCore: 1000, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark accepted")
+		}
+	}()
+	s.benchmarks()
+}
+
+func TestOptionsDefaulting(t *testing.T) {
+	s := NewSuite(Options{})
+	o := s.Options()
+	d := DefaultOptions()
+	if o.ScaleDiv != d.ScaleDiv || o.Cores != d.Cores || o.InstrPerCore != d.InstrPerCore {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+}

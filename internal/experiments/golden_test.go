@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs")
+
+// TestGoldenOutputs locks the exact text of representative experiments at a
+// fixed tiny operating point: any unintended change to the simulator, the
+// workload generators, or the RNG shows up as a diff. Regenerate after
+// *intended* changes with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+func TestGoldenOutputs(t *testing.T) {
+	suiteFor := func() *Suite {
+		return NewSuite(Options{
+			ScaleDiv:     4096,
+			Cores:        4,
+			InstrPerCore: 40_000,
+			Seed:         7,
+			Benchmarks:   []string{"sphinx3", "milc"},
+		})
+	}
+	for _, id := range []string{"fig8", "fig13", "table3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			var b strings.Builder
+			e.Run(suiteFor(), &b)
+			got := b.String()
+
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

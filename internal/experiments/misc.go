@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Fig3 prints the capacity/bandwidth landscape the paper's background uses:
+// published module specifications plus this simulator's two Table I modules.
+func Fig3(s *Suite, w io.Writer) {
+	tab := stats.NewTable("Figure 3: DRAM capacity and bandwidth",
+		"Module", "Capacity GB", "Bandwidth GB/s")
+	// Published parts cited by the paper (HMC 1.0/Gen2, HBM, DDR3/DDR4).
+	specs := []struct {
+		name string
+		gb   float64
+		bw   float64
+	}{
+		{"DDR3-1600 (2ch)", 16, 25.6},
+		{"DDR4-3200 (2ch)", 32, 51.2},
+		{"HMC Gen1", 0.5, 128},
+		{"HMC Gen2", 4, 160},
+		{"HBM (4-stack)", 4, 128},
+	}
+	for _, sp := range specs {
+		tab.AddRowF(sp.name, sp.gb, sp.bw)
+	}
+	stk := dram.StackedConfig(system.StackedBytesFull)
+	off := dram.OffChipConfig(system.OffChipBytesFull)
+	tab.AddRowF("this model: stacked", 4.0, stk.PeakBandwidthGBs())
+	tab.AddRowF("this model: off-chip", 12.0, off.PeakBandwidthGBs())
+	tab.Render(w)
+}
+
+// Fig8 prints the closed-form latency comparison of the LLT designs.
+func Fig8(s *Suite, w io.Writer) {
+	tab := stats.NewTable("Figure 8: access latency in units (stacked=1, off-chip=2)",
+		"Design", "Hit (in stacked)", "Miss (off-chip)")
+	for _, d := range cameo.AnalyticLatencies() {
+		tab.AddRowF(d.Design, d.Hit, d.Miss)
+	}
+	tab.Render(w)
+}
+
+// Fig14 reports normalized power and EDP for the Fig 13 design points,
+// using the Section VI-C power split assumptions.
+func Fig14(s *Suite, w io.Writer) {
+	cols := []column{
+		{"Cache", s.sysConfig(system.Cache)},
+		{"TLM-Static", s.sysConfig(system.TLMStatic)},
+		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+		{"DoubleUse", s.sysConfig(system.DoubleUse)},
+	}
+	tab := stats.NewTable("Figure 14: normalized power and energy-delay product",
+		"Class", "Design", "Power", "EDP")
+	for _, class := range []workload.Class{workload.CapacityLimited, workload.LatencyLimited} {
+		for _, c := range cols {
+			var powers, edps []float64
+			for _, spec := range s.benchmarks() {
+				if spec.Class != class {
+					continue
+				}
+				in := s.powerInputs(spec, c.cfg)
+				powers = append(powers, stats.NormalizedPower(in))
+				edps = append(edps, stats.NormalizedEDP(in))
+			}
+			if len(powers) == 0 {
+				continue
+			}
+			tab.AddRowF(class.String(), c.label, mean(powers), stats.Gmean(edps))
+		}
+	}
+	tab.Render(w)
+}
+
+// powerInputs derives the Section VI-C power-model inputs for one run.
+func (s *Suite) powerInputs(spec workload.Spec, cfg system.Config) stats.PowerInputs {
+	base := s.baseline(spec)
+	r := s.result(spec, cfg)
+	rate := func(bytes, cycles uint64) float64 {
+		if cycles == 0 {
+			return 0
+		}
+		return float64(bytes) / float64(cycles)
+	}
+	baseOff := rate(base.OffChip.Bytes(), base.Cycles)
+	in := stats.PowerInputs{
+		CapacityLimited: spec.Class == workload.CapacityLimited,
+		TimeRatio:       float64(r.Cycles) / float64(base.Cycles),
+		HasStacked:      cfg.Org != system.Baseline,
+	}
+	if baseOff > 0 {
+		in.OffChipByteRatio = rate(r.OffChip.Bytes(), r.Cycles) / baseOff
+		in.StackedByteRatio = rate(r.Stacked.Bytes(), r.Cycles) / baseOff
+	}
+	if baseSto := rate(base.StorageBytes(), base.Cycles); baseSto > 0 {
+		in.StorageByteRatio = rate(r.StorageBytes(), r.Cycles) / baseSto
+	}
+	return in
+}
+
+// Describe prints the suite parameters ahead of a run.
+func Describe(s *Suite, w io.Writer) {
+	o := s.Options()
+	fmt.Fprintf(w, "suite: scale=1/%d cores=%d instr/core=%d seed=%#x benchmarks=%d\n",
+		o.ScaleDiv, o.Cores, o.InstrPerCore, o.Seed, len(s.benchmarks()))
+}

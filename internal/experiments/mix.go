@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cameo/internal/cameo"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// ExtMix evaluates multi-programmed mixes — cores running different
+// benchmarks — which the paper's rate-mode methodology does not cover but
+// any real deployment of CAMEO would face: the stacked DRAM is now shared
+// between programs with different locality.
+func ExtMix(s *Suite, w io.Writer) {
+	mixes := [][]string{
+		{"gcc", "sphinx3", "xalancbmk", "omnetpp"},  // hot latency mix
+		{"milc", "libquantum", "leslie3d", "bzip2"}, // streaming-leaning mix
+		{"mcf", "gcc", "lbm", "sphinx3"},            // capacity + latency blend
+	}
+	orgs := []struct {
+		label string
+		cfg   system.Config
+	}{
+		{"Cache", s.sysConfig(system.Cache)},
+		{"TLM-Static", s.sysConfig(system.TLMStatic)},
+		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+	}
+
+	tab := stats.NewTable("Extension: multi-programmed mixes",
+		"Mix", "Cache", "TLM-Static", "TLM-Dynamic", "CAMEO")
+	for _, names := range mixes {
+		var mix []workload.Spec
+		for _, n := range names {
+			spec, ok := workload.SpecByName(n)
+			if !ok {
+				panic(fmt.Sprintf("experiments: unknown benchmark %q", n))
+			}
+			mix = append(mix, spec)
+		}
+		bcfg := s.sysConfig(system.Baseline)
+		base := system.RunMix(mix, bcfg)
+		row := []any{base.Benchmark}
+		for _, org := range orgs {
+			r := system.RunMix(mix, org.cfg)
+			row = append(row, stats.Speedup(base.Cycles, r.Cycles))
+		}
+		tab.AddRowF(row...)
+	}
+	tab.Render(w)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the paper artifact id ("fig13", "table3", ...).
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Run regenerates it against the suite and writes the rows/series.
+	Run func(s *Suite, w io.Writer)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Baseline system configuration", Table1},
+		{"table2", "Workload characteristics (32 copies, rate mode)", Table2},
+		{"fig2", "Motivation: Cache vs TLM vs DoubleUse speedups", Fig2},
+		{"fig3", "DRAM capacity and bandwidth specifications", Fig3},
+		{"fig8", "Analytic access latency of LLT designs", Fig8},
+		{"fig9", "Speedup of Ideal / Embedded / Co-Located LLT", Fig9},
+		{"fig12", "Speedup with SAM / LLP / Perfect prediction", Fig12},
+		{"table3", "Accuracy of the Line Location Predictor", Table3},
+		{"fig13", "Headline speedups: Cache, TLM, CAMEO, DoubleUse", Fig13},
+		{"table4", "Bandwidth usage in memory and storage", Table4},
+		{"fig14", "Normalized power and energy-delay product", Fig14},
+		{"fig15", "Optimized page placement: TLM-Freq / TLM-Oracle vs CAMEO", Fig15},
+		// Extensions beyond the paper's figures (DESIGN.md; EXPERIMENTS.md).
+		{"ext-hybrid", "Extension: frequency-filtered CAMEO swaps (Section VI-D)", ExtHybrid},
+		{"ext-threshold", "Extension: TLM-Dynamic migration-threshold sweep", ExtThreshold},
+		{"ext-ratio", "Extension: stacked share sweep at fixed 16 GB total", ExtRatio},
+		{"ext-scale", "Extension: headline orderings at double capacity scale", ExtScale},
+		{"ext-mix", "Extension: multi-programmed workload mixes", ExtMix},
+		{"ext-controller", "Extension: write-buffered memory controller", ExtController},
+		{"ext-dramcache", "Extension: Loh-Hill vs Alloy DRAM caches vs CAMEO", ExtDRAMCache},
+		{"ext-knobs", "Extension: model-fidelity knobs (refresh, TLB, L3)", ExtKnobs},
+		{"ext-lltcache", "Extension: SRAM entry cache for the Embedded LLT", ExtLLTCache},
+	}
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll regenerates every experiment in paper order.
+func RunAll(s *Suite, w io.Writer) {
+	for _, e := range All() {
+		fmt.Fprintf(w, "\n### %s: %s\n\n", e.ID, e.Title)
+		e.Run(s, w)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"io"
+
+	"cameo/internal/cameo"
+	"cameo/internal/system"
+)
+
+// Fig2 reproduces the motivation chart: stacked DRAM as hardware cache,
+// TLM-Static, TLM-Dynamic, and the idealistic DoubleUse, normalized to the
+// no-stacked baseline.
+func Fig2(s *Suite, w io.Writer) {
+	s.speedupTable("Figure 2: speedup of stacked-DRAM design points", []column{
+		{"Cache", s.sysConfig(system.Cache)},
+		{"TLM-Static", s.sysConfig(system.TLMStatic)},
+		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
+		{"DoubleUse", s.sysConfig(system.DoubleUse)},
+	}, w)
+}
+
+// Fig9 compares the three implementable LLT designs. The Co-Located point
+// uses serial access (SAM) — prediction is Section V's follow-on step.
+func Fig9(s *Suite, w io.Writer) {
+	s.speedupTable("Figure 9: speedup of LLT designs (serial access)", []column{
+		{"Embedded-LLT", s.cameoCfg(cameo.EmbeddedLLT, cameo.SAM)},
+		{"CoLocated-LLT", s.cameoCfg(cameo.CoLocatedLLT, cameo.SAM)},
+		{"Ideal-LLT", s.cameoCfg(cameo.IdealLLT, cameo.SAM)},
+	}, w)
+}
+
+// Fig12 compares prediction schemes over the Co-Located LLT.
+func Fig12(s *Suite, w io.Writer) {
+	s.speedupTable("Figure 12: speedup with location prediction", []column{
+		{"NoPred(SAM)", s.cameoCfg(cameo.CoLocatedLLT, cameo.SAM)},
+		{"LLP", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+		{"Perfect", s.cameoCfg(cameo.CoLocatedLLT, cameo.Perfect)},
+	}, w)
+}
+
+// Fig13 is the headline result: all design points plus CAMEO.
+func Fig13(s *Suite, w io.Writer) {
+	s.speedupTable("Figure 13: speedup with 4GB stacked memory", []column{
+		{"Cache", s.sysConfig(system.Cache)},
+		{"TLM-Static", s.sysConfig(system.TLMStatic)},
+		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+		{"DoubleUse", s.sysConfig(system.DoubleUse)},
+	}, w)
+}
+
+// Fig15 compares CAMEO against the optimized page-placement TLM schemes.
+func Fig15(s *Suite, w io.Writer) {
+	s.speedupTable("Figure 15: optimized TLM page placement vs CAMEO", []column{
+		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
+		{"TLM-Freq", s.sysConfig(system.TLMFreq)},
+		{"TLM-Oracle", s.sysConfig(system.TLMOracle)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+	}, w)
+}

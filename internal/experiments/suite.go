@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each experiment is a
+// named generator that runs the required (benchmark, organization) grid and
+// renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cameo/internal/cameo"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Options scales the whole suite. Zero fields take defaults.
+type Options struct {
+	// ScaleDiv divides all capacities and footprints (DESIGN.md).
+	ScaleDiv uint64
+	// Cores is the rate-mode copy count.
+	Cores int
+	// InstrPerCore is each core's instruction budget.
+	InstrPerCore uint64
+	// Seed drives all randomness.
+	Seed uint64
+	// Benchmarks restricts the workload list (empty = all of Table II).
+	Benchmarks []string
+}
+
+// DefaultOptions returns the suite defaults: 1/1024 scale, the paper's 32
+// cores, 600K instructions per core — the calibrated operating point of
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{ScaleDiv: 1024, Cores: 32, InstrPerCore: 600_000, Seed: 0xCA3E0}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.ScaleDiv == 0 {
+		o.ScaleDiv = d.ScaleDiv
+	}
+	if o.Cores == 0 {
+		o.Cores = d.Cores
+	}
+	if o.InstrPerCore == 0 {
+		o.InstrPerCore = d.InstrPerCore
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Suite runs experiments, memoizing (benchmark, organization) results so
+// that e.g. Fig 13, Table IV, and Fig 14 share one grid of runs.
+type Suite struct {
+	opts  Options
+	cache map[string]system.Result
+}
+
+// NewSuite builds a suite with the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults(), cache: map[string]system.Result{}}
+}
+
+// Options returns the effective options.
+func (s *Suite) Options() Options { return s.opts }
+
+// benchmarks returns the selected workload specs.
+func (s *Suite) benchmarks() []workload.Spec {
+	if len(s.opts.Benchmarks) == 0 {
+		return workload.Specs()
+	}
+	var out []workload.Spec
+	for _, name := range s.opts.Benchmarks {
+		sp, ok := workload.SpecByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// sysConfig lifts the suite options into a system config for org.
+func (s *Suite) sysConfig(org system.OrgKind) system.Config {
+	return system.Config{
+		Org:          org,
+		ScaleDiv:     s.opts.ScaleDiv,
+		Cores:        s.opts.Cores,
+		InstrPerCore: s.opts.InstrPerCore,
+		Seed:         s.opts.Seed,
+	}
+}
+
+// result runs (or recalls) one cell of the grid.
+func (s *Suite) result(spec workload.Spec, cfg system.Config) system.Result {
+	key := fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%d|%v|%v", spec.Name, cfg.Org, cfg.LLT,
+		cfg.Pred, cfg.MigrationThreshold, cfg.HotSwapThreshold, cfg.StackedDivisor,
+		cfg.ScaleDiv, cfg.WriteBuffered, cfg.FRFCFS)
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	r := system.Run(spec, cfg)
+	s.cache[key] = r
+	return r
+}
+
+// Results returns every memoized run in deterministic (key) order — the
+// raw grid behind the rendered tables, for CSV export.
+func (s *Suite) Results() []system.Result {
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]system.Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.cache[k])
+	}
+	return out
+}
+
+// baseline returns the baseline run for spec.
+func (s *Suite) baseline(spec workload.Spec) system.Result {
+	return s.result(spec, s.sysConfig(system.Baseline))
+}
+
+// speedup returns cfg's speedup over the baseline for spec.
+func (s *Suite) speedup(spec workload.Spec, cfg system.Config) float64 {
+	return stats.Speedup(s.baseline(spec).Cycles, s.result(spec, cfg).Cycles)
+}
+
+// column is one design series in a speedup chart.
+type column struct {
+	label string
+	cfg   system.Config
+}
+
+// cameoCfg builds a CAMEO config variant.
+func (s *Suite) cameoCfg(llt cameo.LLTKind, pred cameo.PredKind) system.Config {
+	cfg := s.sysConfig(system.CAMEO)
+	cfg.LLT = llt
+	cfg.Pred = pred
+	return cfg
+}
+
+// speedupTable renders a per-benchmark speedup chart with class and overall
+// geometric means — the shape of Figures 2, 9, 12, 13 and 15.
+func (s *Suite) speedupTable(title string, cols []column, w io.Writer) {
+	headers := append([]string{"Workload", "Class"}, make([]string, 0, len(cols))...)
+	for _, c := range cols {
+		headers = append(headers, c.label)
+	}
+	tab := stats.NewTable(title, headers...)
+
+	perClass := map[workload.Class]map[string][]float64{}
+	overall := map[string][]float64{}
+	benches := s.benchmarks()
+	sort.SliceStable(benches, func(i, j int) bool { return benches[i].Class < benches[j].Class })
+
+	for _, spec := range benches {
+		row := []any{spec.Name, spec.Class.String()}
+		for _, c := range cols {
+			sp := s.speedup(spec, c.cfg)
+			row = append(row, sp)
+			if perClass[spec.Class] == nil {
+				perClass[spec.Class] = map[string][]float64{}
+			}
+			perClass[spec.Class][c.label] = append(perClass[spec.Class][c.label], sp)
+			overall[c.label] = append(overall[c.label], sp)
+		}
+		tab.AddRowF(row...)
+	}
+	for _, class := range []workload.Class{workload.CapacityLimited, workload.LatencyLimited} {
+		if perClass[class] == nil {
+			continue
+		}
+		row := []any{"Gmean", class.String()}
+		for _, c := range cols {
+			row = append(row, stats.Gmean(perClass[class][c.label]))
+		}
+		tab.AddRowF(row...)
+	}
+	row := []any{"Gmean", "ALL"}
+	for _, c := range cols {
+		row = append(row, stats.Gmean(overall[c.label]))
+	}
+	tab.AddRowF(row...)
+	tab.Render(w)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/stats"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Table1 echoes the simulated system configuration (Table I), including the
+// scaled capacities this run uses.
+func Table1(s *Suite, w io.Writer) {
+	o := s.Options()
+	stk := dram.StackedConfig(system.StackedBytesFull / o.ScaleDiv)
+	off := dram.OffChipConfig(system.OffChipBytesFull / o.ScaleDiv)
+	tab := stats.NewTable("Table I: baseline system configuration", "Parameter", "Value")
+	tab.AddRowF("Cores", o.Cores)
+	tab.AddRowF("Core width", "2-wide (retire-rate model)")
+	tab.AddRowF("Frequency", "3.2 GHz")
+	tab.AddRowF("Shared L3", fmt.Sprintf("%d KB, 16-way, 24 cycles (scaled 1/%d)", (32<<20)/o.ScaleDiv/1024, o.ScaleDiv))
+	for _, c := range []dram.Config{stk, off} {
+		tab.AddRowF(c.Name+" capacity", fmt.Sprintf("%d MB (full: %d GB / %d)", c.CapacityBytes>>20, int64(c.CapacityBytes*o.ScaleDiv)>>30, o.ScaleDiv))
+		tab.AddRowF(c.Name+" bus", fmt.Sprintf("%d MHz DDR, %d channels x %d bits", c.BusMHz, c.Channels, c.BusWidthBits))
+		tab.AddRowF(c.Name+" banks", fmt.Sprintf("%d per rank", c.Banks))
+		tab.AddRowF(c.Name+" timing", fmt.Sprintf("tCAS-tRCD-tRP-tRAS %d-%d-%d-%d bus cycles", c.TCAS, c.TRCD, c.TRP, c.TRAS))
+	}
+	tab.AddRowF("Page fault latency", "100K cycles (32 us SSD)")
+	tab.Render(w)
+}
+
+// Table2 reports each benchmark's measured MPKI and (scaled) footprint from
+// a dry run of the generators, next to the paper's published values.
+func Table2(s *Suite, w io.Writer) {
+	o := s.Options()
+	tab := stats.NewTable("Table II: workload characteristics",
+		"Workload", "Class", "Paper MPKI", "Measured MPKI", "Paper footprint GB", "Scaled footprint MB")
+	for _, spec := range s.benchmarks() {
+		st := workload.NewStream(spec, o.ScaleDiv, 0, o.Seed)
+		var instr uint64
+		demands := 0
+		for demands < 20000 {
+			r := st.Next()
+			if r.Write {
+				continue
+			}
+			instr += r.Gap
+			demands++
+		}
+		measured := float64(demands) * 1000 / float64(instr)
+		tab.AddRowF(spec.Name, spec.Class.String(), spec.MPKI, measured,
+			float64(spec.FootprintBytes)/float64(1<<30),
+			float64(spec.FootprintBytes/o.ScaleDiv)/float64(1<<20))
+	}
+	tab.Render(w)
+}
+
+// Table3 reproduces the five-way prediction-accuracy breakdown, aggregated
+// over all benchmarks, for SAM, LLP, and the perfect predictor.
+func Table3(s *Suite, w io.Writer) {
+	agg := func(pred cameo.PredKind) cameo.CaseStats {
+		var total cameo.CaseStats
+		for _, spec := range s.benchmarks() {
+			r := s.result(spec, s.cameoCfg(cameo.CoLocatedLLT, pred))
+			if r.Cameo == nil {
+				continue
+			}
+			c := r.Cameo.Cases
+			total.StackedPredStacked += c.StackedPredStacked
+			total.StackedPredOff += c.StackedPredOff
+			total.OffPredStacked += c.OffPredStacked
+			total.OffPredCorrect += c.OffPredCorrect
+			total.OffPredWrongOff += c.OffPredWrongOff
+		}
+		return total
+	}
+	sam, llp, perfect := agg(cameo.SAM), agg(cameo.LLP), agg(cameo.Perfect)
+
+	tab := stats.NewTable("Table III: accuracy of the Line Location Predictor (%)",
+		"Serviced by", "Prediction", "SAM", "LLP", "Perfect")
+	rows := []struct {
+		serviced, predicted string
+		idx                 int
+	}{
+		{"Stacked", "Stacked", 0},
+		{"Stacked", "Off-chip", 1},
+		{"Off-chip", "Stacked", 2},
+		{"Off-chip", "Off-chip (OK)", 3},
+		{"Off-chip", "Off-chip (Wrong)", 4},
+	}
+	ps, pl, pp := sam.Percent(), llp.Percent(), perfect.Percent()
+	for _, r := range rows {
+		tab.AddRowF(r.serviced, r.predicted, ps[r.idx], pl[r.idx], pp[r.idx])
+	}
+	tab.AddRowF("Overall Accuracy", "", 100*sam.Accuracy(), 100*llp.Accuracy(), 100*perfect.Accuracy())
+	tab.Render(w)
+}
+
+// Table4 reports per-module bandwidth (bytes moved) normalized to the
+// baseline, averaged per workload class, for the Fig 13 design points.
+func Table4(s *Suite, w io.Writer) {
+	cols := []column{
+		{"Cache", s.sysConfig(system.Cache)},
+		{"TLM-Stat", s.sysConfig(system.TLMStatic)},
+		{"TLM-Dyn", s.sysConfig(system.TLMDynamic)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+	}
+	tab := stats.NewTable("Table IV: bandwidth usage normalized to baseline",
+		"Class", "Design", "Stacked", "Off-chip", "Storage")
+	for _, class := range []workload.Class{workload.CapacityLimited, workload.LatencyLimited} {
+		for _, c := range cols {
+			var stk, off, sto []float64
+			for _, spec := range s.benchmarks() {
+				if spec.Class != class {
+					continue
+				}
+				base := s.baseline(spec)
+				r := s.result(spec, c.cfg)
+				stk = append(stk, stats.Normalize(r.Stacked.Bytes(), base.OffChip.Bytes()))
+				off = append(off, stats.Normalize(r.OffChip.Bytes(), base.OffChip.Bytes()))
+				if base.StorageBytes() > 0 {
+					sto = append(sto, stats.Normalize(r.StorageBytes(), base.StorageBytes()))
+				}
+			}
+			if len(stk) == 0 {
+				continue
+			}
+			storage := "n/a"
+			if len(sto) > 0 {
+				storage = fmt.Sprintf("%.2fx", mean(sto))
+			}
+			tab.AddRowF(class.String(), c.label,
+				fmt.Sprintf("%.2fx", mean(stk)), fmt.Sprintf("%.2fx", mean(off)), storage)
+		}
+	}
+	tab.Render(w)
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

@@ -1,0 +1,26 @@
+package lohhill_test
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/lohhill"
+	"cameo/internal/memsys"
+)
+
+// Example contrasts the Loh-Hill structure with Alloy's: 29-way
+// associativity bought with a serialized tag-block probe.
+func Example() {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	offchip := dram.NewModule(dram.OffChipConfig(4 << 20))
+	c := lohhill.New(lohhill.Config{VisibleLines: (4 << 20) / 64}, stacked, offchip)
+
+	c.Access(0, memsys.Request{PLine: 7})
+	before := stacked.Stats().Reads
+	c.Access(1_000_000, memsys.Request{PLine: 7})
+	fmt.Printf("stacked reads per hit: %d\n", stacked.Stats().Reads-before)
+	fmt.Printf("ways per set: %d\n", lohhill.Ways)
+	// Output:
+	// stacked reads per hit: 2
+	// ways per set: 29
+}

@@ -1,0 +1,256 @@
+// Package lohhill implements the Loh-Hill DRAM cache (MICRO 2011), the
+// set-associative tags-in-DRAM design the CAMEO paper cites as [10] and the
+// Alloy Cache was built to outperform. Each 2 KB stacked row is one
+// 29-way set: three lines of the row hold the tags, the remaining 29 hold
+// data, so every access reads the tag lines first and (on a hit) a data way
+// second — two serialized stacked accesses where Alloy needs one.
+//
+// The original proposal pairs the cache with a MissMap that tracks
+// residency so misses skip the tag probe; Config.MissMap models an
+// idealized (always-correct, zero-cost) MissMap, bounding what the real
+// 2 MB structure could achieve.
+package lohhill
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// Ways is the set associativity: 29 data lines per 2 KB row.
+const Ways = 29
+
+// tagLines is the number of row lines reserved for tags.
+const tagLines = 3
+
+// linesPerRow is the full row in 64 B lines.
+const linesPerRow = 32
+
+// TagBytes is the bus footprint of a tag-block read (three 64 B lines).
+const TagBytes = tagLines * dram.LineBytes
+
+// Config sizes the organization.
+type Config struct {
+	// VisibleLines is the off-chip (OS-visible) line address space.
+	VisibleLines uint64
+	// MissMap, when true, lets misses bypass the tag probe (idealized
+	// MissMap with perfect knowledge and no lookup cost).
+	MissMap bool
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64
+}
+
+// Stats counts cache-level events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	DirtyEvicts uint64
+}
+
+// HitRate returns the read hit rate.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is the Loh-Hill organization. It implements memsys.Organization.
+type Cache struct {
+	cfg      Config
+	stacked  dram.Device
+	off      dram.Device
+	sets     uint64
+	channels uint64
+	ways     []way // set-major, Ways per set
+	tick     uint64
+	stats    Stats
+}
+
+var _ memsys.Organization = (*Cache)(nil)
+
+// New builds the cache over the two modules; the set count comes from the
+// stacked capacity (one set per 2 KB row).
+func New(cfg Config, stacked, off dram.Device) *Cache {
+	if stacked == nil || off == nil {
+		panic("lohhill: nil DRAM module")
+	}
+	if cfg.VisibleLines == 0 {
+		panic("lohhill: zero visible lines")
+	}
+	devLines := stacked.Config().CapacityBytes / dram.LineBytes
+	sets := devLines / linesPerRow
+	if sets == 0 {
+		panic(fmt.Sprintf("lohhill: stacked capacity %d too small", stacked.Config().CapacityBytes))
+	}
+	return &Cache{
+		cfg:      cfg,
+		stacked:  stacked,
+		off:      off,
+		sets:     sets,
+		channels: uint64(stacked.Config().Channels),
+		ways:     make([]way, sets*Ways),
+	}
+}
+
+// Name implements memsys.Organization.
+func (c *Cache) Name() string {
+	if c.cfg.MissMap {
+		return "LH-Cache+MissMap"
+	}
+	return "LH-Cache"
+}
+
+// VisibleLines implements memsys.Organization.
+func (c *Cache) VisibleLines() uint64 { return c.cfg.VisibleLines }
+
+// StackedStats implements memsys.Organization.
+func (c *Cache) StackedStats() dram.Stats { return c.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (c *Cache) OffChipStats() dram.Stats { return c.off.Stats() }
+
+// ResetStats implements memsys.Organization.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.stacked.ResetStats()
+	c.off.ResetStats()
+}
+
+// Stats returns cache-level counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the set count, for tests.
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// devLine maps (set, in-row offset) to a stacked device line. The DRAM
+// model interleaves consecutive device lines across channels, so a set's
+// 2 KB row must occupy one channel's row: set s lives in channel s mod C at
+// within-channel row s div C. Without this, every set's tag block would
+// land on channel 0 and serialize the whole cache.
+func (c *Cache) devLine(set uint64, off int) uint64 {
+	ch := set % c.channels
+	cidx := (set/c.channels)*linesPerRow + uint64(off)
+	return cidx*c.channels + ch
+}
+
+// rowBase returns the stacked device line where the set's tag block begins.
+func (c *Cache) rowBase(set uint64) uint64 { return c.devLine(set, 0) }
+
+// dataLine returns the device line of data way w in set.
+func (c *Cache) dataLine(set uint64, w int) uint64 {
+	return c.devLine(set, tagLines+w)
+}
+
+// lookup scans the set for line; returns the way index or -1.
+func (c *Cache) lookup(set uint64, line uint64) int {
+	base := set * Ways
+	for i := 0; i < Ways; i++ {
+		w := &c.ways[base+uint64(i)]
+		if w.valid && w.tag == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU (or an invalid) way of the set.
+func (c *Cache) victim(set uint64) int {
+	base := set * Ways
+	best, bestUsed := 0, c.ways[base].used
+	for i := 0; i < Ways; i++ {
+		w := &c.ways[base+uint64(i)]
+		if !w.valid {
+			return i
+		}
+		if w.used < bestUsed {
+			best, bestUsed = i, w.used
+		}
+	}
+	return best
+}
+
+// Access implements memsys.Organization.
+func (c *Cache) Access(at uint64, req memsys.Request) uint64 {
+	if req.PLine >= c.cfg.VisibleLines {
+		panic(fmt.Sprintf("lohhill: line %d beyond visible space %d", req.PLine, c.cfg.VisibleLines))
+	}
+	set := req.PLine % c.sets
+	hitWay := c.lookup(set, req.PLine)
+	c.tick++
+
+	if req.Write {
+		return c.writeback(at, req, set, hitWay)
+	}
+
+	if hitWay >= 0 {
+		// Tag probe, then the data way: two accesses to the same open row.
+		tagDone := c.stacked.Access(at, c.rowBase(set), TagBytes, false)
+		done := c.stacked.Access(tagDone, c.dataLine(set, hitWay), dram.LineBytes, false)
+		c.stats.Hits++
+		w := &c.ways[set*Ways+uint64(hitWay)]
+		w.used = c.tick
+		return done
+	}
+
+	c.stats.Misses++
+	offStart := at
+	if !c.cfg.MissMap {
+		// Without a MissMap the miss is discovered by the tag probe.
+		offStart = c.stacked.Access(at, c.rowBase(set), TagBytes, false)
+	}
+	complete := c.off.Access(offStart, req.PLine, dram.LineBytes, false)
+	c.fill(at, set, req.PLine)
+	return complete
+}
+
+// writeback services posted dirty traffic: update in place on hit, write
+// around on miss. The tag probe is charged unless the MissMap answers.
+func (c *Cache) writeback(at uint64, req memsys.Request, set uint64, hitWay int) uint64 {
+	if hitWay >= 0 {
+		c.stats.WriteHits++
+		tagDone := c.stacked.Access(at, c.rowBase(set), TagBytes, false)
+		w := &c.ways[set*Ways+uint64(hitWay)]
+		w.dirty = true
+		w.used = c.tick
+		return c.stacked.Access(tagDone, c.dataLine(set, hitWay), dram.LineBytes, true)
+	}
+	c.stats.WriteMisses++
+	if !c.cfg.MissMap {
+		c.stacked.Access(at, c.rowBase(set), TagBytes, false)
+	}
+	return c.off.Access(at, req.PLine, dram.LineBytes, true)
+}
+
+// fill installs the line after a miss (posted at the request's issue time,
+// like every fill in this simulator): victim writeback if dirty, data way
+// write, tag-line update.
+func (c *Cache) fill(at uint64, set uint64, line uint64) {
+	vi := c.victim(set)
+	w := &c.ways[set*Ways+uint64(vi)]
+	if w.valid && w.dirty {
+		// The victim's data must be read out before it leaves.
+		c.stacked.Access(at, c.dataLine(set, vi), dram.LineBytes, false)
+		c.off.Access(at, w.tag, dram.LineBytes, true)
+		c.stats.DirtyEvicts++
+	}
+	c.stacked.Access(at, c.dataLine(set, vi), dram.LineBytes, true)
+	c.stacked.Access(at, c.rowBase(set), dram.LineBytes, true) // tag update
+	c.stats.Fills++
+	*w = way{tag: line, valid: true, used: c.tick}
+}
+
+// Contains reports residency, for tests.
+func (c *Cache) Contains(line uint64) bool {
+	return c.lookup(line%c.sets, line) >= 0
+}

@@ -1,0 +1,194 @@
+package lohhill
+
+import (
+	"testing"
+
+	"cameo/internal/alloy"
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/xrand"
+)
+
+func testCache(missMap bool) (*Cache, *dram.Module, *dram.Module) {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	c := New(Config{VisibleLines: (4 << 20) / 64, MissMap: missMap}, stacked, off)
+	return c, stacked, off
+}
+
+func read(line uint64) memsys.Request  { return memsys.Request{PLine: line} }
+func write(line uint64) memsys.Request { return memsys.Request{PLine: line, Write: true} }
+
+func TestGeometry(t *testing.T) {
+	c, _, _ := testCache(false)
+	// 1 MB / 2 KB rows = 512 sets of 29 ways.
+	if c.Sets() != 512 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, _, _ := testCache(false)
+	d1 := c.Access(0, read(77))
+	if c.Stats().Misses != 1 || !c.Contains(77) {
+		t.Fatalf("miss not recorded/filled: %+v", c.Stats())
+	}
+	d2 := c.Access(d1, read(77))
+	if c.Stats().Hits != 1 {
+		t.Fatal("second access missed")
+	}
+	if d2-d1 >= d1 {
+		t.Fatalf("hit latency %d not below miss latency %d", d2-d1, d1)
+	}
+}
+
+func TestHitCostsTwoStackedAccesses(t *testing.T) {
+	// The LH structural handicap vs Alloy: tag probe + data way.
+	lh, lhStk, _ := testCache(false)
+	lh.Access(0, read(5))
+	base := lhStk.Stats().Reads
+	lh.Access(1_000_000, read(5))
+	if got := lhStk.Stats().Reads - base; got != 2 {
+		t.Fatalf("hit performed %d stacked reads, want 2", got)
+	}
+}
+
+func TestHitSlowerThanAlloy(t *testing.T) {
+	lh, _, _ := testCache(false)
+	stk := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	al := alloy.New(alloy.Config{Cores: 1, VisibleLines: (4 << 20) / 64}, stk, off)
+
+	lh.Access(0, read(5))
+	al.Access(0, read(5))
+	dLH := lh.Access(1_000_000, read(5)) - 1_000_000
+	dAl := al.Access(1_000_000, read(5)) - 1_000_000
+	if dLH <= dAl {
+		t.Fatalf("LH hit %d not slower than Alloy hit %d (the Alloy paper's premise)", dLH, dAl)
+	}
+}
+
+func TestAssociativityBeatsAlloyOnConflicts(t *testing.T) {
+	// Two lines that conflict in a direct-mapped cache co-reside in a
+	// 29-way set.
+	lh, _, _ := testCache(false)
+	a := uint64(3)
+	b := a + lh.Sets()*7 // same LH set
+	lh.Access(0, read(a))
+	lh.Access(1_000_000, read(b))
+	if !lh.Contains(a) || !lh.Contains(b) {
+		t.Fatal("29-way set evicted under 2 lines")
+	}
+}
+
+func TestSetNeverExceedsWays(t *testing.T) {
+	c, _, _ := testCache(false)
+	for i := uint64(0); i < 100; i++ {
+		c.Access(uint64(i)*100_000, read(i*c.Sets()))
+	}
+	resident := 0
+	for i := uint64(0); i < 100; i++ {
+		if c.Contains(i * c.Sets()) {
+			resident++
+		}
+	}
+	if resident != Ways {
+		t.Fatalf("resident = %d, want %d", resident, Ways)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c, _, _ := testCache(false)
+	at := uint64(0)
+	step := func(l uint64) {
+		c.Access(at, read(l))
+		at += 100_000
+	}
+	for i := uint64(0); i < Ways; i++ {
+		step(i * c.Sets())
+	}
+	step(0)               // refresh line 0
+	step(Ways * c.Sets()) // evicts the LRU, which is set-line 1
+	if !c.Contains(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Contains(1 * c.Sets()) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestDirtyEvictionWritesOffChip(t *testing.T) {
+	c, _, off := testCache(false)
+	at := uint64(0)
+	c.Access(at, read(0))
+	at += 100_000
+	c.Access(at, write(0))
+	at += 100_000
+	for i := uint64(1); i <= Ways; i++ {
+		c.Access(at, read(i*c.Sets()))
+		at += 100_000
+	}
+	if c.Stats().DirtyEvicts != 1 {
+		t.Fatalf("dirty evicts = %d", c.Stats().DirtyEvicts)
+	}
+	if off.Stats().Writes == 0 {
+		t.Fatal("victim never written off-chip")
+	}
+}
+
+func TestMissMapSkipsTagProbe(t *testing.T) {
+	plain, plainStk, _ := testCache(false)
+	mm, mmStk, _ := testCache(true)
+	dPlain := plain.Access(0, read(123))
+	dMM := mm.Access(0, read(123))
+	if dMM >= dPlain {
+		t.Fatalf("MissMap miss %d not faster than probed miss %d", dMM, dPlain)
+	}
+	// The probed miss read tags; the MissMap one did not.
+	if plainStk.Stats().Reads == 0 || mmStk.Stats().Reads != 0 {
+		t.Fatalf("tag reads: plain=%d missmap=%d", plainStk.Stats().Reads, mmStk.Stats().Reads)
+	}
+}
+
+func TestWritebackPolicies(t *testing.T) {
+	c, _, off := testCache(false)
+	c.Access(0, write(55)) // miss: write around
+	if c.Stats().WriteMisses != 1 || c.Contains(55) {
+		t.Fatal("writeback miss allocated")
+	}
+	if off.Stats().Writes != 1 {
+		t.Fatal("write-around missing")
+	}
+	c.Access(100_000, read(55))
+	c.Access(200_000, write(55)) // hit: update in place
+	if c.Stats().WriteHits != 1 {
+		t.Fatal("write hit not recorded")
+	}
+}
+
+func TestRandomTrafficInvariants(t *testing.T) {
+	c, _, _ := testCache(false)
+	r := xrand.New(3)
+	at := uint64(0)
+	for i := 0; i < 3000; i++ {
+		c.Access(at, memsys.Request{
+			PLine: uint64(r.Intn(int(c.VisibleLines()))),
+			Write: r.Bool(0.3),
+		})
+		at += 1000
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 || st.Fills != st.Misses {
+		t.Fatalf("inconsistent stats: %+v", st)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	c, _, _ := testCache(false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access accepted")
+		}
+	}()
+	c.Access(0, read(c.VisibleLines()))
+}

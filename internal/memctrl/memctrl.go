@@ -1,0 +1,255 @@
+// Package memctrl implements a queued memory controller with FR-FCFS
+// scheduling — the second, higher-fidelity timing engine behind the
+// dram.Device interface. Where dram.Module services requests strictly in
+// arrival order per bank, this controller keeps a request queue and, each
+// time a bank can issue, picks first-ready (open-row hits), then
+// first-come; reads are prioritized over posted writes until a write-queue
+// watermark forces a drain.
+//
+// The controller operates lazily inside the synchronous Device interface:
+// every Access enqueues the request and then schedules queued work greedily
+// until the new request's completion is known (immediately, for posted
+// writes). Callers invoke Access in globally non-decreasing time order (the
+// simulation engine guarantees it), which is what makes the lazy schedule
+// equivalent to an online one.
+package memctrl
+
+import (
+	"cameo/internal/dram"
+)
+
+// writeBias is the scheduling handicap applied to writes so that reads of
+// similar readiness win (read priority).
+const writeBias = 200
+
+// writeDrainWatermark is the queued-write count that forces writes to
+// compete on equal terms until drained.
+const writeDrainWatermark = 32
+
+// queueCap bounds the pending queue; beyond it the oldest requests are
+// issued unconditionally (a real controller's full-queue backpressure).
+const queueCap = 128
+
+type request struct {
+	line    uint64
+	bytes   int
+	write   bool
+	arrival uint64
+	seq     uint64
+}
+
+type bankState struct {
+	openRow   uint64
+	hasOpen   bool
+	busyUntil uint64
+	lastAct   uint64
+}
+
+// Controller schedules requests over the same geometry and timing
+// parameters as dram.Module. It implements dram.Device.
+type Controller struct {
+	cfg dram.Config
+
+	cpuPerBus    uint64
+	tCAS         uint64
+	tRCD         uint64
+	tRP          uint64
+	tRAS         uint64
+	halfCycleCPU uint64
+	bytesPerBeat int
+	linesPerRow  uint64
+
+	banks []bankState
+	buses []uint64
+
+	queue   []request
+	nextSeq uint64
+	writes  int // queued writes
+
+	stats dram.Stats
+}
+
+var _ dram.Device = (*Controller)(nil)
+
+// New builds a controller from cfg. The write-buffering and refresh flags
+// of cfg are ignored: queueing and read priority are inherent here, and
+// refresh belongs to the analytic model's ablation.
+func New(cfg dram.Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cpb := cfg.CPUPerBus()
+	return &Controller{
+		cfg:          cfg,
+		cpuPerBus:    cpb,
+		tCAS:         uint64(cfg.TCAS) * cpb,
+		tRCD:         uint64(cfg.TRCD) * cpb,
+		tRP:          uint64(cfg.TRP) * cpb,
+		tRAS:         uint64(cfg.TRAS) * cpb,
+		halfCycleCPU: (cpb + 1) / 2,
+		bytesPerBeat: cfg.BytesPerHalfBusCycle(),
+		linesPerRow:  uint64(cfg.RowBufferBytes / dram.LineBytes),
+		banks:        make([]bankState, cfg.Channels*cfg.Banks),
+		buses:        make([]uint64, cfg.Channels),
+	}
+}
+
+// Config implements dram.Device.
+func (c *Controller) Config() dram.Config { return c.cfg }
+
+// Stats implements dram.Device.
+func (c *Controller) Stats() dram.Stats { return c.stats }
+
+// ResetStats implements dram.Device.
+func (c *Controller) ResetStats() { c.stats = dram.Stats{} }
+
+// QueueDepth reports the pending request count, for tests.
+func (c *Controller) QueueDepth() int { return len(c.queue) }
+
+func (c *Controller) locate(line uint64) (channel, bank int, row uint64) {
+	ch := int(line % uint64(c.cfg.Channels))
+	cidx := line / uint64(c.cfg.Channels)
+	rowGlobal := cidx / c.linesPerRow
+	b := int(rowGlobal % uint64(c.cfg.Banks))
+	return ch, b, rowGlobal / uint64(c.cfg.Banks)
+}
+
+func (c *Controller) transferCycles(bytes int) uint64 {
+	beats := uint64((bytes + c.bytesPerBeat - 1) / c.bytesPerBeat)
+	t := beats * c.halfCycleCPU
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// Access implements dram.Device.
+func (c *Controller) Access(at uint64, line uint64, bytes int, isWrite bool) uint64 {
+	if bytes <= 0 {
+		panic("memctrl: non-positive access size")
+	}
+	req := request{line: line, bytes: bytes, write: isWrite, arrival: at, seq: c.nextSeq}
+	c.nextSeq++
+	c.queue = append(c.queue, req)
+	if isWrite {
+		c.writes++
+		c.stats.Writes++
+		c.stats.BytesWritten += uint64(bytes)
+		// Posted: drain opportunistically; report a nominal completion.
+		c.drainIfPressed()
+		return at + c.tCAS + c.transferCycles(bytes)
+	}
+	c.stats.Reads++
+	c.stats.BytesRead += uint64(bytes)
+	done := c.scheduleUntil(req.seq)
+	c.stats.TotalReadLatency += done - at
+	return done
+}
+
+// drainIfPressed issues work when the queue is pressed, bounding memory use
+// on write-heavy streams.
+func (c *Controller) drainIfPressed() {
+	for len(c.queue) > queueCap {
+		c.issue(c.pick())
+	}
+}
+
+// scheduleUntil issues queued requests greedily until seq completes,
+// returning its completion cycle.
+func (c *Controller) scheduleUntil(seq uint64) uint64 {
+	for {
+		idx := c.pick()
+		done, s := c.issue(idx)
+		if s == seq {
+			return done
+		}
+	}
+}
+
+// pick selects the next request to issue: the minimum of
+// (readyTime, writeHandicap, rowMissPenalty, arrival) — first-ready
+// first-come with read priority, the FR-FCFS family's greedy form.
+func (c *Controller) pick() int {
+	drain := c.writes >= writeDrainWatermark
+	best := -1
+	var bestKey [3]uint64
+	for i := range c.queue {
+		r := &c.queue[i]
+		ch, bk, row := c.locate(r.line)
+		bank := &c.banks[ch*c.cfg.Banks+bk]
+		start := r.arrival
+		if bank.busyUntil > start {
+			start = bank.busyUntil
+		}
+		key0 := start
+		if r.write && !drain {
+			key0 += writeBias
+		}
+		var key1 uint64 = 1 // row miss
+		if bank.hasOpen && bank.openRow == row {
+			key1 = 0
+		}
+		key := [3]uint64{key0, key1, r.seq}
+		if best == -1 || less(key, bestKey) {
+			best, bestKey = i, key
+		}
+	}
+	return best
+}
+
+func less(a, b [3]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// issue runs the bank/bus timing for queue[idx], removes it, and returns
+// its completion and sequence number.
+func (c *Controller) issue(idx int) (done, seq uint64) {
+	r := c.queue[idx]
+	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+	if r.write {
+		c.writes--
+	}
+
+	ch, bk, row := c.locate(r.line)
+	bank := &c.banks[ch*c.cfg.Banks+bk]
+	start := r.arrival
+	if bank.busyUntil > start {
+		start = bank.busyUntil
+	}
+	var ready uint64
+	switch {
+	case bank.hasOpen && bank.openRow == row:
+		c.stats.RowHits++
+		ready = start + c.tCAS
+	case !bank.hasOpen:
+		c.stats.RowMisses++
+		bank.lastAct = start
+		ready = start + c.tRCD + c.tCAS
+	default:
+		c.stats.RowMisses++
+		preStart := start
+		if earliest := bank.lastAct + c.tRAS; earliest > preStart {
+			preStart = earliest
+		}
+		actStart := preStart + c.tRP
+		bank.lastAct = actStart
+		ready = actStart + c.tRCD + c.tCAS
+	}
+	bank.hasOpen = true
+	bank.openRow = row
+
+	dataStart := ready
+	if c.buses[ch] > dataStart {
+		dataStart = c.buses[ch]
+	}
+	done = dataStart + c.transferCycles(r.bytes)
+	c.buses[ch] = done
+	bank.busyUntil = done
+	return done, r.seq
+}

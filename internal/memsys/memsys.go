@@ -1,0 +1,93 @@
+// Package memsys defines the contract every memory organization under study
+// implements — baseline commodity DRAM, Alloy cache, Two-Level Memory, and
+// CAMEO — plus the baseline itself. Organizations operate strictly below
+// the L3 on physical line addresses; the OS layer (package vm) and the core
+// model (package cpu) are composed above by package system.
+package memsys
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+)
+
+// Request is one post-L3 memory request.
+type Request struct {
+	// Core is the issuing core (predictors are per-core).
+	Core int
+	// PLine is the physical line address in the OS-visible address space.
+	PLine uint64
+	// PC is the address of the missing instruction.
+	PC uint64
+	// Write marks posted dirty-writeback traffic.
+	Write bool
+}
+
+// Organization is a memory system under the L3.
+type Organization interface {
+	// Name identifies the design in reports.
+	Name() string
+	// Access times the request arriving at cycle `at` and returns the
+	// absolute completion cycle. For writes the return value is the cycle
+	// the write drains, which callers may ignore (posted).
+	Access(at uint64, req Request) uint64
+	// VisibleLines is the size of the OS-visible physical line address
+	// space this organization exposes.
+	VisibleLines() uint64
+	// StackedStats and OffChipStats expose per-module traffic counters.
+	// Organizations without stacked DRAM in use return zero Stats.
+	StackedStats() dram.Stats
+	OffChipStats() dram.Stats
+	// ResetStats zeroes every traffic and event counter (module and
+	// organization level) without disturbing contents or timing state —
+	// the warm-up boundary of a measured run.
+	ResetStats()
+}
+
+// PageSwapper lets OS-level organizations (TLM-Dynamic, TLM-Freq) migrate
+// pages by patching the page tables; vm.Memory satisfies it.
+type PageSwapper interface {
+	SwapFrames(a, b uint64)
+}
+
+// Baseline is the no-stacked-DRAM system: every request is serviced by
+// commodity DRAM. All speedups in the paper are relative to it.
+type Baseline struct {
+	off   dram.Device
+	lines uint64
+}
+
+// NewBaseline builds the baseline over an off-chip module exposing
+// visibleLines of address space.
+func NewBaseline(off dram.Device, visibleLines uint64) *Baseline {
+	if off == nil {
+		panic("memsys: nil off-chip module")
+	}
+	if visibleLines == 0 {
+		panic("memsys: zero visible lines")
+	}
+	return &Baseline{off: off, lines: visibleLines}
+}
+
+// Name implements Organization.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// VisibleLines implements Organization.
+func (b *Baseline) VisibleLines() uint64 { return b.lines }
+
+// Access implements Organization.
+func (b *Baseline) Access(at uint64, req Request) uint64 {
+	if req.PLine >= b.lines {
+		panic(fmt.Sprintf("memsys: line %d beyond baseline space %d", req.PLine, b.lines))
+	}
+	return b.off.Access(at, req.PLine, dram.LineBytes, req.Write)
+}
+
+// StackedStats implements Organization; the baseline has no stacked DRAM.
+func (b *Baseline) StackedStats() dram.Stats { return dram.Stats{} }
+
+// OffChipStats implements Organization.
+func (b *Baseline) OffChipStats() dram.Stats { return b.off.Stats() }
+
+// ResetStats implements Organization.
+func (b *Baseline) ResetStats() { b.off.ResetStats() }

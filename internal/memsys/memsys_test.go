@@ -1,0 +1,55 @@
+package memsys
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+)
+
+func TestBaselineRoutesEverythingOffChip(t *testing.T) {
+	off := dram.NewModule(dram.OffChipConfig(1 << 20))
+	b := NewBaseline(off, (1<<20)/64)
+	d1 := b.Access(0, Request{PLine: 0})
+	d2 := b.Access(d1, Request{PLine: 100, Write: true})
+	if d2 <= d1 {
+		t.Fatal("accesses did not advance time")
+	}
+	st := b.OffChipStats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("off-chip stats = %+v", st)
+	}
+	if b.StackedStats() != (dram.Stats{}) {
+		t.Fatal("baseline reported stacked traffic")
+	}
+	if b.Name() != "Baseline" || b.VisibleLines() != (1<<20)/64 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestBaselineRejectsBadConstruction(t *testing.T) {
+	off := dram.NewModule(dram.OffChipConfig(1 << 20))
+	for i, fn := range []func(){
+		func() { NewBaseline(nil, 10) },
+		func() { NewBaseline(off, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBaselineOutOfRangePanics(t *testing.T) {
+	off := dram.NewModule(dram.OffChipConfig(1 << 20))
+	b := NewBaseline(off, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access accepted")
+		}
+	}()
+	b.Access(0, Request{PLine: 100})
+}

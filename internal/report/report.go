@@ -1,0 +1,93 @@
+// Package report serializes simulation results for downstream tooling:
+// JSON for single runs (dashboards, diffing) and CSV for result grids
+// (spreadsheets, plotting scripts). The text tables in package stats remain
+// the human-facing format.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cameo/internal/system"
+)
+
+// WriteJSON emits one result as indented JSON.
+func WriteJSON(w io.Writer, r system.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("report: encoding result: %w", err)
+	}
+	return nil
+}
+
+// csvHeader is the flat column set of WriteCSV.
+var csvHeader = []string{
+	"org", "benchmark", "class", "cores", "instructions", "cycles", "ipc",
+	"demands", "writebacks", "avg_mem_latency",
+	"stacked_reads", "stacked_writes", "stacked_bytes",
+	"offchip_reads", "offchip_writes", "offchip_bytes",
+	"minor_faults", "major_faults", "storage_bytes",
+	"stacked_service_rate", "llp_accuracy", "swaps",
+	"alloy_hit_rate", "migration_swaps",
+}
+
+// WriteCSV emits a grid of results with a header row. Organization-specific
+// columns are empty when not applicable.
+func WriteCSV(w io.Writer, rs []system.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, r := range rs {
+		row := []string{
+			r.Org, r.Benchmark, r.Class.String(),
+			strconv.Itoa(r.Cores),
+			strconv.FormatUint(r.Instructions, 10),
+			strconv.FormatUint(r.Cycles, 10),
+			fmt.Sprintf("%.4f", r.IPC()),
+			strconv.FormatUint(r.Demands, 10),
+			strconv.FormatUint(r.Writebacks, 10),
+			fmt.Sprintf("%.1f", r.AvgMemLatency),
+			strconv.FormatUint(r.Stacked.Reads, 10),
+			strconv.FormatUint(r.Stacked.Writes, 10),
+			strconv.FormatUint(r.Stacked.Bytes(), 10),
+			strconv.FormatUint(r.OffChip.Reads, 10),
+			strconv.FormatUint(r.OffChip.Writes, 10),
+			strconv.FormatUint(r.OffChip.Bytes(), 10),
+			strconv.FormatUint(r.VM.MinorFaults, 10),
+			strconv.FormatUint(r.VM.MajorFaults, 10),
+			strconv.FormatUint(r.StorageBytes(), 10),
+			optF(r.Cameo != nil, func() float64 { return r.Cameo.StackedServiceRate() }),
+			optF(r.Cameo != nil, func() float64 { return r.Cameo.Cases.Accuracy() }),
+			optU(r.Cameo != nil, func() uint64 { return r.Cameo.Swaps }),
+			optF(r.Alloy != nil, func() float64 { return r.Alloy.HitRate() }),
+			optU(r.Migrations != nil, func() uint64 { return r.Migrations.Swaps + r.Migrations.Moves }),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: csv flush: %w", err)
+	}
+	return nil
+}
+
+func optF(ok bool, f func() float64) string {
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%.4f", f())
+}
+
+func optU(ok bool, f func() uint64) string {
+	if !ok {
+		return ""
+	}
+	return strconv.FormatUint(f(), 10)
+}

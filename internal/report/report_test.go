@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+func sampleResults(t *testing.T) []system.Result {
+	t.Helper()
+	spec, _ := workload.SpecByName("sphinx3")
+	cfg := system.Config{ScaleDiv: 4096, Cores: 2, InstrPerCore: 30_000, Seed: 5}
+	var rs []system.Result
+	for _, org := range []system.OrgKind{system.Baseline, system.Cache, system.CAMEO, system.TLMDynamic} {
+		c := cfg
+		c.Org = org
+		rs = append(rs, system.Run(spec, c))
+	}
+	return rs
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rs := sampleResults(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs[2]); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"Org", "Benchmark", "Cycles", "Stacked", "VM", "Cameo"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	if decoded["Benchmark"] != "sphinx3" {
+		t.Fatalf("benchmark = %v", decoded["Benchmark"])
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	rs := sampleResults(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != len(rs)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(rs)+1)
+	}
+	for i, rec := range records {
+		if len(rec) != len(csvHeader) {
+			t.Fatalf("row %d has %d columns, want %d", i, len(rec), len(csvHeader))
+		}
+	}
+	// Organization-specific columns: CAMEO row has accuracy, baseline empty.
+	header := records[0]
+	col := -1
+	for i, h := range header {
+		if h == "llp_accuracy" {
+			col = i
+		}
+	}
+	if col == -1 {
+		t.Fatal("llp_accuracy column missing")
+	}
+	if records[1][col] != "" {
+		t.Fatal("baseline row has LLP accuracy")
+	}
+	if records[3][col] == "" {
+		t.Fatal("CAMEO row missing LLP accuracy")
+	}
+}
+
+func TestCSVEmptyGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "org,benchmark") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}

@@ -1,0 +1,137 @@
+// Package sim provides the discrete-event backbone of the simulator: a
+// cycle-granular clock and an event queue with deterministic ordering.
+//
+// The DRAM model does not need events (it is timed analytically with
+// busy-until state); the engine exists to interleave the cores — each core
+// schedules its next issue/retire point and the engine processes them in
+// global time order so that contention in the shared memory system is
+// observed consistently.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in CPU cycles (3.2 GHz in the paper's
+// configuration). A uint64 cycle counter at 3.2 GHz lasts ~180 years of
+// simulated time, so overflow is not a practical concern.
+type Cycle = uint64
+
+// Event is a callback scheduled at a cycle. Returning from the callback may
+// schedule further events.
+type Event struct {
+	At Cycle
+	Fn func(now Cycle)
+
+	seq uint64 // insertion order; breaks ties deterministically
+	idx int    // heap index
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the clock and the pending-event heap.
+type Engine struct {
+	now     Cycle
+	nextSeq uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0 with no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at cycle at. Scheduling in the past is a
+// programming error and panics: time in a discrete-event simulation must be
+// monotone or results are not reproducible.
+func (e *Engine) At(at Cycle, fn func(now Cycle)) *Event {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func(now Cycle)) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+		return
+	}
+	heap.Remove(&e.events, ev.idx)
+	ev.idx = -1
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	ev.idx = -1
+	e.now = ev.At
+	ev.Fn(e.now)
+	return true
+}
+
+// Run processes events in time order until the queue drains or Stop is
+// called. It returns the final cycle.
+func (e *Engine) Run() Cycle {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events with At <= limit. Events beyond the limit remain
+// queued. Returns the clock, which is min(limit, last fired event) when the
+// queue still has later events.
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].At <= limit {
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Cycle
+	for _, at := range []Cycle{30, 10, 20, 5, 25} {
+		at := at
+		e.At(at, func(now Cycle) {
+			if now != at {
+				t.Errorf("event scheduled at %d fired at %d", at, now)
+			}
+			order = append(order, now)
+		})
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final cycle = %d, want 30", end)
+	}
+	want := []Cycle{5, 10, 20, 25, 30}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Cycle) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var step func(now Cycle)
+	step = func(now Cycle) {
+		count++
+		if count < 5 {
+			e.After(10, step)
+		}
+	}
+	e.At(0, step)
+	end := e.Run()
+	if count != 5 || end != 40 {
+		t.Fatalf("count=%d end=%d, want 5 and 40", count, end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Cycle) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func(Cycle) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func(Cycle) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	e.Cancel(ev)
+	ev2 := e.At(20, func(Cycle) {})
+	e.Run()
+	e.Cancel(ev2)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.At(Cycle(i*10), func(Cycle) { fired = append(fired, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(fired) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(fired), fired)
+	}
+	for _, v := range fired {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Cycle(i), func(Cycle) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("processed %d events before stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Cycle(i*10), func(Cycle) { count++ })
+	}
+	e.RunUntil(45)
+	if count != 4 {
+		t.Fatalf("RunUntil(45) fired %d events, want 4", count)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("total fired %d, want 10", count)
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestClockNeverGoesBackward(t *testing.T) {
+	check := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Cycle(0)
+		ok := true
+		for _, d := range delays {
+			e.At(Cycle(d), func(now Cycle) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 100; j++ {
+			e.At(Cycle(j%17), func(Cycle) {})
+		}
+		e.Run()
+	}
+}

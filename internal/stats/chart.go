@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders horizontal ASCII bar charts — the harness's stand-in for
+// the paper's figures when a quick visual read is worth more than a table.
+type Chart struct {
+	title string
+	rows  []chartRow
+	unit  string
+}
+
+type chartRow struct {
+	label string
+	value float64
+}
+
+// NewChart starts a chart; unit is appended to each value ("x", "GB/s").
+func NewChart(title, unit string) *Chart {
+	return &Chart{title: title, unit: unit}
+}
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.rows = append(c.rows, chartRow{label, value})
+}
+
+// Render writes the chart with bars scaled to the maximum value.
+func (c *Chart) Render(w io.Writer) {
+	const width = 40
+	if c.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", c.title)
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+	}
+	for _, r := range c.rows {
+		bar := 0
+		if maxVal > 0 && r.value > 0 {
+			bar = int(r.value / maxVal * width)
+			if bar == 0 {
+				bar = 1
+			}
+		}
+		fmt.Fprintf(w, "%s  %s %.2f%s\n",
+			pad(r.label, maxLabel), strings.Repeat("#", bar), r.value, c.unit)
+	}
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}

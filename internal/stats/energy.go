@@ -1,0 +1,61 @@
+package stats
+
+import "cameo/internal/dram"
+
+// Detailed per-module energy accounting, complementing the Section VI-C
+// budget-split model in power.go: energy is built bottom-up from the DRAM
+// activity counters (activations, bytes moved, background time), in
+// picojoules, using datasheet-class constants. The absolute numbers are
+// indicative; ratios between organizations are the meaningful output.
+
+// EnergyParams characterizes one memory module's energy behaviour.
+type EnergyParams struct {
+	// ActivatePJ is the row activate+precharge energy per row miss.
+	ActivatePJ float64
+	// TransferPJPerByte is the I/O plus array energy per byte moved.
+	TransferPJPerByte float64
+	// BackgroundMWPerGB is standby power per GB of capacity.
+	BackgroundMWPerGB float64
+}
+
+// OffChipEnergyParams returns DDR3-class constants (derived from the
+// Micron TN-46-03 methodology the paper cites).
+func OffChipEnergyParams() EnergyParams {
+	return EnergyParams{
+		ActivatePJ:        2200,
+		TransferPJPerByte: 25,
+		BackgroundMWPerGB: 80,
+	}
+}
+
+// StackedEnergyParams returns stacked-DRAM constants: shorter wires move
+// bits at a fraction of the energy, but the stack adds background power per
+// GB (logic layer, TSVs).
+func StackedEnergyParams() EnergyParams {
+	return EnergyParams{
+		ActivatePJ:        900,
+		TransferPJPerByte: 8,
+		BackgroundMWPerGB: 110,
+	}
+}
+
+// ModuleEnergyPJ returns the module's total energy in picojoules over a run
+// of `cycles` CPU cycles at 3.2 GHz, given its activity counters and
+// capacity.
+func ModuleEnergyPJ(st dram.Stats, capacityBytes uint64, cycles uint64, p EnergyParams) float64 {
+	dynamic := p.ActivatePJ*float64(st.RowMisses) +
+		p.TransferPJPerByte*float64(st.Bytes())
+	seconds := float64(cycles) / 3.2e9
+	gb := float64(capacityBytes) / float64(1<<30)
+	background := p.BackgroundMWPerGB * gb * seconds * 1e9 // mW*s = 1e9 pJ
+	return dynamic + background
+}
+
+// StoragePJPerByte is the SSD transfer energy (paper cites flash SSD
+// efficiency studies; ~0.2 nJ/byte at the device level).
+const StoragePJPerByte = 200
+
+// StorageEnergyPJ returns SSD energy for the given traffic.
+func StorageEnergyPJ(bytes uint64) float64 {
+	return StoragePJPerByte * float64(bytes)
+}

@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+	"os"
+
+	"cameo/internal/stats"
+)
+
+// Example renders a small speedup table the way every experiment does.
+func Example() {
+	tab := stats.NewTable("Demo speedups", "Design", "Speedup")
+	tab.AddRowF("Cache", 1.50)
+	tab.AddRowF("CAMEO", 1.78)
+	tab.Render(os.Stdout)
+	// Output:
+	// == Demo speedups ==
+	// Design  Speedup
+	// ------  -------
+	// Cache   1.50
+	// CAMEO   1.78
+}
+
+// ExampleGmean shows the paper's figure-of-merit aggregation.
+func ExampleGmean() {
+	fmt.Printf("%.2f\n", stats.Gmean([]float64{1.0, 4.0}))
+	// Output:
+	// 2.00
+}

@@ -1,0 +1,68 @@
+package stats
+
+// Power/EDP model of Section VI-C. The paper assumes the baseline's power
+// splits 60/20/20 between processor, memory, and storage for
+// capacity-limited workloads and 70/30 between processor and memory for
+// latency-limited ones; each module's dynamic power then scales with its
+// byte traffic per unit time, and stacked DRAM adds its own static plus
+// (more efficient per bit) dynamic power.
+
+// PowerInputs captures one run's activity, normalized against the baseline
+// run of the same workload.
+type PowerInputs struct {
+	// CapacityLimited selects the 60/20/20 split over the 70/30 one.
+	CapacityLimited bool
+	// TimeRatio is run cycles / baseline cycles.
+	TimeRatio float64
+	// OffChipByteRatio is (off-chip bytes / cycles) over the baseline's
+	// (bytes / cycles) — the bandwidth usage ratio.
+	OffChipByteRatio float64
+	// StackedByteRatio is the stacked module's byte rate over the
+	// *baseline's off-chip* byte rate (the baseline has no stacked DRAM).
+	StackedByteRatio float64
+	// StorageByteRatio is storage byte rate over the baseline's storage
+	// byte rate; ignored for latency-limited workloads (no storage share).
+	StorageByteRatio float64
+	// HasStacked is false only for the baseline itself.
+	HasStacked bool
+}
+
+// Power-model constants: fraction of a module's budget that is static
+// (independent of traffic) versus dynamic (proportional to byte rate), and
+// the stacked module's cost relative to the off-chip budget. Stacked DRAM
+// moves bits at roughly half the energy but adds its own background power.
+const (
+	offStaticFrac = 0.40
+	offDynFrac    = 0.60
+
+	stackedStaticShare = 0.15 // of the memory budget, when present
+	stackedDynShare    = 0.30
+
+	storageStaticFrac = 0.30
+	storageDynFrac    = 0.70
+)
+
+// NormalizedPower returns total power relative to the baseline system (1.0).
+func NormalizedPower(in PowerInputs) float64 {
+	var procShare, memShare, storShare float64
+	if in.CapacityLimited {
+		procShare, memShare, storShare = 0.60, 0.20, 0.20
+	} else {
+		procShare, memShare, storShare = 0.70, 0.30, 0.0
+	}
+	p := procShare
+	p += memShare * (offStaticFrac + offDynFrac*in.OffChipByteRatio)
+	if in.HasStacked {
+		p += memShare * (stackedStaticShare + stackedDynShare*in.StackedByteRatio)
+	}
+	if storShare > 0 {
+		p += storShare * (storageStaticFrac + storageDynFrac*in.StorageByteRatio)
+	}
+	return p
+}
+
+// NormalizedEDP returns the energy-delay product relative to the baseline:
+// EDP = P*T*T with the baseline at 1.0.
+func NormalizedEDP(in PowerInputs) float64 {
+	return NormalizedPower(in) * in.TimeRatio * in.TimeRatio
+}

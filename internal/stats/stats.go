@@ -1,0 +1,43 @@
+// Package stats provides the measurement math shared by all experiments:
+// speedups and geometric means, normalized bandwidth, the Section VI-C
+// power/EDP model, and fixed-width table rendering for the harness output.
+package stats
+
+import "math"
+
+// Speedup returns baselineCycles / cycles, the paper's figure of merit
+// (Section III-C). Returns 0 when cycles is 0.
+func Speedup(baselineCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(cycles)
+}
+
+// Gmean returns the geometric mean of vs, ignoring non-positive entries
+// (which would otherwise poison the log). Returns 0 for an empty input.
+func Gmean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Normalize returns v/base, or 0 when base is 0 — used for the Table IV
+// bandwidth ratios.
+func Normalize(v, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base)
+}
+
+// PercentGain converts a speedup ratio to the paper's "+X%" convention.
+func PercentGain(speedup float64) float64 { return (speedup - 1) * 100 }

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/dram"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Fatalf("zero-cycle speedup = %v", got)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if got := Gmean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("gmean(2,8) = %v", got)
+	}
+	if got := Gmean(nil); got != 0 {
+		t.Fatalf("empty gmean = %v", got)
+	}
+	// Non-positive entries are skipped.
+	if got := Gmean([]float64{4, 0, -1}); got != 4 {
+		t.Fatalf("gmean with junk = %v", got)
+	}
+}
+
+func TestGmeanBetweenMinAndMax(t *testing.T) {
+	check := func(a, b, c uint16) bool {
+		vs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Gmean(vs)
+		mn, mx := vs[0], vs[0]
+		for _, v := range vs {
+			mn, mx = math.Min(mn, v), math.Max(mx, v)
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeAndPercent(t *testing.T) {
+	if Normalize(150, 100) != 1.5 {
+		t.Fatal("normalize")
+	}
+	if Normalize(5, 0) != 0 {
+		t.Fatal("normalize by zero")
+	}
+	if PercentGain(1.78) < 77.9 || PercentGain(1.78) > 78.1 {
+		t.Fatal("percent gain")
+	}
+}
+
+func TestBaselinePowerIsUnity(t *testing.T) {
+	for _, capLim := range []bool{true, false} {
+		in := PowerInputs{
+			CapacityLimited:  capLim,
+			TimeRatio:        1,
+			OffChipByteRatio: 1,
+			StorageByteRatio: 1,
+			HasStacked:       false,
+		}
+		if p := NormalizedPower(in); math.Abs(p-1) > 1e-9 {
+			t.Fatalf("baseline power (cap=%v) = %v, want 1", capLim, p)
+		}
+		if e := NormalizedEDP(in); math.Abs(e-1) > 1e-9 {
+			t.Fatalf("baseline EDP = %v", e)
+		}
+	}
+}
+
+func TestStackedAddsPower(t *testing.T) {
+	base := PowerInputs{TimeRatio: 1, OffChipByteRatio: 1, StorageByteRatio: 1}
+	with := base
+	with.HasStacked = true
+	with.StackedByteRatio = 1.5
+	if NormalizedPower(with) <= NormalizedPower(base) {
+		t.Fatal("adding stacked DRAM did not raise power")
+	}
+}
+
+func TestTrafficRaisesPower(t *testing.T) {
+	lo := PowerInputs{CapacityLimited: true, TimeRatio: 1, OffChipByteRatio: 0.5,
+		StorageByteRatio: 0.5, HasStacked: true, StackedByteRatio: 1}
+	hi := lo
+	hi.OffChipByteRatio, hi.StorageByteRatio = 2.5, 1.2
+	if NormalizedPower(hi) <= NormalizedPower(lo) {
+		t.Fatal("more traffic did not raise power")
+	}
+}
+
+func TestEDPRewardsSpeed(t *testing.T) {
+	// A design that is 1.5x faster with modestly higher power wins on EDP.
+	in := PowerInputs{CapacityLimited: true, TimeRatio: 1 / 1.5,
+		OffChipByteRatio: 1, StackedByteRatio: 1, StorageByteRatio: 0.8, HasStacked: true}
+	if NormalizedEDP(in) >= 1 {
+		t.Fatalf("EDP = %v, want < 1", NormalizedEDP(in))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "Name", "Value")
+	tab.AddRowF("alpha", 1.234)
+	tab.AddRowF("beta", 42)
+	tab.AddRow("gamma") // short row padded
+	out := tab.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1.23") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestModuleEnergy(t *testing.T) {
+	st := dram.Stats{RowMisses: 1000, BytesRead: 64000, BytesWritten: 16000}
+	e := ModuleEnergyPJ(st, 1<<30, 3_200_000, OffChipEnergyParams()) // 1 ms at 1 GB
+	if e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+	// Dynamic part alone: 1000*2200 + 80000*25 = 4.2e6 pJ; background for
+	// 1 ms at 80 mW/GB = 8e7 pJ. Total ~8.4e7.
+	if e < 8e7 || e > 9e7 {
+		t.Fatalf("energy = %v, want ~8.4e7 pJ", e)
+	}
+	// Stacked moves the same bytes cheaper dynamically.
+	es := ModuleEnergyPJ(st, 1<<30, 3_200_000, StackedEnergyParams())
+	dynOff := e - 80.0*1e9/1000
+	dynStk := es - 110.0*1e9/1000
+	if dynStk >= dynOff {
+		t.Fatalf("stacked dynamic energy %v not below off-chip %v", dynStk, dynOff)
+	}
+	if StorageEnergyPJ(4096) != 200*4096 {
+		t.Fatal("storage energy")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := NewChart("Speedup", "x")
+	c.Add("Cache", 1.5)
+	c.Add("CAMEO", 3.0)
+	c.Add("zero", 0)
+	out := c.String()
+	if !strings.Contains(out, "== Speedup ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// CAMEO's bar must be the longest; zero gets no bar.
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Fatalf("zero value drew a bar:\n%s", out)
+	}
+}

@@ -1,0 +1,189 @@
+// Package system composes a full simulated machine — cores, paging, the L3
+// boundary, and one memory organization — runs a workload on it, and
+// returns the measurements every experiment consumes.
+package system
+
+import (
+	"fmt"
+
+	"cameo/internal/cameo"
+)
+
+// OrgKind names the memory organizations of the paper's evaluation.
+type OrgKind int
+
+const (
+	// Baseline: 12 GB off-chip DRAM, no stacked DRAM.
+	Baseline OrgKind = iota
+	// Cache: stacked DRAM as an Alloy cache; capacity stays 12 GB.
+	Cache
+	// TLMStatic: stacked DRAM in the address space, random page placement.
+	TLMStatic
+	// TLMDynamic: TLM with page swap on every off-chip touch.
+	TLMDynamic
+	// TLMFreq: TLM with epoch-based frequency-ranked page placement.
+	TLMFreq
+	// TLMOracle: TLM with profiled (oracular) initial placement.
+	TLMOracle
+	// CAMEO: the paper's proposal; LLT/Pred sub-options select the design.
+	CAMEO
+	// DoubleUse: idealistic Alloy cache plus 16 GB of capacity.
+	DoubleUse
+	// LHCache: the Loh-Hill set-associative DRAM cache (the paper's
+	// citation [10]), as a second hardware-cache baseline.
+	LHCache
+	// LHCacheMM: LH-Cache with an idealized MissMap (misses skip the probe).
+	LHCacheMM
+)
+
+func (k OrgKind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case Cache:
+		return "Cache"
+	case TLMStatic:
+		return "TLM-Static"
+	case TLMDynamic:
+		return "TLM-Dynamic"
+	case TLMFreq:
+		return "TLM-Freq"
+	case TLMOracle:
+		return "TLM-Oracle"
+	case CAMEO:
+		return "CAMEO"
+	case DoubleUse:
+		return "DoubleUse"
+	case LHCache:
+		return "LH-Cache"
+	case LHCacheMM:
+		return "LH-Cache+MissMap"
+	}
+	return fmt.Sprintf("OrgKind(%d)", int(k))
+}
+
+// Full-scale capacities (Table I): 4 GB stacked, 12 GB off-chip.
+const (
+	StackedBytesFull = 4 << 30
+	OffChipBytesFull = 12 << 30
+	// TotalBytesFull is the combined capacity the ratio sweeps hold fixed.
+	TotalBytesFull = StackedBytesFull + OffChipBytesFull
+	// L3LookupCycles is charged ahead of every memory access (Table I's
+	// 24-cycle shared L3 — the lookup that discovered the miss).
+	L3LookupCycles = 24
+)
+
+// Config selects an organization and the simulation scale.
+type Config struct {
+	Org OrgKind
+	// LLT/Pred configure CAMEO (ignored otherwise). Defaults: CoLocated+LLP,
+	// the paper's final design.
+	LLT  cameo.LLTKind
+	Pred cameo.PredKind
+	// ScaleDiv divides every capacity and footprint (DESIGN.md; default 1024).
+	ScaleDiv uint64
+	// Cores is the rate-mode copy count (paper: 32).
+	Cores int
+	// InstrPerCore is each core's instruction budget.
+	InstrPerCore uint64
+	// Seed drives workload generation and paging randomness.
+	Seed uint64
+	// EpochAccesses is TLM-Freq's epoch length in demand accesses.
+	EpochAccesses uint64
+	// UseL3 inserts a real (scaled) L3 model between the generated stream
+	// and the organization. Off by default: the generators already emit the
+	// post-L3 stream that Table II's MPKI describes.
+	UseL3 bool
+	// MigrationThreshold defers TLM-Dynamic migration until a page has been
+	// touched this many times (0/1 = the paper's migrate-on-first-touch).
+	MigrationThreshold int
+	// LLTCacheEntries gives CAMEO's Embedded-LLT design an SRAM cache of
+	// table entries (0 = the paper's design; power of two).
+	LLTCacheEntries int
+	// HotSwapThreshold enables CAMEO's Section VI-D extension: swap only
+	// lines whose page has at least this many recent accesses (0 = paper's
+	// always-swap policy).
+	HotSwapThreshold uint32
+	// WarmupInstr, when nonzero, is the per-core instruction count treated
+	// as warm-up: once every core has retired it, all statistics reset and
+	// the measured region begins (state — caches, LLT, page tables — stays
+	// warm). Must be below InstrPerCore.
+	WarmupInstr uint64
+	// Refresh enables DRAM refresh modeling in both modules (off by
+	// default, matching the paper's model).
+	Refresh bool
+	// WriteBuffered enables the DRAM controllers' write-queue model (reads
+	// take priority; writes drain in idle time). Off by default, matching
+	// the paper's simpler model; ext-controller measures the difference.
+	WriteBuffered bool
+	// FRFCFS replaces the analytic in-order DRAM model with the queued
+	// FR-FCFS controller (package memctrl): row-hit-first scheduling with
+	// read priority. Off by default; mutually exclusive with WriteBuffered
+	// and Refresh (which are knobs of the analytic model).
+	FRFCFS bool
+	// UseTLB adds per-core TLBs whose page-walk penalty lands on demand
+	// misses (off by default, matching the paper's model; identical across
+	// organizations since CAMEO remaps below the physical address).
+	UseTLB bool
+	// StackedDivisor sets the stacked share of the fixed 16 GB total:
+	// stacked = total/StackedDivisor (4 = Table I's quarter, 2 = the
+	// half-capacity point the paper's introduction motivates). It is also
+	// CAMEO's congruence-group associativity, so only 2..4 are encodable.
+	StackedDivisor int
+}
+
+// WithDefaults fills zero fields with the paper-equivalent defaults.
+func (c Config) WithDefaults() Config {
+	if c.ScaleDiv == 0 {
+		c.ScaleDiv = 1024
+	}
+	if c.Cores == 0 {
+		c.Cores = 32
+	}
+	if c.InstrPerCore == 0 {
+		c.InstrPerCore = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xCA3E0
+	}
+	if c.EpochAccesses == 0 {
+		c.EpochAccesses = 200_000
+	}
+	if c.StackedDivisor == 0 {
+		c.StackedDivisor = 4
+	}
+	// LLT and Pred need no defaulting: their zero values are the paper's
+	// final design (Co-Located LLT with the LLP).
+	return c
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ScaleDiv == 0 || c.ScaleDiv&(c.ScaleDiv-1) != 0:
+		return fmt.Errorf("system: ScaleDiv %d must be a power of two", c.ScaleDiv)
+	case c.ScaleDiv > 1<<16:
+		return fmt.Errorf("system: ScaleDiv %d leaves no memory to simulate", c.ScaleDiv)
+	case c.Cores <= 0:
+		return fmt.Errorf("system: non-positive core count")
+	case c.InstrPerCore == 0:
+		return fmt.Errorf("system: zero instruction budget")
+	case c.StackedDivisor < 2 || c.StackedDivisor > 4:
+		return fmt.Errorf("system: StackedDivisor %d out of [2,4]", c.StackedDivisor)
+	case c.WarmupInstr >= c.InstrPerCore:
+		return fmt.Errorf("system: warmup %d not below budget %d", c.WarmupInstr, c.InstrPerCore)
+	case c.FRFCFS && (c.WriteBuffered || c.Refresh):
+		return fmt.Errorf("system: FRFCFS excludes the analytic model's WriteBuffered/Refresh knobs")
+	}
+	return nil
+}
+
+// StackedBytes returns the scaled stacked-DRAM capacity.
+func (c Config) StackedBytes() uint64 {
+	return TotalBytesFull / uint64(c.StackedDivisor) / c.ScaleDiv
+}
+
+// OffChipBytes returns the scaled off-chip capacity.
+func (c Config) OffChipBytes() uint64 {
+	return (TotalBytesFull - TotalBytesFull/uint64(c.StackedDivisor)) / c.ScaleDiv
+}

@@ -1,0 +1,33 @@
+package system_test
+
+import (
+	"fmt"
+
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Example runs the same benchmark under the baseline and under CAMEO and
+// reports the speedup — the simulator's fundamental measurement.
+func Example() {
+	spec, _ := workload.SpecByName("sphinx3")
+	cfg := system.Config{
+		ScaleDiv:     4096,
+		Cores:        4,
+		InstrPerCore: 60_000,
+		Seed:         17,
+	}
+
+	cfg.Org = system.Baseline
+	base := system.Run(spec, cfg)
+	cfg.Org = system.CAMEO
+	cam := system.Run(spec, cfg)
+
+	fmt.Printf("CAMEO faster than baseline: %v\n", cam.Cycles < base.Cycles)
+	fmt.Printf("stacked DRAM in use: %v\n", cam.Stacked.Accesses() > 0)
+	fmt.Printf("demands equal across organizations: %v\n", cam.Demands == base.Demands)
+	// Output:
+	// CAMEO faster than baseline: true
+	// stacked DRAM in use: true
+	// demands equal across organizations: true
+}

@@ -1,0 +1,124 @@
+package system
+
+import (
+	"testing"
+
+	"cameo/internal/cameo"
+)
+
+// allOrgs is every organization the system can build.
+var allOrgs = []OrgKind{Baseline, Cache, TLMStatic, TLMDynamic, TLMFreq,
+	TLMOracle, CAMEO, DoubleUse, LHCache, LHCacheMM}
+
+// TestDemandCountInvariantAcrossOrgs: the workload generator is organization
+// independent, so every design must see the identical demand/writeback
+// stream (modulo writebacks dropped with evicted pages, which track paging
+// pressure).
+func TestDemandCountInvariantAcrossOrgs(t *testing.T) {
+	s := spec(t, "sphinx3") // footprint fits everywhere: identical paging
+	var demands, writebacks, dropped uint64
+	for i, org := range allOrgs {
+		r := Run(s, quickCfg(org))
+		if i == 0 {
+			demands, writebacks, dropped = r.Demands, r.Writebacks, r.DroppedWritebacks
+			continue
+		}
+		if r.Demands != demands {
+			t.Errorf("%v: demands %d != %d", org, r.Demands, demands)
+		}
+		if r.Writebacks != writebacks {
+			t.Errorf("%v: writebacks %d != %d", org, r.Writebacks, writebacks)
+		}
+		// With identical visible capacity classes the drops (writebacks to
+		// never-touched pages, a warm-up artifact) are stream properties
+		// and must match too.
+		if r.DroppedWritebacks != dropped {
+			t.Errorf("%v: dropped %d != %d", org, r.DroppedWritebacks, dropped)
+		}
+	}
+}
+
+// TestBytesCoverDemands: the memory system must move at least one line per
+// demand (every demand is serviced by stacked or off-chip DRAM).
+func TestBytesCoverDemands(t *testing.T) {
+	for _, org := range allOrgs {
+		r := Run(spec(t, "milc"), quickCfg(org))
+		moved := r.Stacked.Bytes() + r.OffChip.Bytes()
+		if moved < r.Demands*64 {
+			t.Errorf("%v: moved %d bytes for %d demands", org, moved, r.Demands)
+		}
+	}
+}
+
+// TestReadsAtLeastDemands: module read counts can't undercount demands.
+func TestReadsAtLeastDemands(t *testing.T) {
+	for _, org := range allOrgs {
+		r := Run(spec(t, "gcc"), quickCfg(org))
+		reads := r.Stacked.Reads + r.OffChip.Reads
+		if reads < r.Demands {
+			t.Errorf("%v: %d module reads for %d demands", org, reads, r.Demands)
+		}
+	}
+}
+
+// TestIdealBoundsRealLLTs: Ideal-LLT is an upper bound for the two
+// implementable designs on every benchmark class we try.
+func TestIdealBoundsRealLLTs(t *testing.T) {
+	for _, bn := range []string{"sphinx3", "milc"} {
+		s := spec(t, bn)
+		cycles := map[cameo.LLTKind]uint64{}
+		for _, llt := range []cameo.LLTKind{cameo.IdealLLT, cameo.CoLocatedLLT, cameo.EmbeddedLLT} {
+			cfg := quickCfg(CAMEO)
+			cfg.LLT = llt
+			cfg.Pred = cameo.SAM
+			cycles[llt] = Run(s, cfg).Cycles
+		}
+		if cycles[cameo.IdealLLT] > cycles[cameo.CoLocatedLLT] ||
+			cycles[cameo.IdealLLT] > cycles[cameo.EmbeddedLLT] {
+			t.Errorf("%s: ideal (%d) not a lower bound: colocated %d embedded %d",
+				bn, cycles[cameo.IdealLLT], cycles[cameo.CoLocatedLLT], cycles[cameo.EmbeddedLLT])
+		}
+	}
+}
+
+// TestDoubleUseBoundsCache: DoubleUse has strictly more capacity than Cache
+// with identical cache hardware, so it can never lose badly to it.
+func TestDoubleUseBoundsCache(t *testing.T) {
+	s := spec(t, "lbm") // capacity-pressured
+	cfg := quickCfg(Cache)
+	cfg.InstrPerCore = 100_000
+	cache := Run(s, cfg)
+	cfg.Org = DoubleUse
+	du := Run(s, cfg)
+	if float64(du.Cycles) > 1.1*float64(cache.Cycles) {
+		t.Fatalf("DoubleUse (%d) materially slower than Cache (%d)", du.Cycles, cache.Cycles)
+	}
+}
+
+// TestOrgNamesUnique guards the reporting layer against label collisions.
+func TestOrgNamesUnique(t *testing.T) {
+	seen := map[string]OrgKind{}
+	for _, org := range allOrgs {
+		r := Run(spec(t, "astar"), quickCfg(org))
+		if prev, dup := seen[r.Org]; dup {
+			t.Errorf("organizations %v and %v share the name %q", prev, org, r.Org)
+		}
+		seen[r.Org] = org
+	}
+}
+
+// TestSeedSensitivityIsBounded: a different seed moves absolute cycles but
+// not the CAMEO-vs-baseline verdict.
+func TestSeedSensitivityIsBounded(t *testing.T) {
+	s := spec(t, "soplex")
+	for _, seed := range []uint64{1, 99, 12345} {
+		cfg := quickCfg(Baseline)
+		cfg.Seed = seed
+		base := Run(s, cfg)
+		cfg.Org = CAMEO
+		cam := Run(s, cfg)
+		if cam.Cycles >= base.Cycles {
+			t.Errorf("seed %d: CAMEO %d not faster than baseline %d", seed, cam.Cycles, base.Cycles)
+		}
+	}
+}

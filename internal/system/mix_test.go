@@ -1,0 +1,81 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"cameo/internal/workload"
+)
+
+func mixOf(t *testing.T, names ...string) []workload.Spec {
+	t.Helper()
+	var out []workload.Spec
+	for _, n := range names {
+		out = append(out, spec(t, n))
+	}
+	return out
+}
+
+func TestRunMixBasics(t *testing.T) {
+	cfg := quickCfg(CAMEO)
+	r := RunMix(mixOf(t, "sphinx3", "milc"), cfg)
+	if !strings.Contains(r.Benchmark, "sphinx3") || !strings.Contains(r.Benchmark, "milc") {
+		t.Fatalf("mix name = %q", r.Benchmark)
+	}
+	if r.Class != workload.LatencyLimited {
+		t.Fatalf("all-latency mix classified %v", r.Class)
+	}
+	if r.Cycles == 0 || r.Demands == 0 {
+		t.Fatal("mix run produced nothing")
+	}
+}
+
+func TestRunMixClassPromotion(t *testing.T) {
+	cfg := quickCfg(TLMStatic)
+	r := RunMix(mixOf(t, "sphinx3", "mcf"), cfg)
+	if r.Class != workload.CapacityLimited {
+		t.Fatalf("mix with mcf classified %v", r.Class)
+	}
+}
+
+func TestRunMixDeterminism(t *testing.T) {
+	cfg := quickCfg(Cache)
+	a := RunMix(mixOf(t, "gcc", "milc", "sphinx3"), cfg)
+	b := RunMix(mixOf(t, "gcc", "milc", "sphinx3"), cfg)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("mix not deterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestRunMixRoundRobinAssignment(t *testing.T) {
+	// With 4 cores and a 2-benchmark mix, both benchmarks run: the mix must
+	// touch more address space than either benchmark alone at this scale.
+	cfg := quickCfg(Baseline)
+	solo := Run(spec(t, "sphinx3"), cfg)
+	mixed := RunMix(mixOf(t, "sphinx3", "milc"), cfg)
+	if mixed.VM.MinorFaults <= solo.VM.MinorFaults {
+		t.Fatalf("mix touched %d pages, solo %d — second member missing?",
+			mixed.VM.MinorFaults, solo.VM.MinorFaults)
+	}
+}
+
+func TestRunMixEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix accepted")
+		}
+	}()
+	RunMix(nil, quickCfg(Baseline))
+}
+
+func TestMixCAMEOStillWins(t *testing.T) {
+	// Directional: on a latency-bound mix, CAMEO beats the baseline.
+	mix := mixOf(t, "gcc", "sphinx3", "milc", "soplex")
+	cfg := quickCfg(Baseline)
+	base := RunMix(mix, cfg)
+	cfg.Org = CAMEO
+	cam := RunMix(mix, cfg)
+	if cam.Cycles >= base.Cycles {
+		t.Fatalf("CAMEO mix %d not faster than baseline %d", cam.Cycles, base.Cycles)
+	}
+}

@@ -1,0 +1,435 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+
+	"cameo/internal/alloy"
+	"cameo/internal/cache"
+	"cameo/internal/cameo"
+	"cameo/internal/cpu"
+	"cameo/internal/dram"
+	"cameo/internal/lohhill"
+	"cameo/internal/memctrl"
+	"cameo/internal/memsys"
+	"cameo/internal/sim"
+	"cameo/internal/stats"
+	"cameo/internal/tlb"
+	"cameo/internal/tlm"
+	"cameo/internal/vm"
+	"cameo/internal/workload"
+)
+
+// Result is the outcome of one (benchmark, organization) run.
+type Result struct {
+	Org       string
+	Benchmark string
+	Class     workload.Class
+
+	Cores        int
+	Instructions uint64
+	// Cycles is the execution time: the paper measures when every copy of
+	// the rate-mode workload has finished.
+	Cycles uint64
+
+	Demands       uint64
+	Writebacks    uint64
+	AvgMemLatency float64
+
+	// WarmupEndCycle is the cycle at which measurement began (0 when no
+	// warm-up was configured); Cycles then covers the measured region only.
+	WarmupEndCycle uint64
+
+	// Demand-latency distribution digests (log2-bucket upper bounds) and
+	// the full histogram for detailed reporting.
+	LatencyP50 uint64
+	LatencyP95 uint64
+	LatencyP99 uint64
+	Latency    *stats.Hist `json:"-"`
+
+	Stacked dram.Stats
+	OffChip dram.Stats
+	VM      vm.Stats
+
+	// Organization-specific detail, present when applicable.
+	Cameo      *cameo.Stats
+	Alloy      *alloy.Stats
+	LohHill    *lohhill.Stats
+	Migrations *tlm.MigrationStats
+	// L3 holds the shared-cache counters when Config.UseL3 was set.
+	L3 *cache.Stats
+
+	DroppedWritebacks uint64
+}
+
+// StorageBytes is the storage traffic (page-ins plus dirty page-outs).
+func (r Result) StorageBytes() uint64 { return r.VM.StorageBytes() }
+
+// IPC returns aggregate retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// machine is a fully wired simulated system.
+type machine struct {
+	cfg     Config
+	eng     *sim.Engine
+	vmm     *vm.Memory
+	org     memsys.Organization
+	l3      *cache.L3
+	tlbs    []*tlb.TLB
+	cores   []*cpu.Core
+	streams []*workload.Stream
+	dropped uint64
+	lat     stats.Hist
+
+	warmCores int
+	warmEnd   uint64 // cycle at which the last core finished warm-up
+}
+
+// geometry computes the OS-visible line space and the stacked/off split for
+// the configured organization.
+func geometry(cfg Config) (visibleLines, stackedLines uint64) {
+	stkLines := cfg.StackedBytes() / dram.LineBytes
+	offLines := cfg.OffChipBytes() / dram.LineBytes
+	switch cfg.Org {
+	case Baseline, Cache, LHCache, LHCacheMM:
+		return offLines, 0
+	case DoubleUse:
+		return offLines + stkLines, 0 // idealistic extra capacity, all "off-chip"
+	case CAMEO:
+		groups := cameoGroups(cfg)
+		return groups * uint64(cfg.StackedDivisor), groups
+	default: // TLM variants
+		return stkLines + offLines, stkLines
+	}
+}
+
+// cameoGroups returns the congruence-group count: the stacked lines that
+// stay OS-visible under the most restrictive LLT layout (LEAD: 31 of 32),
+// rounded down to a page multiple so the visible space is page-aligned.
+func cameoGroups(cfg Config) uint64 {
+	devLines := cfg.StackedBytes() / dram.LineBytes
+	g := cameo.VisibleStackedLines(devLines)
+	return g - g%64 // segments * groups must stay a multiple of 64 lines
+}
+
+// newMachine wires up the system; specs assigns one benchmark per core
+// (rate mode repeats the same spec everywhere).
+func newMachine(specs []workload.Spec, cfg Config) *machine {
+	if len(specs) != cfg.Cores {
+		panic(fmt.Sprintf("system: %d specs for %d cores", len(specs), cfg.Cores))
+	}
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &machine{cfg: cfg, eng: sim.NewEngine()}
+
+	visibleLines, stackedLines := geometry(cfg)
+	vmCfg := vm.DefaultConfig(visibleLines/vm.LinesPerPage, stackedLines/vm.LinesPerPage)
+	vmCfg.Seed = cfg.Seed
+	m.vmm = vm.New(vmCfg, cfg.Cores)
+
+	for core := 0; core < cfg.Cores; core++ {
+		m.streams = append(m.streams, workload.NewStream(specs[core], cfg.ScaleDiv, core, cfg.Seed))
+	}
+
+	m.org = buildOrg(cfg, m.vmm, visibleLines, stackedLines)
+
+	if cfg.Org == TLMOracle {
+		m.installOraclePlacement(stackedLines)
+	}
+	if cfg.UseL3 {
+		m.l3 = cache.NewL3(cache.L3Config((32 << 20) / cfg.ScaleDiv))
+	}
+	if cfg.UseTLB {
+		for core := 0; core < cfg.Cores; core++ {
+			m.tlbs = append(m.tlbs, tlb.New(tlb.DefaultConfig()))
+		}
+	}
+
+	for core := 0; core < cfg.Cores; core++ {
+		cc := cpu.DefaultConfig(core, specs[core].MLP, cfg.InstrPerCore)
+		cc.Warmup = cfg.WarmupInstr
+		c := cpu.New(cc, m.eng, m.streams[core], m.memFunc)
+		if cfg.WarmupInstr > 0 {
+			c.OnWarm = m.onWarm
+		}
+		m.cores = append(m.cores, c)
+	}
+	return m
+}
+
+// onWarm resets the shared statistics once every core has crossed its
+// warm-up boundary; the measured region starts here.
+func (m *machine) onWarm(coreID int, now uint64) {
+	m.warmCores++
+	if m.warmCores < m.cfg.Cores {
+		return
+	}
+	m.warmEnd = now
+	m.org.ResetStats()
+	m.vmm.ResetStats()
+	if m.l3 != nil {
+		m.l3.Cache().ResetStats()
+	}
+	m.dropped = 0
+}
+
+// buildOrg constructs the organization under test.
+func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) memsys.Organization {
+	newDevice := func(c dram.Config) dram.Device {
+		if cfg.FRFCFS {
+			return memctrl.New(c)
+		}
+		return dram.NewModule(c)
+	}
+	newStacked := func() dram.Device {
+		c := dram.StackedConfig(cfg.StackedBytes())
+		if cfg.Refresh {
+			c.EnableRefresh(260) // denser stacks refresh faster per bank
+		}
+		if cfg.WriteBuffered {
+			c.EnableWriteBuffering(8)
+		}
+		return newDevice(c)
+	}
+	newOffChip := func(capacity uint64) dram.Device {
+		c := dram.OffChipConfig(capacity)
+		if cfg.Refresh {
+			c.EnableRefresh(350)
+		}
+		if cfg.WriteBuffered {
+			c.EnableWriteBuffering(8)
+		}
+		return newDevice(c)
+	}
+	switch cfg.Org {
+	case Baseline:
+		off := newOffChip(cfg.OffChipBytes())
+		return memsys.NewBaseline(off, visibleLines)
+	case Cache, DoubleUse:
+		// DoubleUse's extra capacity is modeled as a larger off-chip space
+		// with unchanged timing (the idealism the paper describes).
+		offBytes := visibleLines * dram.LineBytes
+		off := newOffChip(offBytes)
+		name := "Cache"
+		if cfg.Org == DoubleUse {
+			name = "DoubleUse"
+		}
+		return alloy.New(alloy.Config{
+			Name:             name,
+			Cores:            cfg.Cores,
+			PredictorEntries: 256,
+			VisibleLines:     visibleLines,
+		}, newStacked(), off)
+	case LHCache, LHCacheMM:
+		off := newOffChip(cfg.OffChipBytes())
+		return lohhill.New(lohhill.Config{
+			VisibleLines: visibleLines,
+			MissMap:      cfg.Org == LHCacheMM,
+		}, newStacked(), off)
+	case TLMStatic, TLMOracle:
+		off := newOffChip(cfg.OffChipBytes())
+		return tlm.NewStatic(cfg.Org.String(), newStacked(), off, stackedLines, visibleLines)
+	case TLMDynamic:
+		off := newOffChip(cfg.OffChipBytes())
+		threshold := cfg.MigrationThreshold
+		if threshold < 1 {
+			threshold = 1
+		}
+		return tlm.NewDynamicThreshold(newStacked(), off, stackedLines, visibleLines, vmm, threshold)
+	case TLMFreq:
+		off := newOffChip(cfg.OffChipBytes())
+		return tlm.NewFreq(newStacked(), off, stackedLines, visibleLines, vmm, cfg.EpochAccesses)
+	case CAMEO:
+		off := newOffChip(cfg.OffChipBytes())
+		return cameo.New(cameo.Config{
+			Groups:           stackedLines,
+			Segments:         cfg.StackedDivisor,
+			LLT:              cfg.LLT,
+			Pred:             cfg.Pred,
+			Cores:            cfg.Cores,
+			LLPEntries:       256,
+			HotSwapThreshold: cfg.HotSwapThreshold,
+			LLTCacheEntries:  cfg.LLTCacheEntries,
+		}, newStacked(), off)
+	}
+	panic("system: unknown organization")
+}
+
+// installOraclePlacement grants TLM-Oracle its profiled knowledge: each
+// core's share of stacked frames goes to its most-accessed pages.
+func (m *machine) installOraclePlacement(stackedLines uint64) {
+	perCore := int(stackedLines / vm.LinesPerPage / uint64(m.cfg.Cores))
+	hot := make([]map[uint64]bool, m.cfg.Cores)
+	for core, s := range m.streams {
+		hot[core] = make(map[uint64]bool, perCore)
+		for _, p := range s.HotPages(perCore) {
+			hot[core][p] = true
+		}
+	}
+	m.vmm.PreferStacked = func(proc int, vpage uint64) bool { return hot[proc][vpage] }
+}
+
+// memFunc is the memory hierarchy as seen by the cores.
+func (m *machine) memFunc(coreID int, now uint64, req workload.Request) cpu.Outcome {
+	if req.Write {
+		pline, ok := m.vmm.TranslateNoFault(coreID, req.VLine, true)
+		if !ok {
+			m.dropped++
+			return cpu.Outcome{Complete: now}
+		}
+		if m.l3 != nil {
+			r := m.l3.Access(pline, true)
+			if r.Hit {
+				return cpu.Outcome{Complete: now}
+			}
+			if r.Writeback.Valid {
+				m.org.Access(now, memsys.Request{Core: coreID, PLine: r.Writeback.Addr, PC: req.PC, Write: true})
+			}
+		}
+		m.org.Access(now, memsys.Request{Core: coreID, PLine: pline, PC: req.PC, Write: true})
+		return cpu.Outcome{Complete: now}
+	}
+
+	var tlbPenalty uint64
+	if m.tlbs != nil {
+		tlbPenalty = m.tlbs[coreID].Access(req.VLine / vm.LinesPerPage)
+	}
+	pline, fault := m.vmm.Translate(coreID, req.VLine, false)
+	// The DRAM access is timed at `now` even on a page fault, with the
+	// fault stall added to the completion instead: stamping the access
+	// 100K cycles into the future would poison bank busy-until state for
+	// every other core's earlier requests (time travel in the analytic
+	// DRAM model). The bank-occupancy shift is negligible; the latency and
+	// blocking are preserved exactly.
+	stall := tlbPenalty
+	var block uint64
+	if fault.Fault {
+		stall += fault.StallCycles
+		block = now + stall
+	}
+
+	if m.l3 != nil {
+		r := m.l3.Access(pline, false)
+		if r.Hit {
+			return cpu.Outcome{Complete: now + stall + L3LookupCycles, BlockUntil: block}
+		}
+		if r.Writeback.Valid {
+			m.org.Access(now+L3LookupCycles, memsys.Request{Core: coreID, PLine: r.Writeback.Addr, PC: req.PC, Write: true})
+		}
+	}
+	complete := m.org.Access(now+L3LookupCycles, memsys.Request{Core: coreID, PLine: pline, PC: req.PC})
+	m.lat.Observe(complete + stall - now)
+	return cpu.Outcome{Complete: complete + stall, BlockUntil: block}
+}
+
+// Run simulates spec in rate mode (every core runs a copy) and returns the
+// measurements.
+func Run(spec workload.Spec, cfg Config) Result {
+	cfg = cfg.WithDefaults()
+	specs := make([]workload.Spec, cfg.Cores)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return runMachine(specs, cfg, spec.Name, spec.Class)
+}
+
+// RunMix simulates a multi-programmed mix: core i runs mix[i mod len(mix)].
+// The reported class is CapacityLimited if any member is.
+func RunMix(mix []workload.Spec, cfg Config) Result {
+	cfg = cfg.WithDefaults()
+	if len(mix) == 0 {
+		panic("system: empty mix")
+	}
+	specs := make([]workload.Spec, cfg.Cores)
+	names := make([]string, len(mix))
+	class := workload.LatencyLimited
+	for i, spec := range mix {
+		names[i] = spec.Name
+		if spec.Class == workload.CapacityLimited {
+			class = workload.CapacityLimited
+		}
+	}
+	for i := range specs {
+		specs[i] = mix[i%len(mix)]
+	}
+	return runMachine(specs, cfg, "mix("+strings.Join(names, "+")+")", class)
+}
+
+func runMachine(specs []workload.Spec, cfg Config, name string, class workload.Class) Result {
+	m := newMachine(specs, cfg)
+	for _, c := range m.cores {
+		c.Start()
+	}
+	m.eng.Run()
+
+	res := Result{
+		Org:               m.org.Name(),
+		Benchmark:         name,
+		Class:             class,
+		Cores:             cfg.Cores,
+		Stacked:           m.org.StackedStats(),
+		OffChip:           m.org.OffChipStats(),
+		VM:                m.vmm.Stats(),
+		DroppedWritebacks: m.dropped,
+	}
+	if cfg.WarmupInstr > 0 && m.warmCores == cfg.Cores {
+		res.WarmupEndCycle = m.warmEnd
+	}
+	var totalLat, totalDem uint64
+	for _, c := range m.cores {
+		st := c.Stats()
+		res.Instructions += st.Retired
+		res.Demands += st.Demands
+		res.Writebacks += st.Writebacks
+		totalLat += st.TotalMemLatency
+		totalDem += st.Demands
+		if st.FinishCycle > res.Cycles {
+			res.Cycles = st.FinishCycle
+		}
+	}
+	if totalDem > 0 {
+		res.AvgMemLatency = float64(totalLat) / float64(totalDem)
+	}
+	if res.WarmupEndCycle > 0 && res.Cycles > res.WarmupEndCycle {
+		// Execution time of the measured region only.
+		res.Cycles -= res.WarmupEndCycle
+		res.Instructions -= cfg.WarmupInstr * uint64(cfg.Cores)
+	}
+	res.Latency = &m.lat
+	res.LatencyP50 = m.lat.Quantile(0.50)
+	res.LatencyP95 = m.lat.Quantile(0.95)
+	res.LatencyP99 = m.lat.Quantile(0.99)
+	switch org := m.org.(type) {
+	case *cameo.System:
+		st := org.Stats()
+		res.Cameo = &st
+	case *alloy.Cache:
+		st := org.Stats()
+		res.Alloy = &st
+	case *lohhill.Cache:
+		st := org.Stats()
+		res.LohHill = &st
+	case *tlm.Dynamic:
+		st := org.Migrations()
+		res.Migrations = &st
+	case *tlm.Freq:
+		st := org.Migrations()
+		res.Migrations = &st
+	}
+	if m.l3 != nil {
+		st := m.l3.Stats()
+		res.L3 = &st
+	}
+	return res
+}

@@ -1,0 +1,155 @@
+package system
+
+import "testing"
+
+func TestWarmupResetsMeasurement(t *testing.T) {
+	s := spec(t, "sphinx3")
+	cfg := quickCfg(CAMEO)
+	cold := Run(s, cfg)
+
+	cfg.WarmupInstr = 30_000 // half the 60K budget
+	warm := Run(s, cfg)
+
+	if warm.WarmupEndCycle == 0 {
+		t.Fatal("warm-up boundary not recorded")
+	}
+	if cold.WarmupEndCycle != 0 {
+		t.Fatal("cold run recorded a warm-up boundary")
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Fatalf("measured region %d not below full run %d", warm.Cycles, cold.Cycles)
+	}
+	if warm.Demands >= cold.Demands {
+		t.Fatalf("measured demands %d not below full run %d", warm.Demands, cold.Demands)
+	}
+	if warm.Instructions >= cold.Instructions {
+		t.Fatalf("measured instructions %d not below %d", warm.Instructions, cold.Instructions)
+	}
+}
+
+func TestWarmupKeepsStateWarm(t *testing.T) {
+	// With warm-up, CAMEO's measured stacked service rate must beat the
+	// cold run's (the LLT and swaps carry over the boundary while the
+	// counters reset).
+	s := spec(t, "sphinx3")
+	cfg := quickCfg(CAMEO)
+	cfg.InstrPerCore = 120_000
+	cold := Run(s, cfg)
+	cfg.WarmupInstr = 60_000
+	warm := Run(s, cfg)
+	if warm.Cameo.StackedServiceRate() <= cold.Cameo.StackedServiceRate() {
+		t.Fatalf("warm service rate %.3f not above cold %.3f",
+			warm.Cameo.StackedServiceRate(), cold.Cameo.StackedServiceRate())
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	cfg := quickCfg(Baseline)
+	cfg.WarmupInstr = cfg.InstrPerCore // not strictly below
+	if err := cfg.WithDefaults().Validate(); err == nil {
+		t.Fatal("warmup >= budget accepted")
+	}
+}
+
+func TestWarmupDeterminism(t *testing.T) {
+	s := spec(t, "milc")
+	cfg := quickCfg(Cache)
+	cfg.WarmupInstr = 20_000
+	a, b := Run(s, cfg), Run(s, cfg)
+	if a.Cycles != b.Cycles || a.Stacked.Bytes() != b.Stacked.Bytes() {
+		t.Fatal("warm-up runs not deterministic")
+	}
+}
+
+func TestWarmupAllOrganizations(t *testing.T) {
+	s := spec(t, "sphinx3")
+	for _, org := range []OrgKind{Baseline, Cache, TLMStatic, TLMDynamic, TLMFreq, TLMOracle, CAMEO, DoubleUse} {
+		cfg := quickCfg(org)
+		cfg.WarmupInstr = 20_000
+		r := Run(s, cfg)
+		if r.WarmupEndCycle == 0 {
+			t.Errorf("%v: no warm-up boundary", org)
+		}
+		if r.Cycles == 0 || r.Demands == 0 {
+			t.Errorf("%v: empty measured region", org)
+		}
+	}
+}
+
+func TestRefreshKnobSlowsExecution(t *testing.T) {
+	s := spec(t, "milc")
+	cfg := quickCfg(CAMEO)
+	plain := Run(s, cfg)
+	cfg.Refresh = true
+	refr := Run(s, cfg)
+	if refr.Cycles <= plain.Cycles {
+		t.Fatalf("refresh run %d not slower than plain %d", refr.Cycles, plain.Cycles)
+	}
+	// The slowdown must stay modest (refresh costs a few percent, not 2x).
+	if float64(refr.Cycles) > 1.3*float64(plain.Cycles) {
+		t.Fatalf("refresh slowdown implausible: %d vs %d", refr.Cycles, plain.Cycles)
+	}
+}
+
+func TestTLBKnobAddsWalkLatency(t *testing.T) {
+	s := spec(t, "milc")
+	cfg := quickCfg(CAMEO)
+	plain := Run(s, cfg)
+	cfg.UseTLB = true
+	withTLB := Run(s, cfg)
+	if withTLB.Cycles <= plain.Cycles {
+		t.Fatalf("TLB run %d not slower than plain %d", withTLB.Cycles, plain.Cycles)
+	}
+	// milc's footprint far exceeds 64 TLB entries but has a hot head, so
+	// the slowdown must be visible yet bounded.
+	if float64(withTLB.Cycles) > 2*float64(plain.Cycles) {
+		t.Fatalf("TLB slowdown implausible: %d vs %d", withTLB.Cycles, plain.Cycles)
+	}
+}
+
+func TestTLBIdenticalAcrossOrganizations(t *testing.T) {
+	// The paper's "no TLB changes" point: the TLB behaviour depends only on
+	// the virtual stream, so the added penalty is organization-independent.
+	s := spec(t, "sphinx3")
+	delta := func(org OrgKind) int64 {
+		cfg := quickCfg(org)
+		plain := Run(s, cfg)
+		cfg.UseTLB = true
+		withTLB := Run(s, cfg)
+		return int64(withTLB.Demands) - int64(plain.Demands)
+	}
+	if d1, d2 := delta(Baseline), delta(CAMEO); d1 != 0 || d2 != 0 {
+		t.Fatalf("TLB changed demand counts: baseline %+d, CAMEO %+d", d1, d2)
+	}
+}
+
+func TestFRFCFSKnob(t *testing.T) {
+	s := spec(t, "milc")
+	cfg := quickCfg(CAMEO)
+	plain := Run(s, cfg)
+	cfg.FRFCFS = true
+	queued := Run(s, cfg)
+	if queued.Demands != plain.Demands {
+		t.Fatalf("controller changed the demand stream: %d vs %d", queued.Demands, plain.Demands)
+	}
+	// FR-FCFS reorders for row hits and read priority: it must not be
+	// materially slower than in-order service.
+	if float64(queued.Cycles) > 1.1*float64(plain.Cycles) {
+		t.Fatalf("FR-FCFS %d much slower than in-order %d", queued.Cycles, plain.Cycles)
+	}
+	// Read priority can trade a little write row locality for read latency;
+	// allow a modest dip but catch pathologies.
+	if queued.OffChip.RowHitRate() < plain.OffChip.RowHitRate()-0.08 {
+		t.Fatalf("FR-FCFS off-chip row-hit rate %.3f far below in-order %.3f",
+			queued.OffChip.RowHitRate(), plain.OffChip.RowHitRate())
+	}
+}
+
+func TestFRFCFSExcludesAnalyticKnobs(t *testing.T) {
+	cfg := quickCfg(Baseline)
+	cfg.FRFCFS = true
+	cfg.Refresh = true
+	if err := cfg.WithDefaults().Validate(); err == nil {
+		t.Fatal("FRFCFS+Refresh accepted")
+	}
+}

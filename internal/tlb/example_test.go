@@ -1,0 +1,19 @@
+package tlb_test
+
+import (
+	"fmt"
+
+	"cameo/internal/tlb"
+)
+
+// Example shows the walk penalty disappearing once a translation is cached.
+func Example() {
+	t := tlb.New(tlb.DefaultConfig())
+	fmt.Println("cold access penalty:", t.Access(42))
+	fmt.Println("warm access penalty:", t.Access(42))
+	fmt.Printf("hit rate: %.2f\n", t.Stats().HitRate())
+	// Output:
+	// cold access penalty: 80
+	// warm access penalty: 0
+	// hit rate: 0.50
+}

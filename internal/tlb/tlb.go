@@ -1,0 +1,127 @@
+// Package tlb models per-core translation lookaside buffers. The paper's
+// point that CAMEO "does not require any TLB changes" motivates having a
+// TLB in the model at all: CAMEO's line remapping happens below the
+// physical address, so the TLB contents are identical across every
+// organization — only page-granularity designs would need shootdowns
+// (which the paper, and this model, exclude from the timing).
+//
+// The TLB adds a page-walk latency to demand misses; it never changes what
+// is translated (package vm owns the truth).
+package tlb
+
+import "fmt"
+
+// Config sizes one TLB.
+type Config struct {
+	// Entries is the total entry count; Assoc the set associativity.
+	Entries int
+	Assoc   int
+	// WalkLatency is the page-table-walk penalty in CPU cycles charged on
+	// a miss.
+	WalkLatency uint64
+}
+
+// DefaultConfig returns a typical L2-TLB-and-walker point: 64 entries,
+// 4-way, 80-cycle walk.
+func DefaultConfig() Config {
+	return Config{Entries: 64, Assoc: 4, WalkLatency: 80}
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("tlb: entries %d / assoc %d must be positive", c.Entries, c.Assoc)
+	case c.Entries%c.Assoc != 0:
+		return fmt.Errorf("tlb: entries %d not divisible by assoc %d", c.Entries, c.Assoc)
+	case (c.Entries/c.Assoc)&(c.Entries/c.Assoc-1) != 0:
+		return fmt.Errorf("tlb: set count %d not a power of two", c.Entries/c.Assoc)
+	case c.WalkLatency == 0:
+		return fmt.Errorf("tlb: zero walk latency")
+	}
+	return nil
+}
+
+type entry struct {
+	vpage uint64
+	valid bool
+	used  uint64
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits / (hits+misses).
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// TLB is one core's translation cache (LRU, set-associative, 4 KB pages).
+type TLB struct {
+	cfg     Config
+	sets    []entry
+	setMask uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a TLB; panics on invalid configuration.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &TLB{
+		cfg:     cfg,
+		sets:    make([]entry, cfg.Entries),
+		setMask: uint64(cfg.Entries/cfg.Assoc) - 1,
+	}
+}
+
+// Stats returns the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Access looks vpage up, installing it on a miss, and returns the latency
+// penalty (0 on a hit, WalkLatency on a miss).
+func (t *TLB) Access(vpage uint64) uint64 {
+	set := vpage & t.setMask
+	base := int(set) * t.cfg.Assoc
+	t.tick++
+	lru, lruUsed := base, t.sets[base].used
+	for i := 0; i < t.cfg.Assoc; i++ {
+		e := &t.sets[base+i]
+		if e.valid && e.vpage == vpage {
+			e.used = t.tick
+			t.stats.Hits++
+			return 0
+		}
+		if !e.valid {
+			lru, lruUsed = base+i, 0
+		} else if e.used < lruUsed {
+			lru, lruUsed = base+i, e.used
+		}
+	}
+	t.stats.Misses++
+	t.sets[lru] = entry{vpage: vpage, valid: true, used: t.tick}
+	return t.cfg.WalkLatency
+}
+
+// Invalidate drops vpage (a shootdown), reporting whether it was resident.
+func (t *TLB) Invalidate(vpage uint64) bool {
+	set := vpage & t.setMask
+	base := int(set) * t.cfg.Assoc
+	for i := 0; i < t.cfg.Assoc; i++ {
+		e := &t.sets[base+i]
+		if e.valid && e.vpage == vpage {
+			*e = entry{}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package tlm
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/vm"
+)
+
+// MigrationStats counts page-migration activity.
+type MigrationStats struct {
+	Swaps uint64 // two-page exchanges (16 KB of activity each)
+	Moves uint64 // one-page promotions into a free frame (8 KB each)
+}
+
+// Dynamic is TLM-Dynamic: a demand touch of an off-chip page swaps that
+// page with a stacked victim page chosen by CLOCK over the stacked frames.
+// The paper migrates on the first touch; Threshold lets the ablation
+// experiments defer migration until a page has been touched N times, which
+// trades locality for migration bandwidth.
+type Dynamic struct {
+	route
+	swapper Swapper
+
+	stackedFrames uint64
+	refBits       []bool
+	hand          uint64
+	mig           MigrationStats
+
+	threshold int
+	touches   map[uint64]int // off-chip frame -> touches since last reset
+}
+
+var _ memsys.Organization = (*Dynamic)(nil)
+
+// NewDynamic builds TLM-Dynamic with the paper's migrate-on-first-touch
+// policy.
+func NewDynamic(stacked, off dram.Device, stackedLines, totalLines uint64, swapper Swapper) *Dynamic {
+	return NewDynamicThreshold(stacked, off, stackedLines, totalLines, swapper, 1)
+}
+
+// NewDynamicThreshold builds TLM-Dynamic that migrates an off-chip page
+// only once it has accumulated `threshold` demand touches.
+func NewDynamicThreshold(stacked, off dram.Device, stackedLines, totalLines uint64,
+	swapper Swapper, threshold int) *Dynamic {
+	if swapper == nil {
+		panic("tlm: nil swapper")
+	}
+	if threshold < 1 {
+		panic("tlm: migration threshold must be >= 1")
+	}
+	r := newRoute(stacked, off, stackedLines, totalLines)
+	return &Dynamic{
+		route:         r,
+		swapper:       swapper,
+		stackedFrames: stackedLines / vm.LinesPerPage,
+		refBits:       make([]bool, stackedLines/vm.LinesPerPage),
+		threshold:     threshold,
+		touches:       make(map[uint64]int),
+	}
+}
+
+// Name implements memsys.Organization.
+func (d *Dynamic) Name() string { return "TLM-Dynamic" }
+
+// VisibleLines implements memsys.Organization.
+func (d *Dynamic) VisibleLines() uint64 { return d.totalLines }
+
+// StackedStats implements memsys.Organization.
+func (d *Dynamic) StackedStats() dram.Stats { return d.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (d *Dynamic) OffChipStats() dram.Stats { return d.off.Stats() }
+
+// Migrations returns the migration counters.
+func (d *Dynamic) Migrations() MigrationStats { return d.mig }
+
+// ResetStats implements memsys.Organization: counters only, CLOCK state and
+// page placement survive.
+func (d *Dynamic) ResetStats() {
+	d.mig = MigrationStats{}
+	d.resetModules()
+}
+
+// Access implements memsys.Organization. Reads to off-chip pages trigger the
+// page swap; the demand line is serviced first (critical path), the 16 KB of
+// migration traffic drains behind it.
+func (d *Dynamic) Access(at uint64, req memsys.Request) uint64 {
+	frame := req.PLine / vm.LinesPerPage
+	if frame < d.stackedFrames {
+		d.refBits[frame] = true
+		return d.access(at, req.PLine, dram.LineBytes, req.Write)
+	}
+	complete := d.access(at, req.PLine, dram.LineBytes, req.Write)
+	if req.Write {
+		return complete
+	}
+	if d.threshold > 1 {
+		if t := d.touches[frame] + 1; t < d.threshold {
+			d.touches[frame] = t
+			return complete
+		}
+		delete(d.touches, frame)
+	}
+	// Migration traffic is timed at the arrival cycle to keep the analytic
+	// DRAM model's timestamps near-monotone; the demand line above is the
+	// only part on the critical path.
+	d.migrate(at, frame)
+	return complete
+}
+
+// migrate swaps offFrame into stacked DRAM.
+func (d *Dynamic) migrate(at uint64, offFrame uint64) {
+	victim := d.pickVictim()
+	if _, _, mapped := d.swapper.FrameOwner(victim); !mapped {
+		// Free stacked frame: promote without writing a victim back.
+		d.migratePage(at, offFrame, victim)
+		d.swapper.MoveFrame(offFrame, victim)
+		d.mig.Moves++
+	} else {
+		d.migratePage(at, offFrame, victim)
+		d.migratePage(at, victim, offFrame)
+		d.swapper.SwapFrames(offFrame, victim)
+		d.mig.Swaps++
+	}
+	d.refBits[victim] = true // just-installed page is recently used
+}
+
+// pickVictim runs CLOCK over the stacked frames.
+func (d *Dynamic) pickVictim() uint64 {
+	for {
+		f := d.hand
+		d.hand = (d.hand + 1) % d.stackedFrames
+		if d.refBits[f] {
+			d.refBits[f] = false
+			continue
+		}
+		return f
+	}
+}

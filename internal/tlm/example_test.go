@@ -1,0 +1,34 @@
+package tlm_test
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/tlm"
+	"cameo/internal/vm"
+)
+
+// Example shows TLM-Dynamic promoting a touched off-chip page into stacked
+// DRAM by patching the page tables.
+func Example() {
+	stacked := dram.NewModule(dram.StackedConfig(16 * vm.PageBytes))
+	offchip := dram.NewModule(dram.OffChipConfig(48 * vm.PageBytes))
+	mem := vm.New(vm.DefaultConfig(64, 16), 1)
+	dyn := tlm.NewDynamic(stacked, offchip, 16*vm.LinesPerPage, 64*vm.LinesPerPage, mem)
+
+	// Map pages until one lands off-chip, then touch it through TLM-Dynamic.
+	for v := uint64(0); v < 40; v++ {
+		pline, _ := mem.Translate(0, v*vm.LinesPerPage, false)
+		if frame := pline / vm.LinesPerPage; frame >= 16 {
+			dyn.Access(0, memsys.Request{PLine: pline})
+			nf, _ := mem.FrameOf(0, v)
+			fmt.Printf("page promoted into stacked region: %v\n", nf < 16)
+			fmt.Printf("migrations: %d\n", dyn.Migrations().Swaps+dyn.Migrations().Moves)
+			return
+		}
+	}
+	// Output:
+	// page promoted into stacked region: true
+	// migrations: 1
+}

@@ -1,0 +1,138 @@
+package tlm
+
+import (
+	"sort"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/vm"
+)
+
+// Freq is TLM-Freq (Section VI-D): dedicated hardware counts accesses per
+// physical page; every epoch the OS migrates the hottest pages into stacked
+// DRAM. Sorting and TLB-shootdown overheads are ignored, as in the paper;
+// the page-transfer bandwidth is modeled.
+type Freq struct {
+	route
+	swapper Swapper
+
+	stackedFrames uint64
+	counts        []uint32 // per frame
+	epochAccesses uint64
+	sinceEpoch    uint64
+	mig           MigrationStats
+}
+
+var _ memsys.Organization = (*Freq)(nil)
+
+// NewFreq builds TLM-Freq with the given epoch length in demand accesses.
+func NewFreq(stacked, off dram.Device, stackedLines, totalLines uint64,
+	swapper Swapper, epochAccesses uint64) *Freq {
+	if swapper == nil {
+		panic("tlm: nil swapper")
+	}
+	if epochAccesses == 0 {
+		panic("tlm: zero epoch length")
+	}
+	r := newRoute(stacked, off, stackedLines, totalLines)
+	return &Freq{
+		route:         r,
+		swapper:       swapper,
+		stackedFrames: stackedLines / vm.LinesPerPage,
+		counts:        make([]uint32, totalLines/vm.LinesPerPage),
+		epochAccesses: epochAccesses,
+	}
+}
+
+// Name implements memsys.Organization.
+func (f *Freq) Name() string { return "TLM-Freq" }
+
+// VisibleLines implements memsys.Organization.
+func (f *Freq) VisibleLines() uint64 { return f.totalLines }
+
+// StackedStats implements memsys.Organization.
+func (f *Freq) StackedStats() dram.Stats { return f.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (f *Freq) OffChipStats() dram.Stats { return f.off.Stats() }
+
+// Migrations returns the migration counters.
+func (f *Freq) Migrations() MigrationStats { return f.mig }
+
+// ResetStats implements memsys.Organization: measurement counters only; the
+// frequency counters are epoch state, not statistics, and survive.
+func (f *Freq) ResetStats() {
+	f.mig = MigrationStats{}
+	f.resetModules()
+}
+
+// Access implements memsys.Organization.
+func (f *Freq) Access(at uint64, req memsys.Request) uint64 {
+	frame := req.PLine / vm.LinesPerPage
+	complete := f.access(at, req.PLine, dram.LineBytes, req.Write)
+	if req.Write {
+		return complete
+	}
+	f.counts[frame]++
+	f.sinceEpoch++
+	if f.sinceEpoch >= f.epochAccesses {
+		f.sinceEpoch = 0
+		f.rebalance(at)
+	}
+	return complete
+}
+
+// rebalance promotes the hottest off-chip pages into stacked DRAM, demoting
+// the coldest stacked pages, then ages all counters.
+func (f *Freq) rebalance(at uint64) {
+	type pageCount struct {
+		frame uint64
+		count uint32
+	}
+	var hotOff []pageCount  // mapped off-chip frames, hottest first
+	var coldStk []pageCount // stacked frames, coldest first
+	for fr := uint64(0); fr < uint64(len(f.counts)); fr++ {
+		if fr < f.stackedFrames {
+			coldStk = append(coldStk, pageCount{fr, f.counts[fr]})
+		} else if f.counts[fr] > 0 {
+			if _, _, ok := f.swapper.FrameOwner(fr); ok {
+				hotOff = append(hotOff, pageCount{fr, f.counts[fr]})
+			}
+		}
+	}
+	sort.Slice(hotOff, func(i, j int) bool {
+		if hotOff[i].count != hotOff[j].count {
+			return hotOff[i].count > hotOff[j].count
+		}
+		return hotOff[i].frame < hotOff[j].frame
+	})
+	sort.Slice(coldStk, func(i, j int) bool {
+		if coldStk[i].count != coldStk[j].count {
+			return coldStk[i].count < coldStk[j].count
+		}
+		return coldStk[i].frame < coldStk[j].frame
+	})
+
+	for i := 0; i < len(hotOff) && i < len(coldStk); i++ {
+		hot, cold := hotOff[i], coldStk[i]
+		// Stop once the remaining off-chip pages are no hotter than the
+		// stacked pages they would displace.
+		if hot.count <= cold.count {
+			break
+		}
+		if _, _, mapped := f.swapper.FrameOwner(cold.frame); !mapped {
+			f.migratePage(at, hot.frame, cold.frame)
+			f.swapper.MoveFrame(hot.frame, cold.frame)
+			f.mig.Moves++
+		} else {
+			f.migratePage(at, hot.frame, cold.frame)
+			f.migratePage(at, cold.frame, hot.frame)
+			f.swapper.SwapFrames(hot.frame, cold.frame)
+			f.mig.Swaps++
+		}
+		f.counts[hot.frame], f.counts[cold.frame] = f.counts[cold.frame], f.counts[hot.frame]
+	}
+	for i := range f.counts {
+		f.counts[i] /= 2
+	}
+}

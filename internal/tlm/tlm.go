@@ -1,0 +1,119 @@
+// Package tlm implements the paper's Two-Level Memory design points, where
+// stacked DRAM is part of the OS-visible address space and data moves (if at
+// all) at page granularity:
+//
+//   - Static:  pages land where the OS happened to place them; no migration.
+//     (TLM-Oracle is Static routing plus profiled placement, wired
+//     up by package system through vm's placement preference.)
+//   - Dynamic: a touched off-chip page is swapped with a stacked victim page
+//     chosen by a CLOCK over the stacked frames — 16 KB of memory
+//     activity per swap, the cost Section II-C dwells on.
+//   - Freq:    per-page access counters; every epoch the hottest pages are
+//     migrated into stacked DRAM (Section VI-D's TLM-Freq, with TLB
+//     shootdown and sorting overheads ignored as in the paper).
+package tlm
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/vm"
+)
+
+// Swapper is the OS hook page migration needs: patch page tables and inspect
+// frame residency. vm.Memory satisfies it.
+type Swapper interface {
+	SwapFrames(a, b uint64)
+	MoveFrame(src, dst uint64)
+	FrameOwner(f uint64) (proc int, vpage uint64, ok bool)
+}
+
+var _ Swapper = (*vm.Memory)(nil)
+
+// route holds the address-space split shared by all TLM variants.
+type route struct {
+	stacked      dram.Device
+	off          dram.Device
+	stackedLines uint64
+	totalLines   uint64
+}
+
+func newRoute(stacked, off dram.Device, stackedLines, totalLines uint64) route {
+	if stacked == nil || off == nil {
+		panic("tlm: nil DRAM module")
+	}
+	if stackedLines == 0 || stackedLines >= totalLines {
+		panic(fmt.Sprintf("tlm: bad split stacked=%d total=%d", stackedLines, totalLines))
+	}
+	if stackedLines%vm.LinesPerPage != 0 || totalLines%vm.LinesPerPage != 0 {
+		panic("tlm: split not page-aligned")
+	}
+	return route{stacked: stacked, off: off, stackedLines: stackedLines, totalLines: totalLines}
+}
+
+// access times one line access in whichever module holds it.
+func (r *route) access(at uint64, pline uint64, bytes int, write bool) uint64 {
+	if pline >= r.totalLines {
+		panic(fmt.Sprintf("tlm: line %d beyond space %d", pline, r.totalLines))
+	}
+	if pline < r.stackedLines {
+		return r.stacked.Access(at, pline, bytes, write)
+	}
+	return r.off.Access(at, pline-r.stackedLines, bytes, write)
+}
+
+// migratePage models the bus activity of moving the 4 KB page in frame src
+// to frame dst (read every line from the source module, write it to the
+// destination). Returns the drain cycle.
+func (r *route) migratePage(at uint64, src, dst uint64) uint64 {
+	end := at
+	for i := uint64(0); i < vm.LinesPerPage; i++ {
+		r.access(at, src*vm.LinesPerPage+i, dram.LineBytes, false)
+		if d := r.access(at, dst*vm.LinesPerPage+i, dram.LineBytes, true); d > end {
+			end = d
+		}
+	}
+	return end
+}
+
+// Static is TLM with no migration. With vm's default random placement it is
+// the paper's TLM-Static; with profiled placement it serves as TLM-Oracle.
+type Static struct {
+	route
+	name string
+}
+
+var _ memsys.Organization = (*Static)(nil)
+
+// NewStatic builds the no-migration TLM. name is the reporting label
+// ("TLM-Static" or "TLM-Oracle").
+func NewStatic(name string, stacked, off dram.Device, stackedLines, totalLines uint64) *Static {
+	return &Static{route: newRoute(stacked, off, stackedLines, totalLines), name: name}
+}
+
+// Name implements memsys.Organization.
+func (s *Static) Name() string { return s.name }
+
+// VisibleLines implements memsys.Organization.
+func (s *Static) VisibleLines() uint64 { return s.totalLines }
+
+// Access implements memsys.Organization.
+func (s *Static) Access(at uint64, req memsys.Request) uint64 {
+	return s.access(at, req.PLine, dram.LineBytes, req.Write)
+}
+
+// StackedStats implements memsys.Organization.
+func (s *Static) StackedStats() dram.Stats { return s.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (s *Static) OffChipStats() dram.Stats { return s.off.Stats() }
+
+// ResetStats implements memsys.Organization.
+func (s *Static) ResetStats() { s.resetModules() }
+
+// resetModules clears the shared module counters.
+func (r *route) resetModules() {
+	r.stacked.ResetStats()
+	r.off.ResetStats()
+}

@@ -1,0 +1,323 @@
+package tlm
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/vm"
+)
+
+// modules returns small stacked (16 pages) and off-chip (48 pages) DRAMs and
+// the line-space split.
+func modules() (stk, off *dram.Module, stackedLines, totalLines uint64) {
+	stk = dram.NewModule(dram.StackedConfig(16 * vm.PageBytes))
+	off = dram.NewModule(dram.OffChipConfig(48 * vm.PageBytes))
+	stackedLines = 16 * vm.LinesPerPage
+	totalLines = 64 * vm.LinesPerPage
+	return
+}
+
+func mem64() *vm.Memory { return vm.New(vm.DefaultConfig(64, 16), 1) }
+
+func read(line uint64) memsys.Request  { return memsys.Request{PLine: line} }
+func write(line uint64) memsys.Request { return memsys.Request{PLine: line, Write: true} }
+
+func TestStaticRouting(t *testing.T) {
+	stk, off, sl, tl := modules()
+	s := NewStatic("TLM-Static", stk, off, sl, tl)
+	s.Access(0, read(0))          // stacked region
+	s.Access(1000, read(sl))      // first off-chip line
+	s.Access(2000, write(sl+100)) // off-chip write
+	if stk.Stats().Reads != 1 {
+		t.Fatalf("stacked reads = %d, want 1", stk.Stats().Reads)
+	}
+	if off.Stats().Reads != 1 || off.Stats().Writes != 1 {
+		t.Fatalf("off-chip reads=%d writes=%d", off.Stats().Reads, off.Stats().Writes)
+	}
+	if s.Name() != "TLM-Static" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if s.VisibleLines() != tl {
+		t.Fatalf("visible = %d, want %d", s.VisibleLines(), tl)
+	}
+}
+
+func TestStackedIsFaster(t *testing.T) {
+	stk, off, sl, tl := modules()
+	s := NewStatic("TLM-Static", stk, off, sl, tl)
+	dStk := s.Access(0, read(0))
+	dOff := s.Access(1_000_000, read(sl)) - 1_000_000
+	if uint64(dStk) >= dOff {
+		t.Fatalf("stacked latency %d not below off-chip %d", dStk, dOff)
+	}
+}
+
+func TestRouteRejectsBadSplit(t *testing.T) {
+	stk, off, _, tl := modules()
+	for i, fn := range []func(){
+		func() { newRoute(stk, off, 0, tl) },
+		func() { newRoute(stk, off, tl, tl) },
+		func() { newRoute(stk, off, 63, tl) }, // not page aligned
+		func() { newRoute(nil, off, 64, tl) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad split accepted", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	stk, off, sl, tl := modules()
+	s := NewStatic("TLM-Static", stk, off, sl, tl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access accepted")
+		}
+	}()
+	s.Access(0, read(tl))
+}
+
+// touchPage makes the VM map vpage for proc 0 and returns its frame.
+func touchPage(t *testing.T, m *vm.Memory, vpage uint64) uint64 {
+	t.Helper()
+	pl, _ := m.Translate(0, vpage*vm.LinesPerPage, false)
+	return pl / vm.LinesPerPage
+}
+
+func TestDynamicMigratesOnTouch(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+
+	// Map pages until one lands off-chip.
+	var offFrame uint64
+	var vpage uint64
+	found := false
+	for v := uint64(0); v < 40 && !found; v++ {
+		f := touchPage(t, m, v)
+		if f >= 16 {
+			offFrame, vpage, found = f, v, true
+		}
+	}
+	if !found {
+		t.Fatal("random placement never used off-chip")
+	}
+	d.Access(0, read(offFrame*vm.LinesPerPage))
+	mig := d.Migrations()
+	if mig.Swaps+mig.Moves != 1 {
+		t.Fatalf("migrations = %+v, want exactly 1", mig)
+	}
+	// The page table must now point the page into the stacked region.
+	nf, ok := m.FrameOf(0, vpage)
+	if !ok || nf >= 16 {
+		t.Fatalf("page not promoted: frame %d ok=%v", nf, ok)
+	}
+}
+
+func TestDynamicStackedTouchNoMigration(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	var stkFrame uint64
+	found := false
+	for v := uint64(0); v < 40 && !found; v++ {
+		if f := touchPage(t, m, v); f < 16 {
+			stkFrame, found = f, true
+		}
+	}
+	if !found {
+		t.Fatal("no page landed stacked")
+	}
+	d.Access(0, read(stkFrame*vm.LinesPerPage))
+	if mig := d.Migrations(); mig.Swaps+mig.Moves != 0 {
+		t.Fatalf("stacked touch migrated: %+v", mig)
+	}
+}
+
+func TestDynamicWritebackNoMigration(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	for v := uint64(0); v < 30; v++ {
+		touchPage(t, m, v)
+	}
+	d.Access(0, write(sl+5)) // off-chip writeback
+	if mig := d.Migrations(); mig.Swaps+mig.Moves != 0 {
+		t.Fatalf("writeback migrated: %+v", mig)
+	}
+}
+
+func TestDynamicMigrationBandwidth(t *testing.T) {
+	// One swap moves a 4 KB page each way: >= 8 KB on each module beyond
+	// the demand line.
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	// Fill all stacked frames so the victim is mapped (full swap).
+	for v := uint64(0); v < 64; v++ {
+		touchPage(t, m, v)
+	}
+	var offLine uint64
+	for v := uint64(0); v < 64; v++ {
+		if f, ok := m.FrameOf(0, v); ok && f >= 16 {
+			offLine = f * vm.LinesPerPage
+			break
+		}
+	}
+	stkBefore, offBefore := stk.Stats().Bytes(), off.Stats().Bytes()
+	d.Access(0, read(offLine))
+	if d.Migrations().Swaps != 1 {
+		t.Fatalf("swaps = %+v", d.Migrations())
+	}
+	dsBytes := stk.Stats().Bytes() - stkBefore
+	doBytes := off.Stats().Bytes() - offBefore
+	if dsBytes < 2*vm.PageBytes || doBytes < 2*vm.PageBytes {
+		t.Fatalf("migration moved stacked=%d off=%d bytes, want >= 8 KB each", dsBytes, doBytes)
+	}
+}
+
+func TestDynamicClockRetainsHotPages(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	for v := uint64(0); v < 64; v++ {
+		touchPage(t, m, v)
+	}
+	// Keep page 0 hot in stacked: access it between promotions.
+	hotFrame, _ := m.FrameOf(0, 0)
+	if hotFrame >= 16 {
+		d.Access(0, read(hotFrame*vm.LinesPerPage)) // promote it first
+		hotFrame, _ = m.FrameOf(0, 0)
+	}
+	at := uint64(10000)
+	promoted := 0
+	for v := uint64(1); v < 64 && promoted < 20; v++ {
+		f, ok := m.FrameOf(0, v)
+		if !ok || f < 16 {
+			continue
+		}
+		d.Access(at, read(hotFrame*vm.LinesPerPage)) // keep hot page referenced
+		at += 10000
+		d.Access(at, read(f*vm.LinesPerPage)) // promote an off-chip page
+		at += 10000
+		promoted++
+		hf, ok2 := m.FrameOf(0, 0)
+		if !ok2 {
+			t.Fatal("hot page unmapped")
+		}
+		hotFrame = hf
+	}
+	if f, _ := m.FrameOf(0, 0); f >= 16 {
+		t.Fatalf("hot page demoted to frame %d despite constant touches", f)
+	}
+}
+
+func TestFreqPromotesHotPages(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	f := NewFreq(stk, off, sl, tl, m, 100)
+	for v := uint64(0); v < 64; v++ {
+		touchPage(t, m, v)
+	}
+	// Hammer one off-chip page across an epoch boundary.
+	var vHot uint64
+	for v := uint64(0); v < 64; v++ {
+		if fr, ok := m.FrameOf(0, v); ok && fr >= 16 {
+			vHot = v
+			break
+		}
+	}
+	at := uint64(0)
+	for i := 0; i < 150; i++ {
+		fr, _ := m.FrameOf(0, vHot)
+		f.Access(at, read(fr*vm.LinesPerPage))
+		at += 1000
+	}
+	fr, _ := m.FrameOf(0, vHot)
+	if fr >= 16 {
+		t.Fatalf("hot page still off-chip (frame %d) after epochs", fr)
+	}
+	if mig := f.Migrations(); mig.Swaps+mig.Moves == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestFreqDoesNotMigrateMidEpoch(t *testing.T) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	f := NewFreq(stk, off, sl, tl, m, 1_000_000)
+	for v := uint64(0); v < 30; v++ {
+		touchPage(t, m, v)
+	}
+	for i := uint64(0); i < 100; i++ {
+		f.Access(i*1000, read(sl+i%100))
+	}
+	if mig := f.Migrations(); mig.Swaps+mig.Moves != 0 {
+		t.Fatalf("mid-epoch migrations: %+v", mig)
+	}
+}
+
+func TestFreqZeroEpochPanics(t *testing.T) {
+	stk, off, sl, tl := modules()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero epoch accepted")
+		}
+	}()
+	NewFreq(stk, off, sl, tl, mem64(), 0)
+}
+
+func TestVMTranslationFollowsMigration(t *testing.T) {
+	// End-to-end: after TLM-Dynamic promotes a page, translating the same
+	// virtual line yields a stacked physical address.
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	for v := uint64(0); v < 64; v++ {
+		touchPage(t, m, v)
+	}
+	var vtarget uint64
+	for v := uint64(0); v < 64; v++ {
+		if fr, ok := m.FrameOf(0, v); ok && fr >= 16 {
+			vtarget = v
+			break
+		}
+	}
+	pl, outc := m.Translate(0, vtarget*vm.LinesPerPage+7, false)
+	if outc.Fault {
+		t.Fatal("unexpected fault")
+	}
+	d.Access(0, read(pl))
+	pl2, outc2 := m.Translate(0, vtarget*vm.LinesPerPage+7, false)
+	if outc2.Fault {
+		t.Fatal("post-migration fault")
+	}
+	if pl2/vm.LinesPerPage >= 16 {
+		t.Fatalf("post-migration translation still off-chip: line %d", pl2)
+	}
+	if pl2%vm.LinesPerPage != 7 {
+		t.Fatalf("page offset corrupted by migration: %d", pl2%vm.LinesPerPage)
+	}
+}
+
+func BenchmarkDynamicAccess(b *testing.B) {
+	stk, off, sl, tl := modules()
+	m := mem64()
+	d := NewDynamic(stk, off, sl, tl, m)
+	for v := uint64(0); v < 64; v++ {
+		pl, _ := m.Translate(0, v*vm.LinesPerPage, false)
+		_ = pl
+	}
+	b.ResetTimer()
+	at := uint64(0)
+	for i := 0; i < b.N; i++ {
+		d.Access(at, read(uint64(i)%tl))
+		at += 100
+	}
+}

@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cameo/internal/trace"
+	"cameo/internal/workload"
+)
+
+// Example captures two requests into a trace and replays them.
+func Example() {
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, trace.Meta{Benchmark: "demo", ScaleDiv: 1024})
+	_ = w.Write(workload.Request{Gap: 30, VLine: 4096, PC: 0x400010})
+	_ = w.Write(workload.Request{Gap: 0, VLine: 4097, PC: 0x400010, Write: true})
+	_ = w.Flush()
+
+	r, _ := trace.NewReader(&buf)
+	src, _ := trace.NewLoopingSource(r)
+	for i := 0; i < 3; i++ { // wraps after two records
+		req := src.Next()
+		fmt.Printf("line=%d write=%v\n", req.VLine, req.Write)
+	}
+	fmt.Printf("loops=%d\n", src.Loops)
+	// Output:
+	// line=4096 write=false
+	// line=4097 write=true
+	// line=4096 write=false
+	// loops=1
+}

@@ -1,0 +1,195 @@
+// Package trace records and replays L3-miss streams in a compact binary
+// format — the reproduction's equivalent of the paper's Pin trace files.
+// Traces decouple workload generation from simulation: a stream can be
+// captured once (or produced by an external tool) and replayed against any
+// memory organization, bit-identically.
+//
+// Format (little-endian):
+//
+//	magic   "CAMT"            4 bytes
+//	version uint16            currently 1
+//	meta    uvarint-prefixed JSON (benchmark, scale, core, seed)
+//	records repeated until EOF:
+//	   flags   byte           bit0 = write
+//	   gap     uvarint        instructions since previous demand
+//	   vline   varint         zig-zag delta from previous VLine
+//	   pc      uvarint        delta-coded against previous PC (zig-zag)
+//
+// Delta coding keeps typical records at 4-6 bytes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"cameo/internal/workload"
+)
+
+var magic = [4]byte{'C', 'A', 'M', 'T'}
+
+// Version is the current trace format version.
+const Version = 1
+
+// Meta identifies a trace's provenance.
+type Meta struct {
+	Benchmark string `json:"benchmark"`
+	ScaleDiv  uint64 `json:"scale_div"`
+	Core      int    `json:"core"`
+	Seed      uint64 `json:"seed"`
+}
+
+// Writer encodes requests to an output stream.
+type Writer struct {
+	w         *bufio.Writer
+	prevVLine uint64
+	prevPC    uint64
+	count     uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], Version)
+	if _, err := bw.Write(ver[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing version: %w", err)
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding meta: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(mj)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return nil, fmt.Errorf("trace: writing meta length: %w", err)
+	}
+	if _, err := bw.Write(mj); err != nil {
+		return nil, fmt.Errorf("trace: writing meta: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one request.
+func (t *Writer) Write(r workload.Request) error {
+	var buf [1 + 3*binary.MaxVarintLen64]byte
+	buf[0] = 0
+	if r.Write {
+		buf[0] = 1
+	}
+	n := 1
+	n += binary.PutUvarint(buf[n:], r.Gap)
+	n += binary.PutUvarint(buf[n:], zigzag(int64(r.VLine)-int64(t.prevVLine)))
+	n += binary.PutUvarint(buf[n:], zigzag(int64(r.PC)-int64(t.prevPC)))
+	t.prevVLine = r.VLine
+	t.prevPC = r.PC
+	t.count++
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains the buffered writer. Call it before closing the underlying
+// file.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a trace.
+type Reader struct {
+	r         *bufio.Reader
+	meta      Meta
+	prevVLine uint64
+	prevPC    uint64
+}
+
+// ErrBadFormat reports a malformed trace.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var ver [2]byte
+	if _, err := io.ReadFull(br, ver[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing version: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint16(ver[:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	mlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: meta length: %v", ErrBadFormat, err)
+	}
+	if mlen > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible meta length %d", ErrBadFormat, mlen)
+	}
+	mj := make([]byte, mlen)
+	if _, err := io.ReadFull(br, mj); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrBadFormat, err)
+	}
+	t := &Reader{r: br}
+	if err := json.Unmarshal(mj, &t.meta); err != nil {
+		return nil, fmt.Errorf("%w: meta json: %v", ErrBadFormat, err)
+	}
+	return t, nil
+}
+
+// Meta returns the trace provenance.
+func (t *Reader) Meta() Meta { return t.meta }
+
+// Next decodes one record; io.EOF signals a clean end.
+func (t *Reader) Next() (workload.Request, error) {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return workload.Request{}, io.EOF
+		}
+		return workload.Request{}, fmt.Errorf("%w: flags: %v", ErrBadFormat, err)
+	}
+	gap, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return workload.Request{}, fmt.Errorf("%w: gap: %v", ErrBadFormat, err)
+	}
+	dv, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return workload.Request{}, fmt.Errorf("%w: vline: %v", ErrBadFormat, err)
+	}
+	dp, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return workload.Request{}, fmt.Errorf("%w: pc: %v", ErrBadFormat, err)
+	}
+	t.prevVLine = uint64(int64(t.prevVLine) + unzigzag(dv))
+	t.prevPC = uint64(int64(t.prevPC) + unzigzag(dp))
+	return workload.Request{
+		Gap:   gap,
+		VLine: t.prevVLine,
+		PC:    t.prevPC,
+		Write: flags&1 != 0,
+	}, nil
+}

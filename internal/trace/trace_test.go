@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"cameo/internal/workload"
+)
+
+func sampleMeta() Meta {
+	return Meta{Benchmark: "milc", ScaleDiv: 1024, Core: 3, Seed: 42}
+}
+
+func roundTrip(t *testing.T, reqs []workload.Request) []workload.Request {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta() != sampleMeta() {
+		t.Fatalf("meta = %+v", r.Meta())
+	}
+	var out []workload.Request
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	reqs := []workload.Request{
+		{Gap: 17, VLine: 1000, PC: 0x400010},
+		{Gap: 0, VLine: 1001, PC: 0x400010, Write: true},
+		{Gap: 250, VLine: 64, PC: 0x500000},
+		{Gap: 1, VLine: 1 << 40, PC: 4},
+		{Gap: 99, VLine: 0, PC: 0},
+	}
+	got := roundTrip(t, reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d records, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(gaps []uint16, lines []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(lines) < n {
+			n = len(lines)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		reqs := make([]workload.Request, n)
+		for i := 0; i < n; i++ {
+			reqs[i] = workload.Request{
+				Gap:   uint64(gaps[i]),
+				VLine: uint64(lines[i]),
+				PC:    uint64(lines[i]%32) * 4,
+				Write: writes[i],
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, sampleMeta())
+		if err != nil {
+			return false
+		}
+		for _, r := range reqs {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			req, err := rd.Next()
+			if err == io.EOF {
+				return i == n
+			}
+			if err != nil || i >= n || req != reqs[i] {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// A synthetic stream should cost only a handful of bytes per record.
+	spec, _ := workload.SpecByName("gcc")
+	s := workload.NewStream(spec, 1024, 0, 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := w.Write(s.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != n {
+		t.Fatalf("count = %d", w.Count())
+	}
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 8 {
+		t.Fatalf("%.1f bytes/record, want <= 8", perRecord)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOPE0000")))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	_ = w.Flush()
+	for cut := 1; cut < buf.Len(); cut += 3 {
+		if _, err := NewReader(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTruncatedRecordSurfacesError(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	_ = w.Write(workload.Request{Gap: 300, VLine: 12345, PC: 0x400000})
+	_ = w.Flush()
+	data := buf.Bytes()[:buf.Len()-1] // chop the final byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record returned err=%v", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	_ = w.Flush()
+	data := buf.Bytes()
+	data[4] = 99 // bump version
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestLoopingSource(t *testing.T) {
+	reqs := []workload.Request{
+		{Gap: 1, VLine: 10, PC: 4},
+		{Gap: 2, VLine: 20, PC: 8},
+		{Gap: 3, VLine: 30, PC: 12},
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	for _, r := range reqs {
+		_ = w.Write(r)
+	}
+	_ = w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewLoopingSource(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 3 {
+		t.Fatalf("len = %d", src.Len())
+	}
+	for i := 0; i < 7; i++ {
+		got := src.Next()
+		if got != reqs[i%3] {
+			t.Fatalf("replay %d: got %+v", i, got)
+		}
+	}
+	if src.Loops != 2 {
+		t.Fatalf("loops = %d, want 2", src.Loops)
+	}
+}
+
+func TestEmptyTraceRejectedBySource(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	_ = w.Flush()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoopingSource(rd); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	spec, _ := workload.SpecByName("mcf")
+	s := workload.NewStream(spec, 1024, 0, 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, sampleMeta())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Write(s.Next())
+	}
+}

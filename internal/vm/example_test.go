@@ -1,0 +1,27 @@
+package vm_test
+
+import (
+	"fmt"
+
+	"cameo/internal/vm"
+)
+
+// Example demonstrates demand paging: a first touch minor-faults, a
+// capacity-pressured re-touch of an evicted page major-faults with the
+// paper's 100K-cycle SSD penalty.
+func Example() {
+	mem := vm.New(vm.DefaultConfig(2, 0), 1) // two frames only
+
+	_, out := mem.Translate(0, 0, false)
+	fmt.Printf("first touch: fault=%v major=%v stall=%d\n", out.Fault, out.Major, out.StallCycles)
+
+	// Overcommit: pages 1..5 evict page 0 eventually.
+	for v := uint64(1); v <= 5; v++ {
+		mem.Translate(0, v*vm.LinesPerPage, false)
+	}
+	_, out = mem.Translate(0, 0, false)
+	fmt.Printf("re-touch:    fault=%v major=%v stall=%d\n", out.Fault, out.Major, out.StallCycles)
+	// Output:
+	// first touch: fault=true major=false stall=1000
+	// re-touch:    fault=true major=true stall=100000
+}

@@ -1,0 +1,38 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"cameo/internal/workload"
+)
+
+// Example shows how to draw a benchmark's miss stream.
+func Example() {
+	spec, _ := workload.SpecByName("milc")
+	stream := workload.NewStream(spec, 1024, 0, 1)
+
+	demands := 0
+	var instructions uint64
+	for demands < 10_000 {
+		r := stream.Next()
+		if r.Write {
+			continue // posted writeback traffic
+		}
+		demands++
+		instructions += r.Gap
+	}
+	mpki := float64(demands) * 1000 / float64(instructions)
+	fmt.Printf("measured MPKI within 10%% of Table II: %v\n",
+		mpki > spec.MPKI*0.9 && mpki < spec.MPKI*1.1)
+	// Output:
+	// measured MPKI within 10% of Table II: true
+}
+
+// ExampleByClass lists the paper's workload classification.
+func ExampleByClass() {
+	fmt.Printf("capacity-limited: %d benchmarks\n", len(workload.ByClass(workload.CapacityLimited)))
+	fmt.Printf("latency-limited:  %d benchmarks\n", len(workload.ByClass(workload.LatencyLimited)))
+	// Output:
+	// capacity-limited: 6 benchmarks
+	// latency-limited:  11 benchmarks
+}

@@ -1,0 +1,30 @@
+package workload
+
+// Synthetic microbenchmarks beyond Table II: extreme points of the access
+// space used by tests, examples, and sensitivity studies. They are not part
+// of Specs() (the paper's workload list) but resolve through SpecByName.
+
+// MicroSpecs returns the probe workloads:
+//
+//   - uniform: no locality at all — every design's worst case, bounds the
+//     benefit of any placement policy.
+//   - stream: one perfect sequential sweep — bandwidth machines win,
+//     swap/migration policies pay pure overhead.
+//   - pointer: low-MLP dependent chains over a skewed set — the
+//     latency-dominated regime.
+func MicroSpecs() []Spec {
+	return []Spec{
+		{Name: "micro-uniform", Class: LatencyLimited, MPKI: 30, FootprintBytes: gib(8),
+			ZipfAlpha: 0.0, StreamFrac: 0.0, LinesPerPage: 64, BurstLen: 1,
+			WriteFrac: 0.25, PCBuckets: 32, MLP: 4},
+		{Name: "micro-stream", Class: LatencyLimited, MPKI: 30, FootprintBytes: gib(8),
+			ZipfAlpha: 0.0, StreamFrac: 1.0, LinesPerPage: 64, BurstLen: 64,
+			WriteFrac: 0.25, PCBuckets: 4, MLP: 8},
+		{Name: "micro-pointer", Class: LatencyLimited, MPKI: 20, FootprintBytes: gib(4),
+			ZipfAlpha: 1.2, StreamFrac: 0.0, LinesPerPage: 8, BurstLen: 1,
+			WriteFrac: 0.10, PCBuckets: 32, MLP: 1},
+	}
+}
+
+// AllSpecs returns Table II plus the microbenchmarks.
+func AllSpecs() []Spec { return append(Specs(), MicroSpecs()...) }

@@ -1,0 +1,393 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 17 {
+		t.Fatalf("got %d specs, want 17 (Table II)", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestClassificationMatchesTableII(t *testing.T) {
+	// Capacity-limited means a 32-copy footprint above the 12 GB baseline.
+	const baseline = 12 << 30
+	for _, s := range Specs() {
+		wantCap := s.FootprintBytes > baseline
+		// zeusmp/cactusADM/lbm sit just above 12 GB; the table agrees.
+		if (s.Class == CapacityLimited) != wantCap {
+			t.Errorf("%s: class %v inconsistent with footprint %d", s.Name, s.Class, s.FootprintBytes)
+		}
+	}
+	if len(ByClass(CapacityLimited)) != 6 {
+		t.Errorf("capacity-limited count = %d, want 6", len(ByClass(CapacityLimited)))
+	}
+	if len(ByClass(LatencyLimited)) != 11 {
+		t.Errorf("latency-limited count = %d, want 11", len(ByClass(LatencyLimited)))
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("milc")
+	if !ok || s.MPKI != 31.9 {
+		t.Fatalf("milc lookup: ok=%v mpki=%v", ok, s.MPKI)
+	}
+	if _, ok := SpecByName("nosuch"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestSpecValidateRejectsBadFields(t *testing.T) {
+	base, _ := SpecByName("gcc")
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.MPKI = 0 },
+		func(s *Spec) { s.FootprintBytes = 0 },
+		func(s *Spec) { s.ZipfAlpha = -1 },
+		func(s *Spec) { s.StreamFrac = 1.5 },
+		func(s *Spec) { s.LinesPerPage = 0 },
+		func(s *Spec) { s.LinesPerPage = 65 },
+		func(s *Spec) { s.BurstLen = 0 },
+		func(s *Spec) { s.WriteFrac = 1 },
+		func(s *Spec) { s.PCBuckets = 0 },
+		func(s *Spec) { s.MLP = 0 },
+	}
+	for i, mut := range mutations {
+		s := base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	spec, _ := SpecByName("soplex")
+	a := NewStream(spec, 1024, 3, 7)
+	b := NewStream(spec, 1024, 3, 7)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at request %d", i)
+		}
+	}
+}
+
+func TestStreamsDifferAcrossCores(t *testing.T) {
+	spec, _ := SpecByName("soplex")
+	a := NewStream(spec, 1024, 0, 7)
+	b := NewStream(spec, 1024, 1, 7)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next().VLine == b.Next().VLine {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different cores produced near-identical streams (%d/1000)", same)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	spec, _ := SpecByName("xalancbmk")
+	s := NewStream(spec, 1024, 0, 1)
+	limit := s.Pages() * LinesPerPageTotal
+	for i := 0; i < 20000; i++ {
+		r := s.Next()
+		if r.VLine >= limit {
+			t.Fatalf("request %d: line %d beyond footprint %d", i, r.VLine, limit)
+		}
+	}
+}
+
+func TestGapMeanTracksMPKI(t *testing.T) {
+	spec, _ := SpecByName("libquantum") // MPKI 25.4 -> mean gap ~39.4
+	s := NewStream(spec, 1024, 0, 1)
+	var total uint64
+	demand := 0
+	for demand < 50000 {
+		r := s.Next()
+		if r.Write {
+			if r.Gap != 0 {
+				t.Fatal("writeback carries a nonzero gap")
+			}
+			continue
+		}
+		total += r.Gap
+		demand++
+	}
+	mean := float64(total) / float64(demand)
+	want := 1000 / spec.MPKI
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Fatalf("mean gap = %v, want ~%v", mean, want)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	spec, _ := SpecByName("lbm") // WriteFrac 0.45
+	s := NewStream(spec, 1024, 0, 1)
+	writes, demands := 0, 0
+	for i := 0; i < 50000; i++ {
+		if s.Next().Write {
+			writes++
+		} else {
+			demands++
+		}
+	}
+	frac := float64(writes) / float64(demands)
+	if math.Abs(frac-spec.WriteFrac) > 0.05 {
+		t.Fatalf("write fraction = %v, want ~%v", frac, spec.WriteFrac)
+	}
+}
+
+func TestSpatialUtilization(t *testing.T) {
+	// milc touches ~10 of 64 lines per page; verify used-line count.
+	spec, _ := SpecByName("milc")
+	s := NewStream(spec, 1024, 0, 1)
+	used := map[uint64]map[uint64]bool{}
+	for i := 0; i < 200000; i++ {
+		r := s.Next()
+		page := r.VLine / LinesPerPageTotal
+		if used[page] == nil {
+			used[page] = map[uint64]bool{}
+		}
+		used[page][r.VLine%LinesPerPageTotal] = true
+	}
+	maxUsed := 0
+	for _, lines := range used {
+		if len(lines) > maxUsed {
+			maxUsed = len(lines)
+		}
+	}
+	if maxUsed > spec.LinesPerPage {
+		t.Fatalf("a page used %d lines, spec says %d", maxUsed, spec.LinesPerPage)
+	}
+}
+
+func TestTemporalSkew(t *testing.T) {
+	// The head pages of a high-alpha benchmark absorb most accesses.
+	spec, _ := SpecByName("omnetpp")
+	s := NewStream(spec, 1024, 0, 1)
+	counts := map[uint64]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		r := s.Next()
+		if !r.Write {
+			counts[r.VLine/LinesPerPageTotal]++
+		}
+	}
+	// Sort by count: top 10% of pages should hold over half the accesses.
+	var all []int
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	total := 0
+	for _, c := range all {
+		total += c
+	}
+	// selection: count accesses in pages above a simple threshold sweep
+	top := int(float64(s.Pages()) * 0.1)
+	if top < 1 {
+		top = 1
+	}
+	// partial selection sort of the largest `top` values
+	sum := 0
+	for k := 0; k < top && k < len(all); k++ {
+		maxI := k
+		for j := k + 1; j < len(all); j++ {
+			if all[j] > all[maxI] {
+				maxI = j
+			}
+		}
+		all[k], all[maxI] = all[maxI], all[k]
+		sum += all[k]
+	}
+	if frac := float64(sum) / float64(total); frac < 0.35 {
+		t.Fatalf("top 10%% of pages hold only %.2f of accesses", frac)
+	}
+}
+
+func TestStreamingComponentSweeps(t *testing.T) {
+	spec, _ := SpecByName("libquantum") // StreamFrac 0.9
+	s := NewStream(spec, 1024, 0, 1)
+	distinct := map[uint64]bool{}
+	for i := 0; i < 300000; i++ {
+		r := s.Next()
+		distinct[r.VLine/LinesPerPageTotal] = true
+	}
+	// A streaming workload visits most of its footprint.
+	if frac := float64(len(distinct)) / float64(s.Pages()); frac < 0.8 {
+		t.Fatalf("stream covered only %.2f of footprint", frac)
+	}
+}
+
+func TestPCLocality(t *testing.T) {
+	// The PC space must be small (predictor-table sized) and hot PCs should
+	// dominate, as with real miss PCs.
+	spec, _ := SpecByName("mcf")
+	s := NewStream(spec, 1024, 0, 1)
+	pcs := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		pcs[s.Next().PC]++
+	}
+	if len(pcs) > spec.PCBuckets+8 {
+		t.Fatalf("distinct PCs = %d, want <= %d", len(pcs), spec.PCBuckets+8)
+	}
+}
+
+func TestHotPagesMatchObservedPopularity(t *testing.T) {
+	spec, _ := SpecByName("gcc")
+	s := NewStream(spec, 1024, 0, 1)
+	hot := s.HotPages(int(s.Pages() / 10))
+	hotSet := map[uint64]bool{}
+	for _, p := range hot {
+		hotSet[p] = true
+	}
+	probe := NewStream(spec, 1024, 0, 1)
+	inHot, total := 0, 0
+	for i := 0; i < 100000; i++ {
+		r := probe.Next()
+		if r.Write {
+			continue
+		}
+		total++
+		if hotSet[r.VLine/LinesPerPageTotal] {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / float64(total); frac < 0.3 {
+		t.Fatalf("oracle hot pages capture only %.2f of accesses", frac)
+	}
+}
+
+func TestHotPagesBounds(t *testing.T) {
+	spec, _ := SpecByName("astar")
+	s := NewStream(spec, 1024, 0, 1)
+	all := s.HotPages(int(s.Pages()) + 100)
+	if uint64(len(all)) != s.Pages() {
+		t.Fatalf("HotPages over-asked returned %d, want %d", len(all), s.Pages())
+	}
+	seen := map[uint64]bool{}
+	for _, p := range all {
+		if p >= s.Pages() || seen[p] {
+			t.Fatalf("HotPages not a permutation of the footprint")
+		}
+		seen[p] = true
+	}
+}
+
+func TestTinyFootprintClamped(t *testing.T) {
+	spec, _ := SpecByName("astar") // 0.12 GB / 4096 scale / 32 -> < 16 pages
+	s := NewStream(spec, 1<<20, 0, 1)
+	if s.Pages() < 16 {
+		t.Fatalf("pages = %d, want clamp at 16", s.Pages())
+	}
+	for i := 0; i < 1000; i++ {
+		s.Next()
+	}
+}
+
+func TestZeroScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale did not panic")
+		}
+	}()
+	spec, _ := SpecByName("gcc")
+	NewStream(spec, 0, 0, 1)
+}
+
+func TestPermutationProperty(t *testing.T) {
+	check := func(core uint8) bool {
+		spec, _ := SpecByName("bzip2")
+		s := NewStream(spec, 4096, int(core), 5)
+		seen := map[uint32]bool{}
+		for _, p := range s.perm {
+			if seen[p] || uint64(p) >= s.pages {
+				return false
+			}
+			seen[p] = true
+		}
+		return uint64(len(seen)) == s.pages
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	spec, _ := SpecByName("mcf")
+	s := NewStream(spec, 256, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}
+
+func TestMicroSpecsValidateAndResolve(t *testing.T) {
+	micros := MicroSpecs()
+	if len(micros) != 3 {
+		t.Fatalf("micro specs = %d", len(micros))
+	}
+	for _, m := range micros {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		got, ok := SpecByName(m.Name)
+		if !ok || got.Name != m.Name {
+			t.Errorf("%s not resolvable by name", m.Name)
+		}
+	}
+	if len(AllSpecs()) != len(Specs())+3 {
+		t.Fatal("AllSpecs count wrong")
+	}
+}
+
+func TestMicroStreamIsSequential(t *testing.T) {
+	spec, _ := SpecByName("micro-stream")
+	s := NewStream(spec, 8192, 0, 1)
+	prev := s.Next()
+	sequential := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		r := s.Next()
+		if r.Write {
+			continue
+		}
+		if r.VLine == prev.VLine+1 || (r.VLine%64 == 0) {
+			sequential++
+		}
+		prev = r
+	}
+	if frac := float64(sequential) / n; frac < 0.7 {
+		t.Fatalf("micro-stream sequential fraction = %.2f", frac)
+	}
+}
+
+func TestMicroUniformHasNoHotSet(t *testing.T) {
+	spec, _ := SpecByName("micro-uniform")
+	s := NewStream(spec, 8192, 0, 1)
+	counts := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		r := s.Next()
+		if !r.Write {
+			counts[r.VLine/LinesPerPageTotal]++
+		}
+	}
+	// Uniform: the hottest page should carry only a small multiple of the
+	// mean load.
+	mean := 50000.0 / float64(s.Pages())
+	for p, c := range counts {
+		if float64(c) > 5*mean+10 {
+			t.Fatalf("page %d got %d accesses (mean %.1f) under uniform", p, c, mean)
+		}
+	}
+}

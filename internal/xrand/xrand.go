@@ -1,0 +1,121 @@
+// Package xrand provides the deterministic pseudo-random machinery used
+// throughout the simulator: a fast xorshift-multiply generator, seed
+// derivation, and the samplers (uniform, Zipf, permutation) the synthetic
+// workload generators need.
+//
+// math/rand is deliberately not used: experiment output must be bit-stable
+// across Go releases, and every stream must be reproducible from a
+// (benchmark, core) pair.
+package xrand
+
+// Rand is a xorshift64* generator. The zero value is not valid; use New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift64* has an all-zero fixed point.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state. The seed is pre-mixed with splitmix64 so
+// that consecutive integer seeds produce uncorrelated streams.
+func (r *Rand) Seed(seed uint64) {
+	s := splitmix64(seed)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}
+
+// splitmix64 is the standard seed scrambler from Vigna's splitmix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+// Uses Lemire's multiply-shift rejection method for unbiased sampling.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits to avoid modulo bias.
+	threshold := -n % n // = (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	// Fisher-Yates.
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// DeriveSeed combines a base seed with stream identifiers so that distinct
+// (benchmark, core) pairs receive independent generators.
+func DeriveSeed(base uint64, parts ...uint64) uint64 {
+	s := splitmix64(base)
+	for _, p := range parts {
+		s = splitmix64(s ^ splitmix64(p))
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+package xrand
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. It uses a precomputed cumulative table with binary
+// search, which is exact and fast for the table sizes the workload
+// generators use (hot sets of at most a few hundred thousand pages would be
+// large; generators therefore sample Zipf over a bounded rank space and map
+// ranks onto pages).
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+	n     int
+}
+
+// NewZipf builds a sampler over [0, n) with exponent alpha >= 0.
+// alpha == 0 degenerates to uniform. Panics if n <= 0 or alpha < 0.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if alpha < 0 {
+		panic("xrand: NewZipf with negative alpha")
+	}
+	z := &Zipf{alpha: alpha, n: n, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		z.cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the size of the sampled rank space.
+func (z *Zipf) N() int { return z.n }
+
+// Alpha returns the skew exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Sample draws a rank in [0, n) using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	// Binary search the CDF for the first entry >= u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Mass returns the probability of rank i.
+func (z *Zipf) Mass(i int) float64 {
+	if i < 0 || i >= z.n {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
