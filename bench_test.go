@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"testing"
@@ -48,10 +49,38 @@ func runExperiment(b *testing.B, id string, full bool) {
 	for i := 0; i < b.N; i++ {
 		// A fresh suite per iteration: the memoization cache must not let
 		// later iterations measure a no-op.
-		s := experiments.NewSuite(benchOptions(full))
+		s := experiments.MustNewSuite(benchOptions(full))
 		e.Run(s, out)
 	}
 }
+
+// runSuiteAtJobs regenerates a representative experiment set with the
+// given worker count — the parallel-orchestration benchmark behind the
+// speedup numbers in EXPERIMENTS.md. Compare:
+//
+//	go test -bench 'SuiteJobs' -benchtime 1x
+func runSuiteAtJobs(b *testing.B, jobs int) {
+	b.Helper()
+	ids := []string{"fig2", "fig9", "fig13", "table4"}
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(false)
+		o.Jobs = jobs
+		s := experiments.MustNewSuite(o)
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				b.Fatalf("unknown experiment %s", id)
+			}
+			if err := experiments.RunExperiment(context.Background(), s, e, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteJobs1(b *testing.B) { runSuiteAtJobs(b, 1) }
+func BenchmarkSuiteJobs4(b *testing.B) { runSuiteAtJobs(b, 4) }
+func BenchmarkSuiteJobs8(b *testing.B) { runSuiteAtJobs(b, 8) }
 
 func BenchmarkTable1Config(b *testing.B)    { runExperiment(b, "table1", true) }
 func BenchmarkTable2Workloads(b *testing.B) { runExperiment(b, "table2", true) }

@@ -11,13 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"cameo/internal/cameo"
 	"cameo/internal/report"
+	"cameo/internal/runner"
 	"cameo/internal/system"
 	"cameo/internal/workload"
 )
@@ -57,24 +62,29 @@ func keys[V any](m map[string]V) string {
 
 func main() {
 	var (
-		bench   = flag.String("bench", "sphinx3", "benchmark name from Table II")
-		org     = flag.String("org", "cameo", "organization: "+keys(orgNames))
-		llt     = flag.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
-		pred    = flag.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
-		scale   = flag.Uint64("scale", 1024, "capacity scale divisor")
-		cores   = flag.Int("cores", 32, "core count")
-		instr   = flag.Uint64("instr", 600_000, "instructions per core")
-		seed    = flag.Uint64("seed", 0xCA3E0, "random seed")
-		useL3   = flag.Bool("l3", false, "model the shared L3 explicitly")
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		vsBase  = flag.Bool("speedup", true, "also run the baseline and report speedup")
-		mix     = flag.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
-		warmup  = flag.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
-		refresh = flag.Bool("refresh", false, "model DRAM refresh")
-		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of text")
-		hist    = flag.Bool("hist", false, "print the demand-latency histogram")
+		bench    = flag.String("bench", "sphinx3", "benchmark name from Table II")
+		org      = flag.String("org", "cameo", "organization: "+keys(orgNames))
+		llt      = flag.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
+		pred     = flag.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
+		scale    = flag.Uint64("scale", 1024, "capacity scale divisor")
+		cores    = flag.Int("cores", 32, "core count")
+		instr    = flag.Uint64("instr", 600_000, "instructions per core")
+		seed     = flag.Uint64("seed", 0xCA3E0, "random seed")
+		useL3    = flag.Bool("l3", false, "model the shared L3 explicitly")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		vsBase   = flag.Bool("speedup", true, "also run the baseline and report speedup")
+		mix      = flag.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
+		warmup   = flag.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
+		refresh  = flag.Bool("refresh", false, "model DRAM refresh")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		hist     = flag.Bool("hist", false, "print the demand-latency histogram")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (the -speedup baseline runs concurrently)")
+		cachedir = flag.String("cachedir", "", "persistent result-cache directory (note: cached results omit the -hist histogram)")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *list {
 		for _, s := range workload.Specs() {
@@ -126,11 +136,38 @@ func main() {
 		}
 	}
 
-	run := func(c system.Config) system.Result {
-		if len(mixSpecs) > 0 {
-			return system.RunMix(mixSpecs, c)
+	ropts := runner.Options{Jobs: *jobs}
+	if *cachedir != "" {
+		cache, err := runner.OpenDiskCache(*cachedir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+			os.Exit(1)
 		}
-		return system.Run(spec, c)
+		ropts.Cache = cache
+	}
+	pool := runner.New(ropts)
+	mkJob := func(c system.Config) runner.Job {
+		if len(mixSpecs) > 0 {
+			return runner.MixJob(mixSpecs, c)
+		}
+		return runner.NewJob(spec, c)
+	}
+	run := func(c system.Config) system.Result {
+		res, err := pool.Get(ctx, mkJob(c))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+			os.Exit(1)
+		}
+		return res
+	}
+	if *vsBase && kind != system.Baseline {
+		// Fan the measured run and its baseline across the pool up front.
+		bcfg := cfg
+		bcfg.Org = system.Baseline
+		if err := pool.RunAll(ctx, []runner.Job{mkJob(cfg), mkJob(bcfg)}); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+			os.Exit(1)
+		}
 	}
 	res := run(cfg)
 	if *asJSON {

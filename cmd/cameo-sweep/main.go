@@ -12,16 +12,27 @@
 // Example:
 //
 //	cameo-sweep -org cameo -bench milc,gcc -sweep scale -values 512,1024 -out sweep.csv
+//
+// Cells fan out across -jobs workers; rows are emitted in sweep order
+// regardless of completion order, so the CSV is byte-identical for any
+// worker count. With -cachedir, already-simulated cells load from disk.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"cameo/internal/experiments"
 	"cameo/internal/report"
+	"cameo/internal/runner"
 	"cameo/internal/system"
 	"cameo/internal/workload"
 )
@@ -39,15 +50,20 @@ var orgNames = map[string]system.OrgKind{
 
 func main() {
 	var (
-		org    = flag.String("org", "cameo", "organization to sweep")
-		bench  = flag.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
-		sweep  = flag.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
-		values = flag.String("values", "512,1024,2048", "comma-separated sweep values")
-		instr  = flag.Uint64("instr", 300_000, "instructions per core")
-		cores  = flag.Int("cores", 16, "core count (unless swept)")
-		out    = flag.String("out", "", "CSV output path (default stdout)")
+		org      = flag.String("org", "cameo", "organization to sweep")
+		bench    = flag.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
+		sweep    = flag.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
+		values   = flag.String("values", "512,1024,2048", "comma-separated sweep values")
+		instr    = flag.Uint64("instr", 300_000, "instructions per core")
+		cores    = flag.Int("cores", 16, "core count (unless swept)")
+		out      = flag.String("out", "", "CSV output path (default stdout)")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cachedir = flag.String("cachedir", "", "persistent result-cache directory")
 	)
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	kind, ok := orgNames[strings.ToLower(*org)]
 	if !ok {
@@ -64,11 +80,17 @@ func main() {
 		vals = append(vals, n)
 	}
 
-	var results []system.Result
+	// One sweep cell: its job plus the self-describing benchmark tag.
+	type cell struct {
+		job runner.Job
+		tag string
+	}
+	var cells []cell
 	for _, bn := range strings.Split(*bench, ",") {
 		spec, ok := workload.SpecByName(strings.TrimSpace(bn))
 		if !ok {
-			fmt.Fprintln(os.Stderr, "cameo-sweep: unknown benchmark", bn)
+			fmt.Fprintf(os.Stderr, "cameo-sweep: unknown benchmark %q (valid: %s)\n",
+				bn, strings.Join(experiments.BenchmarkNames(), ", "))
 			os.Exit(2)
 		}
 		for _, v := range vals {
@@ -91,27 +113,71 @@ func main() {
 				fmt.Fprintln(os.Stderr, "cameo-sweep: unknown sweep dimension", *sweep)
 				os.Exit(2)
 			}
-			r := system.Run(spec, cfg)
-			// Tag the swept value into the benchmark column so the CSV is
-			// self-describing.
-			r.Benchmark = fmt.Sprintf("%s@%s=%d", spec.Name, *sweep, v)
-			results = append(results, r)
-			fmt.Fprintf(os.Stderr, "done %s (%d cycles)\n", r.Benchmark, r.Cycles)
+			cells = append(cells, cell{
+				job: runner.NewJob(spec, cfg),
+				tag: fmt.Sprintf("%s@%s=%d", spec.Name, *sweep, v),
+			})
 		}
 	}
 
-	var w *os.File = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	ropts := runner.Options{Jobs: *jobs, Progress: os.Stderr}
+	if *cachedir != "" {
+		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		ropts.Cache = cache
 	}
-	if err := report.WriteCSV(w, results); err != nil {
+	r := runner.New(ropts)
+	allJobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		allJobs[i] = c.job
+	}
+	if err := r.RunAll(ctx, allJobs); err != nil {
+		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
+
+	// Deterministic merge: collect in sweep order (memo hits), tagging the
+	// swept value into the benchmark column so the CSV is self-describing.
+	results := make([]system.Result, len(cells))
+	for i, c := range cells {
+		res, err := r.Get(ctx, c.job)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			os.Exit(1)
+		}
+		res.Benchmark = c.tag
+		results[i] = res
+	}
+
+	if err := writeCSV(*out, results); err != nil {
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// writeCSV emits the grid to path (stdout when empty), closing the output
+// file explicitly so close errors are reported.
+func writeCSV(path string, results []system.Result) error {
+	if path == "" {
+		return report.WriteCSV(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := report.WriteCSV(f, results)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return nil
 }

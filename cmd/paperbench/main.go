@@ -6,47 +6,81 @@
 //	paperbench                          # run every experiment
 //	paperbench -exp fig13               # one experiment
 //	paperbench -exp fig12 -bench milc,mcf -scale 512 -instr 200000
+//	paperbench -jobs 8 -cachedir ~/.cache/cameo   # parallel + persistent cache
 //
 // Output is fixed-width text; each experiment prints the same rows/series
-// the paper reports (see DESIGN.md for the per-experiment index).
+// the paper reports (see DESIGN.md for the per-experiment index). Each
+// experiment's simulation grid fans out across -jobs workers; the output
+// is byte-identical for any worker count. With -cachedir, already-simulated
+// cells are loaded from disk instead of re-run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"cameo/internal/experiments"
 	"cameo/internal/report"
+	"cameo/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
-		scale = flag.Uint64("scale", 0, "capacity scale divisor (default 1024)")
-		cores = flag.Int("cores", 0, "rate-mode core count (default 32)")
-		instr = flag.Uint64("instr", 0, "instructions per core (default 600000)")
-		seed  = flag.Uint64("seed", 0, "random seed")
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default: all of Table II)")
-		csv   = flag.String("csv", "", "also dump the raw result grid as CSV to this path")
+		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		scale    = flag.Uint64("scale", 0, "capacity scale divisor (default 1024)")
+		cores    = flag.Int("cores", 0, "rate-mode core count (default 32)")
+		instr    = flag.Uint64("instr", 0, "instructions per core (default 600000)")
+		seed     = flag.Uint64("seed", 0, "random seed")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all of Table II)")
+		csv      = flag.String("csv", "", "also dump the raw result grid as CSV to this path")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cachedir = flag.String("cachedir", "", "persistent result-cache directory (skip already-simulated cells)")
+		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the context; the worker pool drains cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := experiments.Options{
 		ScaleDiv:     *scale,
 		Cores:        *cores,
 		InstrPerCore: *instr,
 		Seed:         *seed,
+		Jobs:         *jobs,
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
-	suite := experiments.NewSuite(opts)
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *cachedir != "" {
+		cache, err := runner.OpenDiskCache(*cachedir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		opts.Cache = cache
+	}
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		// Unknown benchmark names: the error carries the valid listing.
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
 	experiments.Describe(suite, os.Stdout)
 
 	if *exp == "all" {
-		experiments.RunAll(suite, os.Stdout)
+		err = experiments.RunAll(ctx, suite, os.Stdout)
 	} else {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
@@ -54,21 +88,39 @@ func main() {
 				*exp, strings.Join(experiments.IDs(), ", "))
 			os.Exit(2)
 		}
-		fmt.Printf("\n### %s: %s\n\n", e.ID, e.Title)
-		e.Run(suite, os.Stdout)
+		err = experiments.RunExperiment(ctx, suite, e, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130)
+		}
+		os.Exit(1)
 	}
 
 	if *csv != "" {
-		f, err := os.Create(*csv)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := report.WriteCSV(f, suite.Results()); err != nil {
+		if err := writeCSV(*csv, suite); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d raw results to %s\n", len(suite.Results()), *csv)
 	}
+}
+
+// writeCSV exports the raw grid, closing the file explicitly so a close
+// failure (full disk, NFS flush) is reported instead of silently dropped.
+func writeCSV(path string, suite *experiments.Suite) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := report.WriteCSV(f, suite.Results())
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return nil
 }

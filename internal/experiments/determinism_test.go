@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cameo/internal/report"
+)
+
+// TestParallelMatchesSerial is the determinism guarantee behind the golden
+// tests: rendered experiment output AND the raw Results() grid (as CSV)
+// from a parallel run are byte-identical to a serial run. It covers the
+// main render shapes: speedup tables (fig13), aggregation across cells
+// (table3, table4), mixes (ext-mix), knob cells (ext-knobs), and the
+// child-suite prewarm path (ext-scale).
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := []string{"fig13", "table3", "table4", "ext-mix", "ext-knobs", "ext-scale"}
+	render := func(jobs int) (text, csv string) {
+		s := MustNewSuite(Options{
+			ScaleDiv:     4096,
+			Cores:        4,
+			InstrPerCore: 30_000,
+			Seed:         7,
+			Benchmarks:   []string{"sphinx3", "milc"},
+			Jobs:         jobs,
+		})
+		var b strings.Builder
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			if err := RunExperiment(context.Background(), s, e, &b); err != nil {
+				t.Fatalf("%s (jobs=%d): %v", id, jobs, err)
+			}
+		}
+		var c strings.Builder
+		if err := report.WriteCSV(&c, s.Results()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), c.String()
+	}
+
+	serialText, serialCSV := render(1)
+	for _, jobs := range []int{4, 8} {
+		parText, parCSV := render(jobs)
+		if parText != serialText {
+			t.Errorf("rendered output with -jobs %d differs from serial run", jobs)
+		}
+		if parCSV != serialCSV {
+			t.Errorf("Results() CSV with -jobs %d differs from serial run", jobs)
+		}
+	}
+	if !strings.Contains(serialCSV, "\n") || !strings.Contains(serialText, "Gmean") {
+		t.Fatal("implausibly empty outputs")
+	}
+}
+
+// TestPrewarmIsPureOptimization: rendering without any Prewarm produces
+// the same bytes as rendering after a full Prewarm.
+func TestPrewarmIsPureOptimization(t *testing.T) {
+	opts := Options{ScaleDiv: 4096, Cores: 2, InstrPerCore: 20_000, Seed: 3,
+		Benchmarks: []string{"sphinx3"}}
+	e, _ := ByID("fig13")
+
+	cold := MustNewSuite(opts)
+	var coldOut strings.Builder
+	e.Run(cold, &coldOut) // no prewarm: render computes on demand
+
+	warm := MustNewSuite(opts)
+	if err := warm.Prewarm(context.Background(), e.Plan(warm)); err != nil {
+		t.Fatal(err)
+	}
+	var warmOut strings.Builder
+	e.Run(warm, &warmOut)
+
+	if coldOut.String() != warmOut.String() {
+		t.Fatal("prewarmed render differs from on-demand render")
+	}
+	// And the plan covered the grid: the render added no new cells.
+	if len(warm.Results()) != len(cold.Results()) {
+		t.Fatalf("plan incomplete: %d cells after prewarm+render vs %d on demand",
+			len(warm.Results()), len(cold.Results()))
+	}
+}
+
+// TestPlansCoverTheirGrids: for every experiment with a Plan, prewarming
+// then rendering must not add cells — i.e. the declared grid is complete.
+func TestPlansCoverTheirGrids(t *testing.T) {
+	for _, e := range All() {
+		if e.Plan == nil {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			s := MustNewSuite(Options{ScaleDiv: 8192, Cores: 2, InstrPerCore: 5_000,
+				Seed: 11, Benchmarks: []string{"sphinx3", "mcf"}})
+			if err := s.Prewarm(context.Background(), e.Plan(s)); err != nil {
+				t.Fatal(err)
+			}
+			planned := len(s.Results())
+			var b strings.Builder
+			e.Run(s, &b)
+			if got := len(s.Results()); got != planned {
+				t.Errorf("render added %d cells beyond the %d planned", got-planned, planned)
+			}
+		})
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 // tinySuite keeps experiment tests fast: 2 benchmarks, few instructions.
 func tinySuite() *Suite {
-	return NewSuite(Options{
+	return MustNewSuite(Options{
 		ScaleDiv:     2048,
 		Cores:        4,
 		InstrPerCore: 60_000,
@@ -64,9 +64,9 @@ func TestSuiteMemoization(t *testing.T) {
 	spec, _ := workload.SpecByName("sphinx3")
 	cfg := s.sysConfig(system.Baseline)
 	a := s.result(spec, cfg)
-	n := len(s.cache)
+	n := len(s.Results())
 	b := s.result(spec, cfg)
-	if len(s.cache) != n {
+	if len(s.Results()) != n {
 		t.Fatal("repeat run was not memoized")
 	}
 	if a.Cycles != b.Cycles {
@@ -104,19 +104,33 @@ func TestDescribe(t *testing.T) {
 	}
 }
 
-func TestUnknownBenchmarkPanics(t *testing.T) {
-	s := NewSuite(Options{Benchmarks: []string{"nosuch"}, ScaleDiv: 2048,
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	_, err := NewSuite(Options{Benchmarks: []string{"nosuch"}, ScaleDiv: 2048,
 		Cores: 1, InstrPerCore: 1000, Seed: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown benchmark accepted")
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuch") {
+		t.Errorf("error does not name the bad benchmark: %v", err)
+	}
+	// The error lists the valid names so CLIs can surface it directly.
+	for _, want := range []string{"mcf", "sphinx3", "milc"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error listing missing %q: %v", want, err)
 		}
-	}()
-	s.benchmarks()
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != len(workload.Specs()) {
+		t.Fatalf("BenchmarkNames has %d entries, want %d", len(names), len(workload.Specs()))
+	}
 }
 
 func TestOptionsDefaulting(t *testing.T) {
-	s := NewSuite(Options{})
+	s := MustNewSuite(Options{})
 	o := s.Options()
 	d := DefaultOptions()
 	if o.ScaleDiv != d.ScaleDiv || o.Cores != d.Cores || o.InstrPerCore != d.InstrPerCore {

@@ -18,7 +18,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs
 //	go test ./internal/experiments -run TestGolden -update
 func TestGoldenOutputs(t *testing.T) {
 	suiteFor := func() *Suite {
-		return NewSuite(Options{
+		return MustNewSuite(Options{
 			ScaleDiv:     4096,
 			Cores:        4,
 			InstrPerCore: 40_000,

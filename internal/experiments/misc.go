@@ -6,6 +6,7 @@ import (
 
 	"cameo/internal/cameo"
 	"cameo/internal/dram"
+	"cameo/internal/runner"
 	"cameo/internal/stats"
 	"cameo/internal/system"
 	"cameo/internal/workload"
@@ -48,16 +49,23 @@ func Fig8(s *Suite, w io.Writer) {
 	tab.Render(w)
 }
 
-// Fig14 reports normalized power and EDP for the Fig 13 design points,
-// using the Section VI-C power split assumptions.
-func Fig14(s *Suite, w io.Writer) {
-	cols := []column{
+// PlanFig14 declares Fig14's grid (same design points as Fig 13).
+func PlanFig14(s *Suite) []runner.Job { return s.planSpeedup(fig14Cols(s)) }
+
+func fig14Cols(s *Suite) []column {
+	return []column{
 		{"Cache", s.sysConfig(system.Cache)},
 		{"TLM-Static", s.sysConfig(system.TLMStatic)},
 		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
 		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
 		{"DoubleUse", s.sysConfig(system.DoubleUse)},
 	}
+}
+
+// Fig14 reports normalized power and EDP for the Fig 13 design points,
+// using the Section VI-C power split assumptions.
+func Fig14(s *Suite, w io.Writer) {
+	cols := fig14Cols(s)
 	tab := stats.NewTable("Figure 14: normalized power and energy-delay product",
 		"Class", "Design", "Power", "EDP")
 	for _, class := range []workload.Class{workload.CapacityLimited, workload.LatencyLimited} {

@@ -5,22 +5,25 @@ import (
 	"io"
 
 	"cameo/internal/cameo"
+	"cameo/internal/runner"
 	"cameo/internal/stats"
 	"cameo/internal/system"
 	"cameo/internal/workload"
 )
 
-// ExtMix evaluates multi-programmed mixes — cores running different
-// benchmarks — which the paper's rate-mode methodology does not cover but
-// any real deployment of CAMEO would face: the stacked DRAM is now shared
-// between programs with different locality.
-func ExtMix(s *Suite, w io.Writer) {
-	mixes := [][]string{
-		{"gcc", "sphinx3", "xalancbmk", "omnetpp"},  // hot latency mix
-		{"milc", "libquantum", "leslie3d", "bzip2"}, // streaming-leaning mix
-		{"mcf", "gcc", "lbm", "sphinx3"},            // capacity + latency blend
-	}
-	orgs := []struct {
+// extMixes are the hardcoded multi-programmed mixes ExtMix evaluates.
+var extMixes = [][]string{
+	{"gcc", "sphinx3", "xalancbmk", "omnetpp"},  // hot latency mix
+	{"milc", "libquantum", "leslie3d", "bzip2"}, // streaming-leaning mix
+	{"mcf", "gcc", "lbm", "sphinx3"},            // capacity + latency blend
+}
+
+// extMixOrgs returns the organizations ExtMix compares, in column order.
+func extMixOrgs(s *Suite) []struct {
+	label string
+	cfg   system.Config
+} {
+	return []struct {
 		label string
 		cfg   system.Config
 	}{
@@ -29,23 +32,49 @@ func ExtMix(s *Suite, w io.Writer) {
 		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
 		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
 	}
+}
 
+// resolveMix maps the hardcoded mix names to specs (programmer error if
+// any is missing, hence the panic).
+func resolveMix(names []string) []workload.Spec {
+	var mix []workload.Spec
+	for _, n := range names {
+		spec, ok := workload.SpecByName(n)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown benchmark %q", n))
+		}
+		mix = append(mix, spec)
+	}
+	return mix
+}
+
+// PlanExtMix declares the mix grid: each mix under the baseline and every
+// compared organization.
+func PlanExtMix(s *Suite) []runner.Job {
+	var jobs []runner.Job
+	for _, names := range extMixes {
+		mix := resolveMix(names)
+		jobs = append(jobs, runner.MixJob(mix, s.sysConfig(system.Baseline)))
+		for _, org := range extMixOrgs(s) {
+			jobs = append(jobs, runner.MixJob(mix, org.cfg))
+		}
+	}
+	return jobs
+}
+
+// ExtMix evaluates multi-programmed mixes — cores running different
+// benchmarks — which the paper's rate-mode methodology does not cover but
+// any real deployment of CAMEO would face: the stacked DRAM is now shared
+// between programs with different locality.
+func ExtMix(s *Suite, w io.Writer) {
 	tab := stats.NewTable("Extension: multi-programmed mixes",
 		"Mix", "Cache", "TLM-Static", "TLM-Dynamic", "CAMEO")
-	for _, names := range mixes {
-		var mix []workload.Spec
-		for _, n := range names {
-			spec, ok := workload.SpecByName(n)
-			if !ok {
-				panic(fmt.Sprintf("experiments: unknown benchmark %q", n))
-			}
-			mix = append(mix, spec)
-		}
-		bcfg := s.sysConfig(system.Baseline)
-		base := system.RunMix(mix, bcfg)
+	for _, names := range extMixes {
+		mix := resolveMix(names)
+		base := s.mixResult(mix, s.sysConfig(system.Baseline))
 		row := []any{base.Benchmark}
-		for _, org := range orgs {
-			r := system.RunMix(mix, org.cfg)
+		for _, org := range extMixOrgs(s) {
+			r := s.mixResult(mix, org.cfg)
 			row = append(row, stats.Speedup(base.Cycles, r.Cycles))
 		}
 		tab.AddRowF(row...)

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"cameo/internal/runner"
 )
 
 // Experiment is one regenerable table or figure.
@@ -12,35 +15,42 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper shows.
 	Title string
+	// Plan declares the experiment's simulation grid up front so the
+	// runner can fan it across the worker pool before rendering. Nil for
+	// experiments that run no simulations (spec echoes, closed forms) or
+	// that manage their own prewarming.
+	Plan func(s *Suite) []runner.Job
 	// Run regenerates it against the suite and writes the rows/series.
+	// Render functions compute any cell Plan missed, so output never
+	// depends on the prewarm step.
 	Run func(s *Suite, w io.Writer)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Baseline system configuration", Table1},
-		{"table2", "Workload characteristics (32 copies, rate mode)", Table2},
-		{"fig2", "Motivation: Cache vs TLM vs DoubleUse speedups", Fig2},
-		{"fig3", "DRAM capacity and bandwidth specifications", Fig3},
-		{"fig8", "Analytic access latency of LLT designs", Fig8},
-		{"fig9", "Speedup of Ideal / Embedded / Co-Located LLT", Fig9},
-		{"fig12", "Speedup with SAM / LLP / Perfect prediction", Fig12},
-		{"table3", "Accuracy of the Line Location Predictor", Table3},
-		{"fig13", "Headline speedups: Cache, TLM, CAMEO, DoubleUse", Fig13},
-		{"table4", "Bandwidth usage in memory and storage", Table4},
-		{"fig14", "Normalized power and energy-delay product", Fig14},
-		{"fig15", "Optimized page placement: TLM-Freq / TLM-Oracle vs CAMEO", Fig15},
+		{"table1", "Baseline system configuration", nil, Table1},
+		{"table2", "Workload characteristics (32 copies, rate mode)", nil, Table2},
+		{"fig2", "Motivation: Cache vs TLM vs DoubleUse speedups", PlanFig2, Fig2},
+		{"fig3", "DRAM capacity and bandwidth specifications", nil, Fig3},
+		{"fig8", "Analytic access latency of LLT designs", nil, Fig8},
+		{"fig9", "Speedup of Ideal / Embedded / Co-Located LLT", PlanFig9, Fig9},
+		{"fig12", "Speedup with SAM / LLP / Perfect prediction", PlanFig12, Fig12},
+		{"table3", "Accuracy of the Line Location Predictor", PlanTable3, Table3},
+		{"fig13", "Headline speedups: Cache, TLM, CAMEO, DoubleUse", PlanFig13, Fig13},
+		{"table4", "Bandwidth usage in memory and storage", PlanTable4, Table4},
+		{"fig14", "Normalized power and energy-delay product", PlanFig14, Fig14},
+		{"fig15", "Optimized page placement: TLM-Freq / TLM-Oracle vs CAMEO", PlanFig15, Fig15},
 		// Extensions beyond the paper's figures (DESIGN.md; EXPERIMENTS.md).
-		{"ext-hybrid", "Extension: frequency-filtered CAMEO swaps (Section VI-D)", ExtHybrid},
-		{"ext-threshold", "Extension: TLM-Dynamic migration-threshold sweep", ExtThreshold},
-		{"ext-ratio", "Extension: stacked share sweep at fixed 16 GB total", ExtRatio},
-		{"ext-scale", "Extension: headline orderings at double capacity scale", ExtScale},
-		{"ext-mix", "Extension: multi-programmed workload mixes", ExtMix},
-		{"ext-controller", "Extension: write-buffered memory controller", ExtController},
-		{"ext-dramcache", "Extension: Loh-Hill vs Alloy DRAM caches vs CAMEO", ExtDRAMCache},
-		{"ext-knobs", "Extension: model-fidelity knobs (refresh, TLB, L3)", ExtKnobs},
-		{"ext-lltcache", "Extension: SRAM entry cache for the Embedded LLT", ExtLLTCache},
+		{"ext-hybrid", "Extension: frequency-filtered CAMEO swaps (Section VI-D)", PlanExtHybrid, ExtHybrid},
+		{"ext-threshold", "Extension: TLM-Dynamic migration-threshold sweep", PlanExtThreshold, ExtThreshold},
+		{"ext-ratio", "Extension: stacked share sweep at fixed 16 GB total", PlanExtRatio, ExtRatio},
+		{"ext-scale", "Extension: headline orderings at double capacity scale", nil, ExtScale},
+		{"ext-mix", "Extension: multi-programmed workload mixes", PlanExtMix, ExtMix},
+		{"ext-controller", "Extension: write-buffered memory controller", PlanExtController, ExtController},
+		{"ext-dramcache", "Extension: Loh-Hill vs Alloy DRAM caches vs CAMEO", PlanExtDRAMCache, ExtDRAMCache},
+		{"ext-knobs", "Extension: model-fidelity knobs (refresh, TLB, L3)", PlanExtKnobs, ExtKnobs},
+		{"ext-lltcache", "Extension: SRAM entry cache for the Embedded LLT", PlanExtLLTCache, ExtLLTCache},
 	}
 }
 
@@ -64,10 +74,39 @@ func IDs() []string {
 	return ids
 }
 
-// RunAll regenerates every experiment in paper order.
-func RunAll(s *Suite, w io.Writer) {
-	for _, e := range All() {
-		fmt.Fprintf(w, "\n### %s: %s\n\n", e.ID, e.Title)
-		e.Run(s, w)
+// RunExperiment prewarms the experiment's planned grid across the suite's
+// worker pool, then renders it. Cancellation (Ctrl-C) drains the pool and
+// returns ctx.Err(); a cell that panicked surfaces as an error.
+func RunExperiment(ctx context.Context, s *Suite, e Experiment, w io.Writer) (err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
 	}
+	s.bind(ctx)
+	if e.Plan != nil {
+		if perr := s.Prewarm(ctx, e.Plan(s)); perr != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, perr)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("experiments: %s: %w", e.ID, re.err)
+		}
+	}()
+	fmt.Fprintf(w, "\n### %s: %s\n\n", e.ID, e.Title)
+	e.Run(s, w)
+	return nil
+}
+
+// RunAll regenerates every experiment in paper order.
+func RunAll(ctx context.Context, s *Suite, w io.Writer) error {
+	for _, e := range All() {
+		if err := RunExperiment(ctx, s, e, w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

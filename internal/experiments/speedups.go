@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"cameo/internal/cameo"
+	"cameo/internal/runner"
 	"cameo/internal/system"
 )
 
@@ -11,50 +12,85 @@ import (
 // TLM-Static, TLM-Dynamic, and the idealistic DoubleUse, normalized to the
 // no-stacked baseline.
 func Fig2(s *Suite, w io.Writer) {
-	s.speedupTable("Figure 2: speedup of stacked-DRAM design points", []column{
+	s.speedupTable("Figure 2: speedup of stacked-DRAM design points", fig2Cols(s), w)
+}
+
+// PlanFig2 declares Fig2's grid.
+func PlanFig2(s *Suite) []runner.Job { return s.planSpeedup(fig2Cols(s)) }
+
+func fig2Cols(s *Suite) []column {
+	return []column{
 		{"Cache", s.sysConfig(system.Cache)},
 		{"TLM-Static", s.sysConfig(system.TLMStatic)},
 		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
 		{"DoubleUse", s.sysConfig(system.DoubleUse)},
-	}, w)
+	}
 }
 
 // Fig9 compares the three implementable LLT designs. The Co-Located point
 // uses serial access (SAM) — prediction is Section V's follow-on step.
 func Fig9(s *Suite, w io.Writer) {
-	s.speedupTable("Figure 9: speedup of LLT designs (serial access)", []column{
+	s.speedupTable("Figure 9: speedup of LLT designs (serial access)", fig9Cols(s), w)
+}
+
+// PlanFig9 declares Fig9's grid.
+func PlanFig9(s *Suite) []runner.Job { return s.planSpeedup(fig9Cols(s)) }
+
+func fig9Cols(s *Suite) []column {
+	return []column{
 		{"Embedded-LLT", s.cameoCfg(cameo.EmbeddedLLT, cameo.SAM)},
 		{"CoLocated-LLT", s.cameoCfg(cameo.CoLocatedLLT, cameo.SAM)},
 		{"Ideal-LLT", s.cameoCfg(cameo.IdealLLT, cameo.SAM)},
-	}, w)
+	}
 }
 
 // Fig12 compares prediction schemes over the Co-Located LLT.
 func Fig12(s *Suite, w io.Writer) {
-	s.speedupTable("Figure 12: speedup with location prediction", []column{
+	s.speedupTable("Figure 12: speedup with location prediction", fig12Cols(s), w)
+}
+
+// PlanFig12 declares Fig12's grid.
+func PlanFig12(s *Suite) []runner.Job { return s.planSpeedup(fig12Cols(s)) }
+
+func fig12Cols(s *Suite) []column {
+	return []column{
 		{"NoPred(SAM)", s.cameoCfg(cameo.CoLocatedLLT, cameo.SAM)},
 		{"LLP", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
 		{"Perfect", s.cameoCfg(cameo.CoLocatedLLT, cameo.Perfect)},
-	}, w)
+	}
 }
 
 // Fig13 is the headline result: all design points plus CAMEO.
 func Fig13(s *Suite, w io.Writer) {
-	s.speedupTable("Figure 13: speedup with 4GB stacked memory", []column{
+	s.speedupTable("Figure 13: speedup with 4GB stacked memory", fig13Cols(s), w)
+}
+
+// PlanFig13 declares Fig13's grid.
+func PlanFig13(s *Suite) []runner.Job { return s.planSpeedup(fig13Cols(s)) }
+
+func fig13Cols(s *Suite) []column {
+	return []column{
 		{"Cache", s.sysConfig(system.Cache)},
 		{"TLM-Static", s.sysConfig(system.TLMStatic)},
 		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
 		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
 		{"DoubleUse", s.sysConfig(system.DoubleUse)},
-	}, w)
+	}
 }
 
 // Fig15 compares CAMEO against the optimized page-placement TLM schemes.
 func Fig15(s *Suite, w io.Writer) {
-	s.speedupTable("Figure 15: optimized TLM page placement vs CAMEO", []column{
+	s.speedupTable("Figure 15: optimized TLM page placement vs CAMEO", fig15Cols(s), w)
+}
+
+// PlanFig15 declares Fig15's grid.
+func PlanFig15(s *Suite) []runner.Job { return s.planSpeedup(fig15Cols(s)) }
+
+func fig15Cols(s *Suite) []column {
+	return []column{
 		{"TLM-Dynamic", s.sysConfig(system.TLMDynamic)},
 		{"TLM-Freq", s.sysConfig(system.TLMFreq)},
 		{"TLM-Oracle", s.sysConfig(system.TLMOracle)},
 		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
-	}, w)
+	}
 }

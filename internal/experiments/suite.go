@@ -1,15 +1,21 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md's per-experiment index). Each experiment is a
 // named generator that runs the required (benchmark, organization) grid and
-// renders the same rows/series the paper reports.
+// renders the same rows/series the paper reports. Grids execute through
+// internal/runner: each experiment declares its cells up front (Plan), the
+// runner fans them across a worker pool, and the render functions then pull
+// from the memoized grid — so parallel output is byte-identical to serial.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"cameo/internal/cameo"
+	"cameo/internal/runner"
 	"cameo/internal/stats"
 	"cameo/internal/system"
 	"cameo/internal/workload"
@@ -27,6 +33,12 @@ type Options struct {
 	Seed uint64
 	// Benchmarks restricts the workload list (empty = all of Table II).
 	Benchmarks []string
+	// Jobs is the simulation worker-pool size (<=0 = GOMAXPROCS).
+	Jobs int
+	// Cache, when non-nil, persists cell results across invocations.
+	Cache runner.Cache
+	// Progress, when non-nil, receives live progress/ETA lines (stderr).
+	Progress io.Writer
 }
 
 // DefaultOptions returns the suite defaults: 1/1024 scale, the paper's 32
@@ -53,34 +65,100 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Suite runs experiments, memoizing (benchmark, organization) results so
-// that e.g. Fig 13, Table IV, and Fig 14 share one grid of runs.
+// Suite runs experiments, memoizing (benchmark, organization) results
+// through a shared runner so that e.g. Fig 13, Table IV, and Fig 14 share
+// one grid of runs — and so those runs execute in parallel.
 type Suite struct {
 	opts  Options
-	cache map[string]system.Result
+	specs []workload.Spec
+	run   *runner.Runner
+	ctx   context.Context
 }
 
-// NewSuite builds a suite with the given options.
-func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts.withDefaults(), cache: map[string]system.Result{}}
+// NewSuite builds a suite with the given options. Unknown benchmark names
+// are an error (listing the valid names) rather than a panic.
+func NewSuite(opts Options) (*Suite, error) {
+	opts = opts.withDefaults()
+	specs, err := resolveBenchmarks(opts.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		opts:  opts,
+		specs: specs,
+		run: runner.New(runner.Options{
+			Jobs:     opts.Jobs,
+			Cache:    opts.Cache,
+			Progress: opts.Progress,
+		}),
+		ctx: context.Background(),
+	}, nil
+}
+
+// MustNewSuite is NewSuite for known-good options (tests, examples).
+func MustNewSuite(opts Options) *Suite {
+	s, err := NewSuite(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// resolveBenchmarks maps names to specs, defaulting to all of Table II.
+func resolveBenchmarks(names []string) ([]workload.Spec, error) {
+	if len(names) == 0 {
+		return workload.Specs(), nil
+	}
+	out := make([]workload.Spec, 0, len(names))
+	for _, name := range names {
+		sp, ok := workload.SpecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q (valid: %s)",
+				name, strings.Join(BenchmarkNames(), ", "))
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// BenchmarkNames returns every valid benchmark name in Table II order.
+func BenchmarkNames() []string {
+	specs := workload.Specs()
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	return names
 }
 
 // Options returns the effective options.
 func (s *Suite) Options() Options { return s.opts }
 
+// child builds a suite at different options that shares this suite's
+// runner (worker pool, memoization, persistent cache) and context — cell
+// keys carry the full configuration, so grids at several scales coexist.
+func (s *Suite) child(opts Options) (*Suite, error) {
+	opts = opts.withDefaults()
+	specs, err := resolveBenchmarks(opts.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{opts: opts, specs: specs, run: s.run, ctx: s.ctx}, nil
+}
+
+// bind points render-time pulls at ctx (cancellation during Prewarm and
+// any residual render-time computes).
+func (s *Suite) bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+}
+
 // benchmarks returns the selected workload specs.
 func (s *Suite) benchmarks() []workload.Spec {
-	if len(s.opts.Benchmarks) == 0 {
-		return workload.Specs()
-	}
-	var out []workload.Spec
-	for _, name := range s.opts.Benchmarks {
-		sp, ok := workload.SpecByName(name)
-		if !ok {
-			panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
-		}
-		out = append(out, sp)
-	}
+	out := make([]workload.Spec, len(s.specs))
+	copy(out, s.specs)
 	return out
 }
 
@@ -95,32 +173,42 @@ func (s *Suite) sysConfig(org system.OrgKind) system.Config {
 	}
 }
 
+// runError wraps a runner failure so render functions (which have no error
+// return) can unwind to RunExperiment, which recovers it into an error.
+type runError struct{ err error }
+
+func (e runError) Error() string { return e.err.Error() }
+
+// Prewarm executes the given grid cells across the worker pool ahead of
+// rendering. It is purely a performance step: render functions compute any
+// cell they find missing, so output is identical with or without it.
+func (s *Suite) Prewarm(ctx context.Context, jobs []runner.Job) error {
+	return s.run.RunAll(ctx, jobs)
+}
+
 // result runs (or recalls) one cell of the grid.
 func (s *Suite) result(spec workload.Spec, cfg system.Config) system.Result {
-	key := fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%d|%v|%v", spec.Name, cfg.Org, cfg.LLT,
-		cfg.Pred, cfg.MigrationThreshold, cfg.HotSwapThreshold, cfg.StackedDivisor,
-		cfg.ScaleDiv, cfg.WriteBuffered, cfg.FRFCFS)
-	if r, ok := s.cache[key]; ok {
-		return r
+	r, err := s.run.Get(s.ctx, runner.NewJob(spec, cfg))
+	if err != nil {
+		panic(runError{err})
 	}
-	r := system.Run(spec, cfg)
-	s.cache[key] = r
 	return r
 }
 
-// Results returns every memoized run in deterministic (key) order — the
-// raw grid behind the rendered tables, for CSV export.
+// mixResult runs (or recalls) one multi-programmed-mix cell.
+func (s *Suite) mixResult(mix []workload.Spec, cfg system.Config) system.Result {
+	r, err := s.run.Get(s.ctx, runner.MixJob(mix, cfg))
+	if err != nil {
+		panic(runError{err})
+	}
+	return r
+}
+
+// Results returns every memoized run in deterministic (canonical cell key)
+// order — the raw grid behind the rendered tables, for CSV export. The
+// order is independent of worker count and completion order.
 func (s *Suite) Results() []system.Result {
-	keys := make([]string, 0, len(s.cache))
-	for k := range s.cache {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]system.Result, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, s.cache[k])
-	}
-	return out
+	return s.run.Results()
 }
 
 // baseline returns the baseline run for spec.
@@ -145,6 +233,30 @@ func (s *Suite) cameoCfg(llt cameo.LLTKind, pred cameo.PredKind) system.Config {
 	cfg.LLT = llt
 	cfg.Pred = pred
 	return cfg
+}
+
+// planSpeedup declares the grid a speedupTable over cols pulls: the
+// baseline plus every column config, for every benchmark.
+func (s *Suite) planSpeedup(cols []column) []runner.Job {
+	var jobs []runner.Job
+	for _, spec := range s.benchmarks() {
+		jobs = append(jobs, runner.NewJob(spec, s.sysConfig(system.Baseline)))
+		for _, c := range cols {
+			jobs = append(jobs, runner.NewJob(spec, c.cfg))
+		}
+	}
+	return jobs
+}
+
+// planConfigs declares benchmarks x cfgs (no implicit baseline).
+func (s *Suite) planConfigs(cfgs []system.Config) []runner.Job {
+	var jobs []runner.Job
+	for _, spec := range s.benchmarks() {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, runner.NewJob(spec, cfg))
+		}
+	}
+	return jobs
 }
 
 // speedupTable renders a per-benchmark speedup chart with class and overall

@@ -6,6 +6,7 @@ import (
 
 	"cameo/internal/cameo"
 	"cameo/internal/dram"
+	"cameo/internal/runner"
 	"cameo/internal/stats"
 	"cameo/internal/system"
 	"cameo/internal/workload"
@@ -58,6 +59,16 @@ func Table2(s *Suite, w io.Writer) {
 	tab.Render(w)
 }
 
+// PlanTable3 declares Table3's grid: every benchmark under the Co-Located
+// LLT with each of the three predictors (no baseline needed).
+func PlanTable3(s *Suite) []runner.Job {
+	return s.planConfigs([]system.Config{
+		s.cameoCfg(cameo.CoLocatedLLT, cameo.SAM),
+		s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP),
+		s.cameoCfg(cameo.CoLocatedLLT, cameo.Perfect),
+	})
+}
+
 // Table3 reproduces the five-way prediction-accuracy breakdown, aggregated
 // over all benchmarks, for SAM, LLP, and the perfect predictor.
 func Table3(s *Suite, w io.Writer) {
@@ -99,15 +110,22 @@ func Table3(s *Suite, w io.Writer) {
 	tab.Render(w)
 }
 
-// Table4 reports per-module bandwidth (bytes moved) normalized to the
-// baseline, averaged per workload class, for the Fig 13 design points.
-func Table4(s *Suite, w io.Writer) {
-	cols := []column{
+// PlanTable4 declares Table4's grid.
+func PlanTable4(s *Suite) []runner.Job { return s.planSpeedup(table4Cols(s)) }
+
+func table4Cols(s *Suite) []column {
+	return []column{
 		{"Cache", s.sysConfig(system.Cache)},
 		{"TLM-Stat", s.sysConfig(system.TLMStatic)},
 		{"TLM-Dyn", s.sysConfig(system.TLMDynamic)},
 		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
 	}
+}
+
+// Table4 reports per-module bandwidth (bytes moved) normalized to the
+// baseline, averaged per workload class, for the Fig 13 design points.
+func Table4(s *Suite, w io.Writer) {
+	cols := table4Cols(s)
 	tab := stats.NewTable("Table IV: bandwidth usage normalized to baseline",
 		"Class", "Design", "Stacked", "Off-chip", "Storage")
 	for _, class := range []workload.Class{workload.CapacityLimited, workload.LatencyLimited} {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -78,6 +79,68 @@ func TestCSVShape(t *testing.T) {
 	}
 	if records[3][col] == "" {
 		t.Fatal("CAMEO row missing LLP accuracy")
+	}
+}
+
+// allOrgResults runs one tiny simulation per organization kind — every
+// branch of the optional CSV columns (CAMEO, Alloy, Loh-Hill, migrations).
+func allOrgResults(t *testing.T) []system.Result {
+	t.Helper()
+	spec, _ := workload.SpecByName("sphinx3")
+	orgs := []system.OrgKind{system.Baseline, system.Cache, system.TLMStatic,
+		system.TLMDynamic, system.TLMFreq, system.TLMOracle, system.CAMEO,
+		system.DoubleUse, system.LHCache, system.LHCacheMM}
+	var rs []system.Result
+	for _, org := range orgs {
+		cfg := system.Config{Org: org, ScaleDiv: 8192, Cores: 2, InstrPerCore: 10_000, Seed: 9}
+		rs = append(rs, system.Run(spec, cfg))
+	}
+	return rs
+}
+
+// TestCSVColumnCountEveryOrg: WriteCSV emits exactly len(csvHeader) columns
+// for every organization kind, including the ones with optional stats.
+func TestCSVColumnCountEveryOrg(t *testing.T) {
+	rs := allOrgResults(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != len(rs)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(rs)+1)
+	}
+	for i, rec := range records {
+		if len(rec) != len(csvHeader) {
+			org := "header"
+			if i > 0 {
+				org = rs[i-1].Org
+			}
+			t.Errorf("row %d (%s) has %d columns, want %d", i, org, len(rec), len(csvHeader))
+		}
+	}
+}
+
+// TestJSONDecodesBackToEqualResult: WriteJSON output decodes into a
+// system.Result equal to the original for every organization kind. The
+// full latency histogram is the one documented exception (json:"-").
+func TestJSONDecodesBackToEqualResult(t *testing.T) {
+	for _, want := range allOrgResults(t) {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		var got system.Result
+		if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+			t.Fatalf("%s: decode: %v", want.Org, err)
+		}
+		want.Latency = nil // excluded from JSON by design
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: JSON round trip not equal:\ngot  %+v\nwant %+v", want.Org, got, want)
+		}
 	}
 }
 

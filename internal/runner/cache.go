@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cameo/internal/system"
+)
+
+// Cache persists cell results across process invocations. Implementations
+// must be safe for concurrent use. Keys are Job.Hash values (already
+// schema-versioned), so a Cache never needs its own invalidation logic.
+type Cache interface {
+	// Load returns the stored result for hash, if present and readable.
+	Load(hash string) (system.Result, bool)
+	// Store saves the result for hash. Failures are best-effort: a cache
+	// that cannot write degrades to recomputation, never to an error.
+	Store(hash string, res system.Result)
+}
+
+// DiskCache stores one JSON file per cell under a directory. Writes go
+// through a temp file + rename, so concurrent processes sharing a
+// directory see only complete entries.
+//
+// Note: system.Result's full latency histogram is excluded from JSON
+// (json:"-"), so cache hits carry the digests (p50/p95/p99) but not the
+// raw distribution — none of the grid renderers use it.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache creates (if needed) and opens a cache directory.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: opening cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Load implements Cache. Unreadable or corrupt entries are misses.
+func (c *DiskCache) Load(hash string) (system.Result, bool) {
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return system.Result{}, false
+	}
+	var res system.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return system.Result{}, false
+	}
+	return res, true
+}
+
+// Store implements Cache; failures are silently dropped (best-effort).
+func (c *DiskCache) Store(hash string, res system.Result) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len counts the entries currently in the cache directory.
+func (c *DiskCache) Len() int {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

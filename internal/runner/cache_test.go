@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJobs(1)[0]
+	if _, ok := c.Load(job.Hash()); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := system.Result{Org: "CAMEO", Benchmark: "sphinx3", Cycles: 12345, Demands: 67}
+	c.Store(job.Hash(), want)
+	got, ok := c.Load(job.Hash())
+	if !ok {
+		t.Fatal("stored entry missing")
+	}
+	if got.Org != want.Org || got.Cycles != want.Cycles || got.Demands != want.Demands {
+		t.Fatalf("round trip mismatch: got %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache Len = %d, want 1", c.Len())
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJobs(1)[0]
+	if err := writeFile(c.path(job.Hash()), "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(job.Hash()); ok {
+		t.Fatal("corrupt entry reported as hit")
+	}
+}
+
+// TestPersistentCacheSkipsExecution is the repeat-invocation scenario: a
+// second runner sharing the cache directory executes nothing.
+func TestPersistentCacheSkipsExecution(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(6)
+
+	open := func() *DiskCache {
+		c, err := OpenDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	var first atomic.Int64
+	r1 := New(Options{Jobs: 3, Cache: open(), Execute: countingExecute(&first, 0)})
+	if err := r1.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if first.Load() != 6 {
+		t.Fatalf("first invocation executed %d cells, want 6", first.Load())
+	}
+
+	var second atomic.Int64
+	r2 := New(Options{Jobs: 3, Cache: open(), Execute: countingExecute(&second, 0)})
+	if err := r2.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if second.Load() != 0 {
+		t.Fatalf("second invocation executed %d cells, want 0 (cache hits)", second.Load())
+	}
+	// The merged grids agree.
+	a, b := r1.Results(), r2.Results()
+	if len(a) != len(b) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles {
+			t.Fatalf("grid cell %d differs: %d vs %d cycles", i, a[i].Cycles, b[i].Cycles)
+		}
+	}
+}
+
+// TestCacheSchemaInHash: hashes depend on the schema version constant, so
+// bumping it orphans (rather than misreads) old entries.
+func TestCacheHashStable(t *testing.T) {
+	j := testJobs(1)[0]
+	if j.Hash() != j.Hash() {
+		t.Fatal("hash not stable")
+	}
+	spec, _ := workload.SpecByName("mcf")
+	other := NewJob(spec, j.Cfg)
+	if j.Hash() == other.Hash() {
+		t.Fatal("different specs share a hash")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// TestKeyCoversEveryConfigField locks the canonical key to the Config
+// struct: adding a field to system.Config without encoding it in Job.Key
+// (and bumping keyFieldCount) fails here, preventing silently-wrong cache
+// and memoization hits.
+func TestKeyCoversEveryConfigField(t *testing.T) {
+	typ := reflect.TypeOf(system.Config{})
+	if typ.NumField() != keyFieldCount {
+		t.Fatalf("system.Config has %d fields but Job.Key encodes %d: "+
+			"add the new field to Key, bump cacheSchema, and update keyFieldCount",
+			typ.NumField(), keyFieldCount)
+	}
+
+	spec, _ := workload.SpecByName("sphinx3")
+	base := NewJob(spec, system.Config{}).Key()
+	for i := 0; i < typ.NumField(); i++ {
+		cfg := system.Config{}
+		v := reflect.ValueOf(&cfg).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.Bool:
+			v.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			v.SetInt(3)
+		case reflect.Uint32, reflect.Uint64:
+			v.SetUint(3)
+		default:
+			t.Fatalf("field %s has unhandled kind %s", typ.Field(i).Name, v.Kind())
+		}
+		if got := NewJob(spec, cfg).Key(); got == base {
+			t.Errorf("changing Config.%s does not change the key", typ.Field(i).Name)
+		}
+	}
+}
+
+func TestKeyDistinguishesWorkloads(t *testing.T) {
+	a, _ := workload.SpecByName("sphinx3")
+	b, _ := workload.SpecByName("mcf")
+	cfg := system.Config{ScaleDiv: 4096, Cores: 2, InstrPerCore: 1000, Seed: 1}
+	if NewJob(a, cfg).Key() == NewJob(b, cfg).Key() {
+		t.Fatal("different benchmarks share a key")
+	}
+	if MixJob([]workload.Spec{a, b}, cfg).Key() == MixJob([]workload.Spec{b, a}, cfg).Key() {
+		t.Fatal("mix order not encoded")
+	}
+	if NewJob(a, cfg).Key() == MixJob([]workload.Spec{a, b}, cfg).Key() {
+		t.Fatal("rate mode and mix share a key")
+	}
+}
+
+func TestKeyDefaultsNormalized(t *testing.T) {
+	spec, _ := workload.SpecByName("sphinx3")
+	// A zero config and an explicitly-defaulted config are the same cell.
+	zero := NewJob(spec, system.Config{})
+	full := NewJob(spec, system.Config{}.WithDefaults())
+	if zero.Key() != full.Key() {
+		t.Fatal("zero config and defaulted config produce different keys")
+	}
+}
+
+func TestJobName(t *testing.T) {
+	a, _ := workload.SpecByName("sphinx3")
+	b, _ := workload.SpecByName("mcf")
+	j := MixJob([]workload.Spec{a, b}, system.Config{Org: system.CAMEO})
+	if got := j.Name(); !strings.Contains(got, "sphinx3+mcf") || !strings.Contains(got, "CAMEO") {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,268 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"cameo/internal/system"
+)
+
+// Options configures a Runner. The zero value is usable: GOMAXPROCS
+// workers, no persistent cache, silent.
+type Options struct {
+	// Jobs is the worker-pool size (<=0 means GOMAXPROCS).
+	Jobs int
+	// Cache, when non-nil, persists results across invocations keyed by
+	// Job.Hash. Loads happen before execution, stores after.
+	Cache Cache
+	// Progress, when non-nil, receives live progress/ETA lines (normally
+	// os.Stderr; never mixed into result output).
+	Progress io.Writer
+	// Execute overrides how a job is run (tests/instrumentation). Nil
+	// means Job.Run.
+	Execute func(Job) system.Result
+}
+
+// Runner executes simulation jobs at most once each and memoizes the
+// results in a mutex-guarded map keyed by the canonical cell key.
+type Runner struct {
+	opts Options
+
+	mu       sync.Mutex
+	done     map[string]system.Result
+	inflight map[string]*call
+
+	// progress counters (guarded by mu)
+	completed int
+	total     int
+	fromCache int
+	started   time.Time
+}
+
+// call is one in-flight singleflight execution.
+type call struct {
+	ready chan struct{}
+	res   system.Result
+	err   error
+}
+
+// New builds a Runner.
+func New(opts Options) *Runner {
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:     opts,
+		done:     map[string]system.Result{},
+		inflight: map[string]*call{},
+	}
+}
+
+// Jobs returns the worker-pool size.
+func (r *Runner) Jobs() int { return r.opts.Jobs }
+
+// Get returns the job's result, computing it at most once: the first
+// caller for a key executes (in its own goroutine), concurrent callers for
+// the same key block on that execution, later callers hit the memo map.
+// ctx only bounds the wait — an execution already underway is never
+// abandoned, so a cancelled waiter leaves the cell completing for others.
+func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
+	key := j.Key()
+	r.mu.Lock()
+	if res, ok := r.done[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-c.ready:
+			return c.res, c.err
+		case <-ctx.Done():
+			return system.Result{}, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		r.mu.Unlock()
+		return system.Result{}, err
+	}
+	c := &call{ready: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	c.res, c.err = r.execute(j)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if c.err == nil {
+		r.done[key] = c.res
+	}
+	r.mu.Unlock()
+	close(c.ready)
+	return c.res, c.err
+}
+
+// execute runs one cell with cache consult and panic-to-error recovery.
+func (r *Runner) execute(j Job) (res system.Result, err error) {
+	if r.opts.Cache != nil {
+		if cached, ok := r.opts.Cache.Load(j.Hash()); ok {
+			r.mu.Lock()
+			r.fromCache++
+			r.mu.Unlock()
+			return cached, nil
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: job %s panicked: %v\n%s", j.Name(), p, debug.Stack())
+		}
+	}()
+	if r.opts.Execute != nil {
+		res = r.opts.Execute(j)
+	} else {
+		res = j.Run()
+	}
+	if r.opts.Cache != nil {
+		r.opts.Cache.Store(j.Hash(), res)
+	}
+	return res, nil
+}
+
+// RunAll fans jobs across the worker pool and waits for the drain. Result
+// order is irrelevant here — read them back with Get (memo hits) or
+// Results(). Duplicate cells execute once. On cancellation the pool stops
+// picking up new cells, in-flight cells finish, and ctx.Err() is returned;
+// per-cell panics are collected and joined without stopping other cells.
+func (r *Runner) RunAll(ctx context.Context, jobs []Job) error {
+	unique := make([]Job, 0, len(jobs))
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if k := j.Key(); !seen[k] {
+			seen[k] = true
+			unique = append(unique, j)
+		}
+	}
+
+	r.mu.Lock()
+	r.total = len(unique)
+	r.completed = 0
+	r.started = time.Now()
+	r.mu.Unlock()
+
+	workers := r.opts.Jobs
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	feed := make(chan Job)
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				if ctx.Err() != nil {
+					continue // drain the feed without starting new cells
+				}
+				_, err := r.Get(ctx, j)
+				if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+				r.tick()
+			}
+		}()
+	}
+	for _, j := range unique {
+		feed <- j
+	}
+	close(feed)
+	wg.Wait()
+	r.finishProgress()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errors.Join(errs...)
+}
+
+// tick advances the progress display by one completed cell.
+func (r *Runner) tick() {
+	if r.opts.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	r.completed++
+	done, total, cached := r.completed, r.total, r.fromCache
+	elapsed := time.Since(r.started)
+	r.mu.Unlock()
+
+	eta := "?"
+	if done > 0 {
+		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		eta = remaining.Round(time.Second).String()
+	}
+	fmt.Fprintf(r.opts.Progress, "\rrunner: %d/%d cells (%d cached) elapsed %s eta %s ",
+		done, total, cached, elapsed.Round(time.Second), eta)
+}
+
+// finishProgress terminates the \r-progress line with a summary.
+func (r *Runner) finishProgress() {
+	if r.opts.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	done, cached := r.completed, r.fromCache
+	elapsed := time.Since(r.started)
+	r.mu.Unlock()
+	fmt.Fprintf(r.opts.Progress, "\rrunner: %d cells in %s (%d from cache)      \n",
+		done, elapsed.Round(time.Millisecond), cached)
+}
+
+// Lookup returns the memoized result for a key without computing anything.
+func (r *Runner) Lookup(key string) (system.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.done[key]
+	return res, ok
+}
+
+// Len returns the number of memoized cells.
+func (r *Runner) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.done)
+}
+
+// Results merges every memoized cell into a deterministic grid, ordered by
+// canonical key — independent of worker count, scheduling, and completion
+// order, so a parallel run's grid is byte-identical to a serial run's.
+func (r *Runner) Results() []system.Result {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.done))
+	for k := range r.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]system.Result, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, r.done[k])
+	}
+	r.mu.Unlock()
+	return out
+}
