@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"cameo/internal/cameo"
+	"cameo/internal/profiling"
 	"cameo/internal/report"
 	"cameo/internal/runner"
 	"cameo/internal/system"
@@ -81,7 +82,19 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (the -speedup baseline runs concurrently)")
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory (note: cached results omit the -hist histogram)")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+		}
+	}()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"cameo/internal/experiments"
+	"cameo/internal/profiling"
 	"cameo/internal/report"
 	"cameo/internal/runner"
 	"cameo/internal/system"
@@ -59,8 +60,24 @@ func main() {
 		out      = flag.String("out", "", "CSV output path (default stdout)")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory")
+		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+
+		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
+		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+		}
+	}()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -120,7 +137,10 @@ func main() {
 		}
 	}
 
-	ropts := runner.Options{Jobs: *jobs, Progress: os.Stderr}
+	// Progress only when stderr is an interactive terminal and -quiet was
+	// not given: piping the CSV to a file or running under CI must not
+	// produce \r-spinner noise.
+	ropts := runner.Options{Jobs: *jobs, Progress: runner.AutoProgress(*quiet)}
 	if *cachedir != "" {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
@@ -159,6 +179,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
 		os.Exit(1)
 	}
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, r, *telTiming); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetry dumps every cell's metrics snapshot plus the aggregate.
+func writeTelemetry(path string, r *runner.Runner, timing bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.Telemetry(timing).WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // writeCSV emits the grid to path (stdout when empty), closing the output

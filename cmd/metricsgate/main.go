@@ -1,0 +1,148 @@
+// Command metricsgate is the CI benchmark-regression gate: it compares the
+// aggregate metrics of a fresh telemetry dump against a checked-in baseline
+// and exits non-zero when any counter drifts beyond its allowed tolerance.
+//
+// Usage:
+//
+//	paperbench -exp fig13 -quiet -telemetry out.json
+//	metricsgate -baseline results/metrics-baseline.json -current out.json \
+//	    -allowlist results/metrics-allowlist.json
+//
+// Both inputs are telemetry files as written by -telemetry. Every metric in
+// either baseline or current is compared by its scalar total; a metric with
+// no allowlist rule must match exactly. The allowlist is JSON:
+//
+//	{"rules": [
+//	  {"pattern": "sys/demand_latency", "rel": 0.05},
+//	  {"pattern": "vm/*", "rel": 0.01}
+//	]}
+//
+// Patterns are exact names or prefixes ending in '*'; the first matching
+// rule wins and grants |current-base| / max(|base|,1) <= rel.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+)
+
+// Rule grants one pattern a relative drift tolerance.
+type Rule struct {
+	Pattern string  `json:"pattern"`
+	Rel     float64 `json:"rel"`
+}
+
+// Allowlist is the checked-in tolerance policy.
+type Allowlist struct {
+	Rules []Rule `json:"rules"`
+}
+
+// tolerance returns the allowed relative drift for name: the first matching
+// rule's, or 0 (exact match required).
+func (a Allowlist) tolerance(name string) float64 {
+	for _, r := range a.Rules {
+		if pfx, ok := strings.CutSuffix(r.Pattern, "*"); ok {
+			if strings.HasPrefix(name, pfx) {
+				return r.Rel
+			}
+		} else if name == r.Pattern {
+			return r.Rel
+		}
+	}
+	return 0
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "results/metrics-baseline.json", "checked-in baseline telemetry file")
+		current   = flag.String("current", "", "freshly generated telemetry file (required)")
+		allowlist = flag.String("allowlist", "", "JSON tolerance policy (default: exact match for every metric)")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "metricsgate: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := readAggregate(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsgate:", err)
+		os.Exit(2)
+	}
+	cur, err := readAggregate(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsgate:", err)
+		os.Exit(2)
+	}
+	var allow Allowlist
+	if *allowlist != "" {
+		if err := readJSON(*allowlist, &allow); err != nil {
+			fmt.Fprintln(os.Stderr, "metricsgate:", err)
+			os.Exit(2)
+		}
+	}
+
+	// Diff reports only drifting names; the union size is the number of
+	// metrics actually guarded by the gate.
+	compared := map[string]bool{}
+	for _, sm := range base {
+		compared[sm.Name] = true
+	}
+	for _, sm := range cur {
+		compared[sm.Name] = true
+	}
+
+	var violations int
+	deltas := metrics.Diff(base, cur)
+	for _, d := range deltas {
+		tol := allow.tolerance(d.Name)
+		switch {
+		case d.Missing:
+			// A metric appearing or disappearing is always a gate failure:
+			// renames must update the baseline deliberately.
+			fmt.Printf("FAIL %-40s present in only one side (base=%g cur=%g)\n",
+				d.Name, d.Base, d.Current)
+			violations++
+		case d.Rel() > tol:
+			fmt.Printf("FAIL %-40s base=%g cur=%g drift=%.4f allowed=%.4f\n",
+				d.Name, d.Base, d.Current, d.Rel(), tol)
+			violations++
+		}
+	}
+	if violations > 0 {
+		fmt.Printf("metricsgate: %d violation(s) across %d metrics — update %s deliberately if the change is intended\n",
+			violations, len(compared), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("metricsgate: ok (%d metrics within tolerance, %d drifted within allowlist)\n",
+		len(compared), len(deltas))
+}
+
+// readAggregate loads a telemetry file and returns its aggregate snapshot.
+func readAggregate(path string) (metrics.Snapshot, error) {
+	var t runner.Telemetry
+	if err := readJSON(path, &t); err != nil {
+		return nil, err
+	}
+	if t.Aggregate == nil {
+		return nil, fmt.Errorf("%s: no aggregate section (not a telemetry file?)", path)
+	}
+	return t.Aggregate, nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"cameo/internal/experiments"
+	"cameo/internal/profiling"
 	"cameo/internal/report"
 	"cameo/internal/runner"
 )
@@ -43,8 +44,23 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory (skip already-simulated cells)")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+
+		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
+		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output (breaks byte-determinism)")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+	}()
 
 	// Ctrl-C cancels the context; the worker pool drains cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,9 +76,9 @@ func main() {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
-	if !*quiet {
-		opts.Progress = os.Stderr
-	}
+	// Progress is interactive-only: silenced by -quiet and whenever stderr
+	// is not a terminal (CI logs, redirections).
+	opts.Progress = runner.AutoProgress(*quiet)
 	if *cachedir != "" {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
@@ -105,6 +121,29 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d raw results to %s\n", len(suite.Results()), *csv)
 	}
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, suite, *telTiming); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote telemetry to %s\n", *telemetry)
+	}
+}
+
+// writeTelemetry dumps the suite's per-cell metrics snapshots. Without
+// -telemetry-timing the file is byte-identical across runs and -jobs
+// settings (the runner's determinism contract).
+func writeTelemetry(path string, suite *experiments.Suite, timing bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := suite.Telemetry(timing).WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // writeCSV exports the raw grid, closing the file explicitly so a close

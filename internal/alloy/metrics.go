@@ -1,0 +1,23 @@
+package alloy
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/metrics"
+)
+
+// RegisterMetrics publishes the cache's counters under "alloy/..." and its
+// DRAM modules under "dram/stacked" and "dram/offchip". Instruments are
+// pull-style closures over the live counters: nothing is paid on the access
+// hot path.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	sc := reg.Scope("alloy")
+	sc.CounterFunc("hits", func() uint64 { return c.stats.Hits })
+	sc.CounterFunc("misses", func() uint64 { return c.stats.Misses })
+	sc.CounterFunc("write_hits", func() uint64 { return c.stats.WriteHits })
+	sc.CounterFunc("write_misses", func() uint64 { return c.stats.WriteMisses })
+	sc.CounterFunc("fills", func() uint64 { return c.stats.Fills })
+	sc.CounterFunc("dirty_evicts", func() uint64 { return c.stats.DirtyEvicts })
+	sc.CounterFunc("wasted_reads", func() uint64 { return c.stats.WastedReads })
+	dram.RegisterMetrics(reg.Scope("dram/stacked"), c.stacked)
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), c.off)
+}

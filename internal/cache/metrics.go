@@ -1,0 +1,15 @@
+package cache
+
+import "cameo/internal/metrics"
+
+// RegisterMetrics publishes the cache's event counters into scope s
+// (pull-style; the access hot path is untouched).
+func (c *Cache) RegisterMetrics(s *metrics.Scope) {
+	s.CounterFunc("hits", func() uint64 { return c.stats.Hits })
+	s.CounterFunc("misses", func() uint64 { return c.stats.Misses })
+	s.CounterFunc("evictions", func() uint64 { return c.stats.Evictions })
+	s.CounterFunc("dirty_evictions", func() uint64 { return c.stats.Dirty })
+}
+
+// RegisterMetrics publishes the shared L3's counters into scope s.
+func (l *L3) RegisterMetrics(s *metrics.Scope) { l.c.RegisterMetrics(s) }

@@ -97,7 +97,12 @@ type Stats struct {
 	// entry-cache outcomes (zero unless LLTCacheEntries is configured).
 	LLTCacheHits   uint64
 	LLTCacheMisses uint64
-	Cases          CaseStats
+	// LLTProbes counts line-location lookups that touched stacked DRAM:
+	// LEAD probes for the Co-Located design, in-DRAM table reads for the
+	// Embedded design (entry-cache hits are free), zero for Ideal — the
+	// table-indirection traffic Sections IV-V trade against.
+	LLTProbes uint64
+	Cases     CaseStats
 }
 
 // StackedServiceRate returns the fraction of demands serviced from stacked.
@@ -291,6 +296,7 @@ func (s *System) lltLookup(at uint64, g uint64) uint64 {
 		s.stats.LLTCacheMisses++
 		s.lltCache[idx] = g
 	}
+	s.stats.LLTProbes++
 	return s.stacked.Access(at, EmbeddedLLTLine(g), dram.LineBytes, false)
 }
 
@@ -314,6 +320,7 @@ func (s *System) accessEmbedded(at uint64, g uint64, seg, slot int, allowSwap bo
 // residents serialize unless the predictor overlapped them.
 func (s *System) accessCoLocated(at uint64, req memsys.Request, g uint64, seg, slot int, allowSwap bool) uint64 {
 	pred := s.predict(req, slot)
+	s.stats.LLTProbes++
 	probe := s.stacked.Access(at, s.stackedDataLine(g), LEADBytes, false)
 
 	if slot == 0 {
@@ -433,6 +440,7 @@ func (s *System) writeback(at uint64, g uint64, slot int) uint64 {
 		}
 		return s.off.Access(tLLT, s.offLocal(slot, g), dram.LineBytes, true)
 	default:
+		s.stats.LLTProbes++
 		probe := s.stacked.Access(at, s.stackedDataLine(g), LEADBytes, false)
 		if slot == 0 {
 			return s.stacked.Access(probe, s.stackedDataLine(g), LEADBytes, true)

@@ -1,0 +1,39 @@
+package cameo
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/metrics"
+)
+
+// RegisterMetrics publishes the organization's counters under "cameo/..."
+// and its two DRAM modules under "dram/stacked" and "dram/offchip". All
+// instruments are pull-style: the simulation hot path keeps its plain
+// increments, and values are read only at snapshot time.
+func (s *System) RegisterMetrics(reg *metrics.Registry) {
+	sc := reg.Scope("cameo")
+	sc.CounterFunc("stacked_hits", func() uint64 { return s.stats.StackedHits })
+	sc.CounterFunc("offchip_hits", func() uint64 { return s.stats.OffChipHits })
+	sc.CounterFunc("swaps", func() uint64 { return s.stats.Swaps })
+	sc.CounterFunc("suppressed_swaps", func() uint64 { return s.stats.SuppressedSwaps })
+	sc.CounterFunc("writebacks", func() uint64 { return s.stats.Writebacks })
+	sc.CounterFunc("wasted_reads", func() uint64 { return s.stats.WastedReads })
+
+	llt := sc.Scope("llt")
+	llt.CounterFunc("probes", func() uint64 { return s.stats.LLTProbes })
+	llt.CounterFunc("cache_hits", func() uint64 { return s.stats.LLTCacheHits })
+	llt.CounterFunc("cache_misses", func() uint64 { return s.stats.LLTCacheMisses })
+
+	llp := sc.Scope("llp")
+	llp.CounterFunc("mispredict", func() uint64 {
+		c := s.stats.Cases
+		return c.StackedPredOff + c.OffPredStacked + c.OffPredWrongOff
+	})
+	llp.CounterFunc("case_stk_pred_stk", func() uint64 { return s.stats.Cases.StackedPredStacked })
+	llp.CounterFunc("case_stk_pred_off", func() uint64 { return s.stats.Cases.StackedPredOff })
+	llp.CounterFunc("case_off_pred_stk", func() uint64 { return s.stats.Cases.OffPredStacked })
+	llp.CounterFunc("case_off_pred_ok", func() uint64 { return s.stats.Cases.OffPredCorrect })
+	llp.CounterFunc("case_off_pred_wrong", func() uint64 { return s.stats.Cases.OffPredWrongOff })
+
+	dram.RegisterMetrics(reg.Scope("dram/stacked"), s.stacked)
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), s.off)
+}

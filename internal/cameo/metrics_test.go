@@ -1,0 +1,69 @@
+package cameo
+
+import (
+	"testing"
+
+	"cameo/internal/metrics"
+)
+
+// TestRegisterMetricsMatchesStats drives a little traffic and checks the
+// registry snapshot agrees with the Stats struct it mirrors.
+func TestRegisterMetricsMatchesStats(t *testing.T) {
+	s := testSystem(CoLocatedLLT, LLP)
+	for i := uint64(0); i < 2000; i++ {
+		s.Access(i*7, req(int(i%2), i*31%s.VisibleLines(), i%97))
+	}
+	reg := metrics.NewRegistry()
+	s.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+
+	st := s.Stats()
+	want := map[string]uint64{
+		"cameo/stacked_hits":         st.StackedHits,
+		"cameo/offchip_hits":         st.OffChipHits,
+		"cameo/swaps":                st.Swaps,
+		"cameo/llt/probes":           st.LLTProbes,
+		"cameo/llp/mispredict":       st.Cases.StackedPredOff + st.Cases.OffPredStacked + st.Cases.OffPredWrongOff,
+		"cameo/llp/case_off_pred_ok": st.Cases.OffPredCorrect,
+	}
+	for name, v := range want {
+		sm, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("snapshot missing %s", name)
+		}
+		if sm.Value != v {
+			t.Errorf("%s = %d, want %d", name, sm.Value, v)
+		}
+	}
+	if _, ok := snap.Get("dram/stacked/reads"); !ok {
+		t.Error("snapshot missing dram/stacked/reads")
+	}
+	if _, ok := snap.Get("dram/offchip/reads"); !ok {
+		t.Error("snapshot missing dram/offchip/reads")
+	}
+	if st.LLTProbes == 0 {
+		t.Error("Co-Located run recorded no LLT probes")
+	}
+}
+
+// TestLLTProbesByDesign checks the probe accounting convention: Ideal pays
+// no probes, Embedded pays one in-DRAM table read per miss of the entry
+// cache, Co-Located pays LEAD probes.
+func TestLLTProbesByDesign(t *testing.T) {
+	probes := func(llt LLTKind) uint64 {
+		s := testSystem(llt, LLP)
+		for i := uint64(0); i < 3000; i++ {
+			s.Access(i*5, req(0, i*17%s.VisibleLines(), i%31))
+		}
+		return s.Stats().LLTProbes
+	}
+	if n := probes(IdealLLT); n != 0 {
+		t.Errorf("Ideal LLT probes = %d, want 0", n)
+	}
+	if n := probes(EmbeddedLLT); n == 0 {
+		t.Error("Embedded LLT recorded no probes")
+	}
+	if n := probes(CoLocatedLLT); n == 0 {
+		t.Error("Co-Located LLT recorded no probes")
+	}
+}

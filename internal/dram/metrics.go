@@ -1,0 +1,30 @@
+package dram
+
+import "cameo/internal/metrics"
+
+// RegisterMetrics publishes a device's activity counters into scope s as
+// pull-style instruments reading the live Stats — the hot path keeps its
+// plain field increments and pays nothing until snapshot time. Devices with
+// engine-specific extras (the FR-FCFS controller's queue counters) add them
+// through the ExtraMetrics extension interface.
+func RegisterMetrics(s *metrics.Scope, dev Device) {
+	s.CounterFunc("reads", func() uint64 { return dev.Stats().Reads })
+	s.CounterFunc("writes", func() uint64 { return dev.Stats().Writes })
+	s.CounterFunc("bytes_read", func() uint64 { return dev.Stats().BytesRead })
+	s.CounterFunc("bytes_written", func() uint64 { return dev.Stats().BytesWritten })
+	s.CounterFunc("row_hits", func() uint64 { return dev.Stats().RowHits })
+	s.CounterFunc("row_misses", func() uint64 { return dev.Stats().RowMisses })
+	s.CounterFunc("total_read_latency", func() uint64 { return dev.Stats().TotalReadLatency })
+	s.CounterFunc("refresh_stalls", func() uint64 { return dev.Stats().RefreshStalls })
+	s.CounterFunc("hidden_writes", func() uint64 { return dev.Stats().HiddenWrites })
+	s.CounterFunc("forced_drains", func() uint64 { return dev.Stats().ForcedDrains })
+	if x, ok := dev.(ExtraMetrics); ok {
+		x.RegisterExtraMetrics(s)
+	}
+}
+
+// ExtraMetrics lets a Device implementation publish engine-specific
+// instruments beyond the shared Stats counters.
+type ExtraMetrics interface {
+	RegisterExtraMetrics(s *metrics.Scope)
+}

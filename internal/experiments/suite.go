@@ -179,6 +179,12 @@ type runError struct{ err error }
 
 func (e runError) Error() string { return e.err.Error() }
 
+// Telemetry returns the observability dump of every cell the suite has
+// run so far (see runner.Telemetry for the determinism contract).
+func (s *Suite) Telemetry(includeTiming bool) runner.Telemetry {
+	return s.run.Telemetry(includeTiming)
+}
+
 // Prewarm executes the given grid cells across the worker pool ahead of
 // rendering. It is purely a performance step: render functions compute any
 // cell they find missing, so output is identical with or without it.

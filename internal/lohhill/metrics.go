@@ -1,0 +1,20 @@
+package lohhill
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/metrics"
+)
+
+// RegisterMetrics publishes the cache's counters under "lohhill/..." and
+// its DRAM modules under "dram/stacked" and "dram/offchip".
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	sc := reg.Scope("lohhill")
+	sc.CounterFunc("hits", func() uint64 { return c.stats.Hits })
+	sc.CounterFunc("misses", func() uint64 { return c.stats.Misses })
+	sc.CounterFunc("write_hits", func() uint64 { return c.stats.WriteHits })
+	sc.CounterFunc("write_misses", func() uint64 { return c.stats.WriteMisses })
+	sc.CounterFunc("fills", func() uint64 { return c.stats.Fills })
+	sc.CounterFunc("dirty_evicts", func() uint64 { return c.stats.DirtyEvicts })
+	dram.RegisterMetrics(reg.Scope("dram/stacked"), c.stacked)
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), c.off)
+}

@@ -16,6 +16,7 @@ package memctrl
 
 import (
 	"cameo/internal/dram"
+	"cameo/internal/metrics"
 )
 
 // writeBias is the scheduling handicap applied to writes so that reads of
@@ -67,6 +68,9 @@ type Controller struct {
 	writes  int // queued writes
 
 	stats dram.Stats
+	// maxQueueDepth is the pending-queue high-water mark — the controller's
+	// engine-specific observability signal (published via RegisterExtraMetrics).
+	maxQueueDepth int
 }
 
 var _ dram.Device = (*Controller)(nil)
@@ -106,6 +110,15 @@ func (c *Controller) ResetStats() { c.stats = dram.Stats{} }
 // QueueDepth reports the pending request count, for tests.
 func (c *Controller) QueueDepth() int { return len(c.queue) }
 
+// MaxQueueDepth reports the pending-queue high-water mark.
+func (c *Controller) MaxQueueDepth() int { return c.maxQueueDepth }
+
+// RegisterExtraMetrics implements dram.ExtraMetrics: the controller's
+// scheduling-specific signals beyond the shared Stats counters.
+func (c *Controller) RegisterExtraMetrics(s *metrics.Scope) {
+	s.GaugeFunc("queue_max_depth", func() float64 { return float64(c.maxQueueDepth) })
+}
+
 func (c *Controller) locate(line uint64) (channel, bank int, row uint64) {
 	ch := int(line % uint64(c.cfg.Channels))
 	cidx := line / uint64(c.cfg.Channels)
@@ -131,6 +144,9 @@ func (c *Controller) Access(at uint64, line uint64, bytes int, isWrite bool) uin
 	req := request{line: line, bytes: bytes, write: isWrite, arrival: at, seq: c.nextSeq}
 	c.nextSeq++
 	c.queue = append(c.queue, req)
+	if len(c.queue) > c.maxQueueDepth {
+		c.maxQueueDepth = len(c.queue)
+	}
 	if isWrite {
 		c.writes++
 		c.stats.Writes++

@@ -1,0 +1,22 @@
+package memsys
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/metrics"
+)
+
+// MetricSource is implemented by organizations (and other machine
+// components) that publish instruments into a per-run metrics registry.
+// Package system snapshots the registry after a run into Result.Metrics —
+// the uniform dump/diff layer over the per-organization counters.
+type MetricSource interface {
+	RegisterMetrics(reg *metrics.Registry)
+}
+
+// RegisterMetrics publishes the baseline's single module under
+// "dram/offchip".
+func (b *Baseline) RegisterMetrics(reg *metrics.Registry) {
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), b.off)
+}
+
+var _ MetricSource = (*Baseline)(nil)

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResets(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("mod")
+	c := sc.Counter("events")
+	g := sc.Gauge("level")
+	h := sc.Histogram("lat")
+	c.Add(7)
+	g.Set(3.5)
+	h.Observe(100)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", g.Value())
+	}
+	c.Reset()
+	g.Reset()
+	h.Reset()
+	if c.Value() != 0 || g.Value() != 0 || len(h.Buckets()) != 0 {
+		t.Fatalf("reset left state: c=%d g=%v h=%v", c.Value(), g.Value(), h.Buckets())
+	}
+}
+
+func TestSubScopeAndPullInstruments(t *testing.T) {
+	reg := NewRegistry()
+	parent := reg.Scope("dram")
+	sub := parent.Scope("stacked")
+	sub.GaugeFunc("depth", func() float64 { return 4 })
+	sub.BucketsFunc("lat", func() []uint64 { return []uint64{0, 2, 1} })
+	snap := reg.Snapshot()
+	g, ok := snap.Get("dram/stacked/depth")
+	if !ok || g.Gauge != 4 {
+		t.Fatalf("gauge func sample = %+v (ok=%t)", g, ok)
+	}
+	b, ok := snap.Get("dram/stacked/lat")
+	if !ok || b.Total() != 3 {
+		t.Fatalf("buckets func sample = %+v (ok=%t)", b, ok)
+	}
+}
+
+func TestReadJSONAndCSVRejectGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("ReadJSON accepted garbage")
+	}
+	for _, bad := range []string{
+		"no header at all",
+		"name,kind,value\nx,counter,notanumber",
+		"name,kind,value\nx,gauge,notafloat",
+		"name,kind,value\nx,hist,1;2;zz",
+		"name,kind,value\nx,counter", // short record
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadCSV accepted %q", bad)
+		}
+	}
+}
+
+func TestDeltaRel(t *testing.T) {
+	cases := []struct {
+		d    Delta
+		want float64
+	}{
+		{Delta{Base: 100, Current: 110}, 0.1},
+		{Delta{Base: 0, Current: 5}, 5},      // denominator clamps to 1
+		{Delta{Base: -10, Current: -8}, 0.2}, // negative gauges use |base|
+		{Delta{Base: 50, Current: 40}, 0.2},  // drift is absolute
+	}
+	for _, c := range cases {
+		if got := c.d.Rel(); got != c.want {
+			t.Errorf("Rel(%+v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package metrics is the simulator's observability spine: a hierarchical
+// registry of named counters, gauges, and fixed-bucket latency histograms
+// that every memory-system module publishes into, with a deterministic
+// Snapshot that serializes to JSON/CSV so two runs are byte-diffable.
+//
+// Names are '/'-separated paths scoped per module ("cameo/llp/mispredict",
+// "dram/stacked/row_hits"). The registry is lock-sharded on the first path
+// segment: each module's instruments live in their own shard behind their
+// own mutex, so registration and snapshotting never contend across modules
+// and no instrument update ever takes a registry lock (see DESIGN.md).
+//
+// Two instrument styles cover the two update patterns in the simulator:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) store atomically and are
+//     safe for concurrent update — the runner's worker pool uses these. The
+//     hot path is a single atomic op: zero allocations, zero locks.
+//   - Func instruments (CounterFunc, GaugeFunc, BucketsFunc) pull a value at
+//     snapshot time from a closure over a module's existing plain counters —
+//     the single-threaded simulation hot paths keep their bare uint64
+//     increments and pay nothing at all until Snapshot is called.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Instrument kinds as they appear in serialized snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "hist"
+)
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// samples whose bit length is i (log2 buckets, like stats.Hist).
+const HistBuckets = 64
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use. The zero value is ready; updates are single atomic adds.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter (warm-up boundaries).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a last-write-wins level (queue depth, high-water mark), safe for
+// concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.bits.Store(0) }
+
+// Histogram is a fixed log2-bucket distribution, safe for concurrent use.
+// Observe is a shift loop plus one atomic add: no allocation, no lock.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	b := 0
+	for x := v; x > 0; x >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// Buckets returns the bucket counts, trimmed of trailing zeroes (nil when
+// the histogram is empty).
+func (h *Histogram) Buckets() []uint64 {
+	raw := make([]uint64, HistBuckets)
+	last := -1
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return raw[:last+1]
+}
+
+// Reset zeroes every bucket.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// instrument is anything the registry can sample into a Snapshot.
+type instrument interface {
+	sample(name string) Sample
+}
+
+func (c *Counter) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindCounter, Value: c.Value()}
+}
+
+func (g *Gauge) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindGauge, Gauge: g.Value()}
+}
+
+func (h *Histogram) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindHistogram, Buckets: h.Buckets()}
+}
+
+// counterFunc pulls a count from a module's plain field at snapshot time.
+type counterFunc func() uint64
+
+func (f counterFunc) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindCounter, Value: f()}
+}
+
+type gaugeFunc func() float64
+
+func (f gaugeFunc) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindGauge, Gauge: f()}
+}
+
+// bucketsFunc pulls histogram buckets (e.g. from stats.Hist) at snapshot
+// time. The returned slice is trimmed of trailing zeroes by the registry.
+type bucketsFunc func() []uint64
+
+func (f bucketsFunc) sample(name string) Sample {
+	b := f()
+	last := -1
+	for i, n := range b {
+		if n != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return Sample{Name: name, Kind: KindHistogram}
+	}
+	out := make([]uint64, last+1)
+	copy(out, b[:last+1])
+	return Sample{Name: name, Kind: KindHistogram, Buckets: out}
+}
+
+// shard holds one top-level scope's instruments behind its own lock.
+type shard struct {
+	mu    sync.Mutex
+	insts map[string]instrument
+}
+
+// Registry is the root of the instrument namespace. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	shards map[string]*shard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{shards: map[string]*shard{}}
+}
+
+// Scope returns a handle registering instruments under prefix (one or more
+// '/'-separated segments).
+func (r *Registry) Scope(prefix string) *Scope {
+	mustValidName(prefix)
+	return &Scope{reg: r, prefix: prefix}
+}
+
+// shardFor returns (creating if needed) the shard owning full name.
+func (r *Registry) shardFor(name string) *shard {
+	top := name
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		top = name[:i]
+	}
+	r.mu.RLock()
+	s, ok := r.shards[top]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.shards[top]; ok {
+		return s
+	}
+	s = &shard{insts: map[string]instrument{}}
+	r.shards[top] = s
+	return s
+}
+
+// register installs in under name, panicking on duplicates: metric names
+// are static program data and a collision is a wiring bug.
+func (r *Registry) register(name string, in instrument) {
+	mustValidName(name)
+	s := r.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.insts[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate instrument %q", name))
+	}
+	s.insts[name] = in
+}
+
+// Snapshot samples every instrument into a deterministic, name-sorted
+// Snapshot — independent of registration order and shard layout, so two
+// identical runs serialize byte-identically.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	shards := make([]*shard, 0, len(r.shards))
+	for _, s := range r.shards {
+		shards = append(shards, s)
+	}
+	r.mu.RUnlock()
+
+	var out Snapshot
+	for _, s := range shards {
+		s.mu.Lock()
+		for name, in := range s.insts {
+			out = append(out, in.sample(name))
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Scope prefixes instrument names; it is a cheap value handle over the
+// registry.
+type Scope struct {
+	reg    *Registry
+	prefix string
+}
+
+// Scope returns a sub-scope.
+func (s *Scope) Scope(sub string) *Scope {
+	mustValidName(sub)
+	return &Scope{reg: s.reg, prefix: s.prefix + "/" + sub}
+}
+
+// Name returns the full name of a child instrument.
+func (s *Scope) name(n string) string { return s.prefix + "/" + n }
+
+// Counter creates and registers an owned atomic counter.
+func (s *Scope) Counter(name string) *Counter {
+	c := &Counter{}
+	s.reg.register(s.name(name), c)
+	return c
+}
+
+// Gauge creates and registers an owned atomic gauge.
+func (s *Scope) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	s.reg.register(s.name(name), g)
+	return g
+}
+
+// Histogram creates and registers an owned atomic histogram.
+func (s *Scope) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	s.reg.register(s.name(name), h)
+	return h
+}
+
+// CounterFunc registers a pull-style counter reading fn at snapshot time.
+func (s *Scope) CounterFunc(name string, fn func() uint64) {
+	s.reg.register(s.name(name), counterFunc(fn))
+}
+
+// GaugeFunc registers a pull-style gauge.
+func (s *Scope) GaugeFunc(name string, fn func() float64) {
+	s.reg.register(s.name(name), gaugeFunc(fn))
+}
+
+// BucketsFunc registers a pull-style histogram; fn returns log2-bucket
+// counts (any length up to HistBuckets).
+func (s *Scope) BucketsFunc(name string, fn func() []uint64) {
+	s.reg.register(s.name(name), bucketsFunc(fn))
+}
+
+// mustValidName enforces the naming grammar: '/'-separated non-empty
+// segments of [a-z0-9_.-].
+func mustValidName(name string) {
+	if name == "" {
+		panic("metrics: empty name")
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "" {
+			panic(fmt.Sprintf("metrics: empty segment in %q", name))
+		}
+		for _, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9',
+				r == '_', r == '.', r == '-':
+			default:
+				panic(fmt.Sprintf("metrics: invalid character %q in %q", r, name))
+			}
+		}
+	}
+}

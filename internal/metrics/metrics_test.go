@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements: owned instruments are safe under concurrent
+// update (run with -race; CI does). The final values must be exact.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("runner")
+	c := sc.Counter("cells")
+	g := sc.Gauge("depth")
+	h := sc.Histogram("wall")
+
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(float64(w*per + i))
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per-1 {
+		t.Errorf("gauge high-water = %g, want %d", got, workers*per-1)
+	}
+	var total uint64
+	for _, n := range h.Buckets() {
+		total += n
+	}
+	if total != workers*per {
+		t.Errorf("histogram samples = %d, want %d", total, workers*per)
+	}
+}
+
+// buildRegistry registers a spread of instruments across shards in a
+// deliberately non-sorted order.
+func buildRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Scope("dram/stacked").CounterFunc("reads", func() uint64 { return 42 })
+	reg.Scope("cameo/llp").CounterFunc("mispredict", func() uint64 { return 7 })
+	reg.Scope("sys").GaugeFunc("row_hit_rate", func() float64 { return 0.875 })
+	reg.Scope("cameo").Counter("swaps").Add(11)
+	reg.Scope("dram/offchip").CounterFunc("reads", func() uint64 { return 3 })
+	h := reg.Scope("sys").Histogram("latency")
+	for _, v := range []uint64{1, 2, 300, 300, 4096} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestSnapshotDeterministicOrder: snapshots are name-sorted regardless of
+// registration and shard order, and two snapshots of identical registries
+// serialize byte-identically.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	snap := buildRegistry().Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not strictly name-sorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := snap.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two snapshots of identical registries serialize differently")
+	}
+	if !strings.Contains(a.String(), "cameo/llp/mispredict") {
+		t.Errorf("hierarchical name missing from JSON:\n%s", a.String())
+	}
+}
+
+// TestRoundTrip: JSON and CSV serializations decode back to an equal
+// snapshot.
+func TestRoundTrip(t *testing.T) {
+	want := buildRegistry().Snapshot()
+
+	var j bytes.Buffer
+	if err := want.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	gotJ, err := ReadJSON(&j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotJ, want) {
+		t.Errorf("JSON round trip:\ngot  %+v\nwant %+v", gotJ, want)
+	}
+
+	var c bytes.Buffer
+	if err := want.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := ReadCSV(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, want) {
+		t.Errorf("CSV round trip:\ngot  %+v\nwant %+v", gotC, want)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Snapshot{
+		{Name: "cameo/swaps", Kind: KindCounter, Value: 5},
+		{Name: "sys/depth", Kind: KindGauge, Gauge: 3},
+		{Name: "sys/latency", Kind: KindHistogram, Buckets: []uint64{0, 1, 2}},
+	}
+	b := Snapshot{
+		{Name: "cameo/swaps", Kind: KindCounter, Value: 7},
+		{Name: "dram/stacked/reads", Kind: KindCounter, Value: 1},
+		{Name: "sys/depth", Kind: KindGauge, Gauge: 2},
+		{Name: "sys/latency", Kind: KindHistogram, Buckets: []uint64{4}},
+	}
+	got := Merge(a, b)
+	want := Snapshot{
+		{Name: "cameo/swaps", Kind: KindCounter, Value: 12},
+		{Name: "dram/stacked/reads", Kind: KindCounter, Value: 1},
+		{Name: "sys/depth", Kind: KindGauge, Gauge: 3},
+		{Name: "sys/latency", Kind: KindHistogram, Buckets: []uint64{4, 1, 2}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Merge must not alias its inputs' bucket slices.
+	a[2].Buckets[0] = 99
+	if got[3].Buckets[0] != 4 {
+		t.Error("merge aliased an input bucket slice")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := Snapshot{
+		{Name: "a", Kind: KindCounter, Value: 10},
+		{Name: "b", Kind: KindCounter, Value: 5},
+		{Name: "gone", Kind: KindCounter, Value: 1},
+	}
+	cur := Snapshot{
+		{Name: "a", Kind: KindCounter, Value: 10},
+		{Name: "b", Kind: KindCounter, Value: 6},
+		{Name: "new", Kind: KindCounter, Value: 2},
+	}
+	ds := Diff(base, cur)
+	if len(ds) != 3 {
+		t.Fatalf("deltas = %+v, want 3 entries", ds)
+	}
+	if ds[0].Name != "b" || ds[0].Base != 5 || ds[0].Current != 6 || ds[0].Missing {
+		t.Errorf("drift delta wrong: %+v", ds[0])
+	}
+	if ds[1].Name != "gone" || !ds[1].Missing {
+		t.Errorf("gone delta wrong: %+v", ds[1])
+	}
+	if ds[2].Name != "new" || !ds[2].Missing {
+		t.Errorf("new delta wrong: %+v", ds[2])
+	}
+	if r := ds[0].Rel(); r != 0.2 {
+		t.Errorf("Rel = %g, want 0.2", r)
+	}
+}
+
+func TestGetAndTotal(t *testing.T) {
+	snap := buildRegistry().Snapshot()
+	sm, ok := snap.Get("sys/latency")
+	if !ok || sm.Kind != KindHistogram {
+		t.Fatalf("Get(sys/latency) = %+v, %v", sm, ok)
+	}
+	if sm.Total() != 5 {
+		t.Errorf("histogram Total = %g, want 5", sm.Total())
+	}
+	if _, ok := snap.Get("nope"); ok {
+		t.Error("Get resolved a missing name")
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	for _, bad := range []string{"", "a//b", "Upper", "sp ace", "tail/"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			NewRegistry().Scope(bad)
+		}()
+	}
+	// Duplicate registration is a wiring bug.
+	reg := NewRegistry()
+	reg.Scope("m").Counter("x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration did not panic")
+			}
+		}()
+		reg.Scope("m").Counter("x")
+	}()
+}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one instrument's value at snapshot time. Exactly one of Value
+// (counter), Gauge (gauge), or Buckets (histogram) is meaningful, selected
+// by Kind.
+type Sample struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   uint64   `json:"value,omitempty"`
+	Gauge   float64  `json:"gauge,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Total returns the scalar magnitude of the sample: the count, the gauge
+// level, or the histogram's total sample count.
+func (s Sample) Total() float64 {
+	switch s.Kind {
+	case KindGauge:
+		return s.Gauge
+	case KindHistogram:
+		var t uint64
+		for _, n := range s.Buckets {
+			t += n
+		}
+		return float64(t)
+	default:
+		return float64(s.Value)
+	}
+}
+
+// Snapshot is a name-sorted set of samples — the deterministic serialized
+// form of a Registry at one instant.
+type Snapshot []Sample
+
+// Get returns the sample with the given name.
+func (s Snapshot) Get(name string) (Sample, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i], true
+	}
+	return Sample{}, false
+}
+
+// WriteJSON emits the snapshot as indented JSON. Samples are name-sorted
+// and every field renders deterministically, so two snapshots of identical
+// runs are byte-identical.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("metrics: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// WriteCSV emits the snapshot as "name,kind,value" rows; histogram buckets
+// are ';'-joined in the value column.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "value"}); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for _, sm := range s {
+		var val string
+		switch sm.Kind {
+		case KindGauge:
+			val = strconv.FormatFloat(sm.Gauge, 'g', -1, 64)
+		case KindHistogram:
+			parts := make([]string, len(sm.Buckets))
+			for i, n := range sm.Buckets {
+				parts[i] = strconv.FormatUint(n, 10)
+			}
+			val = strings.Join(parts, ";")
+		default:
+			val = strconv.FormatUint(sm.Value, 10)
+		}
+		if err := cw.Write([]string{sm.Name, sm.Kind, val}); err != nil {
+			return fmt.Errorf("metrics: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: csv flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV decodes a snapshot written by WriteCSV.
+func ReadCSV(r io.Reader) (Snapshot, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("metrics: empty csv")
+	}
+	if h := records[0]; len(h) != 3 || h[0] != "name" || h[1] != "kind" || h[2] != "value" {
+		return nil, fmt.Errorf("metrics: csv header %q is not name,kind,value", h)
+	}
+	var out Snapshot
+	for i, rec := range records[1:] {
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("metrics: csv row %d has %d columns", i+1, len(rec))
+		}
+		sm := Sample{Name: rec[0], Kind: rec[1]}
+		switch sm.Kind {
+		case KindGauge:
+			if sm.Gauge, err = strconv.ParseFloat(rec[2], 64); err != nil {
+				return nil, fmt.Errorf("metrics: csv row %d: %w", i+1, err)
+			}
+		case KindHistogram:
+			if rec[2] != "" {
+				parts := strings.Split(rec[2], ";")
+				sm.Buckets = make([]uint64, len(parts))
+				for j, p := range parts {
+					if sm.Buckets[j], err = strconv.ParseUint(p, 10, 64); err != nil {
+						return nil, fmt.Errorf("metrics: csv row %d: %w", i+1, err)
+					}
+				}
+			}
+		case KindCounter:
+			if sm.Value, err = strconv.ParseUint(rec[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("metrics: csv row %d: %w", i+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("metrics: csv row %d: unknown kind %q", i+1, sm.Kind)
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}
+
+// Merge folds snapshots sample-wise into one: counters and histogram
+// buckets sum, gauges take the maximum (gauges are levels, and across cells
+// the high-water mark is the meaningful aggregate). The result is
+// name-sorted; a name's kind must agree across inputs.
+func Merge(snaps ...Snapshot) Snapshot {
+	acc := map[string]*Sample{}
+	for _, snap := range snaps {
+		for _, sm := range snap {
+			cur, ok := acc[sm.Name]
+			if !ok {
+				c := sm
+				c.Buckets = append([]uint64(nil), sm.Buckets...)
+				acc[sm.Name] = &c
+				continue
+			}
+			if cur.Kind != sm.Kind {
+				panic(fmt.Sprintf("metrics: merging %q as both %s and %s", sm.Name, cur.Kind, sm.Kind))
+			}
+			switch sm.Kind {
+			case KindGauge:
+				if sm.Gauge > cur.Gauge {
+					cur.Gauge = sm.Gauge
+				}
+			case KindHistogram:
+				for len(cur.Buckets) < len(sm.Buckets) {
+					cur.Buckets = append(cur.Buckets, 0)
+				}
+				for i, n := range sm.Buckets {
+					cur.Buckets[i] += n
+				}
+			default:
+				cur.Value += sm.Value
+			}
+		}
+	}
+	names := make([]string, 0, len(acc))
+	for n := range acc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(Snapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, *acc[n])
+	}
+	return out
+}
+
+// Delta is one per-name difference between two snapshots, as produced by
+// Diff — the unit of the CI regression gate.
+type Delta struct {
+	Name string
+	// Base and Current are the scalar magnitudes (Sample.Total).
+	Base, Current float64
+	// Missing marks a name present in only one snapshot: Base==0 means it
+	// is new, Current==0 means it disappeared.
+	Missing bool
+}
+
+// Rel returns the relative drift |cur-base| / max(|base|, 1).
+func (d Delta) Rel() float64 {
+	den := d.Base
+	if den < 0 {
+		den = -den
+	}
+	if den < 1 {
+		den = 1
+	}
+	drift := d.Current - d.Base
+	if drift < 0 {
+		drift = -drift
+	}
+	return drift / den
+}
+
+// Diff compares two snapshots by name and returns every difference,
+// name-sorted. Identical samples produce no delta.
+func Diff(base, cur Snapshot) []Delta {
+	var out []Delta
+	byName := map[string]Sample{}
+	for _, sm := range cur {
+		byName[sm.Name] = sm
+	}
+	seen := map[string]bool{}
+	for _, b := range base {
+		seen[b.Name] = true
+		c, ok := byName[b.Name]
+		if !ok {
+			out = append(out, Delta{Name: b.Name, Base: b.Total(), Missing: true})
+			continue
+		}
+		if bt, ct := b.Total(), c.Total(); bt != ct {
+			out = append(out, Delta{Name: b.Name, Base: bt, Current: ct})
+		}
+	}
+	for _, c := range cur {
+		if !seen[c.Name] {
+			out = append(out, Delta{Name: c.Name, Current: c.Total(), Missing: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

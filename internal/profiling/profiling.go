@@ -1,0 +1,85 @@
+// Package profiling wires the standard opt-in observability hooks into the
+// CLIs: -cpuprofile / -memprofile file dumps (runtime/pprof) and a -pprof
+// live net/http/pprof endpoint. Everything is off by default and costs
+// nothing when unused.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling options of one CLI. Register them with
+// AddFlags, then after flag.Parse call Start and defer the returned stop —
+// it flushes the profiles, so it must run before exit.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// AddFlags registers -cpuprofile, -memprofile, and -pprof on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start begins CPU profiling and the pprof server as requested. The
+// returned stop flushes the CPU profile and writes the heap profile; it is
+// safe to call exactly once and reports the first error it hits.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.PprofAddr != "" {
+		go func() {
+			// The server lives for the process; an unusable address is
+			// reported but not fatal (profiling is auxiliary).
+			if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: pprof server:", err)
+			}
+		}()
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialize up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(mf); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := mf.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

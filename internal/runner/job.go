@@ -20,7 +20,7 @@ import (
 // cacheSchema versions the canonical cell encoding. Bump it whenever the
 // meaning of a cached result changes (new Config field, Result layout
 // change that affects consumers), so stale persistent caches miss cleanly.
-const cacheSchema = "cameo-cell-v1"
+const cacheSchema = "cameo-cell-v2" // v2: Result gained the Metrics snapshot
 
 // Job is one simulation cell: a workload (a single rate-mode benchmark or
 // a multi-programmed mix) under one system configuration.

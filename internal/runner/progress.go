@@ -1,0 +1,30 @@
+package runner
+
+import (
+	"io"
+	"os"
+)
+
+// AutoProgress decides where live progress/ETA lines should go: os.Stderr
+// when it is an interactive terminal and quiet was not requested, nil (no
+// progress) otherwise. CLIs pass the result straight to Options.Progress so
+// redirected or CI runs never see \r-spinner noise on stderr.
+func AutoProgress(quiet bool) io.Writer {
+	if quiet {
+		return nil
+	}
+	if !isTerminal(os.Stderr) {
+		return nil
+	}
+	return os.Stderr
+}
+
+// isTerminal reports whether f is a character device (a TTY rather than a
+// pipe or regular file).
+func isTerminal(f *os.File) bool {
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAutoProgressQuiet(t *testing.T) {
+	if w := AutoProgress(true); w != nil {
+		t.Fatalf("quiet AutoProgress = %v, want nil", w)
+	}
+}
+
+// TestAutoProgressNonTTY redirects stderr to a regular file: progress must
+// be suppressed so redirected/CI runs get no \r-spinner noise.
+func TestAutoProgressNonTTY(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig := os.Stderr
+	os.Stderr = f
+	defer func() { os.Stderr = orig }()
+	if w := AutoProgress(false); w != nil {
+		t.Fatalf("AutoProgress with file stderr = %v, want nil", w)
+	}
+}
+
+func TestIsTerminalOnRegularFile(t *testing.T) {
+	f, err := os.Open(os.DevNull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// /dev/null IS a character device; the positive branch.
+	if !isTerminal(f) {
+		t.Skip("no character device available")
+	}
+	reg, err := os.Create(filepath.Join(t.TempDir(), "plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if isTerminal(reg) {
+		t.Fatal("regular file reported as terminal")
+	}
+}
+
+func TestJobsLookupAndMetrics(t *testing.T) {
+	r := New(Options{Jobs: 3, Execute: metricsExecute})
+	if r.Jobs() != 3 {
+		t.Fatalf("Jobs = %d, want 3", r.Jobs())
+	}
+	job := testJobs(1)[0]
+	if _, ok := r.Lookup(job.Key()); ok {
+		t.Fatal("Lookup hit before any run")
+	}
+	if _, err := r.Get(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup(job.Key()); !ok {
+		t.Fatal("Lookup miss after run")
+	}
+	if _, ok := r.Metrics().Get("runner/cells_executed"); !ok {
+		t.Fatal("runner self-metrics missing cells_executed")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"cameo/internal/metrics"
 	"cameo/internal/system"
 )
 
@@ -38,12 +39,22 @@ type Runner struct {
 	mu       sync.Mutex
 	done     map[string]system.Result
 	inflight map[string]*call
+	cells    map[string]cellInfo
 
 	// progress counters (guarded by mu)
 	completed int
 	total     int
 	fromCache int
 	started   time.Time
+
+	// Pool self-metrics. These are owned atomic instruments (not pull
+	// closures) because workers increment them concurrently.
+	reg          *metrics.Registry
+	executed     *metrics.Counter
+	cacheHits    *metrics.Counter
+	memoHits     *metrics.Counter
+	panicked     *metrics.Counter
+	cellWallHist *metrics.Histogram
 }
 
 // call is one in-flight singleflight execution.
@@ -58,11 +69,20 @@ func New(opts Options) *Runner {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		opts:     opts,
 		done:     map[string]system.Result{},
 		inflight: map[string]*call{},
+		cells:    map[string]cellInfo{},
+		reg:      metrics.NewRegistry(),
 	}
+	sc := r.reg.Scope("runner")
+	r.executed = sc.Counter("cells_executed")
+	r.cacheHits = sc.Counter("cache_hits")
+	r.memoHits = sc.Counter("memo_hits")
+	r.panicked = sc.Counter("panics")
+	r.cellWallHist = sc.Histogram("cell_wall_ms")
+	return r
 }
 
 // Jobs returns the worker-pool size.
@@ -78,6 +98,7 @@ func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 	r.mu.Lock()
 	if res, ok := r.done[key]; ok {
 		r.mu.Unlock()
+		r.memoHits.Inc()
 		return res, nil
 	}
 	if c, ok := r.inflight[key]; ok {
@@ -111,24 +132,35 @@ func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 
 // execute runs one cell with cache consult and panic-to-error recovery.
 func (r *Runner) execute(j Job) (res system.Result, err error) {
+	key, name := j.Key(), j.Name()
 	if r.opts.Cache != nil {
 		if cached, ok := r.opts.Cache.Load(j.Hash()); ok {
+			r.cacheHits.Inc()
 			r.mu.Lock()
 			r.fromCache++
+			r.cells[key] = cellInfo{name: name, fromCache: true}
 			r.mu.Unlock()
 			return cached, nil
 		}
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("runner: job %s panicked: %v\n%s", j.Name(), p, debug.Stack())
+			r.panicked.Inc()
+			err = fmt.Errorf("runner: job %s panicked: %v\n%s", name, p, debug.Stack())
 		}
 	}()
+	start := time.Now()
 	if r.opts.Execute != nil {
 		res = r.opts.Execute(j)
 	} else {
 		res = j.Run()
 	}
+	wall := time.Since(start)
+	r.executed.Inc()
+	r.cellWallHist.Observe(uint64(wall.Milliseconds()))
+	r.mu.Lock()
+	r.cells[key] = cellInfo{name: name, wallNS: wall.Nanoseconds()}
+	r.mu.Unlock()
 	if r.opts.Cache != nil {
 		r.opts.Cache.Store(j.Hash(), res)
 	}

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cameo/internal/metrics"
+	"cameo/internal/system"
+)
+
+// metricsExecute derives a deterministic fake Result with a metrics
+// snapshot from the job (real simulations attach one the same way).
+func metricsExecute(j Job) system.Result {
+	reg := metrics.NewRegistry()
+	sc := reg.Scope("fake")
+	seed := j.Cfg.Seed
+	sc.CounterFunc("cycles", func() uint64 { return seed * 100 })
+	return system.Result{
+		Benchmark: j.Specs[0].Name,
+		Cycles:    seed * 100,
+		Metrics:   reg.Snapshot(),
+	}
+}
+
+// TestTelemetryDeterministicAcrossWorkerCounts is the telemetry half of
+// the determinism contract: the default (timing-free) telemetry JSON from
+// a parallel run must be byte-identical to a serial run's.
+func TestTelemetryDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := testJobs(6)
+	var dumps [][]byte
+	for _, workers := range []int{1, 8} {
+		r := New(Options{Jobs: workers, Execute: metricsExecute})
+		if err := r.RunAll(context.Background(), jobs); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.Telemetry(false).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, buf.Bytes())
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Fatalf("telemetry differs between 1 and 8 workers:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			dumps[0], dumps[1])
+	}
+}
+
+func TestTelemetryAggregateSumsCells(t *testing.T) {
+	jobs := testJobs(4)
+	r := New(Options{Jobs: 2, Execute: metricsExecute})
+	if err := r.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	tel := r.Telemetry(false)
+	if len(tel.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(tel.Cells))
+	}
+	agg, ok := tel.Aggregate.Get("fake/cycles")
+	if !ok {
+		t.Fatal("aggregate missing fake/cycles")
+	}
+	// Seeds 1..4, each contributing seed*100.
+	if want := uint64((1 + 2 + 3 + 4) * 100); agg.Value != want {
+		t.Fatalf("aggregate fake/cycles = %d, want %d", agg.Value, want)
+	}
+	for _, c := range tel.Cells {
+		if c.WallNS != 0 || c.FromCache {
+			t.Fatalf("cell %q has timing fields without includeTiming", c.Key)
+		}
+	}
+	if tel.Runner != nil {
+		t.Fatal("runner self-metrics present without includeTiming")
+	}
+}
+
+func TestTelemetryTimingFields(t *testing.T) {
+	jobs := testJobs(2)
+	cache, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Jobs: 1, Execute: metricsExecute, Cache: cache})
+	if err := r.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Second runner over the same cache: everything is a cache hit.
+	r2 := New(Options{Jobs: 1, Execute: metricsExecute, Cache: cache})
+	if err := r2.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	tel := r2.Telemetry(true)
+	for _, c := range tel.Cells {
+		if !c.FromCache {
+			t.Fatalf("cell %q should be from cache", c.Key)
+		}
+	}
+	hits, ok := tel.Runner.Get("runner/cache_hits")
+	if !ok || hits.Value != 2 {
+		t.Fatalf("runner/cache_hits = %+v (ok=%t), want 2", hits, ok)
+	}
+}

@@ -53,12 +53,19 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Stats counts engine activity over the run.
+type Stats struct {
+	EventsFired uint64 // events dispatched by Step
+	MaxPending  uint64 // high-water mark of the pending-event heap
+}
+
 // Engine owns the clock and the pending-event heap.
 type Engine struct {
 	now     Cycle
 	nextSeq uint64
 	events  eventHeap
 	stopped bool
+	stats   Stats
 }
 
 // NewEngine returns an engine at cycle 0 with no pending events.
@@ -82,8 +89,14 @@ func (e *Engine) At(at Cycle, fn func(now Cycle)) *Event {
 	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.events, ev)
+	if n := uint64(len(e.events)); n > e.stats.MaxPending {
+		e.stats.MaxPending = n
+	}
 	return ev
 }
+
+// Stats returns a snapshot of the engine's activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay Cycle, fn func(now Cycle)) *Event {
@@ -112,6 +125,7 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*Event)
 	ev.idx = -1
 	e.now = ev.At
+	e.stats.EventsFired++
 	ev.Fn(e.now)
 	return true
 }

@@ -1,0 +1,9 @@
+package sim
+
+import "cameo/internal/metrics"
+
+// RegisterMetrics publishes the engine's activity counters into scope s.
+func (e *Engine) RegisterMetrics(s *metrics.Scope) {
+	s.CounterFunc("events_fired", func() uint64 { return e.stats.EventsFired })
+	s.GaugeFunc("max_pending", func() float64 { return float64(e.stats.MaxPending) })
+}

@@ -33,6 +33,18 @@ func (h *Hist) Observe(v uint64) {
 // Count returns the number of samples.
 func (h *Hist) Count() uint64 { return h.count }
 
+// Buckets returns a copy of the log2 bucket counts, trimmed of trailing
+// zeros. Bucket b counts samples whose bit length is b.
+func (h *Hist) Buckets() []uint64 {
+	n := len(h.buckets)
+	for n > 0 && h.buckets[n-1] == 0 {
+		n--
+	}
+	out := make([]uint64, n)
+	copy(out, h.buckets[:n])
+	return out
+}
+
 // Mean returns the average sample.
 func (h *Hist) Mean() float64 {
 	if h.count == 0 {

@@ -12,6 +12,7 @@ import (
 	"cameo/internal/lohhill"
 	"cameo/internal/memctrl"
 	"cameo/internal/memsys"
+	"cameo/internal/metrics"
 	"cameo/internal/sim"
 	"cameo/internal/stats"
 	"cameo/internal/tlb"
@@ -60,6 +61,11 @@ type Result struct {
 	L3 *cache.Stats
 
 	DroppedWritebacks uint64
+
+	// Metrics is the hierarchical registry snapshot for the run: every
+	// module's counters under names like "cameo/llt/probes" or
+	// "dram/stacked/row_hits", name-sorted and byte-diffable.
+	Metrics metrics.Snapshot `json:",omitempty"`
 }
 
 // StorageBytes is the storage traffic (page-ins plus dirty page-outs).
@@ -333,6 +339,25 @@ func (m *machine) memFunc(coreID int, now uint64, req workload.Request) cpu.Outc
 	return cpu.Outcome{Complete: complete + stall, BlockUntil: block}
 }
 
+// registerMetrics assembles the run's metrics registry. Every instrument is
+// a pull-style closure over live counters, so building the registry after
+// the run costs nothing on the simulation hot path.
+func (m *machine) registerMetrics() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	if src, ok := m.org.(memsys.MetricSource); ok {
+		src.RegisterMetrics(reg)
+	}
+	m.vmm.RegisterMetrics(reg.Scope("vm"))
+	if m.l3 != nil {
+		m.l3.RegisterMetrics(reg.Scope("l3"))
+	}
+	m.eng.RegisterMetrics(reg.Scope("sim"))
+	sys := reg.Scope("sys")
+	sys.BucketsFunc("demand_latency", m.lat.Buckets)
+	sys.CounterFunc("dropped_writebacks", func() uint64 { return m.dropped })
+	return reg
+}
+
 // Run simulates spec in rate mode (every core runs a copy) and returns the
 // measurements.
 func Run(spec workload.Spec, cfg Config) Result {
@@ -431,5 +456,6 @@ func runMachine(specs []workload.Spec, cfg Config, name string, class workload.C
 		st := m.l3.Stats()
 		res.L3 = &st
 	}
+	res.Metrics = m.registerMetrics().Snapshot()
 	return res
 }

@@ -1,0 +1,34 @@
+package tlm
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/metrics"
+)
+
+// registerRoute publishes the shared two-module split under the dram scopes.
+func (r *route) registerRoute(reg *metrics.Registry) {
+	dram.RegisterMetrics(reg.Scope("dram/stacked"), r.stacked)
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), r.off)
+}
+
+// registerMigrations publishes page-migration counters under "tlm/...".
+func registerMigrations(reg *metrics.Registry, mig *MigrationStats) {
+	sc := reg.Scope("tlm")
+	sc.CounterFunc("page_swaps", func() uint64 { return mig.Swaps })
+	sc.CounterFunc("page_moves", func() uint64 { return mig.Moves })
+}
+
+// RegisterMetrics publishes the no-migration TLM's module counters.
+func (s *Static) RegisterMetrics(reg *metrics.Registry) { s.registerRoute(reg) }
+
+// RegisterMetrics publishes TLM-Dynamic's migration and module counters.
+func (d *Dynamic) RegisterMetrics(reg *metrics.Registry) {
+	registerMigrations(reg, &d.mig)
+	d.registerRoute(reg)
+}
+
+// RegisterMetrics publishes TLM-Freq's migration and module counters.
+func (f *Freq) RegisterMetrics(reg *metrics.Registry) {
+	registerMigrations(reg, &f.mig)
+	f.registerRoute(reg)
+}

@@ -1,0 +1,15 @@
+package vm
+
+import "cameo/internal/metrics"
+
+// RegisterMetrics publishes the paging layer's counters into scope s
+// (pull-style; the translation hot path is untouched).
+func (m *Memory) RegisterMetrics(s *metrics.Scope) {
+	s.CounterFunc("minor_faults", func() uint64 { return m.stats.MinorFaults })
+	s.CounterFunc("major_faults", func() uint64 { return m.stats.MajorFaults })
+	s.CounterFunc("evictions", func() uint64 { return m.stats.Evictions })
+	s.CounterFunc("dirty_evicted", func() uint64 { return m.stats.DirtyEvicted })
+	s.CounterFunc("bytes_from_storage", func() uint64 { return m.stats.BytesFromStorage })
+	s.CounterFunc("bytes_to_storage", func() uint64 { return m.stats.BytesToStorage })
+	s.CounterFunc("stall_cycles", func() uint64 { return m.stats.StallCycles })
+}
