@@ -81,6 +81,9 @@ func main() {
 		hist     = flag.Bool("hist", false, "print the demand-latency histogram")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (the -speedup baseline runs concurrently)")
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory (note: cached results omit the -hist histogram)")
+
+		jobTimeout = flag.Duration("job-timeout", 0, "watchdog: abandon a run attempt longer than this (0 = off)")
+		retries    = flag.Int("retries", 0, "retry a transiently-failed run this many times")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -149,13 +152,14 @@ func main() {
 		}
 	}
 
-	ropts := runner.Options{Jobs: *jobs}
+	ropts := runner.Options{Jobs: *jobs, JobTimeout: *jobTimeout, Retries: *retries}
 	if *cachedir != "" {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
 			os.Exit(1)
 		}
+		defer cache.Close()
 		ropts.Cache = cache
 	}
 	pool := runner.New(ropts)

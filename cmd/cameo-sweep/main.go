@@ -15,7 +15,10 @@
 //
 // Cells fan out across -jobs workers; rows are emitted in sweep order
 // regardless of completion order, so the CSV is byte-identical for any
-// worker count. With -cachedir, already-simulated cells load from disk.
+// worker count. With -cachedir, already-simulated cells load from disk and
+// an interrupted sweep can continue with -resume. -job-timeout, -retries
+// and -keep-going harden long sweeps against stuck or failing cells, and
+// -chaos injects deterministic faults to drill exactly those paths.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"syscall"
 
 	"cameo/internal/experiments"
+	"cameo/internal/faultinject"
 	"cameo/internal/profiling"
 	"cameo/internal/report"
 	"cameo/internal/runner"
@@ -61,6 +65,14 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+
+		jobTimeout = flag.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
+		retries    = flag.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
+		keepGoing  = flag.Bool("keep-going", false, "skip failed cells in the CSV, write a failure report, exit 3")
+		resume     = flag.Bool("resume", false, "resume an interrupted sweep from its -cachedir checkpoint manifest")
+		failures   = flag.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
+		chaos      = flag.String("chaos", "", "fault-injection spec for robustness drills, e.g. 'job:panic:p=0.2;cacheload:corrupt:p=0.1'")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule")
 
 		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
 		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output")
@@ -137,26 +149,67 @@ func main() {
 		}
 	}
 
+	if *resume && *cachedir == "" {
+		fmt.Fprintln(os.Stderr, "cameo-sweep: -resume needs -cachedir (the manifest lives in the cache directory)")
+		os.Exit(2)
+	}
+
 	// Progress only when stderr is an interactive terminal and -quiet was
 	// not given: piping the CSV to a file or running under CI must not
 	// produce \r-spinner noise.
-	ropts := runner.Options{Jobs: *jobs, Progress: runner.AutoProgress(*quiet)}
+	ropts := runner.Options{
+		Jobs:       *jobs,
+		Progress:   runner.AutoProgress(*quiet),
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+		KeepGoing:  *keepGoing,
+	}
+	var plan *faultinject.Plan
+	if *chaos != "" {
+		var err error
+		plan, err = faultinject.ParseSpec(*chaosSeed, *chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			os.Exit(2)
+		}
+		ropts.Faults = plan
+	}
+	allJobs := make([]runner.Job, len(cells))
+	for i, c := range cells {
+		allJobs[i] = c.job
+	}
 	if *cachedir != "" {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
 			os.Exit(1)
 		}
+		defer cache.Close()
+		cache.SetFaults(plan)
 		ropts.Cache = cache
+
+		checkpoint, err := runner.OpenCheckpoint(*cachedir, allJobs, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			os.Exit(1)
+		}
+		if n := checkpoint.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "cameo-sweep: resuming run %.16s: %d cells already done\n",
+				checkpoint.RunID(), n)
+		}
+		ropts.Checkpoint = checkpoint
 	}
 	r := runner.New(ropts)
-	allJobs := make([]runner.Job, len(cells))
-	for i, c := range cells {
-		allJobs[i] = c.job
-	}
-	if err := r.RunAll(ctx, allJobs); err != nil {
-		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-		if errors.Is(err, context.Canceled) {
+	runErr := r.RunAll(ctx, allJobs)
+	var failedCells *runner.FailedCellsError
+	switch {
+	case runErr == nil:
+	case errors.As(runErr, &failedCells):
+		// Keep-going: the CSV below skips the failed cells; report + exit 3
+		// happen after the partial grid is written.
+	default:
+		fmt.Fprintln(os.Stderr, "cameo-sweep:", runErr)
+		if errors.Is(runErr, context.Canceled) {
 			os.Exit(130)
 		}
 		os.Exit(1)
@@ -164,15 +217,16 @@ func main() {
 
 	// Deterministic merge: collect in sweep order (memo hits), tagging the
 	// swept value into the benchmark column so the CSV is self-describing.
-	results := make([]system.Result, len(cells))
-	for i, c := range cells {
-		res, err := r.Get(ctx, c.job)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-			os.Exit(1)
+	// In keep-going mode, cells that failed have no memoized result and are
+	// skipped — the failure report names them.
+	results := make([]system.Result, 0, len(cells))
+	for _, c := range cells {
+		res, ok := r.Lookup(c.job.Key())
+		if !ok {
+			continue
 		}
 		res.Benchmark = c.tag
-		results[i] = res
+		results = append(results, res)
 	}
 
 	if err := writeCSV(*out, results); err != nil {
@@ -185,6 +239,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if failedCells != nil {
+		if *failures != "" {
+			if err := writeFailures(*failures, failedCells.Report); err != nil {
+				fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cameo-sweep: wrote failure report to %s\n", *failures)
+		}
+		fmt.Fprintln(os.Stderr, "cameo-sweep:", failedCells.Report.Summary())
+		os.Exit(3)
+	}
+	if err := ropts.Checkpoint.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "cameo-sweep: removing checkpoint manifest:", err)
+	}
+}
+
+// writeFailures dumps the keep-going failure report as deterministic JSON.
+func writeFailures(path string, rep *runner.FailureReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rep.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // writeTelemetry dumps every cell's metrics snapshot plus the aggregate.

@@ -7,6 +7,8 @@
 //	paperbench -exp fig13               # one experiment
 //	paperbench -exp fig12 -bench milc,mcf -scale 512 -instr 200000
 //	paperbench -jobs 8 -cachedir ~/.cache/cameo   # parallel + persistent cache
+//	paperbench -cachedir /tmp/c -resume           # continue an interrupted run
+//	paperbench -keep-going -retries 2 -job-timeout 5m -failures failed.json
 //
 // Output is fixed-width text; each experiment prints the same rows/series
 // the paper reports (see DESIGN.md for the per-experiment index). Each
@@ -45,6 +47,12 @@ func main() {
 		cachedir = flag.String("cachedir", "", "persistent result-cache directory (skip already-simulated cells)")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
 
+		jobTimeout = flag.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
+		retries    = flag.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
+		keepGoing  = flag.Bool("keep-going", false, "quarantine failed cells into a report and finish the rest (exit 3 if any failed)")
+		resume     = flag.Bool("resume", false, "resume an interrupted run from its -cachedir checkpoint manifest")
+		failures   = flag.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
+
 		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
 		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output (breaks byte-determinism)")
 	)
@@ -66,12 +74,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *resume && *cachedir == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: -resume needs -cachedir (the manifest lives in the cache directory)")
+		os.Exit(2)
+	}
+
 	opts := experiments.Options{
 		ScaleDiv:     *scale,
 		Cores:        *cores,
 		InstrPerCore: *instr,
 		Seed:         *seed,
 		Jobs:         *jobs,
+		JobTimeout:   *jobTimeout,
+		Retries:      *retries,
+		KeepGoing:    *keepGoing,
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
@@ -85,8 +101,45 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			os.Exit(1)
 		}
+		defer cache.Close()
 		opts.Cache = cache
 	}
+
+	// Which experiments run determines the sweep's cell set (and with it
+	// the checkpoint identity).
+	selected := experiments.All()
+	if *exp != "all" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (have: %s)\n",
+				*exp, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	var checkpoint *runner.Checkpoint
+	if *cachedir != "" {
+		// Plan the grid with a throwaway suite to derive the run identity,
+		// then build the real suite with the checkpoint attached.
+		planSuite, err := experiments.NewSuite(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		planned := experiments.PlannedJobs(planSuite, selected)
+		checkpoint, err = runner.OpenCheckpoint(*cachedir, planned, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		if n := checkpoint.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: resuming run %.16s: %d cells already done\n",
+				checkpoint.RunID(), n)
+		}
+		opts.Checkpoint = checkpoint
+	}
+
 	suite, err := experiments.NewSuite(opts)
 	if err != nil {
 		// Unknown benchmark names: the error carries the valid listing.
@@ -95,16 +148,10 @@ func main() {
 	}
 	experiments.Describe(suite, os.Stdout)
 
-	if *exp == "all" {
-		err = experiments.RunAll(ctx, suite, os.Stdout)
-	} else {
-		e, ok := experiments.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (have: %s)\n",
-				*exp, strings.Join(experiments.IDs(), ", "))
-			os.Exit(2)
+	for _, e := range selected {
+		if err = experiments.RunExperiment(ctx, suite, e, os.Stdout); err != nil {
+			break
 		}
-		err = experiments.RunExperiment(ctx, suite, e, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -128,6 +175,38 @@ func main() {
 		}
 		fmt.Printf("\nwrote telemetry to %s\n", *telemetry)
 	}
+
+	if rep := suite.FailureReport(); rep != nil {
+		// Keep-going mode completed everything it could; report what it
+		// could not and exit non-zero so scripts notice. The checkpoint
+		// manifest stays on disk: a later -resume run retries the failures.
+		if *failures != "" {
+			if werr := writeFailures(*failures, rep); werr != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "paperbench: wrote failure report to %s\n", *failures)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench:", rep.Summary())
+		os.Exit(3)
+	}
+	if err := checkpoint.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: removing checkpoint manifest:", err)
+	}
+}
+
+// writeFailures dumps the keep-going failure report as deterministic JSON.
+func writeFailures(path string, rep *runner.FailureReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rep.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // writeTelemetry dumps the suite's per-cell metrics snapshots. Without

@@ -70,20 +70,39 @@ type Cache struct {
 
 var _ memsys.Organization = (*Cache)(nil)
 
-// New builds the organization. The number of sets is derived from the
-// stacked module's capacity: 28 TADs per 2 KB row.
+// New builds the organization, panicking on an invalid configuration — the
+// convenience path for static program data. Code handling runtime-supplied
+// configurations should use NewCache, whose error surfaces as a per-cell
+// job failure instead of a crash.
 func New(cfg Config, stacked, off dram.Device) *Cache {
+	c, err := NewCache(cfg, stacked, off)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCache builds the organization, reporting a descriptive error for an
+// unusable configuration. The number of sets is derived from the stacked
+// module's capacity: 28 TADs per 2 KB row.
+func NewCache(cfg Config, stacked, off dram.Device) (*Cache, error) {
 	if stacked == nil || off == nil {
-		panic("alloy: nil DRAM module")
+		return nil, fmt.Errorf("alloy: nil DRAM module")
 	}
 	if cfg.VisibleLines == 0 {
-		panic("alloy: zero visible lines")
+		return nil, fmt.Errorf("alloy: zero visible lines")
+	}
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("alloy: non-positive core count %d", cfg.Cores)
+	}
+	if cfg.PredictorEntries < 0 || cfg.PredictorEntries&(cfg.PredictorEntries-1) != 0 {
+		return nil, fmt.Errorf("alloy: predictor entries %d not a power of two", cfg.PredictorEntries)
 	}
 	devLines := stacked.Config().CapacityBytes / dram.LineBytes
 	rows := devLines / linesPerRow
 	sets := rows * tadsPerRow
 	if sets == 0 {
-		panic(fmt.Sprintf("alloy: stacked capacity %d too small", stacked.Config().CapacityBytes))
+		return nil, fmt.Errorf("alloy: stacked capacity %d too small", stacked.Config().CapacityBytes)
 	}
 	return &Cache{
 		cfg:     cfg,
@@ -92,7 +111,7 @@ func New(cfg Config, stacked, off dram.Device) *Cache {
 		sets:    sets,
 		tags:    make([]tadEntry, sets),
 		pred:    NewPredictor(cfg.Cores, cfg.PredictorEntries),
-	}
+	}, nil
 }
 
 // Name implements memsys.Organization.

@@ -234,3 +234,36 @@ func BenchmarkAlloyAccess(b *testing.B) {
 		at = c.Access(at, read(i&1, uint64(i%10000), uint64(i%32)*4))
 	}
 }
+
+// TestNewCacheErrors: the validated constructor reports unusable
+// configurations as errors; the panicking New stays for static data.
+func TestNewCacheErrors(t *testing.T) {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	good := Config{Cores: 2, PredictorEntries: 256, VisibleLines: 1 << 16}
+	if _, err := NewCache(good, stacked, off); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name         string
+		cfg          Config
+		stacked, off dram.Device
+	}{
+		{"nil stacked", good, nil, off},
+		{"nil off", good, stacked, nil},
+		{"zero visible lines", Config{Cores: 2, PredictorEntries: 256}, stacked, off},
+		{"non-positive cores", Config{PredictorEntries: 256, VisibleLines: 1 << 16}, stacked, off},
+		{"entries not power of two", Config{Cores: 2, PredictorEntries: 100, VisibleLines: 1 << 16}, stacked, off},
+	}
+	for _, tc := range cases {
+		if _, err := NewCache(tc.cfg, tc.stacked, tc.off); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on bad config")
+		}
+	}()
+	New(Config{}, stacked, off)
+}

@@ -132,34 +132,51 @@ type System struct {
 
 var _ memsys.Organization = (*System)(nil)
 
-// New builds a CAMEO system over the two DRAM modules. The stacked module
-// must be large enough to hold Groups visible lines under the chosen LLT
-// layout; New panics otherwise (configurations are static data).
+// New builds a CAMEO system over the two DRAM modules, panicking on an
+// unusable configuration — the convenience path for static program data
+// (examples, canned tables). Code handling runtime-supplied configurations
+// should use NewSystem, whose error surfaces as a per-cell job failure
+// instead of a crash.
 func New(cfg Config, stacked, off dram.Device) *System {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewSystem(cfg, stacked, off)
+	if err != nil {
 		panic(err)
 	}
+	return s
+}
+
+// NewSystem builds a CAMEO system over the two DRAM modules, reporting a
+// descriptive error when the configuration is invalid or the stacked module
+// cannot hold Groups visible lines under the chosen LLT layout.
+func NewSystem(cfg Config, stacked, off dram.Device) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if stacked == nil || off == nil {
-		panic("cameo: nil DRAM module")
+		return nil, fmt.Errorf("cameo: nil DRAM module")
 	}
 	devLines := stacked.Config().CapacityBytes / dram.LineBytes
 	switch cfg.LLT {
 	case CoLocatedLLT:
 		if VisibleStackedLines(devLines) < cfg.Groups {
-			panic(fmt.Sprintf("cameo: device %d lines cannot hold %d LEADs", devLines, cfg.Groups))
+			return nil, fmt.Errorf("cameo: device %d lines cannot hold %d LEADs", devLines, cfg.Groups)
 		}
 	case EmbeddedLLT:
 		if devLines < cfg.Groups+EmbeddedLLTLines(cfg.Groups) {
-			panic(fmt.Sprintf("cameo: device %d lines cannot hold %d lines plus embedded LLT", devLines, cfg.Groups))
+			return nil, fmt.Errorf("cameo: device %d lines cannot hold %d lines plus embedded LLT", devLines, cfg.Groups)
 		}
 	default:
 		if devLines < cfg.Groups {
-			panic(fmt.Sprintf("cameo: device %d lines smaller than %d groups", devLines, cfg.Groups))
+			return nil, fmt.Errorf("cameo: device %d lines smaller than %d groups", devLines, cfg.Groups)
 		}
 	}
 	offLines := off.Config().CapacityBytes / dram.LineBytes
 	if need := cfg.Groups * uint64(cfg.Segments-1); offLines < need {
-		panic(fmt.Sprintf("cameo: off-chip %d lines smaller than %d", offLines, need))
+		return nil, fmt.Errorf("cameo: off-chip %d lines smaller than %d", offLines, need)
+	}
+	if cfg.LLTCacheEntries > 0 && cfg.LLT == EmbeddedLLT &&
+		cfg.LLTCacheEntries&(cfg.LLTCacheEntries-1) != 0 {
+		return nil, fmt.Errorf("cameo: LLTCacheEntries %d not a power of two", cfg.LLTCacheEntries)
 	}
 	sys := &System{
 		cfg:     cfg,
@@ -172,15 +189,12 @@ func New(cfg Config, stacked, off dram.Device) *System {
 		sys.hot = NewHotFilter(cfg.HotSwapThreshold, cfg.HotFilterEpoch)
 	}
 	if cfg.LLTCacheEntries > 0 && cfg.LLT == EmbeddedLLT {
-		if cfg.LLTCacheEntries&(cfg.LLTCacheEntries-1) != 0 {
-			panic("cameo: LLTCacheEntries must be a power of two")
-		}
 		sys.lltCache = make([]uint64, cfg.LLTCacheEntries)
 		for i := range sys.lltCache {
 			sys.lltCache[i] = ^uint64(0)
 		}
 	}
-	return sys
+	return sys, nil
 }
 
 // Name implements memsys.Organization.

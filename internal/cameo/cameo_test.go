@@ -370,3 +370,45 @@ func TestPredictionClampedToSegments(t *testing.T) {
 		t.Fatal("access not serviced")
 	}
 }
+
+// TestNewSystemErrors: the validated constructor reports geometry and
+// configuration problems as errors (the panicking New is a thin wrapper),
+// so a bad sweep cell fails as a job error instead of crashing the sweep.
+func TestNewSystemErrors(t *testing.T) {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	devLines := uint64(1<<20) / 64
+	groups := VisibleStackedLines(devLines)
+	off := dram.NewModule(dram.OffChipConfig(uint64(3) * groups * 64))
+	good := Config{Groups: groups, Segments: 4, Cores: 2, LLPEntries: 256}
+
+	if _, err := NewSystem(good, stacked, off); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []struct {
+		name         string
+		cfg          Config
+		stacked, off dram.Device
+	}{
+		{"invalid config", Config{Groups: 0, Segments: 4, Cores: 2, LLPEntries: 256}, stacked, off},
+		{"nil stacked", good, nil, off},
+		{"nil off", good, stacked, nil},
+		{"stacked too small for LEADs",
+			Config{Groups: devLines, Segments: 4, Cores: 2, LLPEntries: 256}, stacked, off},
+		{"off-chip too small", good, stacked, dram.NewModule(dram.OffChipConfig(64 * 64))},
+		{"LLT cache not power of two",
+			Config{Groups: groups, Segments: 4, Cores: 2, LLPEntries: 256,
+				LLT: EmbeddedLLT, LLTCacheEntries: 3}, stacked, off},
+	}
+	for _, tc := range cases {
+		if _, err := NewSystem(tc.cfg, tc.stacked, tc.off); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// The wrapper still panics for static-data callers.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on nil module")
+		}
+	}()
+	New(good, nil, nil)
+}

@@ -86,11 +86,23 @@ func (s Stats) RowHitRate() float64 {
 	return float64(s.RowHits) / float64(t)
 }
 
-// NewModule builds a module from cfg. It panics on an invalid configuration;
-// configurations are static program data, not runtime input.
+// NewModule builds a module from cfg. It panics on an invalid configuration
+// — the convenience path for static program data (examples, tables). Code
+// handling runtime-supplied configurations should use New, whose error
+// surfaces as a per-cell job failure instead of a crash.
 func NewModule(cfg Config) *Module {
-	if err := cfg.Validate(); err != nil {
+	m, err := New(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// New builds a module from cfg, reporting a descriptive error for an
+// invalid configuration.
+func New(cfg Config) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cpb := cfg.CPUPerBus()
 	m := &Module{
@@ -116,7 +128,7 @@ func NewModule(cfg Config) *Module {
 		// Drains batch against open rows: CAS plus the line transfer.
 		m.writeCycles = m.tCAS + m.transferCycles(LineBytes)
 	}
-	return m
+	return m, nil
 }
 
 // Config returns the module's configuration.

@@ -413,3 +413,22 @@ func TestClosedPagePolicy(t *testing.T) {
 		t.Fatalf("closed-page conflict %d not below open-page conflict %d", dCConf, dOpenConf)
 	}
 }
+
+// TestNewReportsInvalidConfig: the error-returning constructor rejects what
+// Validate rejects; NewModule remains the panicking wrapper.
+func TestNewReportsInvalidConfig(t *testing.T) {
+	if _, err := New(StackedConfig(1 << 20)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := StackedConfig(1 << 20)
+	bad.Channels = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero-channel config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewModule did not panic on invalid config")
+		}
+	}()
+	NewModule(bad)
+}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"cameo/internal/runner"
 )
@@ -74,17 +76,38 @@ func IDs() []string {
 	return ids
 }
 
+// PlannedJobs collects the up-front simulation grid of the given
+// experiments — the cell set a checkpoint manifest identifies a run by.
+// Experiments with nil Plan (spec echoes, self-prewarming renders)
+// contribute nothing; any cells they compute at render time are still
+// cached, just not tracked in the manifest.
+func PlannedJobs(s *Suite, exps []Experiment) []runner.Job {
+	var jobs []runner.Job
+	for _, e := range exps {
+		if e.Plan != nil {
+			jobs = append(jobs, e.Plan(s)...)
+		}
+	}
+	return jobs
+}
+
 // RunExperiment prewarms the experiment's planned grid across the suite's
 // worker pool, then renders it. Cancellation (Ctrl-C) drains the pool and
-// returns ctx.Err(); a cell that panicked surfaces as an error.
+// returns ctx.Err(); a cell that panicked surfaces as an error. Under
+// keep-going options, an experiment whose cells failed degrades to a
+// bracketed note instead of aborting the suite — the failed cells stay
+// quarantined in the suite's FailureReport.
 func RunExperiment(ctx context.Context, s *Suite, e Experiment, w io.Writer) (err error) {
 	if cerr := ctx.Err(); cerr != nil {
 		return cerr
 	}
 	s.bind(ctx)
+	var degraded *runner.FailedCellsError
 	if e.Plan != nil {
 		if perr := s.Prewarm(ctx, e.Plan(s)); perr != nil {
-			return fmt.Errorf("experiments: %s: %w", e.ID, perr)
+			if !s.opts.KeepGoing || !errors.As(perr, &degraded) {
+				return fmt.Errorf("experiments: %s: %w", e.ID, perr)
+			}
 		}
 	}
 	defer func() {
@@ -93,12 +116,32 @@ func RunExperiment(ctx context.Context, s *Suite, e Experiment, w io.Writer) (er
 			if !ok {
 				panic(r)
 			}
+			if s.opts.KeepGoing {
+				// The render pulled a cell that cannot be computed; leave a
+				// note and keep the suite going.
+				fmt.Fprintf(w, "[%s skipped: %s]\n", e.ID, errorFirstLine(re.err))
+				err = nil
+				return
+			}
 			err = fmt.Errorf("experiments: %s: %w", e.ID, re.err)
 		}
 	}()
 	fmt.Fprintf(w, "\n### %s: %s\n\n", e.ID, e.Title)
+	if degraded != nil {
+		fmt.Fprintf(w, "[degraded: %s]\n\n", degraded.Report.Summary())
+	}
 	e.Run(s, w)
 	return nil
+}
+
+// errorFirstLine trims an error to its first line for in-band notes (panic
+// messages carry stacks, which are non-deterministic).
+func errorFirstLine(err error) string {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	return msg
 }
 
 // RunAll regenerates every experiment in paper order.

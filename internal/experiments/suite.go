@@ -13,8 +13,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"cameo/internal/cameo"
+	"cameo/internal/faultinject"
 	"cameo/internal/runner"
 	"cameo/internal/stats"
 	"cameo/internal/system"
@@ -39,6 +41,17 @@ type Options struct {
 	Cache runner.Cache
 	// Progress, when non-nil, receives live progress/ETA lines (stderr).
 	Progress io.Writer
+	// JobTimeout bounds each cell attempt (0 = no watchdog).
+	JobTimeout time.Duration
+	// Retries is the per-cell transient-failure retry budget.
+	Retries int
+	// KeepGoing renders around failed cells (experiments touching them are
+	// skipped with a note) instead of aborting the whole suite.
+	KeepGoing bool
+	// Checkpoint, when non-nil, records completed cells for -resume.
+	Checkpoint *runner.Checkpoint
+	// Faults injects deterministic chaos at the job site (tests/CLI).
+	Faults *faultinject.Plan
 }
 
 // DefaultOptions returns the suite defaults: 1/1024 scale, the paper's 32
@@ -87,9 +100,14 @@ func NewSuite(opts Options) (*Suite, error) {
 		opts:  opts,
 		specs: specs,
 		run: runner.New(runner.Options{
-			Jobs:     opts.Jobs,
-			Cache:    opts.Cache,
-			Progress: opts.Progress,
+			Jobs:       opts.Jobs,
+			Cache:      opts.Cache,
+			Progress:   opts.Progress,
+			JobTimeout: opts.JobTimeout,
+			Retries:    opts.Retries,
+			KeepGoing:  opts.KeepGoing,
+			Checkpoint: opts.Checkpoint,
+			Faults:     opts.Faults,
 		}),
 		ctx: context.Background(),
 	}, nil
@@ -183,6 +201,12 @@ func (e runError) Error() string { return e.err.Error() }
 // run so far (see runner.Telemetry for the determinism contract).
 func (s *Suite) Telemetry(includeTiming bool) runner.Telemetry {
 	return s.run.Telemetry(includeTiming)
+}
+
+// FailureReport returns the key-sorted report of cells that exhausted
+// their attempts under keep-going mode, or nil when everything succeeded.
+func (s *Suite) FailureReport() *runner.FailureReport {
+	return s.run.FailureReport()
 }
 
 // Prewarm executes the given grid cells across the worker pool ahead of

@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds a plan from a compact rule string, so chaos runs can be
+// requested from a command line (-chaos). Rules are ';'-separated; each is
+//
+//	site:kind[:opt=value]...
+//
+// with sites job, cacheload, cachestore; kinds panic, error, hang, corrupt,
+// writefail; and options
+//
+//	p=0.25        firing probability (default 1)
+//	match=milc    substring filter on the cell key
+//	max=2         fire only on attempts < 2 (transient fault)
+//	delay=250ms   hang duration (hang kind)
+//	limit=10      total fire cap
+//
+// Example: "job:panic:p=0.1:max=1;cacheload:corrupt:match=milc".
+func ParseSpec(seed uint64, spec string) (*Plan, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec %q", spec)
+	}
+	return NewPlan(seed, rules...), nil
+}
+
+var siteNames = map[string]Site{
+	"job":        SiteJobRun,
+	"cacheload":  SiteCacheLoad,
+	"cachestore": SiteCacheStore,
+}
+
+var kindNames = map[string]Kind{
+	"panic":     Panic,
+	"error":     Error,
+	"hang":      Hang,
+	"corrupt":   Corrupt,
+	"writefail": WriteFail,
+}
+
+func parseRule(raw string) (Rule, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 2 {
+		return Rule{}, fmt.Errorf("faultinject: rule %q needs site:kind", raw)
+	}
+	site, ok := siteNames[parts[0]]
+	if !ok {
+		return Rule{}, fmt.Errorf("faultinject: unknown site %q (have job, cacheload, cachestore)", parts[0])
+	}
+	kind, ok := kindNames[parts[1]]
+	if !ok {
+		return Rule{}, fmt.Errorf("faultinject: unknown kind %q (have panic, error, hang, corrupt, writefail)", parts[1])
+	}
+	r := Rule{Site: site, Kind: kind, Prob: 1}
+	for _, opt := range parts[2:] {
+		k, v, found := strings.Cut(opt, "=")
+		if !found {
+			return Rule{}, fmt.Errorf("faultinject: option %q is not key=value", opt)
+		}
+		var err error
+		switch k {
+		case "p":
+			r.Prob, err = strconv.ParseFloat(v, 64)
+			if err == nil && (r.Prob < 0 || r.Prob > 1) {
+				err = fmt.Errorf("probability %v out of [0,1]", r.Prob)
+			}
+		case "match":
+			r.Match = v
+		case "max":
+			r.MaxAttempt, err = strconv.Atoi(v)
+		case "delay":
+			r.Delay, err = time.ParseDuration(v)
+		case "limit":
+			r.Limit, err = strconv.ParseUint(v, 10, 64)
+		default:
+			err = fmt.Errorf("unknown option %q", k)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: %v", raw, err)
+		}
+	}
+	return r, nil
+}

@@ -1,11 +1,17 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"cameo/internal/faultinject"
+	"cameo/internal/metrics"
 	"cameo/internal/system"
 )
 
@@ -20,24 +26,113 @@ type Cache interface {
 	Store(hash string, res system.Result)
 }
 
-// DiskCache stores one JSON file per cell under a directory. Writes go
-// through a temp file + rename, so concurrent processes sharing a
-// directory see only complete entries.
+// entrySchema versions the on-disk entry envelope. v1: checksummed JSON
+// envelope {schema, sha256, payload}. Entries without it (including the
+// pre-envelope bare-Result format) are treated as corrupt and quarantined.
+const entrySchema = "cameo-cache-entry-v1"
+
+// cacheEntry is the on-disk envelope: the payload is the marshalled
+// system.Result, SHA256 is the hex digest of exactly those payload bytes,
+// and Schema pins the envelope layout. A partial write, a flipped bit, or a
+// foreign file all fail verification instead of silently feeding a wrong
+// result back into a sweep.
+type cacheEntry struct {
+	Schema  string          `json:"schema"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// QuarantineDir is the subdirectory of a cache directory that corrupt
+// entries are moved into (preserved for post-mortem, never re-read).
+const QuarantineDir = "quarantine"
+
+// DiskCache stores one checksummed JSON file per cell under a directory.
+// Writes go through a temp file + fsync + rename, so a crash mid-store
+// leaves at most a stray .tmp file, never a half-written entry; corrupt or
+// legacy entries detected at load are quarantined (moved aside and counted)
+// and recomputed instead of silently missed or — worse — trusted.
+//
+// A flock(2)-style lock on <dir>/.lock guards the directory: concurrent
+// sweeps must use distinct -cachedir values (the lock dies with the
+// process, so a crashed sweep never wedges the directory).
 //
 // Note: system.Result's full latency histogram is excluded from JSON
 // (json:"-"), so cache hits carry the digests (p50/p95/p99) but not the
 // raw distribution — none of the grid renderers use it.
 type DiskCache struct {
-	dir string
+	dir  string
+	lock *os.File // held flock; nil after Close
+
+	// Warnings (store failures, quarantined entries) go here; defaults to
+	// os.Stderr. Never nil after OpenDiskCache.
+	warn io.Writer
+
+	faults *faultinject.Plan
+
+	reg         *metrics.Registry
+	hits        *metrics.Counter
+	misses      *metrics.Counter
+	corrupt     *metrics.Counter
+	stores      *metrics.Counter
+	storeErrors *metrics.Counter
 }
 
-// OpenDiskCache creates (if needed) and opens a cache directory.
+// OpenDiskCache creates (if needed) and opens a cache directory, acquiring
+// its lock. It fails if another live process holds the directory.
 func OpenDiskCache(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: opening cache dir: %w", err)
 	}
-	return &DiskCache{dir: dir}, nil
+	lock, err := acquireDirLock(filepath.Join(dir, ".lock"))
+	if err != nil {
+		return nil, fmt.Errorf("runner: cache dir %s: %w (concurrent sweeps must use distinct -cachedir)", dir, err)
+	}
+	c := &DiskCache{dir: dir, lock: lock, warn: os.Stderr, reg: metrics.NewRegistry()}
+	sc := c.reg.Scope("runner/cache")
+	c.hits = sc.Counter("hits")
+	c.misses = sc.Counter("misses")
+	c.corrupt = sc.Counter("corrupt_quarantined")
+	c.stores = sc.Counter("stores")
+	c.storeErrors = sc.Counter("store_errors")
+	return c, nil
 }
+
+// Close releases the directory lock. The cache must not be used after.
+func (c *DiskCache) Close() error {
+	if c.lock == nil {
+		return nil
+	}
+	err := releaseDirLock(c.lock)
+	c.lock = nil
+	return err
+}
+
+// SetWarnWriter redirects corruption/store-failure warnings (nil silences
+// them).
+func (c *DiskCache) SetWarnWriter(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	c.warn = w
+}
+
+// SetFaults arms fault injection for chaos tests: Corrupt faults at
+// SiteCacheLoad damage the bytes read from disk (so the real checksum and
+// quarantine path runs), WriteFail faults at SiteCacheStore abort stores
+// (so the real degraded-store path runs). Call before handing the cache to
+// a runner.
+func (c *DiskCache) SetFaults(p *faultinject.Plan) { c.faults = p }
+
+// Metrics returns the cache's counters (hits, misses, corrupt_quarantined,
+// stores, store_errors) under the runner/cache scope.
+func (c *DiskCache) Metrics() metrics.Snapshot { return c.reg.Snapshot() }
+
+// CorruptCount returns how many entries have been quarantined.
+func (c *DiskCache) CorruptCount() uint64 { return c.corrupt.Value() }
+
+// StoreErrorCount returns how many stores failed (and were degraded to
+// recomputation on the next run).
+func (c *DiskCache) StoreErrorCount() uint64 { return c.storeErrors.Value() }
 
 // Dir returns the cache directory.
 func (c *DiskCache) Dir() string { return c.dir }
@@ -46,38 +141,126 @@ func (c *DiskCache) path(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
 }
 
-// Load implements Cache. Unreadable or corrupt entries are misses.
+// Load implements Cache. Unreadable entries are misses; entries that fail
+// schema or checksum verification are quarantined, counted, and reported as
+// misses so the cell recomputes.
 func (c *DiskCache) Load(hash string) (system.Result, bool) {
-	data, err := os.ReadFile(c.path(hash))
+	path := c.path(hash)
+	data, err := os.ReadFile(path)
 	if err != nil {
+		c.misses.Inc()
 		return system.Result{}, false
 	}
-	var res system.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	if f, ok := c.faults.Evaluate(faultinject.SiteCacheLoad, hash, 0); ok && f.Kind == faultinject.Corrupt {
+		faultinject.CorruptBytes(data, hash)
+	}
+	res, err := decodeEntry(data)
+	if err != nil {
+		c.quarantine(path, err)
+		c.misses.Inc()
 		return system.Result{}, false
 	}
+	c.hits.Inc()
 	return res, true
 }
 
-// Store implements Cache; failures are silently dropped (best-effort).
-func (c *DiskCache) Store(hash string, res system.Result) {
-	data, err := json.Marshal(res)
+// decodeEntry verifies and unwraps one on-disk entry.
+func decodeEntry(data []byte) (system.Result, error) {
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return system.Result{}, fmt.Errorf("entry is not valid JSON: %w", err)
+	}
+	if e.Schema != entrySchema {
+		return system.Result{}, fmt.Errorf("entry schema %q, want %q", e.Schema, entrySchema)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+		return system.Result{}, fmt.Errorf("payload checksum %s does not match recorded %s", got, e.SHA256)
+	}
+	var res system.Result
+	if err := json.Unmarshal(e.Payload, &res); err != nil {
+		return system.Result{}, fmt.Errorf("payload does not decode: %w", err)
+	}
+	return res, nil
+}
+
+// quarantine moves a corrupt entry into QuarantineDir (or deletes it if the
+// move fails) so it is preserved for inspection but never re-read.
+func (c *DiskCache) quarantine(path string, cause error) {
+	c.corrupt.Inc()
+	qdir := filepath.Join(c.dir, QuarantineDir)
+	dest := filepath.Join(qdir, filepath.Base(path))
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(path, dest)
+	}
 	if err != nil {
+		os.Remove(path)
+		fmt.Fprintf(c.warn, "runner: cache: corrupt entry %s removed (quarantine failed: %v): %v\n",
+			filepath.Base(path), err, cause)
+		return
+	}
+	fmt.Fprintf(c.warn, "runner: cache: corrupt entry quarantined to %s: %v\n", dest, cause)
+}
+
+// Store implements Cache; failures degrade to a warning plus the
+// store_errors counter (the cell simply recomputes next run), and never
+// leave a temp file behind.
+func (c *DiskCache) Store(hash string, res system.Result) {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		c.storeFailed(hash, fmt.Errorf("marshalling result: %w", err))
+		return
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(cacheEntry{
+		Schema:  entrySchema,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		c.storeFailed(hash, fmt.Errorf("marshalling envelope: %w", err))
 		return
 	}
 	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
 	if err != nil {
+		c.storeFailed(hash, err)
+		return
+	}
+	if f, ok := c.faults.Evaluate(faultinject.SiteCacheStore, hash, 0); ok && f.Kind == faultinject.WriteFail {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.storeFailed(hash, fmt.Errorf("faultinject: injected write failure"))
 		return
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// fsync before rename: after the rename publishes the entry, a
+		// crash or power cut must not be able to surface a zero-length or
+		// partial file under the final name.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		c.storeFailed(hash, werr)
 		return
 	}
 	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
 		os.Remove(tmp.Name())
+		c.storeFailed(hash, err)
+		return
 	}
+	c.stores.Inc()
+}
+
+// storeFailed records and reports one degraded store.
+func (c *DiskCache) storeFailed(hash string, err error) {
+	c.storeErrors.Inc()
+	fmt.Fprintf(c.warn, "runner: cache: store of %s failed (will recompute next run): %v\n", hash, err)
 }
 
 // Len counts the entries currently in the cache directory.
@@ -88,9 +271,41 @@ func (c *DiskCache) Len() int {
 	}
 	n := 0
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".json" {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" && e.Name() != ManifestName {
 			n++
 		}
 	}
 	return n
+}
+
+// QuarantinedEntries lists the file names currently in the quarantine
+// subdirectory (empty when nothing was ever quarantined).
+func (c *DiskCache) QuarantinedEntries() []string {
+	entries, err := os.ReadDir(filepath.Join(c.dir, QuarantineDir))
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TempFiles lists stray .tmp files in the cache directory — leftovers are a
+// bug (Store cleans up on every failure path), surfaced for tests.
+func (c *DiskCache) TempFiles() []string {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tmp") && !strings.HasPrefix(e.Name(), ManifestName) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
 }

@@ -2,19 +2,32 @@ package runner
 
 import (
 	"context"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/system"
 	"cameo/internal/workload"
 )
 
-func TestDiskCacheRoundTrip(t *testing.T) {
-	c, err := OpenDiskCache(t.TempDir())
+// openTestCache opens a quiet DiskCache that is closed with the test.
+func openTestCache(t *testing.T, dir string) *DiskCache {
+	t.Helper()
+	c, err := OpenDiskCache(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	c.SetWarnWriter(io.Discard)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c := openTestCache(t, t.TempDir())
 	job := testJobs(1)[0]
 	if _, ok := c.Load(job.Hash()); ok {
 		t.Fatal("empty cache reported a hit")
@@ -31,46 +44,130 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("cache Len = %d, want 1", c.Len())
 	}
+	if n := c.CorruptCount(); n != 0 {
+		t.Fatalf("clean round trip quarantined %d entries", n)
+	}
 }
 
-func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
-	c, err := OpenDiskCache(t.TempDir())
+// TestDiskCacheCorruptEntryQuarantined: entries that fail verification —
+// invalid JSON, a legacy pre-envelope entry, or a bit flip inside a valid
+// envelope — are quarantined and counted, then recomputed as misses.
+func TestDiskCacheCorruptEntryQuarantined(t *testing.T) {
+	c := openTestCache(t, t.TempDir())
+	jobs := testJobs(3)
+
+	// Entry 0: not JSON at all. Entry 1: valid JSON but the legacy bare
+	// format (no envelope). Entry 2: valid envelope with a damaged payload.
+	if err := writeFile(c.path(jobs[0].Hash()), "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(c.path(jobs[1].Hash()), `{"Org":"CAMEO","Cycles":42}`); err != nil {
+		t.Fatal(err)
+	}
+	c.Store(jobs[2].Hash(), system.Result{Org: "CAMEO", Cycles: 7})
+	data, err := os.ReadFile(c.path(jobs[2].Hash()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := testJobs(1)[0]
-	if err := writeFile(c.path(job.Hash()), "{not json"); err != nil {
+	damaged := strings.Replace(string(data), `"Org":"CAMEO"`, `"Org":"CAMEX"`, 1)
+	if damaged == string(data) {
+		t.Fatal("test setup: payload substring not found")
+	}
+	if err := writeFile(c.path(jobs[2].Hash()), damaged); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(job.Hash()); ok {
-		t.Fatal("corrupt entry reported as hit")
+
+	for i, j := range jobs {
+		if _, ok := c.Load(j.Hash()); ok {
+			t.Fatalf("corrupt entry %d reported as hit", i)
+		}
+	}
+	if n := c.CorruptCount(); n != 3 {
+		t.Fatalf("CorruptCount = %d, want 3", n)
+	}
+	if q := c.QuarantinedEntries(); len(q) != 3 {
+		t.Fatalf("quarantined %d files, want 3: %v", len(q), q)
+	}
+	// The corrupt entries left the main directory: a re-load is a plain
+	// miss, not a second quarantine.
+	if _, ok := c.Load(jobs[0].Hash()); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+	if n := c.CorruptCount(); n != 3 {
+		t.Fatalf("CorruptCount after re-load = %d, want 3", n)
+	}
+	if s, ok := c.Metrics().Get("runner/cache/corrupt_quarantined"); !ok || s.Value != 3 {
+		t.Fatalf("corrupt_quarantined metric = %+v", s)
 	}
 }
 
+// TestDiskCacheStoreWriteFailure: an injected write failure degrades to the
+// store_errors counter, leaves no temp file and no entry, and the next
+// store succeeds.
+func TestDiskCacheStoreWriteFailure(t *testing.T) {
+	c := openTestCache(t, t.TempDir())
+	job := testJobs(1)[0]
+	c.SetFaults(faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteCacheStore, Kind: faultinject.WriteFail, Prob: 1, Limit: 1,
+	}))
+	c.Store(job.Hash(), system.Result{Cycles: 1})
+	if n := c.StoreErrorCount(); n != 1 {
+		t.Fatalf("StoreErrorCount = %d, want 1", n)
+	}
+	if _, ok := c.Load(job.Hash()); ok {
+		t.Fatal("failed store produced a readable entry")
+	}
+	if tmp := c.TempFiles(); len(tmp) != 0 {
+		t.Fatalf("failed store leaked temp files: %v", tmp)
+	}
+	// Limit=1 consumed the fault: the next store goes through.
+	c.Store(job.Hash(), system.Result{Cycles: 2})
+	if res, ok := c.Load(job.Hash()); !ok || res.Cycles != 2 {
+		t.Fatalf("store after failure: ok=%v res=%+v", ok, res)
+	}
+}
+
+// TestDiskCacheLockExcludesConcurrentOpen: a second open of a live cache
+// directory fails; releasing the lock makes it available again.
+func TestDiskCacheLockExcludesConcurrentOpen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskCache(dir); err == nil {
+		t.Fatal("second OpenDiskCache on a locked dir succeeded")
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatalf("open after Close failed: %v", err)
+	}
+	c2.Close()
+}
+
 // TestPersistentCacheSkipsExecution is the repeat-invocation scenario: a
-// second runner sharing the cache directory executes nothing.
+// second runner reopening the cache directory executes nothing.
 func TestPersistentCacheSkipsExecution(t *testing.T) {
 	dir := t.TempDir()
 	jobs := testJobs(6)
 
-	open := func() *DiskCache {
-		c, err := OpenDiskCache(dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return c
-	}
 	var first atomic.Int64
-	r1 := New(Options{Jobs: 3, Cache: open(), Execute: countingExecute(&first, 0)})
+	c1 := openTestCache(t, dir)
+	r1 := New(Options{Jobs: 3, Cache: c1, Execute: countingExecute(&first, 0)})
 	if err := r1.RunAll(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if first.Load() != 6 {
 		t.Fatalf("first invocation executed %d cells, want 6", first.Load())
 	}
+	c1.Close() // release the dir lock for the second invocation
 
 	var second atomic.Int64
-	r2 := New(Options{Jobs: 3, Cache: open(), Execute: countingExecute(&second, 0)})
+	c2 := openTestCache(t, dir)
+	r2 := New(Options{Jobs: 3, Cache: c2, Execute: countingExecute(&second, 0)})
 	if err := r2.RunAll(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
@@ -105,4 +202,20 @@ func TestCacheHashStable(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestQuarantineIgnoredByLen: quarantined files do not count as entries.
+func TestQuarantineIgnoredByLen(t *testing.T) {
+	c := openTestCache(t, t.TempDir())
+	job := testJobs(1)[0]
+	if err := writeFile(c.path(job.Hash()), "junk"); err != nil {
+		t.Fatal(err)
+	}
+	c.Load(job.Hash()) // quarantines
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", n)
+	}
+	if err := os.MkdirAll(filepath.Join(c.Dir(), QuarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cameo/internal/faultinject"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Chaos tests drive the real recovery machinery — watchdog, retry loop,
+// quarantine, keep-going report — with deterministic injected faults, so
+// they assert exact counts, not "it probably recovered". The CI chaos job
+// runs them under -race.
+
+// TestChaosPanicRetrySucceeds: every cell panics on its first two attempts
+// (MaxAttempt=2) and succeeds on the third; with Retries=3 the sweep
+// converges with exact retry accounting.
+func TestChaosPanicRetrySucceeds(t *testing.T) {
+	const n = 6
+	var executed atomic.Int64
+	plan := faultinject.NewPlan(7, faultinject.Rule{
+		Site: faultinject.SiteJobRun, Kind: faultinject.Panic, Prob: 1, MaxAttempt: 2,
+	})
+	r := New(Options{
+		Jobs:         4,
+		Execute:      countingExecute(&executed, 0),
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+		Faults:       plan,
+	})
+	if err := r.RunAll(context.Background(), testJobs(n)); err != nil {
+		t.Fatalf("sweep did not converge: %v", err)
+	}
+	if got := executed.Load(); got != n {
+		t.Fatalf("successful executions = %d, want %d", got, n)
+	}
+	if got := plan.Fires(); got != 2*n {
+		t.Fatalf("injected panics = %d, want %d", got, 2*n)
+	}
+	snap := r.Metrics()
+	for name, want := range map[string]uint64{
+		"runner/panics":       2 * n,
+		"runner/retries":      2 * n,
+		"runner/cells_failed": 0,
+	} {
+		s, ok := snap.Get(name)
+		if !ok || uint64(s.Value) != want {
+			t.Errorf("%s = %+v, want %d", name, s, want)
+		}
+	}
+	// Telemetry (timing mode) records the attempt count per cell.
+	for _, ct := range r.Telemetry(true).Cells {
+		if ct.Attempts != 3 {
+			t.Fatalf("cell %s attempts = %d, want 3", ct.Name, ct.Attempts)
+		}
+	}
+}
+
+// TestChaosHangWatchdogTimesOut: the first attempt of every cell hangs far
+// past the watchdog; the watchdog abandons it, the retry (fault cleared by
+// MaxAttempt=1) succeeds.
+func TestChaosHangWatchdogTimesOut(t *testing.T) {
+	const n = 3
+	var executed atomic.Int64
+	plan := faultinject.NewPlan(7, faultinject.Rule{
+		Site: faultinject.SiteJobRun, Kind: faultinject.Hang, Prob: 1, MaxAttempt: 1,
+		Delay: 10 * time.Second,
+	})
+	r := New(Options{
+		Jobs:         n,
+		Execute:      countingExecute(&executed, 0),
+		JobTimeout:   30 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Faults:       plan,
+	})
+	start := time.Now()
+	if err := r.RunAll(context.Background(), testJobs(n)); err != nil {
+		t.Fatalf("sweep did not converge: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog did not abandon hung cells (took %s)", elapsed)
+	}
+	if got := executed.Load(); got != n {
+		t.Fatalf("successful executions = %d, want %d", got, n)
+	}
+	if s, ok := r.Metrics().Get("runner/timeouts"); !ok || uint64(s.Value) != n {
+		t.Fatalf("runner/timeouts = %+v, want %d", s, n)
+	}
+}
+
+// TestChaosTimeoutExhaustionFailsCell: a cell that hangs on every attempt
+// exhausts its budget and surfaces a TimeoutError.
+func TestChaosTimeoutExhaustionFailsCell(t *testing.T) {
+	plan := faultinject.NewPlan(7, faultinject.Rule{
+		Site: faultinject.SiteJobRun, Kind: faultinject.Hang, Prob: 1,
+		Delay: 10 * time.Second,
+	})
+	var executed atomic.Int64
+	r := New(Options{
+		Jobs:         1,
+		Execute:      countingExecute(&executed, 0),
+		JobTimeout:   20 * time.Millisecond,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Faults:       plan,
+	})
+	err := r.RunAll(context.Background(), testJobs(1))
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want a TimeoutError", err)
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("hung cell reported %d successful executions", executed.Load())
+	}
+}
+
+// TestChaosKeepGoingReportDeterministic: with a fault plan that always
+// fails the milc cells, keep-going sweeps at 1 and 8 workers quarantine
+// the same cells and render byte-identical failure reports.
+func TestChaosKeepGoingReportDeterministic(t *testing.T) {
+	specs := []string{"milc", "mcf", "sphinx3", "gcc"}
+	var jobs []Job
+	for _, name := range specs {
+		sp, ok := workload.SpecByName(name)
+		if !ok {
+			t.Fatalf("spec %s missing", name)
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			jobs = append(jobs, NewJob(sp, system.Config{
+				ScaleDiv: 4096, Cores: 1, InstrPerCore: 1000, Seed: seed,
+			}))
+		}
+	}
+
+	reportJSON := func(workers int) []byte {
+		t.Helper()
+		var executed atomic.Int64
+		plan := faultinject.NewPlan(7, faultinject.Rule{
+			Site: faultinject.SiteJobRun, Kind: faultinject.Error, Prob: 1, Match: "milc",
+		})
+		r := New(Options{
+			Jobs:         workers,
+			Execute:      countingExecute(&executed, 0),
+			Retries:      1,
+			RetryBackoff: time.Millisecond,
+			KeepGoing:    true,
+			Faults:       plan,
+		})
+		err := r.RunAll(context.Background(), jobs)
+		var fce *FailedCellsError
+		if !errors.As(err, &fce) {
+			t.Fatalf("err = %v, want FailedCellsError", err)
+		}
+		if fce.Report.Failed != 3 {
+			t.Fatalf("failed = %d, want the 3 milc cells", fce.Report.Failed)
+		}
+		for _, c := range fce.Report.Cells {
+			if c.Kind != "error" || c.Attempts != 2 {
+				t.Fatalf("cell %s: kind=%s attempts=%d, want error/2", c.Name, c.Kind, c.Attempts)
+			}
+		}
+		// The 9 healthy cells all completed despite the failures.
+		if got := executed.Load(); got != 9 {
+			t.Fatalf("healthy executions = %d, want 9", got)
+		}
+		var buf bytes.Buffer
+		if err := fce.Report.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := reportJSON(1)
+	parallel := reportJSON(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("failure reports differ across worker counts:\n--- jobs=1\n%s\n--- jobs=8\n%s", serial, parallel)
+	}
+}
+
+// TestChaosPermanentErrorNotRetried: an invalid configuration fails
+// through the real TryRun path as invalid-config after exactly one
+// attempt, regardless of the retry budget.
+func TestChaosPermanentErrorNotRetried(t *testing.T) {
+	sp, ok := workload.SpecByName("sphinx3")
+	if !ok {
+		t.Fatal("sphinx3 missing")
+	}
+	bad := NewJob(sp, system.Config{ScaleDiv: 4096, Cores: -1, InstrPerCore: 1000})
+	r := New(Options{Jobs: 1, Retries: 5, RetryBackoff: time.Millisecond, KeepGoing: true})
+	err := r.RunAll(context.Background(), []Job{bad})
+	var fce *FailedCellsError
+	if !errors.As(err, &fce) {
+		t.Fatalf("err = %v, want FailedCellsError", err)
+	}
+	c := fce.Report.Cells[0]
+	if c.Kind != "invalid-config" || c.Attempts != 1 {
+		t.Fatalf("cell = %+v, want kind=invalid-config attempts=1", c)
+	}
+	if s, ok := r.Metrics().Get("runner/retries"); !ok || s.Value != 0 {
+		t.Fatalf("runner/retries = %+v, want 0 (permanent errors must not retry)", s)
+	}
+}
+
+// TestChaosCorruptCacheQuarantinedAndRecomputed: end-to-end through the
+// runner — a cache whose every read is corrupted quarantines each entry,
+// recomputes each cell, and the sweep still produces the full grid.
+func TestChaosCorruptCacheQuarantinedAndRecomputed(t *testing.T) {
+	const n = 4
+	dir := t.TempDir()
+	jobs := testJobs(n)
+
+	var first atomic.Int64
+	c1 := openTestCache(t, dir)
+	r1 := New(Options{Jobs: 2, Cache: c1, Execute: countingExecute(&first, 0)})
+	if err := r1.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	var second atomic.Int64
+	c2 := openTestCache(t, dir)
+	c2.SetFaults(faultinject.NewPlan(7, faultinject.Rule{
+		Site: faultinject.SiteCacheLoad, Kind: faultinject.Corrupt, Prob: 1,
+	}))
+	r2 := New(Options{Jobs: 2, Cache: c2, Execute: countingExecute(&second, 0)})
+	if err := r2.RunAll(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Load(); got != n {
+		t.Fatalf("recomputations = %d, want %d (every cached entry was corrupted)", got, n)
+	}
+	if got := c2.CorruptCount(); got != n {
+		t.Fatalf("CorruptCount = %d, want %d", got, n)
+	}
+	if q := c2.QuarantinedEntries(); len(q) != n {
+		t.Fatalf("quarantined %d entries, want %d", len(q), n)
+	}
+	// The recomputed grids agree with the original run.
+	a, b := r1.Results(), r2.Results()
+	if len(a) != len(b) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cycles != b[i].Cycles {
+			t.Fatalf("cell %d differs after recompute: %d vs %d", i, a[i].Cycles, b[i].Cycles)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// FailureSchema versions the failure-report JSON layout.
+const FailureSchema = "cameo-failures-v1"
+
+// CellFailure records one cell that exhausted its attempts under keep-going
+// mode. Error holds only the first line of the final error (no stack
+// traces, no addresses), so a report is byte-identical across runs and
+// worker counts for a deterministic fault schedule.
+type CellFailure struct {
+	Key      string `json:"key"`
+	Name     string `json:"name"`
+	Hash     string `json:"hash"`
+	Attempts int    `json:"attempts"`
+	Kind     string `json:"kind"` // panic | timeout | invalid-config | error
+	Error    string `json:"error"`
+}
+
+// FailureReport is the structured summary of every failed cell in a run,
+// cells sorted by canonical key.
+type FailureReport struct {
+	Schema string        `json:"schema"`
+	Failed int           `json:"failed"`
+	Cells  []CellFailure `json:"cells"`
+}
+
+// WriteJSON serializes the report deterministically (indented, cells
+// key-sorted by construction).
+func (rep *FailureReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Summary is the one-line human rendering for stderr.
+func (rep *FailureReport) Summary() string {
+	names := make([]string, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		names = append(names, c.Name)
+	}
+	const keep = 5
+	if len(names) > keep {
+		names = append(names[:keep], fmt.Sprintf("… %d more", len(rep.Cells)-keep))
+	}
+	return fmt.Sprintf("%d cells failed: %s", rep.Failed, strings.Join(names, ", "))
+}
+
+// FailedCellsError is returned by RunAll in keep-going mode when one or
+// more cells exhausted their attempts: the sweep completed every other
+// cell, and the report says exactly what is missing.
+type FailedCellsError struct {
+	Report *FailureReport
+}
+
+func (e *FailedCellsError) Error() string {
+	return "runner: " + e.Report.Summary()
+}
+
+// PanicError wraps a panic (the job's own or an injected one) recovered
+// during a cell attempt. Error() keeps the historical single-string format
+// so existing log scraping still works; the report uses only the first line.
+type PanicError struct {
+	Name  string // job name
+	Value string // the panic value, stringified
+	Stack string // debug.Stack() at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %s\n%s", e.Name, e.Value, e.Stack)
+}
+
+// TimeoutError reports a cell attempt that outlived the per-job watchdog.
+// The attempt's goroutine is abandoned, not cancelled — the simulation loop
+// has no preemption points — so a timed-out cell leaks one goroutine until
+// process exit; the watchdog exists to keep the sweep moving, not to
+// reclaim the stuck worker.
+type TimeoutError struct {
+	Name    string
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runner: job %s exceeded the %s watchdog", e.Name, e.Timeout)
+}
+
+// permanentError marks an error that retrying cannot fix (invalid
+// configuration, geometry that cannot be built). The retry loop stops on it
+// immediately instead of burning attempts.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err as non-retryable. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// classifyFailure maps a final cell error onto the report's kind taxonomy.
+func classifyFailure(err error) string {
+	var pe *PanicError
+	var te *TimeoutError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &te):
+		return "timeout"
+	case IsPermanent(err):
+		return "invalid-config"
+	default:
+		return "error"
+	}
+}
+
+// firstLine trims an error message to its first line (stack traces and
+// multi-line wrapping are non-deterministic across runs).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

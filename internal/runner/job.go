@@ -88,10 +88,32 @@ func (j Job) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Run executes the cell synchronously in the calling goroutine.
+// Run executes the cell synchronously in the calling goroutine, panicking
+// on invalid configurations (the historical behaviour; the runner prefers
+// TryRun).
 func (j Job) Run() system.Result {
 	if len(j.Specs) == 1 {
 		return system.Run(j.Specs[0], j.Cfg)
 	}
 	return system.RunMix(j.Specs, j.Cfg)
+}
+
+// TryRun executes the cell, surfacing configuration and geometry problems
+// as errors instead of panics. Those errors are marked Permanent — a bad
+// configuration does not become valid on retry — so the runner fails the
+// cell after one attempt.
+func (j Job) TryRun() (system.Result, error) {
+	var (
+		res system.Result
+		err error
+	)
+	if len(j.Specs) == 1 {
+		res, err = system.TryRun(j.Specs[0], j.Cfg)
+	} else {
+		res, err = system.TryRunMix(j.Specs, j.Cfg)
+	}
+	if err != nil {
+		return system.Result{}, Permanent(fmt.Errorf("job %s: %w", j.Name(), err))
+	}
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"runtime/debug"
@@ -11,12 +12,13 @@ import (
 	"sync"
 	"time"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/metrics"
 	"cameo/internal/system"
 )
 
 // Options configures a Runner. The zero value is usable: GOMAXPROCS
-// workers, no persistent cache, silent.
+// workers, no persistent cache, no watchdog, no retries, silent.
 type Options struct {
 	// Jobs is the worker-pool size (<=0 means GOMAXPROCS).
 	Jobs int
@@ -27,8 +29,33 @@ type Options struct {
 	// os.Stderr; never mixed into result output).
 	Progress io.Writer
 	// Execute overrides how a job is run (tests/instrumentation). Nil
-	// means Job.Run.
+	// means Job.TryRun.
 	Execute func(Job) system.Result
+
+	// JobTimeout arms a per-attempt watchdog: an attempt that outlives it
+	// fails with a TimeoutError (and is retried if attempts remain). The
+	// stuck goroutine is abandoned, not cancelled — the simulation loop has
+	// no preemption points. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// Retries is how many times a transiently-failed attempt (panic,
+	// timeout, non-permanent error) is retried. Permanent errors — invalid
+	// configurations — never retry. 0 means a single attempt.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt (capped at 5s) with deterministic key-derived jitter.
+	// <=0 with Retries>0 defaults to 100ms.
+	RetryBackoff time.Duration
+	// KeepGoing quarantines cells that exhaust their attempts instead of
+	// failing the sweep: RunAll completes every other cell and returns a
+	// *FailedCellsError carrying the structured FailureReport.
+	KeepGoing bool
+	// Faults, when non-nil, injects deterministic faults at the job-run
+	// site (panics, errors, hangs) for chaos testing. Cache-site faults
+	// are armed on the DiskCache itself (SetFaults).
+	Faults *faultinject.Plan
+	// Checkpoint, when non-nil, records each completed cell so an
+	// interrupted sweep can resume without losing progress.
+	Checkpoint *Checkpoint
 }
 
 // Runner executes simulation jobs at most once each and memoizes the
@@ -40,6 +67,7 @@ type Runner struct {
 	done     map[string]system.Result
 	inflight map[string]*call
 	cells    map[string]cellInfo
+	failed   map[string]CellFailure
 
 	// progress counters (guarded by mu)
 	completed int
@@ -54,6 +82,9 @@ type Runner struct {
 	cacheHits    *metrics.Counter
 	memoHits     *metrics.Counter
 	panicked     *metrics.Counter
+	retried      *metrics.Counter
+	timedOut     *metrics.Counter
+	failures     *metrics.Counter
 	cellWallHist *metrics.Histogram
 }
 
@@ -74,6 +105,7 @@ func New(opts Options) *Runner {
 		done:     map[string]system.Result{},
 		inflight: map[string]*call{},
 		cells:    map[string]cellInfo{},
+		failed:   map[string]CellFailure{},
 		reg:      metrics.NewRegistry(),
 	}
 	sc := r.reg.Scope("runner")
@@ -81,6 +113,9 @@ func New(opts Options) *Runner {
 	r.cacheHits = sc.Counter("cache_hits")
 	r.memoHits = sc.Counter("memo_hits")
 	r.panicked = sc.Counter("panics")
+	r.retried = sc.Counter("retries")
+	r.timedOut = sc.Counter("timeouts")
+	r.failures = sc.Counter("cells_failed")
 	r.cellWallHist = sc.Histogram("cell_wall_ms")
 	return r
 }
@@ -130,48 +165,163 @@ func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 	return c.res, c.err
 }
 
-// execute runs one cell with cache consult and panic-to-error recovery.
-func (r *Runner) execute(j Job) (res system.Result, err error) {
-	key, name := j.Key(), j.Name()
+// execute runs one cell: cache consult, then up to 1+Retries watchdog-bound
+// attempts with backoff, stopping early on permanent (config) errors. A
+// cell that exhausts its attempts is recorded in the failure map; a cell
+// that succeeds is stored to the cache and marked in the checkpoint.
+func (r *Runner) execute(j Job) (system.Result, error) {
+	key, name, hash := j.Key(), j.Name(), j.Hash()
 	if r.opts.Cache != nil {
-		if cached, ok := r.opts.Cache.Load(j.Hash()); ok {
+		if cached, ok := r.opts.Cache.Load(hash); ok {
 			r.cacheHits.Inc()
 			r.mu.Lock()
 			r.fromCache++
 			r.cells[key] = cellInfo{name: name, fromCache: true}
 			r.mu.Unlock()
+			r.opts.Checkpoint.MarkDone(hash)
 			return cached, nil
 		}
 	}
-	defer func() {
-		if p := recover(); p != nil {
-			r.panicked.Inc()
-			err = fmt.Errorf("runner: job %s panicked: %v\n%s", name, p, debug.Stack())
+
+	maxAttempts := 1 + r.opts.Retries
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retried.Inc()
+			time.Sleep(retryBackoff(r.opts.RetryBackoff, attempt, key))
 		}
-	}()
-	start := time.Now()
-	if r.opts.Execute != nil {
-		res = r.opts.Execute(j)
-	} else {
-		res = j.Run()
+		res, wall, err := r.attempt(j, name, key, attempt)
+		if err == nil {
+			r.executed.Inc()
+			r.cellWallHist.Observe(uint64(wall.Milliseconds()))
+			r.mu.Lock()
+			r.cells[key] = cellInfo{name: name, wallNS: wall.Nanoseconds(), attempts: attempt + 1}
+			r.mu.Unlock()
+			if r.opts.Cache != nil {
+				r.opts.Cache.Store(hash, res)
+			}
+			r.opts.Checkpoint.MarkDone(hash)
+			return res, nil
+		}
+		lastErr = err
+		if IsPermanent(err) {
+			break
+		}
 	}
-	wall := time.Since(start)
-	r.executed.Inc()
-	r.cellWallHist.Observe(uint64(wall.Milliseconds()))
+
+	r.failures.Inc()
+	attempts := maxAttempts
+	if IsPermanent(lastErr) {
+		attempts = 1
+	}
 	r.mu.Lock()
-	r.cells[key] = cellInfo{name: name, wallNS: wall.Nanoseconds()}
-	r.mu.Unlock()
-	if r.opts.Cache != nil {
-		r.opts.Cache.Store(j.Hash(), res)
+	r.failed[key] = CellFailure{
+		Key:      key,
+		Name:     name,
+		Hash:     hash,
+		Attempts: attempts,
+		Kind:     classifyFailure(lastErr),
+		Error:    firstLine(lastErr.Error()),
 	}
-	return res, nil
+	r.mu.Unlock()
+	return system.Result{}, lastErr
+}
+
+// attemptResult carries one attempt's outcome across the watchdog channel.
+type attemptResult struct {
+	res  system.Result
+	wall time.Duration
+	err  error
+}
+
+// attempt runs one execution attempt in its own goroutine so a watchdog
+// can abandon it. Panics (real or injected) become PanicError; injected
+// hangs sleep until the watchdog fires.
+func (r *Runner) attempt(j Job, name, key string, attempt int) (system.Result, time.Duration, error) {
+	ch := make(chan attemptResult, 1) // buffered: an abandoned attempt must not block forever on send
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.panicked.Inc()
+				ch <- attemptResult{err: &PanicError{
+					Name:  name,
+					Value: fmt.Sprint(p),
+					Stack: string(debug.Stack()),
+				}}
+			}
+		}()
+		if f, ok := r.opts.Faults.Evaluate(faultinject.SiteJobRun, key, attempt); ok {
+			switch f.Kind {
+			case faultinject.Panic:
+				panic(fmt.Sprintf("faultinject: injected panic (attempt %d)", attempt))
+			case faultinject.Error:
+				ch <- attemptResult{err: fmt.Errorf("faultinject: injected error (attempt %d)", attempt)}
+				return
+			case faultinject.Hang:
+				d := f.Delay
+				if d <= 0 {
+					d = time.Hour // effectively forever; the watchdog reaps it
+				}
+				time.Sleep(d)
+			}
+		}
+		start := time.Now()
+		var ar attemptResult
+		if r.opts.Execute != nil {
+			ar.res = r.opts.Execute(j)
+		} else {
+			ar.res, ar.err = j.TryRun()
+		}
+		ar.wall = time.Since(start)
+		ch <- ar
+	}()
+
+	if r.opts.JobTimeout <= 0 {
+		ar := <-ch
+		return ar.res, ar.wall, ar.err
+	}
+	timer := time.NewTimer(r.opts.JobTimeout)
+	defer timer.Stop()
+	select {
+	case ar := <-ch:
+		return ar.res, ar.wall, ar.err
+	case <-timer.C:
+		r.timedOut.Inc()
+		return system.Result{}, 0, &TimeoutError{Name: name, Timeout: r.opts.JobTimeout}
+	}
+}
+
+// retryBackoff computes the delay before retry number attempt (>=1):
+// exponential from base, capped at 5s, plus deterministic jitter derived
+// from (key, attempt) so two workers retrying different cells don't
+// thunder in lockstep, while the same sweep replays identically.
+func retryBackoff(base time.Duration, attempt int, key string) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	return d + jitter
 }
 
 // RunAll fans jobs across the worker pool and waits for the drain. Result
 // order is irrelevant here — read them back with Get (memo hits) or
 // Results(). Duplicate cells execute once. On cancellation the pool stops
-// picking up new cells, in-flight cells finish, and ctx.Err() is returned;
-// per-cell panics are collected and joined without stopping other cells.
+// picking up new cells, in-flight cells finish, and ctx.Err() is returned.
+// Without KeepGoing, per-cell errors are collected and joined without
+// stopping other cells; with KeepGoing, failed cells are quarantined into
+// a FailureReport and RunAll returns a *FailedCellsError describing them.
 func (r *Runner) RunAll(ctx context.Context, jobs []Job) error {
 	unique := make([]Job, 0, len(jobs))
 	seen := map[string]bool{}
@@ -230,7 +380,33 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if r.opts.KeepGoing {
+		if rep := r.FailureReport(); rep != nil {
+			return &FailedCellsError{Report: rep}
+		}
+		return nil
+	}
 	return errors.Join(errs...)
+}
+
+// FailureReport returns the structured report of every cell that exhausted
+// its attempts, key-sorted, or nil when nothing failed.
+func (r *Runner) FailureReport() *FailureReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.failed) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(r.failed))
+	for k := range r.failed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cells := make([]CellFailure, 0, len(keys))
+	for _, k := range keys {
+		cells = append(cells, r.failed[k])
+	}
+	return &FailureReport{Schema: FailureSchema, Failed: len(cells), Cells: cells}
 }
 
 // tick advances the progress display by one completed cell.
@@ -240,7 +416,7 @@ func (r *Runner) tick() {
 	}
 	r.mu.Lock()
 	r.completed++
-	done, total, cached := r.completed, r.total, r.fromCache
+	done, total, cached, failed := r.completed, r.total, r.fromCache, len(r.failed)
 	elapsed := time.Since(r.started)
 	r.mu.Unlock()
 
@@ -249,8 +425,12 @@ func (r *Runner) tick() {
 		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 		eta = remaining.Round(time.Second).String()
 	}
-	fmt.Fprintf(r.opts.Progress, "\rrunner: %d/%d cells (%d cached) elapsed %s eta %s ",
-		done, total, cached, elapsed.Round(time.Second), eta)
+	status := ""
+	if failed > 0 {
+		status = fmt.Sprintf(" %d failed", failed)
+	}
+	fmt.Fprintf(r.opts.Progress, "\rrunner: %d/%d cells (%d cached%s) elapsed %s eta %s ",
+		done, total, cached, status, elapsed.Round(time.Second), eta)
 }
 
 // finishProgress terminates the \r-progress line with a summary.
@@ -259,11 +439,15 @@ func (r *Runner) finishProgress() {
 		return
 	}
 	r.mu.Lock()
-	done, cached := r.completed, r.fromCache
+	done, cached, failed := r.completed, r.fromCache, len(r.failed)
 	elapsed := time.Since(r.started)
 	r.mu.Unlock()
-	fmt.Fprintf(r.opts.Progress, "\rrunner: %d cells in %s (%d from cache)      \n",
-		done, elapsed.Round(time.Millisecond), cached)
+	status := ""
+	if failed > 0 {
+		status = fmt.Sprintf(", %d failed", failed)
+	}
+	fmt.Fprintf(r.opts.Progress, "\rrunner: %d cells in %s (%d from cache%s)      \n",
+		done, elapsed.Round(time.Millisecond), cached, status)
 }
 
 // Lookup returns the memoized result for a key without computing anything.

@@ -124,18 +124,20 @@ func cameoGroups(cfg Config) uint64 {
 }
 
 // newMachine wires up the system; specs assigns one benchmark per core
-// (rate mode repeats the same spec everywhere).
-func newMachine(specs []workload.Spec, cfg Config) *machine {
+// (rate mode repeats the same spec everywhere). Invalid specs or
+// configurations are reported as errors, so a bad sweep cell fails that
+// cell rather than the whole process.
+func newMachine(specs []workload.Spec, cfg Config) (*machine, error) {
 	if len(specs) != cfg.Cores {
-		panic(fmt.Sprintf("system: %d specs for %d cores", len(specs), cfg.Cores))
+		return nil, fmt.Errorf("system: %d specs for %d cores", len(specs), cfg.Cores)
 	}
 	for _, spec := range specs {
 		if err := spec.Validate(); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := &machine{cfg: cfg, eng: sim.NewEngine()}
 
@@ -148,7 +150,11 @@ func newMachine(specs []workload.Spec, cfg Config) *machine {
 		m.streams = append(m.streams, workload.NewStream(specs[core], cfg.ScaleDiv, core, cfg.Seed))
 	}
 
-	m.org = buildOrg(cfg, m.vmm, visibleLines, stackedLines)
+	org, err := buildOrg(cfg, m.vmm, visibleLines, stackedLines)
+	if err != nil {
+		return nil, fmt.Errorf("system: building %s: %w", cfg.Org, err)
+	}
+	m.org = org
 
 	if cfg.Org == TLMOracle {
 		m.installOraclePlacement(stackedLines)
@@ -171,7 +177,7 @@ func newMachine(specs []workload.Spec, cfg Config) *machine {
 		}
 		m.cores = append(m.cores, c)
 	}
-	return m
+	return m, nil
 }
 
 // onWarm resets the shared statistics once every core has crossed its
@@ -190,9 +196,19 @@ func (m *machine) onWarm(coreID int, now uint64) {
 	m.dropped = 0
 }
 
-// buildOrg constructs the organization under test.
-func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) memsys.Organization {
+// buildOrg constructs the organization under test. Constructor failures
+// (bad geometry after scaling, invalid DRAM timing) are reported as errors
+// and surface as per-cell job failures instead of crashing the sweep.
+func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (memsys.Organization, error) {
+	var devErr error
 	newDevice := func(c dram.Config) dram.Device {
+		if devErr != nil {
+			return nil
+		}
+		if err := c.Validate(); err != nil {
+			devErr = err
+			return nil
+		}
 		if cfg.FRFCFS {
 			return memctrl.New(c)
 		}
@@ -221,44 +237,71 @@ func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) mem
 	switch cfg.Org {
 	case Baseline:
 		off := newOffChip(cfg.OffChipBytes())
-		return memsys.NewBaseline(off, visibleLines)
+		if devErr != nil {
+			return nil, devErr
+		}
+		return memsys.NewBaseline(off, visibleLines), nil
 	case Cache, DoubleUse:
 		// DoubleUse's extra capacity is modeled as a larger off-chip space
 		// with unchanged timing (the idealism the paper describes).
 		offBytes := visibleLines * dram.LineBytes
 		off := newOffChip(offBytes)
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
 		name := "Cache"
 		if cfg.Org == DoubleUse {
 			name = "DoubleUse"
 		}
-		return alloy.New(alloy.Config{
+		return alloy.NewCache(alloy.Config{
 			Name:             name,
 			Cores:            cfg.Cores,
 			PredictorEntries: 256,
 			VisibleLines:     visibleLines,
-		}, newStacked(), off)
+		}, stacked, off)
 	case LHCache, LHCacheMM:
 		off := newOffChip(cfg.OffChipBytes())
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
 		return lohhill.New(lohhill.Config{
 			VisibleLines: visibleLines,
 			MissMap:      cfg.Org == LHCacheMM,
-		}, newStacked(), off)
+		}, stacked, off), nil
 	case TLMStatic, TLMOracle:
 		off := newOffChip(cfg.OffChipBytes())
-		return tlm.NewStatic(cfg.Org.String(), newStacked(), off, stackedLines, visibleLines)
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
+		return tlm.NewStatic(cfg.Org.String(), stacked, off, stackedLines, visibleLines), nil
 	case TLMDynamic:
 		off := newOffChip(cfg.OffChipBytes())
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
 		threshold := cfg.MigrationThreshold
 		if threshold < 1 {
 			threshold = 1
 		}
-		return tlm.NewDynamicThreshold(newStacked(), off, stackedLines, visibleLines, vmm, threshold)
+		return tlm.NewDynamicThreshold(stacked, off, stackedLines, visibleLines, vmm, threshold), nil
 	case TLMFreq:
 		off := newOffChip(cfg.OffChipBytes())
-		return tlm.NewFreq(newStacked(), off, stackedLines, visibleLines, vmm, cfg.EpochAccesses)
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
+		return tlm.NewFreq(stacked, off, stackedLines, visibleLines, vmm, cfg.EpochAccesses), nil
 	case CAMEO:
 		off := newOffChip(cfg.OffChipBytes())
-		return cameo.New(cameo.Config{
+		stacked := newStacked()
+		if devErr != nil {
+			return nil, devErr
+		}
+		return cameo.NewSystem(cameo.Config{
 			Groups:           stackedLines,
 			Segments:         cfg.StackedDivisor,
 			LLT:              cfg.LLT,
@@ -267,9 +310,9 @@ func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) mem
 			LLPEntries:       256,
 			HotSwapThreshold: cfg.HotSwapThreshold,
 			LLTCacheEntries:  cfg.LLTCacheEntries,
-		}, newStacked(), off)
+		}, stacked, off)
 	}
-	panic("system: unknown organization")
+	return nil, fmt.Errorf("system: unknown organization %v", cfg.Org)
 }
 
 // installOraclePlacement grants TLM-Oracle its profiled knowledge: each
@@ -359,9 +402,25 @@ func (m *machine) registerMetrics() *metrics.Registry {
 }
 
 // Run simulates spec in rate mode (every core runs a copy) and returns the
-// measurements.
+// measurements. It panics on an invalid spec or configuration; use TryRun
+// when the configuration is runtime input (sweep cells).
 func Run(spec workload.Spec, cfg Config) Result {
+	res, err := TryRun(spec, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TryRun is Run with invalid specs and configurations reported as errors
+// instead of panics, so one bad sweep cell fails as a cell, not a process.
+func TryRun(spec workload.Spec, cfg Config) (Result, error) {
 	cfg = cfg.WithDefaults()
+	// Validate before sizing anything by cfg.Cores: a negative core count
+	// must be a config error, not a makeslice panic.
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	specs := make([]workload.Spec, cfg.Cores)
 	for i := range specs {
 		specs[i] = spec
@@ -370,11 +429,24 @@ func Run(spec workload.Spec, cfg Config) Result {
 }
 
 // RunMix simulates a multi-programmed mix: core i runs mix[i mod len(mix)].
-// The reported class is CapacityLimited if any member is.
+// The reported class is CapacityLimited if any member is. It panics on an
+// invalid mix or configuration; use TryRunMix for runtime input.
 func RunMix(mix []workload.Spec, cfg Config) Result {
+	res, err := TryRunMix(mix, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TryRunMix is RunMix with validation failures reported as errors.
+func TryRunMix(mix []workload.Spec, cfg Config) (Result, error) {
 	cfg = cfg.WithDefaults()
 	if len(mix) == 0 {
-		panic("system: empty mix")
+		return Result{}, fmt.Errorf("system: empty mix")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	specs := make([]workload.Spec, cfg.Cores)
 	names := make([]string, len(mix))
@@ -391,8 +463,11 @@ func RunMix(mix []workload.Spec, cfg Config) Result {
 	return runMachine(specs, cfg, "mix("+strings.Join(names, "+")+")", class)
 }
 
-func runMachine(specs []workload.Spec, cfg Config, name string, class workload.Class) Result {
-	m := newMachine(specs, cfg)
+func runMachine(specs []workload.Spec, cfg Config, name string, class workload.Class) (Result, error) {
+	m, err := newMachine(specs, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	for _, c := range m.cores {
 		c.Start()
 	}
@@ -457,5 +532,5 @@ func runMachine(specs []workload.Spec, cfg Config, name string, class workload.C
 		res.L3 = &st
 	}
 	res.Metrics = m.registerMetrics().Snapshot()
-	return res
+	return res, nil
 }

@@ -277,3 +277,23 @@ func TestResultDerivedMetrics(t *testing.T) {
 		t.Fatal("zero-cycle IPC not 0")
 	}
 }
+
+// TestTryRunReportsInvalidConfig: validation and constructor failures come
+// back as errors from TryRun (per-cell job failures), while Run keeps the
+// panicking contract for static callers.
+func TestTryRunReportsInvalidConfig(t *testing.T) {
+	spec, _ := workload.SpecByName("sphinx3")
+	bad := Config{Org: CAMEO, ScaleDiv: 1000, Cores: 2, InstrPerCore: 1000} // not a power of two
+	if _, err := TryRun(spec, bad); err == nil {
+		t.Fatal("TryRun accepted a non-power-of-two ScaleDiv")
+	}
+	if _, err := TryRunMix(nil, Config{ScaleDiv: 4096, Cores: 2, InstrPerCore: 1000}); err == nil {
+		t.Fatal("TryRunMix accepted an empty mix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on invalid config")
+		}
+	}()
+	Run(spec, bad)
+}
