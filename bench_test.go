@@ -45,6 +45,7 @@ func runExperiment(b *testing.B, id string, full bool) {
 	if testing.Verbose() {
 		out = os.Stdout
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// A fresh suite per iteration: the memoization cache must not let
@@ -61,16 +62,24 @@ func runExperiment(b *testing.B, id string, full bool) {
 //	go test -bench 'SuiteJobs' -benchtime 1x
 func runSuiteAtJobs(b *testing.B, jobs int) {
 	b.Helper()
+	// Resolve the experiment set before the timer: lookup failures and setup
+	// belong to the harness, not the measured regeneration.
 	ids := []string{"fig2", "fig9", "fig13", "table4"}
+	exps := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		exps[i] = e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := benchOptions(false)
 		o.Jobs = jobs
 		s := experiments.MustNewSuite(o)
-		for _, id := range ids {
-			e, ok := experiments.ByID(id)
-			if !ok {
-				b.Fatalf("unknown experiment %s", id)
-			}
+		for _, e := range exps {
 			if err := experiments.RunExperiment(context.Background(), s, e, io.Discard); err != nil {
 				b.Fatal(err)
 			}

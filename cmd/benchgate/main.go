@@ -1,0 +1,178 @@
+// Command benchgate compares two `go test -bench` output files — a base run
+// and a head run of the same benchmarks — and fails when the head regresses:
+// more than -max-time-pct percent on median time/op, or any increase at all
+// in allocs/op (the hot paths are allocation-free by design, so a single new
+// allocation per op is a real defect, not noise).
+//
+// CI runs it between the PR head and its merge base:
+//
+//	benchgate -base base.txt -head head.txt -max-time-pct 5
+//
+// The verdict table goes to stdout; benchmarks present on only one side are
+// reported but never fatal (added or removed benchmarks are fine).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		basePath = fs.String("base", "", "benchmark output of the base commit")
+		headPath = fs.String("head", "", "benchmark output of the head commit")
+		maxPct   = fs.Float64("max-time-pct", 5, "fail when median time/op regresses more than this percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		return 2
+	}
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	report, failed := compare(base, head, *maxPct)
+	fmt.Print(report)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// bench accumulates every measured iteration of one benchmark name.
+type bench struct {
+	nsPerOp     []float64
+	allocsPerOp []float64
+}
+
+// parseFile reads `go test -bench` output: lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   16 B/op   2 allocs/op
+//
+// keyed by name with the -GOMAXPROCS suffix stripped, so base and head runs
+// on differently sized machines still line up.
+func parseFile(path string) (map[string]*bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*bench)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := out[name]
+		if b == nil {
+			b = &bench{}
+			out[name] = b
+		}
+		// fields[1] is the iteration count; after it come (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.nsPerOp = append(b.nsPerOp, v)
+			case "allocs/op":
+				b.allocsPerOp = append(b.allocsPerOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return out, nil
+}
+
+// median of a non-empty sample set; benchstat's choice, robust to one noisy
+// CI run in a -count series.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare renders the verdict table and reports whether any gate tripped.
+func compare(base, head map[string]*bench, maxPct float64) (string, bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	failed := false
+	fmt.Fprintf(&sb, "%-40s %12s %12s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, name := range names {
+		b, h := base[name], head[name]
+		if h == nil {
+			fmt.Fprintf(&sb, "%-40s removed in head (not gated)\n", name)
+			continue
+		}
+		if len(b.nsPerOp) > 0 && len(h.nsPerOp) > 0 {
+			bt, ht := median(b.nsPerOp), median(h.nsPerOp)
+			delta := 100 * (ht - bt) / bt
+			verdict := ""
+			if delta > maxPct {
+				verdict = fmt.Sprintf("  FAIL: time/op regressed %.1f%% (limit %.1f%%)", delta, maxPct)
+				failed = true
+			}
+			fmt.Fprintf(&sb, "%-40s %12.1f %12.1f %+7.1f%%%s\n", name, bt, ht, delta, verdict)
+		}
+		if len(b.allocsPerOp) > 0 && len(h.allocsPerOp) > 0 {
+			ba, ha := median(b.allocsPerOp), median(h.allocsPerOp)
+			if ha > ba {
+				fmt.Fprintf(&sb, "%-40s FAIL: allocs/op %.0f -> %.0f (any increase fails)\n", name, ba, ha)
+				failed = true
+			}
+		}
+	}
+	for name := range head {
+		if base[name] == nil {
+			fmt.Fprintf(&sb, "%-40s new in head (not gated)\n", name)
+		}
+	}
+	if failed {
+		sb.WriteString("\nbenchgate: FAIL\n")
+	} else {
+		sb.WriteString("\nbenchgate: ok\n")
+	}
+	return sb.String(), failed
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `
+goos: linux
+BenchmarkControllerAccess-4   5000000   230.0 ns/op   0 B/op   0 allocs/op
+BenchmarkControllerAccess-4   5000000   232.0 ns/op   0 B/op   0 allocs/op
+BenchmarkControllerAccess-4   5000000   231.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCAMEOAccess-4        2000000   514.0 ns/op   0 B/op   0 allocs/op
+BenchmarkOldOnly-4            1000000   100.0 ns/op
+PASS
+`
+
+func writeFiles(t *testing.T, head string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "base.txt")
+	hp := filepath.Join(dir, "head.txt")
+	if err := os.WriteFile(bp, []byte(baseOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hp, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bp, hp
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	head := `
+BenchmarkControllerAccess-8   5000000   235.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCAMEOAccess-8        2000000   470.0 ns/op   0 B/op   0 allocs/op
+BenchmarkNewOnly-8            1000000    50.0 ns/op   0 B/op   0 allocs/op
+`
+	bp, hp := writeFiles(t, head)
+	if code := run([]string{"-base", bp, "-head", hp}); code != 0 {
+		t.Fatalf("gate failed on a within-tolerance run (code %d)", code)
+	}
+}
+
+func TestGateFailsOnTimeRegression(t *testing.T) {
+	head := `
+BenchmarkControllerAccess-4   5000000   260.0 ns/op   0 B/op   0 allocs/op
+BenchmarkCAMEOAccess-4        2000000   514.0 ns/op   0 B/op   0 allocs/op
+`
+	bp, hp := writeFiles(t, head)
+	if code := run([]string{"-base", bp, "-head", hp, "-max-time-pct", "5"}); code != 1 {
+		t.Fatalf("gate passed a 13%% time regression (code %d)", code)
+	}
+}
+
+func TestGateFailsOnAnyAllocRegression(t *testing.T) {
+	// 1 alloc/op where base had 0: time is fine, allocs are not.
+	head := `
+BenchmarkControllerAccess-4   5000000   230.0 ns/op   16 B/op   1 allocs/op
+BenchmarkCAMEOAccess-4        2000000   514.0 ns/op   0 B/op   0 allocs/op
+`
+	bp, hp := writeFiles(t, head)
+	if code := run([]string{"-base", bp, "-head", hp}); code != 1 {
+		t.Fatalf("gate passed an alloc/op regression (code %d)", code)
+	}
+}
+
+func TestCompareMedianResistsOneNoisySample(t *testing.T) {
+	base, err := parseFile(writeOne(t, `
+BenchmarkX-4  100  100.0 ns/op
+BenchmarkX-4  100  101.0 ns/op
+BenchmarkX-4  100  102.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := parseFile(writeOne(t, `
+BenchmarkX-4  100  500.0 ns/op
+BenchmarkX-4  100  101.0 ns/op
+BenchmarkX-4  100  100.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, failed := compare(base, head, 5)
+	if failed {
+		t.Fatalf("median gate tripped on a single outlier:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkX") {
+		t.Fatalf("report missing benchmark row:\n%s", report)
+	}
+}
+
+func writeOne(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

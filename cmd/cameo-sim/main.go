@@ -62,40 +62,54 @@ func keys[V any](m map[string]V) string {
 }
 
 func main() {
-	var (
-		bench    = flag.String("bench", "sphinx3", "benchmark name from Table II")
-		org      = flag.String("org", "cameo", "organization: "+keys(orgNames))
-		llt      = flag.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
-		pred     = flag.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
-		scale    = flag.Uint64("scale", 1024, "capacity scale divisor")
-		cores    = flag.Int("cores", 32, "core count")
-		instr    = flag.Uint64("instr", 600_000, "instructions per core")
-		seed     = flag.Uint64("seed", 0xCA3E0, "random seed")
-		useL3    = flag.Bool("l3", false, "model the shared L3 explicitly")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		vsBase   = flag.Bool("speedup", true, "also run the baseline and report speedup")
-		mix      = flag.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
-		warmup   = flag.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
-		refresh  = flag.Bool("refresh", false, "model DRAM refresh")
-		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of text")
-		hist     = flag.Bool("hist", false, "print the demand-latency histogram")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (the -speedup baseline runs concurrently)")
-		cachedir = flag.String("cachedir", "", "persistent result-cache directory (note: cached results omit the -hist histogram)")
+	os.Exit(run(os.Args[1:]))
+}
 
-		jobTimeout = flag.Duration("job-timeout", 0, "watchdog: abandon a run attempt longer than this (0 = off)")
-		retries    = flag.Int("retries", 0, "retry a transiently-failed run this many times")
+// run is the whole program; main only translates its result into an exit
+// status. Error paths return instead of calling os.Exit so deferred cleanup
+// (in particular stopping -cpuprofile, whose file is truncated garbage unless
+// pprof.StopCPUProfile runs) always executes.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("cameo-sim", flag.ContinueOnError)
+	var (
+		bench    = fs.String("bench", "sphinx3", "benchmark name from Table II")
+		org      = fs.String("org", "cameo", "organization: "+keys(orgNames))
+		llt      = fs.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
+		pred     = fs.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
+		scale    = fs.Uint64("scale", 1024, "capacity scale divisor")
+		cores    = fs.Int("cores", 32, "core count")
+		instr    = fs.Uint64("instr", 600_000, "instructions per core")
+		seed     = fs.Uint64("seed", 0xCA3E0, "random seed")
+		useL3    = fs.Bool("l3", false, "model the shared L3 explicitly")
+		list     = fs.Bool("list", false, "list benchmarks and exit")
+		vsBase   = fs.Bool("speedup", true, "also run the baseline and report speedup")
+		mix      = fs.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
+		warmup   = fs.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
+		refresh  = fs.Bool("refresh", false, "model DRAM refresh")
+		asJSON   = fs.Bool("json", false, "emit the result as JSON instead of text")
+		hist     = fs.Bool("hist", false, "print the demand-latency histogram")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers (the -speedup baseline runs concurrently)")
+		cachedir = fs.String("cachedir", "", "persistent result-cache directory (note: cached results omit the -hist histogram)")
+
+		jobTimeout = fs.Duration("job-timeout", 0, "watchdog: abandon a run attempt longer than this (0 = off)")
+		retries    = fs.Int("retries", 0, "retry a transiently-failed run this many times")
 	)
-	prof := profiling.AddFlags(flag.CommandLine)
-	flag.Parse()
+	prof := profiling.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cameo-sim:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
@@ -107,7 +121,7 @@ func main() {
 			fmt.Printf("%-12s %-9s MPKI=%-5.1f footprint=%.1fGB\n",
 				s.Name, s.Class, s.MPKI, float64(s.FootprintBytes)/float64(1<<30))
 		}
-		return
+		return 0
 	}
 
 	var mixSpecs []workload.Spec
@@ -116,7 +130,7 @@ func main() {
 			ms, ok := workload.SpecByName(strings.TrimSpace(name))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "cameo-sim: unknown mix member %q (use -list)\n", name)
-				os.Exit(2)
+				return 2
 			}
 			mixSpecs = append(mixSpecs, ms)
 		}
@@ -124,12 +138,12 @@ func main() {
 	spec, ok := workload.SpecByName(*bench)
 	if !ok && len(mixSpecs) == 0 {
 		fmt.Fprintf(os.Stderr, "cameo-sim: unknown benchmark %q (use -list)\n", *bench)
-		os.Exit(2)
+		return 2
 	}
 	kind, ok := orgNames[strings.ToLower(*org)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "cameo-sim: unknown organization %q (have: %s)\n", *org, keys(orgNames))
-		os.Exit(2)
+		return 2
 	}
 	cfg := system.Config{
 		Org:          kind,
@@ -148,7 +162,7 @@ func main() {
 		if !ok1 || !ok2 {
 			fmt.Fprintf(os.Stderr, "cameo-sim: bad -llt/-pred (llt: %s; pred: %s)\n",
 				keys(lltNames), keys(predNames))
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -157,7 +171,7 @@ func main() {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer cache.Close()
 		ropts.Cache = cache
@@ -169,13 +183,13 @@ func main() {
 		}
 		return runner.NewJob(spec, c)
 	}
-	run := func(c system.Config) system.Result {
+	getResult := func(c system.Config) (system.Result, bool) {
 		res, err := pool.Get(ctx, mkJob(c))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
-			os.Exit(1)
+			return system.Result{}, false
 		}
-		return res
+		return res, true
 	}
 	if *vsBase && kind != system.Baseline {
 		// Fan the measured run and its baseline across the pool up front.
@@ -183,16 +197,19 @@ func main() {
 		bcfg.Org = system.Baseline
 		if err := pool.RunAll(ctx, []runner.Job{mkJob(cfg), mkJob(bcfg)}); err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
-	res := run(cfg)
+	res, ok := getResult(cfg)
+	if !ok {
+		return 1
+	}
 	if *asJSON {
 		if err := report.WriteJSON(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	printResult(res)
 	if *hist && res.Latency != nil {
@@ -203,10 +220,14 @@ func main() {
 	if *vsBase && kind != system.Baseline {
 		bcfg := cfg
 		bcfg.Org = system.Baseline
-		base := run(bcfg)
+		base, ok := getResult(bcfg)
+		if !ok {
+			return 1
+		}
 		fmt.Printf("\nspeedup vs baseline: %.2fx (baseline %d cycles)\n",
 			float64(base.Cycles)/float64(res.Cycles), base.Cycles)
 	}
+	return 0
 }
 
 func printResult(r system.Result) {

@@ -54,40 +54,54 @@ var orgNames = map[string]system.OrgKind{
 }
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main only translates its result into an exit
+// status. Error paths return instead of calling os.Exit so deferred cleanup
+// (in particular stopping -cpuprofile, whose file is truncated garbage unless
+// pprof.StopCPUProfile runs) always executes.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("cameo-sweep", flag.ContinueOnError)
 	var (
-		org      = flag.String("org", "cameo", "organization to sweep")
-		bench    = flag.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
-		sweep    = flag.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
-		values   = flag.String("values", "512,1024,2048", "comma-separated sweep values")
-		instr    = flag.Uint64("instr", 300_000, "instructions per core")
-		cores    = flag.Int("cores", 16, "core count (unless swept)")
-		out      = flag.String("out", "", "CSV output path (default stdout)")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
-		cachedir = flag.String("cachedir", "", "persistent result-cache directory")
-		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+		org      = fs.String("org", "cameo", "organization to sweep")
+		bench    = fs.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
+		sweep    = fs.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
+		values   = fs.String("values", "512,1024,2048", "comma-separated sweep values")
+		instr    = fs.Uint64("instr", 300_000, "instructions per core")
+		cores    = fs.Int("cores", 16, "core count (unless swept)")
+		out      = fs.String("out", "", "CSV output path (default stdout)")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cachedir = fs.String("cachedir", "", "persistent result-cache directory")
+		quiet    = fs.Bool("quiet", false, "suppress the stderr progress display")
 
-		jobTimeout = flag.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
-		retries    = flag.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
-		keepGoing  = flag.Bool("keep-going", false, "skip failed cells in the CSV, write a failure report, exit 3")
-		resume     = flag.Bool("resume", false, "resume an interrupted sweep from its -cachedir checkpoint manifest")
-		failures   = flag.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
-		chaos      = flag.String("chaos", "", "fault-injection spec for robustness drills, e.g. 'job:panic:p=0.2;cacheload:corrupt:p=0.1'")
-		chaosSeed  = flag.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
+		retries    = fs.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
+		keepGoing  = fs.Bool("keep-going", false, "skip failed cells in the CSV, write a failure report, exit 3")
+		resume     = fs.Bool("resume", false, "resume an interrupted sweep from its -cachedir checkpoint manifest")
+		failures   = fs.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
+		chaos      = fs.String("chaos", "", "fault-injection spec for robustness drills, e.g. 'job:panic:p=0.2;cacheload:corrupt:p=0.1'")
+		chaosSeed  = fs.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule")
 
-		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
-		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output")
+		telemetry = fs.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
+		telTiming = fs.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output")
 	)
-	prof := profiling.AddFlags(flag.CommandLine)
-	flag.Parse()
+	prof := profiling.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
@@ -97,14 +111,14 @@ func main() {
 	kind, ok := orgNames[strings.ToLower(*org)]
 	if !ok {
 		fmt.Fprintln(os.Stderr, "cameo-sweep: unknown organization", *org)
-		os.Exit(2)
+		return 2
 	}
 	var vals []uint64
 	for _, v := range strings.Split(*values, ",") {
 		n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep: bad value:", err)
-			os.Exit(2)
+			return 2
 		}
 		vals = append(vals, n)
 	}
@@ -120,7 +134,7 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "cameo-sweep: unknown benchmark %q (valid: %s)\n",
 				bn, strings.Join(experiments.BenchmarkNames(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		for _, v := range vals {
 			cfg := system.Config{
@@ -140,7 +154,7 @@ func main() {
 				cfg.Seed = v
 			default:
 				fmt.Fprintln(os.Stderr, "cameo-sweep: unknown sweep dimension", *sweep)
-				os.Exit(2)
+				return 2
 			}
 			cells = append(cells, cell{
 				job: runner.NewJob(spec, cfg),
@@ -151,7 +165,7 @@ func main() {
 
 	if *resume && *cachedir == "" {
 		fmt.Fprintln(os.Stderr, "cameo-sweep: -resume needs -cachedir (the manifest lives in the cache directory)")
-		os.Exit(2)
+		return 2
 	}
 
 	// Progress only when stderr is an interactive terminal and -quiet was
@@ -170,7 +184,7 @@ func main() {
 		plan, err = faultinject.ParseSpec(*chaosSeed, *chaos)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-			os.Exit(2)
+			return 2
 		}
 		ropts.Faults = plan
 	}
@@ -182,7 +196,7 @@ func main() {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer cache.Close()
 		cache.SetFaults(plan)
@@ -191,7 +205,7 @@ func main() {
 		checkpoint, err := runner.OpenCheckpoint(*cachedir, allJobs, *resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 		if n := checkpoint.Resumed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "cameo-sweep: resuming run %.16s: %d cells already done\n",
@@ -210,9 +224,9 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", runErr)
 		if errors.Is(runErr, context.Canceled) {
-			os.Exit(130)
+			return 130
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	// Deterministic merge: collect in sweep order (memo hits), tagging the
@@ -231,12 +245,12 @@ func main() {
 
 	if err := writeCSV(*out, results); err != nil {
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, r, *telTiming); err != nil {
 			fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -244,16 +258,17 @@ func main() {
 		if *failures != "" {
 			if err := writeFailures(*failures, failedCells.Report); err != nil {
 				fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "cameo-sweep: wrote failure report to %s\n", *failures)
 		}
 		fmt.Fprintln(os.Stderr, "cameo-sweep:", failedCells.Report.Summary())
-		os.Exit(3)
+		return 3
 	}
 	if err := ropts.Checkpoint.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "cameo-sweep: removing checkpoint manifest:", err)
 	}
+	return 0
 }
 
 // writeFailures dumps the keep-going failure report as deterministic JSON.

@@ -35,38 +35,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole program; main only translates its result into an exit
+// status. Error paths return instead of calling os.Exit so deferred cleanup
+// (in particular stopping -cpuprofile, whose file is truncated garbage unless
+// pprof.StopCPUProfile runs) always executes.
+func run(args []string) (code int) {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	var (
-		exp      = flag.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
-		scale    = flag.Uint64("scale", 0, "capacity scale divisor (default 1024)")
-		cores    = flag.Int("cores", 0, "rate-mode core count (default 32)")
-		instr    = flag.Uint64("instr", 0, "instructions per core (default 600000)")
-		seed     = flag.Uint64("seed", 0, "random seed")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all of Table II)")
-		csv      = flag.String("csv", "", "also dump the raw result grid as CSV to this path")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
-		cachedir = flag.String("cachedir", "", "persistent result-cache directory (skip already-simulated cells)")
-		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+		exp      = fs.String("exp", "all", "experiment id ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		scale    = fs.Uint64("scale", 0, "capacity scale divisor (default 1024)")
+		cores    = fs.Int("cores", 0, "rate-mode core count (default 32)")
+		instr    = fs.Uint64("instr", 0, "instructions per core (default 600000)")
+		seed     = fs.Uint64("seed", 0, "random seed")
+		bench    = fs.String("bench", "", "comma-separated benchmark subset (default: all of Table II)")
+		csv      = fs.String("csv", "", "also dump the raw result grid as CSV to this path")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		cachedir = fs.String("cachedir", "", "persistent result-cache directory (skip already-simulated cells)")
+		quiet    = fs.Bool("quiet", false, "suppress the stderr progress display")
 
-		jobTimeout = flag.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
-		retries    = flag.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
-		keepGoing  = flag.Bool("keep-going", false, "quarantine failed cells into a report and finish the rest (exit 3 if any failed)")
-		resume     = flag.Bool("resume", false, "resume an interrupted run from its -cachedir checkpoint manifest")
-		failures   = flag.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
+		retries    = fs.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
+		keepGoing  = fs.Bool("keep-going", false, "quarantine failed cells into a report and finish the rest (exit 3 if any failed)")
+		resume     = fs.Bool("resume", false, "resume an interrupted run from its -cachedir checkpoint manifest")
+		failures   = fs.String("failures", "", "with -keep-going, also write the failure report as JSON to this path")
 
-		telemetry = flag.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
-		telTiming = flag.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output (breaks byte-determinism)")
+		telemetry = fs.String("telemetry", "", "write the per-cell metrics telemetry as JSON to this path")
+		telTiming = fs.Bool("telemetry-timing", false, "include volatile wall-time/cache fields in -telemetry output (breaks byte-determinism)")
 	)
-	prof := profiling.AddFlags(flag.CommandLine)
-	flag.Parse()
+	prof := profiling.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}()
 
@@ -76,7 +90,7 @@ func main() {
 
 	if *resume && *cachedir == "" {
 		fmt.Fprintln(os.Stderr, "paperbench: -resume needs -cachedir (the manifest lives in the cache directory)")
-		os.Exit(2)
+		return 2
 	}
 
 	opts := experiments.Options{
@@ -99,7 +113,7 @@ func main() {
 		cache, err := runner.OpenDiskCache(*cachedir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer cache.Close()
 		opts.Cache = cache
@@ -113,7 +127,7 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (have: %s)\n",
 				*exp, strings.Join(experiments.IDs(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		selected = []experiments.Experiment{e}
 	}
@@ -125,13 +139,13 @@ func main() {
 		planSuite, err := experiments.NewSuite(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		planned := experiments.PlannedJobs(planSuite, selected)
 		checkpoint, err = runner.OpenCheckpoint(*cachedir, planned, *resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if n := checkpoint.Resumed(); n > 0 {
 			fmt.Fprintf(os.Stderr, "paperbench: resuming run %.16s: %d cells already done\n",
@@ -144,7 +158,7 @@ func main() {
 	if err != nil {
 		// Unknown benchmark names: the error carries the valid listing.
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(2)
+		return 2
 	}
 	experiments.Describe(suite, os.Stdout)
 
@@ -156,22 +170,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		if errors.Is(err, context.Canceled) {
-			os.Exit(130)
+			return 130
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	if *csv != "" {
 		if err := writeCSV(*csv, suite); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nwrote %d raw results to %s\n", len(suite.Results()), *csv)
 	}
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, suite, *telTiming); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("\nwrote telemetry to %s\n", *telemetry)
 	}
@@ -183,16 +197,17 @@ func main() {
 		if *failures != "" {
 			if werr := writeFailures(*failures, rep); werr != nil {
 				fmt.Fprintln(os.Stderr, "paperbench:", werr)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "paperbench: wrote failure report to %s\n", *failures)
 		}
 		fmt.Fprintln(os.Stderr, "paperbench:", rep.Summary())
-		os.Exit(3)
+		return 3
 	}
 	if err := checkpoint.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench: removing checkpoint manifest:", err)
 	}
+	return 0
 }
 
 // writeFailures dumps the keep-going failure report as deterministic JSON.

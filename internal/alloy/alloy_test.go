@@ -230,6 +230,8 @@ func TestBandwidthSplit(t *testing.T) {
 func BenchmarkAlloyAccess(b *testing.B) {
 	c, _, _ := testCache(256)
 	var at uint64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		at = c.Access(at, read(i&1, uint64(i%10000), uint64(i%32)*4))
 	}

@@ -218,6 +218,7 @@ func TestTagRoundTrip(t *testing.T) {
 func BenchmarkL3Access(b *testing.B) {
 	l3 := NewL3(L3Config(1 << 20))
 	r := xrand.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l3.Access(uint64(r.Intn(1<<16)), false)

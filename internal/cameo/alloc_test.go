@@ -1,0 +1,43 @@
+package cameo
+
+import (
+	"testing"
+
+	"cameo/internal/memsys"
+	"cameo/internal/xrand"
+)
+
+// TestAccessSteadyStateAllocFree pins the flattened lookup path's
+// zero-allocation steady state for every LLT design: split, the LLT slot
+// read, prediction, the DRAM timing calls, and the swap bookkeeping must all
+// run without touching the heap. This is the per-access organization cost —
+// any allocation here is multiplied by every demand of every cell in a sweep.
+func TestAccessSteadyStateAllocFree(t *testing.T) {
+	for _, kind := range []LLTKind{CoLocatedLLT, EmbeddedLLT, IdealLLT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := testSystem(kind, LLP)
+			r := xrand.New(11)
+			visible := s.VisibleLines()
+			at := uint64(0)
+			next := func() memsys.Request {
+				return memsys.Request{
+					Core:  r.Intn(2),
+					PLine: uint64(r.Intn(int(visible))),
+					PC:    0x400000 + uint64(r.Intn(32))*16,
+					Write: r.Bool(0.2),
+				}
+			}
+			for i := 0; i < 4096; i++ {
+				s.Access(at, next())
+				at += 4
+			}
+			allocs := testing.AllocsPerRun(2000, func() {
+				s.Access(at, next())
+				at += 4
+			})
+			if allocs != 0 {
+				t.Fatalf("%s Access steady state allocates %.1f objects", kind, allocs)
+			}
+		})
+	}
+}

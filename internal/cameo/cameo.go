@@ -127,6 +127,16 @@ type System struct {
 	// group whose entry is cached in slot i, or ^0 when empty.
 	lltCache []uint64
 
+	// Hot-path precomputations (DESIGN.md §Performance): the visible line
+	// count, the stacked data-access footprint, and — when Groups is a power
+	// of two — mask/shift decomposition replacing the per-access divide.
+	visible     uint64
+	stkBytes    int
+	groupMask   uint64
+	groupShift  uint
+	groupsPow2  bool
+	embeddedOff uint64 // EmbeddedLLTLines(Groups), 0 for other layouts
+
 	stats Stats
 }
 
@@ -184,6 +194,21 @@ func NewSystem(cfg Config, stacked, off dram.Device) (*System, error) {
 		off:     off,
 		llt:     NewTable(cfg.Groups, cfg.Segments),
 		pred:    NewPredictor(cfg.Cores, cfg.LLPEntries),
+		visible: cfg.Groups * uint64(cfg.Segments),
+	}
+	sys.stkBytes = dram.LineBytes
+	if cfg.LLT == CoLocatedLLT {
+		sys.stkBytes = LEADBytes
+	}
+	if cfg.LLT == EmbeddedLLT {
+		sys.embeddedOff = EmbeddedLLTLines(cfg.Groups)
+	}
+	if cfg.Groups&(cfg.Groups-1) == 0 {
+		sys.groupsPow2 = true
+		sys.groupMask = cfg.Groups - 1
+		for g := cfg.Groups; g > 1; g >>= 1 {
+			sys.groupShift++
+		}
 	}
 	if cfg.HotSwapThreshold > 0 {
 		sys.hot = NewHotFilter(cfg.HotSwapThreshold, cfg.HotFilterEpoch)
@@ -206,7 +231,7 @@ func (s *System) Name() string {
 }
 
 // VisibleLines implements memsys.Organization: the full combined capacity.
-func (s *System) VisibleLines() uint64 { return s.cfg.Groups * uint64(s.cfg.Segments) }
+func (s *System) VisibleLines() uint64 { return s.visible }
 
 // StackedStats implements memsys.Organization.
 func (s *System) StackedStats() dram.Stats { return s.stacked.Stats() }
@@ -228,9 +253,20 @@ func (s *System) ResetStats() {
 // LLT exposes the table for tests and invariant checks.
 func (s *System) LLT() *Table { return s.llt }
 
-// split decomposes a requested line address.
+// split decomposes a requested line address. Power-of-two group counts
+// resolve with mask/shift; otherwise the quotient is recovered by bounded
+// subtraction — line < Groups*Segments and Segments <= MaxSegments, so at
+// most three subtractions replace the 20+-cycle hardware divide on the
+// per-access path.
 func (s *System) split(line uint64) (g uint64, seg int) {
-	return line % s.cfg.Groups, int(line / s.cfg.Groups)
+	if s.groupsPow2 {
+		return line & s.groupMask, int(line >> s.groupShift)
+	}
+	for line >= s.cfg.Groups {
+		line -= s.cfg.Groups
+		seg++
+	}
+	return line, seg
 }
 
 // offLocal returns the off-chip module-local line address of slot (1..) of
@@ -240,30 +276,26 @@ func (s *System) offLocal(slot int, g uint64) uint64 {
 }
 
 // stackedDataLine returns the device line for group g's stacked slot under
-// the configured layout.
+// the configured layout. The embedded layout's table-region offset is
+// precomputed at construction.
 func (s *System) stackedDataLine(g uint64) uint64 {
 	switch s.cfg.LLT {
 	case CoLocatedLLT:
 		return LeadDeviceLine(g)
 	case EmbeddedLLT:
-		return EmbeddedLLTLines(s.cfg.Groups) + g
+		return s.embeddedOff + g
 	default:
 		return g
 	}
 }
 
 // stackedBytes is the bus footprint of a stacked data access.
-func (s *System) stackedBytes() int {
-	if s.cfg.LLT == CoLocatedLLT {
-		return LEADBytes
-	}
-	return dram.LineBytes
-}
+func (s *System) stackedBytes() int { return s.stkBytes }
 
 // Access implements memsys.Organization.
 func (s *System) Access(at uint64, req memsys.Request) uint64 {
-	if req.PLine >= s.VisibleLines() {
-		panic(fmt.Sprintf("cameo: line %d beyond visible space %d", req.PLine, s.VisibleLines()))
+	if req.PLine >= s.visible {
+		panic(fmt.Sprintf("cameo: line %d beyond visible space %d", req.PLine, s.visible))
 	}
 	g, seg := s.split(req.PLine)
 	slot := s.llt.SlotOf(g, seg)

@@ -314,6 +314,7 @@ func BenchmarkCAMEOAccess(b *testing.B) {
 	s := testSystem(CoLocatedLLT, LLP)
 	r := xrand.New(1)
 	space := int(s.VisibleLines())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Access(uint64(i)*50, req(i&1, uint64(r.Intn(space)), uint64(r.Intn(64))*4))

@@ -100,6 +100,11 @@ type Core struct {
 	havePending bool
 	done        bool
 	stats       Stats
+
+	// issueFn is the bound-method closure for issue, created once so every
+	// eng.At call on the hot path passes the same func value instead of
+	// allocating a fresh method value per event.
+	issueFn func(now uint64)
 }
 
 // New builds a core over a request source and mem. Panics on invalid config.
@@ -107,7 +112,10 @@ func New(cfg Config, eng *sim.Engine, stream workload.Source, mem MemFunc) *Core
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{cfg: cfg, eng: eng, stream: stream, mem: mem}
+	c := &Core{cfg: cfg, eng: eng, stream: stream, mem: mem,
+		outstanding: make([]uint64, 0, cfg.MLP)}
+	c.issueFn = c.issue
+	return c
 }
 
 // Done reports whether the core has retired its budget.
@@ -128,7 +136,7 @@ func (c *Core) Start() {
 	if !c.havePending {
 		return
 	}
-	c.eng.At(c.eng.Now()+c.gapCycles(c.pending.Gap), c.issue)
+	c.eng.At(c.eng.Now()+c.gapCycles(c.pending.Gap), c.issueFn)
 }
 
 // fetch pulls the next request unless the budget is exhausted.
@@ -165,7 +173,7 @@ func (c *Core) slotFree(now uint64) (bool, uint64) {
 // issue processes the pending request at the scheduled cycle.
 func (c *Core) issue(now uint64) {
 	if now < c.blockUntil {
-		c.eng.At(c.blockUntil, c.issue)
+		c.eng.At(c.blockUntil, c.issueFn)
 		return
 	}
 	req := c.pending
@@ -176,7 +184,7 @@ func (c *Core) issue(now uint64) {
 		c.stats.Writebacks++
 		c.fetch()
 		if c.havePending {
-			c.eng.At(now+c.gapCycles(c.pending.Gap), c.issue)
+			c.eng.At(now+c.gapCycles(c.pending.Gap), c.issueFn)
 		} else {
 			c.finish(now)
 		}
@@ -185,7 +193,7 @@ func (c *Core) issue(now uint64) {
 
 	free, retry := c.slotFree(now)
 	if !free {
-		c.eng.At(retry, c.issue)
+		c.eng.At(retry, c.issueFn)
 		return
 	}
 
@@ -217,7 +225,7 @@ func (c *Core) issue(now uint64) {
 		if next < c.blockUntil {
 			next = c.blockUntil
 		}
-		c.eng.At(next, c.issue)
+		c.eng.At(next, c.issueFn)
 		return
 	}
 	c.finish(now)

@@ -215,6 +215,8 @@ func TestTwoCoresContendDeterministically(t *testing.T) {
 
 func BenchmarkCoreRun(b *testing.B) {
 	spec, _ := workload.SpecByName("gcc")
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
 		core := New(DefaultConfig(0, 4, 100_000), eng,

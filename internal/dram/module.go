@@ -169,8 +169,12 @@ func (m *Module) transferCycles(bytes int) uint64 {
 // bus identically, which is what matters for contention); callers treat
 // writes as posted and typically do not stall on the returned time.
 func (m *Module) Access(at uint64, line uint64, bytes int, isWrite bool) uint64 {
-	if bytes <= 0 {
-		panic("dram: non-positive access size")
+	if bytes < 0 {
+		// Panic-free hot path: a non-positive size is a caller bug (every
+		// organization issues LineBytes/LEADBytes constants); clamp it to a
+		// zero-byte control access costing one beat so a bad cell stays
+		// inside the per-cell failure domain instead of crashing the sweep.
+		bytes = 0
 	}
 	ch, bk, row := m.locate(line)
 	bank := &m.banks[ch*m.cfg.Banks+bk]

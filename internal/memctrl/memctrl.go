@@ -12,6 +12,13 @@
 // writes). Callers invoke Access in globally non-decreasing time order (the
 // simulation engine guarantees it), which is what makes the lazy schedule
 // equivalent to an online one.
+//
+// Hot-path layout (DESIGN.md §Performance): requests carry their channel,
+// bank, and row decoded once at enqueue, so the per-issue pick scan is pure
+// compares over a value slice; the scan is bounded by queueCap. The queue
+// is a preallocated slice with O(1) swap-removal — selection is by a
+// totally ordered key (the sequence number breaks every tie), so storage
+// order is irrelevant and steady-state operation performs no allocation.
 package memctrl
 
 import (
@@ -33,10 +40,13 @@ const queueCap = 128
 
 type request struct {
 	line    uint64
-	bytes   int
-	write   bool
+	row     uint64
 	arrival uint64
 	seq     uint64
+	bytes   int32
+	ch      int32 // channel, decoded at enqueue
+	bank    int32 // global bank index (ch*Banks+bank), decoded at enqueue
+	write   bool
 }
 
 type bankState struct {
@@ -75,12 +85,27 @@ type Controller struct {
 
 var _ dram.Device = (*Controller)(nil)
 
-// New builds a controller from cfg. The write-buffering and refresh flags
-// of cfg are ignored: queueing and read priority are inherent here, and
-// refresh belongs to the analytic model's ablation.
+// New builds a controller from cfg, panicking on an invalid configuration —
+// the convenience path for static program data. Code handling
+// runtime-supplied configurations should use NewController, whose error
+// surfaces as a per-cell job failure instead of a crash.
 func New(cfg dram.Config) *Controller {
-	if err := cfg.Validate(); err != nil {
+	c, err := NewController(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// NewController builds a controller from cfg, reporting a descriptive error
+// for an invalid configuration — the configuration boundary where bad sweep
+// cells are rejected (the runner treats such errors as permanent). The
+// write-buffering and refresh flags of cfg are ignored: queueing and read
+// priority are inherent here, and refresh belongs to the analytic model's
+// ablation.
+func NewController(cfg dram.Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cpb := cfg.CPUPerBus()
 	return &Controller{
@@ -95,7 +120,9 @@ func New(cfg dram.Config) *Controller {
 		linesPerRow:  uint64(cfg.RowBufferBytes / dram.LineBytes),
 		banks:        make([]bankState, cfg.Channels*cfg.Banks),
 		buses:        make([]uint64, cfg.Channels),
-	}
+		// One slot of headroom: Access appends before draining back to cap.
+		queue: make([]request, 0, queueCap+1),
+	}, nil
 }
 
 // Config implements dram.Device.
@@ -109,6 +136,9 @@ func (c *Controller) ResetStats() { c.stats = dram.Stats{} }
 
 // QueueDepth reports the pending request count, for tests.
 func (c *Controller) QueueDepth() int { return len(c.queue) }
+
+// QueuedWrites reports the pending write count, for invariant tests.
+func (c *Controller) QueuedWrites() int { return c.writes }
 
 // MaxQueueDepth reports the pending-queue high-water mark.
 func (c *Controller) MaxQueueDepth() int { return c.maxQueueDepth }
@@ -127,8 +157,8 @@ func (c *Controller) locate(line uint64) (channel, bank int, row uint64) {
 	return ch, b, rowGlobal / uint64(c.cfg.Banks)
 }
 
-func (c *Controller) transferCycles(bytes int) uint64 {
-	beats := uint64((bytes + c.bytesPerBeat - 1) / c.bytesPerBeat)
+func (c *Controller) transferCycles(bytes int32) uint64 {
+	beats := uint64((int(bytes) + c.bytesPerBeat - 1) / c.bytesPerBeat)
 	t := beats * c.halfCycleCPU
 	if t == 0 {
 		t = 1
@@ -136,12 +166,25 @@ func (c *Controller) transferCycles(bytes int) uint64 {
 	return t
 }
 
-// Access implements dram.Device.
+// Access implements dram.Device. It never panics: a non-positive size (a
+// caller bug — every organization issues LineBytes/LEADBytes constants) is
+// clamped to a zero-byte control access costing one beat, keeping a bad
+// cell inside the per-cell failure domain instead of crashing the sweep.
 func (c *Controller) Access(at uint64, line uint64, bytes int, isWrite bool) uint64 {
-	if bytes <= 0 {
-		panic("memctrl: non-positive access size")
+	if bytes < 0 {
+		bytes = 0
 	}
-	req := request{line: line, bytes: bytes, write: isWrite, arrival: at, seq: c.nextSeq}
+	ch, bk, row := c.locate(line)
+	req := request{
+		line:    line,
+		row:     row,
+		arrival: at,
+		seq:     c.nextSeq,
+		bytes:   int32(bytes),
+		ch:      int32(ch),
+		bank:    int32(ch*c.cfg.Banks + bk),
+		write:   isWrite,
+	}
 	c.nextSeq++
 	c.queue = append(c.queue, req)
 	if len(c.queue) > c.maxQueueDepth {
@@ -153,7 +196,7 @@ func (c *Controller) Access(at uint64, line uint64, bytes int, isWrite bool) uin
 		c.stats.BytesWritten += uint64(bytes)
 		// Posted: drain opportunistically; report a nominal completion.
 		c.drainIfPressed()
-		return at + c.tCAS + c.transferCycles(bytes)
+		return at + c.tCAS + c.transferCycles(req.bytes)
 	}
 	c.stats.Reads++
 	c.stats.BytesRead += uint64(bytes)
@@ -184,63 +227,58 @@ func (c *Controller) scheduleUntil(seq uint64) uint64 {
 
 // pick selects the next request to issue: the minimum of
 // (readyTime, writeHandicap, rowMissPenalty, arrival) — first-ready
-// first-come with read priority, the FR-FCFS family's greedy form.
+// first-come with read priority, the FR-FCFS family's greedy form. The scan
+// is bounded by queueCap and touches only enqueue-decoded fields; the
+// sequence number makes the key a total order, so the minimum is unique and
+// independent of queue storage order.
 func (c *Controller) pick() int {
 	drain := c.writes >= writeDrainWatermark
 	best := -1
-	var bestKey [3]uint64
+	var bestStart, bestMiss, bestSeq uint64
 	for i := range c.queue {
 		r := &c.queue[i]
-		ch, bk, row := c.locate(r.line)
-		bank := &c.banks[ch*c.cfg.Banks+bk]
+		bank := &c.banks[r.bank]
 		start := r.arrival
 		if bank.busyUntil > start {
 			start = bank.busyUntil
 		}
-		key0 := start
 		if r.write && !drain {
-			key0 += writeBias
+			start += writeBias
 		}
-		var key1 uint64 = 1 // row miss
-		if bank.hasOpen && bank.openRow == row {
-			key1 = 0
+		var miss uint64 = 1 // row miss
+		if bank.hasOpen && bank.openRow == r.row {
+			miss = 0
 		}
-		key := [3]uint64{key0, key1, r.seq}
-		if best == -1 || less(key, bestKey) {
-			best, bestKey = i, key
+		if best == -1 || start < bestStart ||
+			(start == bestStart && (miss < bestMiss ||
+				(miss == bestMiss && r.seq < bestSeq))) {
+			best, bestStart, bestMiss, bestSeq = i, start, miss, r.seq
 		}
 	}
 	return best
 }
 
-func less(a, b [3]uint64) bool {
-	if a[0] != b[0] {
-		return a[0] < b[0]
-	}
-	if a[1] != b[1] {
-		return a[1] < b[1]
-	}
-	return a[2] < b[2]
-}
-
 // issue runs the bank/bus timing for queue[idx], removes it, and returns
-// its completion and sequence number.
+// its completion and sequence number. Removal is O(1) swap-with-last:
+// pick's key is totally ordered, so scheduling never depends on storage
+// order.
 func (c *Controller) issue(idx int) (done, seq uint64) {
 	r := c.queue[idx]
-	c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+	last := len(c.queue) - 1
+	c.queue[idx] = c.queue[last]
+	c.queue = c.queue[:last]
 	if r.write {
 		c.writes--
 	}
 
-	ch, bk, row := c.locate(r.line)
-	bank := &c.banks[ch*c.cfg.Banks+bk]
+	bank := &c.banks[r.bank]
 	start := r.arrival
 	if bank.busyUntil > start {
 		start = bank.busyUntil
 	}
 	var ready uint64
 	switch {
-	case bank.hasOpen && bank.openRow == row:
+	case bank.hasOpen && bank.openRow == r.row:
 		c.stats.RowHits++
 		ready = start + c.tCAS
 	case !bank.hasOpen:
@@ -258,14 +296,14 @@ func (c *Controller) issue(idx int) (done, seq uint64) {
 		ready = actStart + c.tRCD + c.tCAS
 	}
 	bank.hasOpen = true
-	bank.openRow = row
+	bank.openRow = r.row
 
 	dataStart := ready
-	if c.buses[ch] > dataStart {
-		dataStart = c.buses[ch]
+	if c.buses[r.ch] > dataStart {
+		dataStart = c.buses[r.ch]
 	}
 	done = dataStart + c.transferCycles(r.bytes)
-	c.buses[ch] = done
+	c.buses[r.ch] = done
 	bank.busyUntil = done
 	return done, r.seq
 }

@@ -138,18 +138,99 @@ func TestThroughputAtLeastInOrder(t *testing.T) {
 	}
 }
 
-func TestZeroByteAccessPanics(t *testing.T) {
+func TestNonPositiveAccessSizeIsPanicFree(t *testing.T) {
+	// Access must never panic on the hot path: a non-positive size (caller
+	// bug) is clamped to a zero-byte one-beat control access, and negative
+	// sizes must not wrap the byte counters. Validation belongs at the
+	// configuration boundary (NewController), not per access.
+	c := testCtrl()
+	done := c.Access(0, 0, 0, false)
+	if done == 0 {
+		t.Fatal("zero-byte access reported zero completion")
+	}
+	if done2 := c.Access(done, 0, -64, true); done2 <= done {
+		t.Fatalf("negative-size access completion %d not after %d", done2, done)
+	}
+	st := c.Stats()
+	if st.BytesRead != 0 || st.BytesWritten != 0 {
+		t.Fatalf("non-positive sizes charged bytes: read=%d written=%d",
+			st.BytesRead, st.BytesWritten)
+	}
+}
+
+func TestNewControllerRejectsBadConfig(t *testing.T) {
+	cfg := dram.StackedConfig(1 << 20)
+	cfg.Channels = 0
+	if _, err := NewController(cfg); err == nil {
+		t.Fatal("NewController accepted zero channels")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("zero-byte access accepted")
+			t.Fatal("New did not panic on invalid config")
 		}
 	}()
-	testCtrl().Access(0, 0, 0, false)
+	New(cfg)
+}
+
+// TestQueueWritesInvariantUnderPressure pins the queue/writes bookkeeping at
+// queueCap pressure: the posted-write drain path must keep the queued-write
+// counter equal to the number of write requests actually in the queue, the
+// depth bounded by queueCap, and steady-state operation allocation-free.
+func TestQueueWritesInvariantUnderPressure(t *testing.T) {
+	c := testCtrl()
+	r := xrand.New(7)
+	countQueuedWrites := func() int {
+		n := 0
+		for i := range c.queue {
+			if c.queue[i].write {
+				n++
+			}
+		}
+		return n
+	}
+	at := uint64(0)
+	for i := 0; i < 10_000; i++ {
+		// Write-heavy with clustered rows so the queue actually fills.
+		isWrite := r.Bool(0.9)
+		c.Access(at, uint64(r.Intn(1<<18)), 64, isWrite)
+		at += uint64(r.Intn(3))
+		if got, want := c.QueuedWrites(), countQueuedWrites(); got != want {
+			t.Fatalf("after %d accesses: writes counter %d, queued writes %d", i+1, got, want)
+		}
+		if d := c.QueueDepth(); d > queueCap {
+			t.Fatalf("after %d accesses: queue depth %d exceeds cap %d", i+1, d, queueCap)
+		}
+	}
+	if c.MaxQueueDepth() > queueCap+1 {
+		t.Fatalf("high-water mark %d exceeds cap headroom %d", c.MaxQueueDepth(), queueCap+1)
+	}
+}
+
+// TestAccessSteadyStateAllocFree pins Access's zero-allocation steady state:
+// the queue is preallocated to queueCap+1 at construction and requests are
+// value types, so enqueue/pick/issue never touch the heap. This is the
+// per-access cost the FR-FCFS experiments pay millions of times per cell.
+func TestAccessSteadyStateAllocFree(t *testing.T) {
+	c := testCtrl()
+	r := xrand.New(3)
+	at := uint64(0)
+	for i := 0; i < 4096; i++ {
+		c.Access(at, uint64(r.Intn(1<<16)), 64, r.Bool(0.5))
+		at += 4
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		c.Access(at, uint64(r.Intn(1<<16)), 64, r.Bool(0.5))
+		at += 4
+	})
+	if allocs != 0 {
+		t.Fatalf("Access steady state allocates %.1f objects per request", allocs)
+	}
 }
 
 func BenchmarkControllerAccess(b *testing.B) {
 	ctrl := testCtrl()
 	r := xrand.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Access(uint64(i)*4, uint64(r.Intn(1<<16)), 64, r.Bool(0.3))

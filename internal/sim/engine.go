@@ -6,64 +6,66 @@
 // schedules its next issue/retire point and the engine processes them in
 // global time order so that contention in the shared memory system is
 // observed consistently.
+//
+// The queue is a monomorphic 4-ary min-heap over value-type entries keyed
+// by (cycle, insertion sequence), with callbacks parked in a slot arena
+// recycled through a free list. Scheduling and firing are allocation-free
+// in steady state: no interface boxing, no per-event heap object (see
+// DESIGN.md §Performance). Cancellation is lazy — a cancelled entry stays
+// in the heap until it surfaces and is discarded by a generation check —
+// which keeps the sift paths free of index back-patching.
 package sim
-
-import "container/heap"
 
 // Cycle is a point in simulated time, in CPU cycles (3.2 GHz in the paper's
 // configuration). A uint64 cycle counter at 3.2 GHz lasts ~180 years of
 // simulated time, so overflow is not a practical concern.
 type Cycle = uint64
 
-// Event is a callback scheduled at a cycle. Returning from the callback may
-// schedule further events.
+// Event is a handle to a scheduled callback, valid for Cancel until the
+// event fires. The zero Event is invalid and Cancel ignores it.
 type Event struct {
-	At Cycle
-	Fn func(now Cycle)
-
-	seq uint64 // insertion order; breaks ties deterministically
-	idx int    // heap index
+	slot int32  // arena index + 1; 0 marks the zero (invalid) handle
+	gen  uint32 // arena generation at scheduling time
 }
 
-type eventHeap []*Event
+// slot parks one scheduled callback. gen increments every time the slot is
+// released (fire or cancel), invalidating outstanding handles and any stale
+// heap entry still pointing here.
+type slot struct {
+	fn  func(now Cycle)
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// entry is one heap element: the ordering key plus the slot reference. Keys
+// live inline so sift comparisons never chase the arena.
+type entry struct {
+	at   Cycle
+	seq  uint64 // insertion order; breaks ties deterministically
+	slot int32
+	gen  uint32
+}
+
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Stats counts engine activity over the run.
 type Stats struct {
 	EventsFired uint64 // events dispatched by Step
-	MaxPending  uint64 // high-water mark of the pending-event heap
+	MaxPending  uint64 // high-water mark of pending (live) events
 }
 
-// Engine owns the clock and the pending-event heap.
+// Engine owns the clock and the pending-event queue.
 type Engine struct {
 	now     Cycle
 	nextSeq uint64
-	events  eventHeap
+	heap    []entry
+	slots   []slot
+	free    []int32 // recycled arena indices
+	pending int     // live (non-cancelled) scheduled events
 	stopped bool
 	stats   Stats
 }
@@ -77,56 +79,109 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
 
 // At schedules fn to run at cycle at. Scheduling in the past is a
 // programming error and panics: time in a discrete-event simulation must be
 // monotone or results are not reproducible.
-func (e *Engine) At(at Cycle, fn func(now Cycle)) *Event {
+func (e *Engine) At(at Cycle, fn func(now Cycle)) Event {
 	if at < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.nextSeq}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.fn = fn
+	e.push(entry{at: at, seq: e.nextSeq, slot: idx, gen: s.gen})
 	e.nextSeq++
-	heap.Push(&e.events, ev)
-	if n := uint64(len(e.events)); n > e.stats.MaxPending {
+	e.pending++
+	if n := uint64(e.pending); n > e.stats.MaxPending {
 		e.stats.MaxPending = n
 	}
-	return ev
+	return Event{slot: idx + 1, gen: s.gen}
 }
 
 // Stats returns a snapshot of the engine's activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
 // After schedules fn to run delay cycles from now.
-func (e *Engine) After(delay Cycle, fn func(now Cycle)) *Event {
+func (e *Engine) After(delay Cycle, fn func(now Cycle)) Event {
 	return e.At(e.now+delay, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 || ev.idx >= len(e.events) || e.events[ev.idx] != ev {
+// Cancel removes a scheduled event. Cancelling the zero Event, or one that
+// already fired or was already cancelled, is a no-op. The heap entry is
+// discarded lazily when it reaches the front.
+func (e *Engine) Cancel(ev Event) {
+	if ev.slot == 0 {
 		return
 	}
-	heap.Remove(&e.events, ev.idx)
-	ev.idx = -1
+	idx := ev.slot - 1
+	s := &e.slots[idx]
+	if s.gen != ev.gen || s.fn == nil {
+		return
+	}
+	e.release(idx)
+	e.pending--
+}
+
+// release invalidates slot idx and returns it to the free list.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, idx)
 }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// next pops heap entries until a live one surfaces, returning (entry, true),
+// or (zero, false) when the queue is exhausted. Stale entries belong to
+// cancelled events and are discarded.
+func (e *Engine) next() (entry, bool) {
+	for len(e.heap) > 0 {
+		head := e.heap[0]
+		e.pop()
+		if e.slots[head.slot].gen == head.gen {
+			return head, true
+		}
+	}
+	return entry{}, false
+}
+
+// peekAt reports the cycle of the earliest live event. Stale (cancelled)
+// heads are pruned on the way.
+func (e *Engine) peekAt() (Cycle, bool) {
+	for len(e.heap) > 0 {
+		head := e.heap[0]
+		if e.slots[head.slot].gen == head.gen {
+			return head.at, true
+		}
+		e.pop()
+	}
+	return 0, false
+}
+
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	head, ok := e.next()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	ev.idx = -1
-	e.now = ev.At
+	fn := e.slots[head.slot].fn
+	e.release(head.slot)
+	e.pending--
+	e.now = head.at
 	e.stats.EventsFired++
-	ev.Fn(e.now)
+	fn(e.now)
 	return true
 }
 
@@ -144,8 +199,62 @@ func (e *Engine) Run() Cycle {
 // queue still has later events.
 func (e *Engine) RunUntil(limit Cycle) Cycle {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 && e.events[0].At <= limit {
+	for !e.stopped {
+		at, ok := e.peekAt()
+		if !ok || at > limit {
+			break
+		}
 		e.Step()
 	}
 	return e.now
+}
+
+// push appends v and sifts it up the 4-ary heap.
+func (e *Engine) push(v entry) {
+	h := append(e.heap, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !v.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = v
+	e.heap = h
+}
+
+// pop removes the minimum (root) entry, restoring heap order by sifting the
+// displaced tail element down. Four children per node halve the tree depth
+// of a binary heap, which is what the pop-dominated simulation loop pays for.
+func (e *Engine) pop() {
+	h := e.heap
+	n := len(h) - 1
+	v := h[n]
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Select the smallest of up to four children.
+		min := c
+		for k := c + 1; k < c+4 && k < n; k++ {
+			if h[k].before(h[min]) {
+				min = k
+			}
+		}
+		if !h[min].before(v) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = v
 }

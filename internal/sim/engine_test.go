@@ -92,7 +92,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var fired []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, e.At(Cycle(i*10), func(Cycle) { fired = append(fired, i) }))
@@ -175,6 +175,7 @@ func TestClockNeverGoesBackward(t *testing.T) {
 }
 
 func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		for j := 0; j < 100; j++ {

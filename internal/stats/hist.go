@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -16,13 +17,11 @@ type Hist struct {
 	max     uint64
 }
 
-// Observe records one latency sample.
+// Observe records one latency sample. It runs once per demand access, so
+// the bucket index is a single hardware bit-length instruction rather than
+// a shift loop.
 func (h *Hist) Observe(v uint64) {
-	b := 0
-	for x := v; x > 0; x >>= 1 {
-		b++
-	}
-	h.buckets[b]++
+	h.buckets[bits.Len64(v)]++
 	h.count++
 	h.sum += v
 	if v > h.max {

@@ -205,14 +205,20 @@ func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (me
 		if devErr != nil {
 			return nil
 		}
-		if err := c.Validate(); err != nil {
+		if cfg.FRFCFS {
+			d, err := memctrl.NewController(c)
+			if err != nil {
+				devErr = err
+				return nil
+			}
+			return d
+		}
+		d, err := dram.New(c)
+		if err != nil {
 			devErr = err
 			return nil
 		}
-		if cfg.FRFCFS {
-			return memctrl.New(c)
-		}
-		return dram.NewModule(c)
+		return d
 	}
 	newStacked := func() dram.Device {
 		c := dram.StackedConfig(cfg.StackedBytes())

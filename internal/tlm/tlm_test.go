@@ -314,6 +314,7 @@ func BenchmarkDynamicAccess(b *testing.B) {
 		pl, _ := m.Translate(0, v*vm.LinesPerPage, false)
 		_ = pl
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	at := uint64(0)
 	for i := 0; i < b.N; i++ {

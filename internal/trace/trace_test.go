@@ -238,6 +238,7 @@ func BenchmarkWrite(b *testing.B) {
 	s := workload.NewStream(spec, 1024, 0, 1)
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, sampleMeta())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.Write(s.Next())

@@ -324,6 +324,7 @@ func BenchmarkTranslateResident(b *testing.B) {
 	for v := uint64(0); v < 512; v++ {
 		m.Translate(0, v*LinesPerPage, false)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Translate(0, uint64(i%512)*LinesPerPage, false)

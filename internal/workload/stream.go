@@ -65,14 +65,19 @@ type Stream struct {
 
 	// per-page cursors for Zipf visits: successive visits to a page walk
 	// its used lines round-robin, the way real code sweeps a structure,
-	// instead of sampling lines independently.
-	pageCursor map[uint64]uint8
+	// instead of sampling lines independently. Dense array — page numbers
+	// are < pages, and a byte per page is cheaper than a map on the
+	// per-request path.
+	pageCursor []uint8
 
 	// history ring feeding writeback addresses
 	hist    []uint64
 	histPos int
 
-	pendingWrite *Request
+	// pendingWrite holds the writeback queued behind the current demand;
+	// a value field, so queueing one does not allocate per request.
+	pendingWrite     Request
+	havePendingWrite bool
 }
 
 // NewStream builds the generator for (spec, core) with footprints divided by
@@ -111,7 +116,7 @@ func NewStream(spec Spec, scale uint64, core int, baseSeed uint64) *Stream {
 		gapMean: 1000 / spec.MPKI,
 		hist:    make([]uint64, 64),
 
-		pageCursor: make(map[uint64]uint8),
+		pageCursor: make([]uint8, pages),
 	}
 	return s
 }
@@ -185,10 +190,9 @@ func (s *Stream) zipfPC(rank int) uint64 {
 
 // Next returns the next request in the stream.
 func (s *Stream) Next() Request {
-	if s.pendingWrite != nil {
-		r := *s.pendingWrite
-		s.pendingWrite = nil
-		return r
+	if s.havePendingWrite {
+		s.havePendingWrite = false
+		return s.pendingWrite
 	}
 	if s.burstLeft == 0 {
 		s.newVisit()
@@ -222,8 +226,8 @@ func (s *Stream) Next() Request {
 	s.histPos = (s.histPos + 1) % len(s.hist)
 
 	if s.rng.Bool(s.spec.WriteFrac) {
-		wb := Request{VLine: s.hist[s.rng.Intn(len(s.hist))], PC: req.PC, Write: true}
-		s.pendingWrite = &wb
+		s.pendingWrite = Request{VLine: s.hist[s.rng.Intn(len(s.hist))], PC: req.PC, Write: true}
+		s.havePendingWrite = true
 	}
 	return req
 }

@@ -326,6 +326,7 @@ func TestPermutationProperty(t *testing.T) {
 func BenchmarkStreamNext(b *testing.B) {
 	spec, _ := SpecByName("mcf")
 	s := NewStream(spec, 256, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Next()

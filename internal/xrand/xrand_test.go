@@ -214,6 +214,8 @@ func TestZipfSampleInRange(t *testing.T) {
 
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = r.Uint64()
 	}
@@ -222,6 +224,7 @@ func BenchmarkUint64(b *testing.B) {
 func BenchmarkZipfSample(b *testing.B) {
 	z := NewZipf(4096, 0.9)
 	r := New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = z.Sample(r)
