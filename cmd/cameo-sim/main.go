@@ -28,19 +28,6 @@ import (
 	"cameo/internal/workload"
 )
 
-var orgNames = map[string]system.OrgKind{
-	"baseline":    system.Baseline,
-	"cache":       system.Cache,
-	"tlm-static":  system.TLMStatic,
-	"tlm-dynamic": system.TLMDynamic,
-	"tlm-freq":    system.TLMFreq,
-	"tlm-oracle":  system.TLMOracle,
-	"cameo":       system.CAMEO,
-	"doubleuse":   system.DoubleUse,
-	"lh-cache":    system.LHCache,
-	"lh-missmap":  system.LHCacheMM,
-}
-
 var lltNames = map[string]cameo.LLTKind{
 	"colocated": cameo.CoLocatedLLT,
 	"embedded":  cameo.EmbeddedLLT,
@@ -73,7 +60,7 @@ func run(args []string) (code int) {
 	fs := flag.NewFlagSet("cameo-sim", flag.ContinueOnError)
 	var (
 		bench    = fs.String("bench", "sphinx3", "benchmark name from Table II")
-		org      = fs.String("org", "cameo", "organization: "+keys(orgNames))
+		org      = fs.String("org", "cameo", "organization: "+strings.Join(system.OrgNames(), ", "))
 		llt      = fs.String("llt", "colocated", "CAMEO LLT design: "+keys(lltNames))
 		pred     = fs.String("pred", "llp", "CAMEO predictor: "+keys(predNames))
 		scale    = fs.Uint64("scale", 1024, "capacity scale divisor")
@@ -140,9 +127,9 @@ func run(args []string) (code int) {
 		fmt.Fprintf(os.Stderr, "cameo-sim: unknown benchmark %q (use -list)\n", *bench)
 		return 2
 	}
-	kind, ok := orgNames[strings.ToLower(*org)]
+	kind, ok := system.ParseOrg(*org)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "cameo-sim: unknown organization %q (have: %s)\n", *org, keys(orgNames))
+		fmt.Fprintf(os.Stderr, "cameo-sim: unknown organization %q (have: %s)\n", *org, strings.Join(system.OrgNames(), ", "))
 		return 2
 	}
 	cfg := system.Config{

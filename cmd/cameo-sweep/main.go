@@ -42,17 +42,6 @@ import (
 	"cameo/internal/workload"
 )
 
-var orgNames = map[string]system.OrgKind{
-	"baseline":    system.Baseline,
-	"cache":       system.Cache,
-	"tlm-static":  system.TLMStatic,
-	"tlm-dynamic": system.TLMDynamic,
-	"tlm-freq":    system.TLMFreq,
-	"tlm-oracle":  system.TLMOracle,
-	"cameo":       system.CAMEO,
-	"doubleuse":   system.DoubleUse,
-}
-
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -75,7 +64,7 @@ func run(args []string) (code int) {
 		cachedir = fs.String("cachedir", "", "persistent result-cache directory")
 		quiet    = fs.Bool("quiet", false, "suppress the stderr progress display")
 
-		jobTimeout = fs.Duration("job-timeout", 0, "per-cell watchdog: abandon an attempt that runs longer than this (0 = off)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-cell watchdog: cancel an attempt that runs longer than this and reclaim its worker (0 = off)")
 		retries    = fs.Int("retries", 0, "retry transiently-failed cells (panics, timeouts) this many times")
 		keepGoing  = fs.Bool("keep-going", false, "skip failed cells in the CSV, write a failure report, exit 3")
 		resume     = fs.Bool("resume", false, "resume an interrupted sweep from its -cachedir checkpoint manifest")
@@ -108,9 +97,9 @@ func run(args []string) (code int) {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	kind, ok := orgNames[strings.ToLower(*org)]
+	kind, ok := system.ParseOrg(*org)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "cameo-sweep: unknown organization", *org)
+		fmt.Fprintf(os.Stderr, "cameo-sweep: unknown organization %q (have: %s)\n", *org, strings.Join(system.OrgNames(), ", "))
 		return 2
 	}
 	var vals []uint64

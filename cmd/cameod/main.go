@@ -1,0 +1,111 @@
+// Command cameod is the long-running sweep service: an HTTP front end over
+// the parallel runner for shared or remote use, hardened for continuous
+// operation.
+//
+// Endpoints:
+//
+//	POST /sweep    run a sweep; JSON body {"org","benchmarks","sweep","values",
+//	               "instr","cores","seed","timeout_ms"}; cells return in
+//	               request order. 400 invalid request, 429 saturated (honour
+//	               Retry-After), 503 draining, 504 request deadline hit.
+//	GET  /healthz  liveness: 200 while the process serves, even during drain.
+//	GET  /readyz   admission readiness: 503 once draining begins.
+//	GET  /metrics  server counters/gauges as deterministic JSON.
+//
+// A request's timeout_ms (and a disconnecting client) cancels its sweep
+// mid-flight: the cancellation reaches the simulator's event loops, which
+// unwind at their preemption points, and the workers are reclaimed.
+//
+// On SIGTERM/SIGINT cameod drains: it stops admitting (readyz flips to
+// 503), lets in-flight sweeps finish within -drain-grace, force-cancels any
+// stragglers, flushes the -cachedir result cache, and exits 0. A second
+// signal aborts immediately with exit 130. Exit codes: 0 clean (including
+// drained), 1 runtime failure, 2 bad flags.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cameo/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cameod", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8347", "listen address")
+		jobs        = fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation workers per sweep")
+		maxInflight = fs.Int("max-inflight", 2, "sweep requests executing concurrently")
+		maxQueue    = fs.Int("max-queue", 8, "sweep requests allowed to wait for a slot (beyond that: 429)")
+		maxCells    = fs.Int("max-cells", 1024, "largest grid a single request may ask for")
+		jobTimeout  = fs.Duration("job-timeout", 0, "per-cell watchdog: cancel an attempt running longer than this and reclaim its worker (0 = off)")
+		retries     = fs.Int("retries", 0, "retry transiently-failed cells this many times")
+		cachedir    = fs.String("cachedir", "", "persistent result-cache directory shared across requests and restarts")
+		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight sweeps before cancelling them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger := log.New(os.Stderr, "cameod: ", log.LstdFlags)
+
+	srv, err := server.New(server.Options{
+		Jobs:        *jobs,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		MaxCells:    *maxCells,
+		JobTimeout:  *jobTimeout,
+		Retries:     *retries,
+		CacheDir:    *cachedir,
+		DrainGrace:  *drainGrace,
+		Log:         logger,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (inflight %d, queue %d, %d workers/sweep)",
+		*addr, *maxInflight, *maxQueue, *jobs)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		logger.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills us (exit 130)
+
+	// Drain: admission closes first, then in-flight sweeps get the grace,
+	// then the cache is flushed. The HTTP listener shuts down after the
+	// handlers have finished, so Shutdown returns promptly.
+	if err := srv.Drain(); err != nil {
+		logger.Printf("drain: %v", err)
+		return 1
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "cameod: exiting after clean drain")
+	return 0
+}

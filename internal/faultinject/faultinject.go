@@ -46,12 +46,20 @@ const (
 	// Error returns an injected error from the site.
 	Error
 	// Hang sleeps for the rule's Delay before continuing normally — long
-	// delays simulate hung cells for watchdog tests.
+	// delays simulate hung (blocked) cells for watchdog tests. The runner's
+	// job site wakes the sleep on cancellation, so a hung cell is reclaimed
+	// the moment its watchdog fires.
 	Hang
 	// Corrupt flips bytes in the data passing through the site.
 	Corrupt
 	// WriteFail makes the site's write fail.
 	WriteFail
+	// Stall busy-loops on the CPU for the rule's Delay, polling
+	// cancellation between bounded slices — a compute-bound runaway cell
+	// (vs Hang's blocked one), so chaos tests can deterministically
+	// exercise watchdog-triggered preemption and worker reclamation
+	// without depending on scheduler timing.
+	Stall
 )
 
 func (k Kind) String() string {
@@ -66,6 +74,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case WriteFail:
 		return "writefail"
+	case Stall:
+		return "stall"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -73,7 +83,8 @@ func (k Kind) String() string {
 // Fault is one injected failure, returned by Evaluate when a rule fires.
 type Fault struct {
 	Kind Kind
-	// Delay is the hang duration (Hang faults only).
+	// Delay is the hang/stall duration (Hang and Stall faults only; zero
+	// means "until cancelled" at the runner's job site).
 	Delay time.Duration
 }
 
@@ -93,7 +104,7 @@ type Rule struct {
 	// the fault is transient and clears after that many tries, so retry
 	// convergence can be asserted exactly.
 	MaxAttempt int
-	// Delay is the hang duration for Hang rules.
+	// Delay is the hang/stall duration for Hang and Stall rules.
 	Delay time.Duration
 	// Limit, when positive, caps the rule's total fires across the plan's
 	// lifetime (a global safety valve; under a concurrent runner the *which*

@@ -118,12 +118,12 @@ func TestCorruptBytesDamagesDeterministically(t *testing.T) {
 }
 
 func TestParseSpec(t *testing.T) {
-	p, err := ParseSpec(3, "job:panic:p=0.25:max=1; cacheload:corrupt:match=milc ;cachestore:writefail:limit=5;job:hang:delay=250ms")
+	p, err := ParseSpec(3, "job:panic:p=0.25:max=1; cacheload:corrupt:match=milc ;cachestore:writefail:limit=5;job:hang:delay=250ms;job:stall:max=1:delay=1s")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.rules) != 4 {
-		t.Fatalf("parsed %d rules, want 4", len(p.rules))
+	if len(p.rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(p.rules))
 	}
 	r := p.rules[0]
 	if r.Site != SiteJobRun || r.Kind != Panic || r.Prob != 0.25 || r.MaxAttempt != 1 {
@@ -134,6 +134,9 @@ func TestParseSpec(t *testing.T) {
 	}
 	if p.rules[3].Kind != Hang || p.rules[3].Delay != 250*time.Millisecond {
 		t.Fatalf("rule 3 = %+v", p.rules[3])
+	}
+	if p.rules[4].Kind != Stall || p.rules[4].MaxAttempt != 1 || p.rules[4].Delay != time.Second {
+		t.Fatalf("rule 4 = %+v", p.rules[4])
 	}
 }
 
@@ -155,7 +158,7 @@ func TestParseSpecErrors(t *testing.T) {
 
 func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
-		Panic: "panic", Error: "error", Hang: "hang",
+		Panic: "panic", Error: "error", Hang: "hang", Stall: "stall",
 		Corrupt: "corrupt", WriteFail: "writefail", Kind(99): "Kind(99)",
 	} {
 		if got := k.String(); got != want {

@@ -12,13 +12,13 @@ import (
 //
 //	site:kind[:opt=value]...
 //
-// with sites job, cacheload, cachestore; kinds panic, error, hang, corrupt,
-// writefail; and options
+// with sites job, cacheload, cachestore; kinds panic, error, hang, stall,
+// corrupt, writefail; and options
 //
 //	p=0.25        firing probability (default 1)
 //	match=milc    substring filter on the cell key
 //	max=2         fire only on attempts < 2 (transient fault)
-//	delay=250ms   hang duration (hang kind)
+//	delay=250ms   hang/stall duration (those kinds; 0 = until cancelled)
 //	limit=10      total fire cap
 //
 // Example: "job:panic:p=0.1:max=1;cacheload:corrupt:match=milc".
@@ -53,6 +53,7 @@ var kindNames = map[string]Kind{
 	"hang":      Hang,
 	"corrupt":   Corrupt,
 	"writefail": WriteFail,
+	"stall":     Stall,
 }
 
 func parseRule(raw string) (Rule, error) {
@@ -66,7 +67,7 @@ func parseRule(raw string) (Rule, error) {
 	}
 	kind, ok := kindNames[parts[1]]
 	if !ok {
-		return Rule{}, fmt.Errorf("faultinject: unknown kind %q (have panic, error, hang, corrupt, writefail)", parts[1])
+		return Rule{}, fmt.Errorf("faultinject: unknown kind %q (have panic, error, hang, stall, corrupt, writefail)", parts[1])
 	}
 	r := Rule{Site: site, Kind: kind, Prob: 1}
 	for _, opt := range parts[2:] {

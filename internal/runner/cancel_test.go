@@ -1,0 +1,235 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cameo/internal/faultinject"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// waitGoroutines polls until the live goroutine count drops to at most
+// base+slack or the deadline passes, returning the final count. Cancelled
+// attempts unwind asynchronously (engine preemption plus scheduler), so an
+// instantaneous read right after RunAll would race the cleanup.
+func waitGoroutines(base, slack int, deadline time.Duration) int {
+	var n int
+	for end := time.Now().Add(deadline); ; {
+		n = runtime.NumGoroutine()
+		if n <= base+slack || time.Now().After(end) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosStallReclamation is the acceptance drill for cooperative
+// cancellation: a sweep whose first attempts stall (injected, deterministic)
+// under a watchdog must (a) converge to results and telemetry byte-identical
+// to a fault-free run of the same plan, (b) complete every subsequent cell
+// on the reclaimed workers, and (c) leak zero goroutines.
+func TestChaosStallReclamation(t *testing.T) {
+	const n = 8
+	jobs := testJobs(n)
+
+	sweep := func(plan *faultinject.Plan) *Runner {
+		var executed atomic.Int64
+		r := New(Options{
+			Jobs:         2, // fewer workers than stalled cells: reclamation must free them
+			Execute:      countingExecute(&executed, 0),
+			JobTimeout:   50 * time.Millisecond,
+			Retries:      1,
+			RetryBackoff: time.Millisecond,
+			Faults:       plan,
+		})
+		if err := r.RunAll(context.Background(), jobs); err != nil {
+			t.Fatalf("sweep did not converge: %v", err)
+		}
+		return r
+	}
+
+	base := runtime.NumGoroutine()
+	// Every cell stalls "forever" (until cancelled) on its first attempt;
+	// the watchdog cancels it, the worker is reclaimed, the retry succeeds.
+	plan := faultinject.NewPlan(11, faultinject.Rule{
+		Site: faultinject.SiteJobRun, Kind: faultinject.Stall, Prob: 1, MaxAttempt: 1,
+	})
+	faulty := sweep(plan)
+	clean := sweep(nil)
+
+	if got := plan.Fires(); got != n {
+		t.Fatalf("injected stalls = %d, want %d", got, n)
+	}
+	snap := faulty.Metrics()
+	if s, ok := snap.Get("runner/timeouts"); !ok || s.Value != n {
+		t.Fatalf("runner/timeouts = %+v, want %d", s, n)
+	}
+	if s, ok := snap.Get("runner/abandoned_goroutines"); !ok || s.Value != 0 {
+		t.Fatalf("runner/abandoned_goroutines = %+v, want 0 (stalls honour cancellation)", s)
+	}
+	if s, ok := snap.Get("runner/cells_failed"); !ok || s.Value != 0 {
+		t.Fatalf("runner/cells_failed = %+v, want 0", s)
+	}
+
+	// Byte-identical merged output despite n watchdog firings.
+	var fb, cb bytes.Buffer
+	if err := faulty.Telemetry(false).WriteJSON(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Telemetry(false).WriteJSON(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb.Bytes(), cb.Bytes()) {
+		t.Fatal("telemetry of the stalled sweep differs from the fault-free run")
+	}
+	if faulty.Len() != n || clean.Len() != n {
+		t.Fatalf("memoized cells = %d/%d, want %d", faulty.Len(), clean.Len(), n)
+	}
+
+	// Zero leaked goroutines (small slack for the test framework's own).
+	if got := waitGoroutines(base, 2, 5*time.Second); got > base+2 {
+		t.Fatalf("goroutines = %d after sweep, baseline %d: cancelled attempts leaked", got, base)
+	}
+}
+
+// TestWatchdogCancelsRealSimulation drives the whole stack end to end: a
+// genuinely long simulation cell (no Execute hook, no faults) under a tiny
+// watchdog must fail with a non-abandoned TimeoutError — proof that the
+// context reached the event loop's preemption points — and leave no
+// goroutine behind.
+func TestWatchdogCancelsRealSimulation(t *testing.T) {
+	spec, ok := workload.SpecByName("milc")
+	if !ok {
+		t.Fatal("milc missing")
+	}
+	big := NewJob(spec, system.Config{
+		ScaleDiv: 1024, Cores: 4, InstrPerCore: 50_000_000, Seed: 5,
+	})
+	base := runtime.NumGoroutine()
+	r := New(Options{Jobs: 1, JobTimeout: 30 * time.Millisecond})
+	_, err := r.Get(context.Background(), big)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Abandoned {
+		t.Fatal("simulation goroutine was abandoned; engine preemption points did not fire")
+	}
+	if got := waitGoroutines(base, 2, 5*time.Second); got > base+2 {
+		t.Fatalf("goroutines = %d after timeout, baseline %d", got, base)
+	}
+}
+
+// TestRunAllCancellationPreemptsInFlight: cancelling the sweep context must
+// preempt cells already executing (not just stop admission) and report the
+// cancellation, with workers reclaimed.
+func TestRunAllCancellationPreemptsInFlight(t *testing.T) {
+	spec, ok := workload.SpecByName("milc")
+	if !ok {
+		t.Fatal("milc missing")
+	}
+	var jobs []Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, NewJob(spec, system.Config{
+			ScaleDiv: 1024, Cores: 4, InstrPerCore: 50_000_000, Seed: uint64(i + 1),
+		}))
+	}
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(Options{Jobs: 2})
+	done := make(chan error, 1)
+	go func() { done <- r.RunAll(ctx, jobs) }()
+	time.Sleep(30 * time.Millisecond) // let cells start simulating
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunAll did not return after cancellation: in-flight cells were not preempted")
+	}
+	if rep := r.FailureReport(); rep != nil {
+		t.Fatalf("cancellation recorded cell failures: %+v", rep)
+	}
+	if got := waitGoroutines(base, 2, 5*time.Second); got > base+2 {
+		t.Fatalf("goroutines = %d after cancelled sweep, baseline %d", got, base)
+	}
+}
+
+// TestNonCooperativeExecuteIsAbandoned: an Execute hook that ignores ctx
+// past the reclaim grace is abandoned (the pre-cancellation failure mode),
+// flagged on the error and counted — the sweep itself keeps moving.
+func TestNonCooperativeExecuteIsAbandoned(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	r := New(Options{
+		Jobs:       1,
+		JobTimeout: 20 * time.Millisecond,
+		// Far below the stuck hook's park time: the watchdog must give up.
+		ReclaimGrace: 30 * time.Millisecond,
+		Execute: func(ctx context.Context, j Job) system.Result {
+			<-release // ignores ctx entirely
+			return system.Result{}
+		},
+	})
+	_, err := r.Get(context.Background(), testJobs(1)[0])
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if !te.Abandoned {
+		t.Fatal("TimeoutError.Abandoned = false for a hook that ignored cancellation")
+	}
+	if s, ok := r.Metrics().Get("runner/abandoned_goroutines"); !ok || s.Value == 0 {
+		t.Fatalf("runner/abandoned_goroutines = %+v, want > 0", s)
+	}
+}
+
+// TestCancelledCellsAreNotFailures: a cancelled attempt must not consume
+// retries, not enter the failure report, and surface as a *CancelledError
+// that unwraps to context.Canceled.
+func TestCancelledCellsAreNotFailures(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	r := New(Options{
+		Jobs:    1,
+		Retries: 5,
+		Execute: func(c context.Context, j Job) system.Result {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-c.Done()
+			return system.Result{}
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Get(ctx, testJobs(1)[0])
+		done <- err
+	}()
+	<-started
+	cancel()
+	err := <-done
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("CancelledError does not unwrap to context.Canceled")
+	}
+	if rep := r.FailureReport(); rep != nil {
+		t.Fatalf("cancelled cell entered the failure report: %+v", rep)
+	}
+	if s, ok := r.Metrics().Get("runner/retries"); ok && s.Value != 0 {
+		t.Fatalf("cancellation burned %d retries", s.Value)
+	}
+}

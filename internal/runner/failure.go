@@ -79,18 +79,40 @@ func (e *PanicError) Error() string {
 }
 
 // TimeoutError reports a cell attempt that outlived the per-job watchdog.
-// The attempt's goroutine is abandoned, not cancelled — the simulation loop
-// has no preemption points — so a timed-out cell leaks one goroutine until
-// process exit; the watchdog exists to keep the sweep moving, not to
-// reclaim the stuck worker.
+// The watchdog cancels the attempt's context; the simulation engine's
+// preemption points unwind the goroutine within a few thousand events and
+// the worker is reclaimed. Abandoned marks the rare attempt that ignored
+// cancellation past the reclaim grace (non-cooperative code) and was left
+// behind — the pre-cancellation failure mode, now an explicit anomaly
+// instead of the rule.
 type TimeoutError struct {
-	Name    string
-	Timeout time.Duration
+	Name      string
+	Timeout   time.Duration
+	Abandoned bool
 }
 
 func (e *TimeoutError) Error() string {
+	if e.Abandoned {
+		return fmt.Sprintf("runner: job %s exceeded the %s watchdog and ignored cancellation (goroutine abandoned)", e.Name, e.Timeout)
+	}
 	return fmt.Sprintf("runner: job %s exceeded the %s watchdog", e.Name, e.Timeout)
 }
+
+// CancelledError reports an attempt stopped by cooperative cancellation of
+// the sweep itself (Ctrl-C, request deadline, drain) rather than the
+// per-attempt watchdog. It unwraps to the context error, so
+// errors.Is(err, context.Canceled) works on it; the runner never retries a
+// cancelled attempt and never counts it as a cell failure.
+type CancelledError struct {
+	Name  string
+	Cause error // context.Canceled or context.DeadlineExceeded
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("runner: job %s cancelled: %v", e.Name, e.Cause)
+}
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
 
 // permanentError marks an error that retrying cannot fix (invalid
 // configuration, geometry that cannot be built). The retry loop stops on it
@@ -119,11 +141,14 @@ func IsPermanent(err error) bool {
 func classifyFailure(err error) string {
 	var pe *PanicError
 	var te *TimeoutError
+	var ce *CancelledError
 	switch {
 	case errors.As(err, &pe):
 		return "panic"
 	case errors.As(err, &te):
 		return "timeout"
+	case errors.As(err, &ce):
+		return "cancelled"
 	case IsPermanent(err):
 		return "invalid-config"
 	default:

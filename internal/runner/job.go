@@ -8,8 +8,10 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -101,18 +103,23 @@ func (j Job) Run() system.Result {
 // TryRun executes the cell, surfacing configuration and geometry problems
 // as errors instead of panics. Those errors are marked Permanent — a bad
 // configuration does not become valid on retry — so the runner fails the
-// cell after one attempt.
-func (j Job) TryRun() (system.Result, error) {
+// cell after one attempt. ctx cancellation preempts the simulation's event
+// loop cooperatively and comes back as a *CancelledError (never Permanent:
+// the configuration was fine, the run was interrupted).
+func (j Job) TryRun(ctx context.Context) (system.Result, error) {
 	var (
 		res system.Result
 		err error
 	)
 	if len(j.Specs) == 1 {
-		res, err = system.TryRun(j.Specs[0], j.Cfg)
+		res, err = system.TryRun(ctx, j.Specs[0], j.Cfg)
 	} else {
-		res, err = system.TryRunMix(j.Specs, j.Cfg)
+		res, err = system.TryRunMix(ctx, j.Specs, j.Cfg)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return system.Result{}, &CancelledError{Name: j.Name(), Cause: err}
+		}
 		return system.Result{}, Permanent(fmt.Errorf("job %s: %w", j.Name(), err))
 	}
 	return res, nil

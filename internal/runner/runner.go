@@ -29,14 +29,22 @@ type Options struct {
 	// os.Stderr; never mixed into result output).
 	Progress io.Writer
 	// Execute overrides how a job is run (tests/instrumentation). Nil
-	// means Job.TryRun.
-	Execute func(Job) system.Result
+	// means Job.TryRun. Implementations should honour ctx: the runner
+	// cancels it on watchdog timeout and sweep cancellation, and waits
+	// only ReclaimGrace for hooks that ignore it.
+	Execute func(ctx context.Context, j Job) system.Result
 
 	// JobTimeout arms a per-attempt watchdog: an attempt that outlives it
-	// fails with a TimeoutError (and is retried if attempts remain). The
-	// stuck goroutine is abandoned, not cancelled — the simulation loop has
-	// no preemption points. 0 disables the watchdog.
+	// has its context cancelled — the simulation engine's preemption
+	// points unwind the goroutine and the worker is reclaimed — and fails
+	// with a TimeoutError (retried if attempts remain). 0 disables the
+	// watchdog.
 	JobTimeout time.Duration
+	// ReclaimGrace bounds how long a cancelled attempt may take to
+	// acknowledge cancellation before its goroutine is abandoned (only
+	// non-cooperative code — a hook ignoring ctx — ever hits this). <=0
+	// defaults to 2s, comfortably above the engine's preemption latency.
+	ReclaimGrace time.Duration
 	// Retries is how many times a transiently-failed attempt (panic,
 	// timeout, non-permanent error) is retried. Permanent errors — invalid
 	// configurations — never retry. 0 means a single attempt.
@@ -84,6 +92,8 @@ type Runner struct {
 	panicked     *metrics.Counter
 	retried      *metrics.Counter
 	timedOut     *metrics.Counter
+	cancelled    *metrics.Counter
+	abandoned    *metrics.Counter
 	failures     *metrics.Counter
 	cellWallHist *metrics.Histogram
 }
@@ -115,6 +125,8 @@ func New(opts Options) *Runner {
 	r.panicked = sc.Counter("panics")
 	r.retried = sc.Counter("retries")
 	r.timedOut = sc.Counter("timeouts")
+	r.cancelled = sc.Counter("cancelled")
+	r.abandoned = sc.Counter("abandoned_goroutines")
 	r.failures = sc.Counter("cells_failed")
 	r.cellWallHist = sc.Histogram("cell_wall_ms")
 	return r
@@ -124,10 +136,12 @@ func New(opts Options) *Runner {
 func (r *Runner) Jobs() int { return r.opts.Jobs }
 
 // Get returns the job's result, computing it at most once: the first
-// caller for a key executes (in its own goroutine), concurrent callers for
-// the same key block on that execution, later callers hit the memo map.
-// ctx only bounds the wait — an execution already underway is never
-// abandoned, so a cancelled waiter leaves the cell completing for others.
+// caller for a key executes, concurrent callers for the same key block on
+// that execution, later callers hit the memo map. ctx propagates into the
+// execution: cancelling the first caller's ctx preempts the simulation's
+// event loop (the cell fails with a *CancelledError for every waiter) and
+// the worker is reclaimed. A waiter that arrived later and is cancelled
+// merely stops waiting; the cell keeps computing for the others.
 func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 	key := j.Key()
 	r.mu.Lock()
@@ -153,7 +167,7 @@ func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	c.res, c.err = r.execute(j)
+	c.res, c.err = r.execute(ctx, j)
 
 	r.mu.Lock()
 	delete(r.inflight, key)
@@ -166,10 +180,12 @@ func (r *Runner) Get(ctx context.Context, j Job) (system.Result, error) {
 }
 
 // execute runs one cell: cache consult, then up to 1+Retries watchdog-bound
-// attempts with backoff, stopping early on permanent (config) errors. A
-// cell that exhausts its attempts is recorded in the failure map; a cell
-// that succeeds is stored to the cache and marked in the checkpoint.
-func (r *Runner) execute(j Job) (system.Result, error) {
+// attempts with backoff, stopping early on permanent (config) errors and on
+// sweep cancellation. A cell that exhausts its attempts is recorded in the
+// failure map; a cancelled cell is not — cancellation is the sweep's
+// verdict, not the cell's; a cell that succeeds is stored to the cache and
+// marked in the checkpoint.
+func (r *Runner) execute(ctx context.Context, j Job) (system.Result, error) {
 	key, name, hash := j.Key(), j.Name(), j.Hash()
 	if r.opts.Cache != nil {
 		if cached, ok := r.opts.Cache.Load(hash); ok {
@@ -191,9 +207,13 @@ func (r *Runner) execute(j Job) (system.Result, error) {
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			r.retried.Inc()
-			time.Sleep(retryBackoff(r.opts.RetryBackoff, attempt, key))
+			sleepCtx(ctx, retryBackoff(r.opts.RetryBackoff, attempt, key))
 		}
-		res, wall, err := r.attempt(j, name, key, attempt)
+		if err := ctx.Err(); err != nil {
+			r.cancelled.Inc()
+			return system.Result{}, &CancelledError{Name: name, Cause: err}
+		}
+		res, wall, err := r.attempt(ctx, j, name, key, attempt)
 		if err == nil {
 			r.executed.Inc()
 			r.cellWallHist.Observe(uint64(wall.Milliseconds()))
@@ -207,6 +227,13 @@ func (r *Runner) execute(j Job) (system.Result, error) {
 			return res, nil
 		}
 		lastErr = err
+		var ce *CancelledError
+		if errors.As(err, &ce) {
+			// The sweep was cancelled out from under the cell: surface it
+			// without burning retries or recording a cell failure.
+			r.cancelled.Inc()
+			return system.Result{}, err
+		}
 		if IsPermanent(err) {
 			break
 		}
@@ -237,10 +264,22 @@ type attemptResult struct {
 	err  error
 }
 
-// attempt runs one execution attempt in its own goroutine so a watchdog
-// can abandon it. Panics (real or injected) become PanicError; injected
-// hangs sleep until the watchdog fires.
-func (r *Runner) attempt(j Job, name, key string, attempt int) (system.Result, time.Duration, error) {
+// attempt runs one execution attempt in its own goroutine under a
+// per-attempt context (the caller's ctx bounded by JobTimeout). On timeout
+// or sweep cancellation the context is cancelled, the engine's preemption
+// points unwind the simulation, and attempt waits up to ReclaimGrace for
+// the goroutine to return — so a timed-out cell releases its worker, its
+// goroutine, and its machine memory instead of leaking them. Panics (real
+// or injected) become PanicError; injected hangs and stalls park until
+// cancellation wakes them.
+func (r *Runner) attempt(ctx context.Context, j Job, name, key string, attempt int) (system.Result, time.Duration, error) {
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if r.opts.JobTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, r.opts.JobTimeout)
+	}
+	defer cancel()
+
 	ch := make(chan attemptResult, 1) // buffered: an abandoned attempt must not block forever on send
 	go func() {
 		defer func() {
@@ -261,36 +300,122 @@ func (r *Runner) attempt(j Job, name, key string, attempt int) (system.Result, t
 				ch <- attemptResult{err: fmt.Errorf("faultinject: injected error (attempt %d)", attempt)}
 				return
 			case faultinject.Hang:
-				d := f.Delay
-				if d <= 0 {
-					d = time.Hour // effectively forever; the watchdog reaps it
-				}
-				time.Sleep(d)
+				// A blocked cell (lost I/O, deadlocked dependency): parks
+				// until its delay elapses or cancellation wakes it, then
+				// continues normally — TryRun below notices the dead
+				// context immediately.
+				sleepCtx(actx, positiveDelay(f.Delay))
+			case faultinject.Stall:
+				// A compute-bound runaway cell: burns CPU in bounded
+				// slices, re-checking the context between slices exactly
+				// like the engine's preemption points.
+				busyStall(actx, positiveDelay(f.Delay))
 			}
 		}
 		start := time.Now()
 		var ar attemptResult
 		if r.opts.Execute != nil {
-			ar.res = r.opts.Execute(j)
+			if err := actx.Err(); err != nil {
+				ch <- attemptResult{err: &CancelledError{Name: name, Cause: err}}
+				return
+			}
+			ar.res = r.opts.Execute(actx, j)
 		} else {
-			ar.res, ar.err = j.TryRun()
+			ar.res, ar.err = j.TryRun(actx)
 		}
 		ar.wall = time.Since(start)
 		ch <- ar
 	}()
 
-	if r.opts.JobTimeout <= 0 {
-		ar := <-ch
-		return ar.res, ar.wall, ar.err
-	}
-	timer := time.NewTimer(r.opts.JobTimeout)
-	defer timer.Stop()
 	select {
 	case ar := <-ch:
-		return ar.res, ar.wall, ar.err
+		return ar.res, ar.wall, r.mapAttemptErr(ctx, actx, name, ar.err)
+	case <-actx.Done():
+	}
+
+	// The attempt overran its deadline or the sweep was cancelled. Cancel
+	// (idempotent) and wait for the goroutine to acknowledge: cooperative
+	// code comes back within the engine's preemption latency; only code
+	// ignoring ctx runs out the grace and is abandoned.
+	cancel()
+	grace := r.opts.ReclaimGrace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	reclaimed := true
+	timer := time.NewTimer(grace)
+	select {
+	case <-ch:
 	case <-timer.C:
+		reclaimed = false
+		r.abandoned.Inc()
+	}
+	timer.Stop()
+
+	if err := ctx.Err(); err != nil {
+		r.cancelled.Inc()
+		return system.Result{}, 0, &CancelledError{Name: name, Cause: err}
+	}
+	r.timedOut.Inc()
+	return system.Result{}, 0, &TimeoutError{Name: name, Timeout: r.opts.JobTimeout, Abandoned: !reclaimed}
+}
+
+// mapAttemptErr normalizes an attempt's own error against the two contexts:
+// a CancelledError caused by the attempt deadline (not the sweep) is really
+// a watchdog timeout and must be retryable as such.
+func (r *Runner) mapAttemptErr(ctx, actx context.Context, name string, err error) error {
+	var ce *CancelledError
+	if err == nil || !errors.As(err, &ce) {
+		return err
+	}
+	if ctx.Err() != nil {
+		r.cancelled.Inc()
+		return &CancelledError{Name: name, Cause: ctx.Err()}
+	}
+	if actx.Err() != nil {
 		r.timedOut.Inc()
-		return system.Result{}, 0, &TimeoutError{Name: name, Timeout: r.opts.JobTimeout}
+		return &TimeoutError{Name: name, Timeout: r.opts.JobTimeout}
+	}
+	return err
+}
+
+// positiveDelay maps a rule's zero/negative delay to "effectively forever"
+// (cancellation, not the clock, ends it).
+func positiveDelay(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Hour
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, reporting whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// busyStall spins on the CPU for up to d, polling ctx between bounded
+// slices — a deterministic stand-in for a runaway compute loop that still
+// honours cooperative cancellation.
+func busyStall(ctx context.Context, d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			return
+		}
+		slice := time.Now().Add(200 * time.Microsecond)
+		for time.Now().Before(slice) {
+		}
 	}
 }
 
@@ -318,7 +443,9 @@ func retryBackoff(base time.Duration, attempt int, key string) time.Duration {
 // RunAll fans jobs across the worker pool and waits for the drain. Result
 // order is irrelevant here — read them back with Get (memo hits) or
 // Results(). Duplicate cells execute once. On cancellation the pool stops
-// picking up new cells, in-flight cells finish, and ctx.Err() is returned.
+// picking up new cells, in-flight cells are preempted at the engine's next
+// cancellation check (their goroutines unwind and rejoin the pool), and
+// ctx.Err() is returned.
 // Without KeepGoing, per-cell errors are collected and joined without
 // stopping other cells; with KeepGoing, failed cells are quarantined into
 // a FailureReport and RunAll returns a *FailedCellsError describing them.

@@ -30,8 +30,8 @@ func testJobs(n int) []Job {
 
 // countingExecute returns an Execute hook that counts invocations and
 // derives a deterministic fake Result from the job.
-func countingExecute(n *atomic.Int64, delay time.Duration) func(Job) system.Result {
-	return func(j Job) system.Result {
+func countingExecute(n *atomic.Int64, delay time.Duration) func(context.Context, Job) system.Result {
+	return func(ctx context.Context, j Job) system.Result {
 		n.Add(1)
 		if delay > 0 {
 			time.Sleep(delay)
@@ -83,7 +83,7 @@ func TestConcurrentGetExecutesOnce(t *testing.T) {
 
 func TestPanicBecomesError(t *testing.T) {
 	var n atomic.Int64
-	r := New(Options{Jobs: 2, Execute: func(j Job) system.Result {
+	r := New(Options{Jobs: 2, Execute: func(ctx context.Context, j Job) system.Result {
 		if j.Cfg.Seed == 2 {
 			panic("boom")
 		}
@@ -110,7 +110,7 @@ func TestCancellationDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var n atomic.Int64
 	release := make(chan struct{})
-	r := New(Options{Jobs: 1, Execute: func(j Job) system.Result {
+	r := New(Options{Jobs: 1, Execute: func(ctx context.Context, j Job) system.Result {
 		n.Add(1)
 		<-release
 		return system.Result{}

@@ -11,7 +11,7 @@ import (
 
 // metricsExecute derives a deterministic fake Result with a metrics
 // snapshot from the job (real simulations attach one the same way).
-func metricsExecute(j Job) system.Result {
+func metricsExecute(_ context.Context, j Job) system.Result {
 	reg := metrics.NewRegistry()
 	sc := reg.Scope("fake")
 	seed := j.Cfg.Seed

@@ -1,0 +1,530 @@
+// Package server implements cameod's long-running HTTP sweep service: a
+// hardened front end over internal/runner that accepts sweep requests,
+// propagates request deadlines into the simulation's cooperative
+// cancellation machinery, sheds load when saturated, and drains cleanly on
+// shutdown.
+//
+// Hardening properties (each covered by a test):
+//
+//   - Admission control: at most MaxInflight sweeps execute concurrently and
+//     at most MaxQueue more may wait; beyond that, requests are shed with
+//     429 + Retry-After instead of piling up goroutines.
+//   - Deadline propagation: a request's context (client disconnect, or the
+//     request's own timeout_ms) cancels its sweep mid-flight — the engine's
+//     preemption points unwind the event loops and the workers are
+//     reclaimed.
+//   - Panic isolation: a panicking handler answers 500 and is counted; the
+//     process survives.
+//   - Graceful drain: Drain stops admission (readyz flips to 503), lets
+//     in-flight sweeps finish within DrainGrace, then force-cancels the
+//     stragglers, and finally flushes the disk cache — so SIGTERM never
+//     loses completed cells.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// Options configures a Server. The zero value is usable for tests: no disk
+// cache, default admission limits, silent log.
+type Options struct {
+	// Jobs is the per-sweep simulation worker count (<=0: GOMAXPROCS).
+	Jobs int
+	// MaxInflight bounds concurrently executing sweep requests (<=0: 2).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot (<0: 8; 0 is
+	// honoured: shed immediately when all slots are busy).
+	MaxQueue int
+	// MaxCells caps the grid size a single request may ask for (<=0: 1024).
+	MaxCells int
+	// JobTimeout arms the runner's per-cell watchdog (0 = off).
+	JobTimeout time.Duration
+	// Retries is the runner's transient-failure retry budget.
+	Retries int
+	// CacheDir, when non-empty, persists cell results across requests and
+	// restarts (shared runner.DiskCache).
+	CacheDir string
+	// DrainGrace bounds how long Drain waits for in-flight sweeps before
+	// force-cancelling them (<=0: 30s).
+	DrainGrace time.Duration
+	// Log receives operational lines (admission, drain, panics). Nil
+	// discards them.
+	Log *log.Logger
+	// Execute overrides cell execution (tests). Nil runs real simulations.
+	Execute func(ctx context.Context, j runner.Job) system.Result
+}
+
+// Server is the sweep service. Create with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	opts  Options
+	cache *runner.DiskCache
+
+	// slots is the admission semaphore; pending counts every admitted
+	// request from arrival to release (executing plus queued) — the number
+	// the shedding threshold compares against.
+	slots   chan struct{}
+	pending atomic.Int64
+
+	// draining gates admission; mu orders the draining flip against
+	// in-flight registration so Drain's wg.Wait cannot miss a handler that
+	// passed the gate concurrently.
+	draining atomic.Bool
+	mu       sync.RWMutex
+	wg       sync.WaitGroup
+
+	// forceCtx is cancelled when DrainGrace expires: every admitted sweep
+	// runs under it, so stragglers are preempted instead of outliving the
+	// process.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	reg       *metrics.Registry
+	requests  *metrics.Counter
+	admitted  *metrics.Counter
+	shed      *metrics.Counter
+	completed *metrics.Counter
+	cancelled *metrics.Counter
+	failed    *metrics.Counter
+	panics    *metrics.Counter
+}
+
+// New builds a Server, opening the disk cache when CacheDir is set.
+func New(opts Options) (*Server, error) {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2
+	}
+	if opts.MaxQueue < 0 {
+		opts.MaxQueue = 8
+	}
+	if opts.MaxCells <= 0 {
+		opts.MaxCells = 1024
+	}
+	if opts.DrainGrace <= 0 {
+		opts.DrainGrace = 30 * time.Second
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxInflight),
+		reg:   metrics.NewRegistry(),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	sc := s.reg.Scope("server")
+	s.requests = sc.Counter("requests")
+	s.admitted = sc.Counter("admitted")
+	s.shed = sc.Counter("shed")
+	s.completed = sc.Counter("completed")
+	s.cancelled = sc.Counter("cancelled")
+	s.failed = sc.Counter("failed")
+	s.panics = sc.Counter("panics")
+	sc.GaugeFunc("inflight", func() float64 { return float64(len(s.slots)) })
+	sc.GaugeFunc("queued", func() float64 {
+		if q := s.pending.Load() - int64(len(s.slots)); q > 0 {
+			return float64(q)
+		}
+		return 0
+	})
+	if opts.CacheDir != "" {
+		cache, err := runner.OpenDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.cache = cache
+	}
+	return s, nil
+}
+
+// Handler returns the service's routes, each behind the panic-recovery
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	return s.protect(mux)
+}
+
+// protect is the panic-recovery middleware: a panicking handler answers 500
+// and increments server/panics; the process keeps serving.
+func (s *Server) protect(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				s.opts.Log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz reports process liveness: 200 as long as we can serve at
+// all, including during drain (liveness must not make the orchestrator kill
+// a draining process).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports admission readiness: 503 once draining so load
+// balancers stop routing new sweeps here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// handleMetrics emits the server registry snapshot (counters plus pull-style
+// inflight/queued gauges) as deterministic JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		s.opts.Log.Printf("metrics: %v", err)
+	}
+}
+
+// SweepRequest is the POST /sweep body. Org/Benchmarks use the CLI
+// spellings; Sweep/Values mirror cameo-sweep's dimensions.
+type SweepRequest struct {
+	Org        string   `json:"org"`
+	Benchmarks []string `json:"benchmarks"`
+	// Sweep is the swept dimension: scale, cores, ratio, or seed. Empty
+	// with no Values runs one cell per benchmark at the defaults.
+	Sweep  string   `json:"sweep,omitempty"`
+	Values []uint64 `json:"values,omitempty"`
+	Instr  uint64   `json:"instr,omitempty"`
+	Cores  int      `json:"cores,omitempty"`
+	Scale  uint64   `json:"scale,omitempty"`
+	Seed   uint64   `json:"seed,omitempty"`
+	// TimeoutMS bounds the whole request; on expiry the sweep is cancelled
+	// mid-flight (not abandoned) and the request answers 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepCell is one grid cell of the response, in request order.
+type SweepCell struct {
+	Benchmark     string  `json:"benchmark"`
+	Org           string  `json:"org"`
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	Demands       uint64  `json:"demands"`
+	AvgMemLatency float64 `json:"avg_mem_latency"`
+	LatencyP95    uint64  `json:"latency_p95"`
+}
+
+// SweepResponse is the POST /sweep reply. Failures lists cells quarantined
+// by the runner's keep-going mode; the grid still contains every cell that
+// completed.
+type SweepResponse struct {
+	Org      string               `json:"org"`
+	Cells    []SweepCell          `json:"cells"`
+	Failures []runner.CellFailure `json:"failures,omitempty"`
+}
+
+// handleSweep admits, executes, and answers one sweep request.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	jobs, tags, err := s.buildJobs(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// The sweep context: the request's own (client disconnect), bounded by
+	// timeout_ms when given, and force-cancelled when the drain grace
+	// expires.
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+	ctx, stopForce := mergeCancel(ctx, s.forceCtx)
+	defer stopForce()
+
+	ropts := runner.Options{
+		Jobs:       s.opts.Jobs,
+		Execute:    s.opts.Execute,
+		JobTimeout: s.opts.JobTimeout,
+		Retries:    s.opts.Retries,
+		KeepGoing:  true,
+	}
+	if s.cache != nil {
+		// Assign only when present: a nil *DiskCache in the interface field
+		// would read as non-nil and dereference.
+		ropts.Cache = s.cache
+	}
+	run := runner.New(ropts)
+	err = run.RunAll(ctx, jobs)
+	var failedCells *runner.FailedCellsError
+	switch {
+	case err == nil:
+	case errors.As(err, &failedCells):
+		// Keep-going: the grid below holds the surviving cells; the
+		// response names the quarantined ones.
+		s.failed.Inc()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Inc()
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server draining: sweep cancelled")
+		} else {
+			writeError(w, http.StatusGatewayTimeout, "sweep cancelled: "+err.Error())
+		}
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := SweepResponse{Org: req.Org, Cells: []SweepCell{}}
+	for i, j := range jobs {
+		res, ok := run.Lookup(j.Key())
+		if !ok {
+			continue // quarantined; listed in Failures
+		}
+		resp.Cells = append(resp.Cells, SweepCell{
+			Benchmark:     tags[i],
+			Org:           res.Org,
+			Cycles:        res.Cycles,
+			Instructions:  res.Instructions,
+			Demands:       res.Demands,
+			AvgMemLatency: res.AvgMemLatency,
+			LatencyP95:    res.LatencyP95,
+		})
+	}
+	if failedCells != nil {
+		resp.Failures = failedCells.Report.Cells
+	}
+	s.completed.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		s.opts.Log.Printf("sweep response: %v", err)
+	}
+}
+
+// admit applies the admission policy: reject while draining, shed with 429
+// when the queue is full, otherwise wait for an execution slot. On ok the
+// caller holds a slot and a drain-visible wg entry; release returns both.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	// Register under the read lock so Drain (write lock) either sees this
+	// request in the WaitGroup or this request sees draining already set.
+	s.mu.RLock()
+	if s.draining.Load() {
+		s.mu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	s.wg.Add(1)
+	s.mu.RUnlock()
+
+	undo := func() {
+		s.pending.Add(-1)
+		s.wg.Done()
+	}
+	if n := s.pending.Add(1); n > int64(s.opts.MaxQueue)+int64(s.opts.MaxInflight) {
+		undo()
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "saturated: try again later")
+		return nil, false
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		undo()
+		s.cancelled.Inc()
+		writeError(w, http.StatusServiceUnavailable, "client gone while queued")
+		return nil, false
+	case <-s.forceCtx.Done():
+		undo()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	s.admitted.Inc()
+	return func() {
+		<-s.slots
+		undo()
+	}, true
+}
+
+// buildJobs turns a request into the job grid plus per-cell benchmark tags
+// (request order — the response grid preserves it).
+func (s *Server) buildJobs(req SweepRequest) ([]runner.Job, []string, error) {
+	kind, ok := system.ParseOrg(req.Org)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown organization %q (have: %s)",
+			req.Org, strings.Join(system.OrgNames(), ", "))
+	}
+	if len(req.Benchmarks) == 0 {
+		return nil, nil, errors.New("no benchmarks given")
+	}
+	values := req.Values
+	sweep := req.Sweep
+	if len(values) == 0 {
+		if sweep != "" {
+			return nil, nil, fmt.Errorf("sweep %q with no values", sweep)
+		}
+		values = []uint64{0} // one cell per benchmark at the defaults
+		sweep = "none"
+	} else if sweep == "" {
+		return nil, nil, errors.New("values given with no sweep dimension")
+	}
+	if n := len(req.Benchmarks) * len(values); n > s.opts.MaxCells {
+		return nil, nil, fmt.Errorf("%d cells exceeds the per-request cap of %d", n, s.opts.MaxCells)
+	}
+
+	var jobs []runner.Job
+	var tags []string
+	for _, bn := range req.Benchmarks {
+		spec, ok := workload.SpecByName(strings.TrimSpace(bn))
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown benchmark %q", bn)
+		}
+		for _, v := range values {
+			cfg := system.Config{
+				Org:          kind,
+				ScaleDiv:     req.Scale,
+				Cores:        req.Cores,
+				InstrPerCore: req.Instr,
+				Seed:         req.Seed,
+			}
+			if cfg.ScaleDiv == 0 {
+				cfg.ScaleDiv = 1024
+			}
+			if cfg.InstrPerCore == 0 {
+				cfg.InstrPerCore = 300_000
+			}
+			if cfg.Cores == 0 {
+				cfg.Cores = 16
+			}
+			tag := spec.Name
+			switch sweep {
+			case "none":
+			case "scale":
+				cfg.ScaleDiv = v
+			case "cores":
+				cfg.Cores = int(v)
+			case "ratio":
+				cfg.StackedDivisor = int(v)
+			case "seed":
+				cfg.Seed = v
+			default:
+				return nil, nil, fmt.Errorf("unknown sweep dimension %q (have: scale, cores, ratio, seed)", sweep)
+			}
+			if sweep != "none" {
+				tag = fmt.Sprintf("%s@%s=%d", spec.Name, sweep, v)
+			}
+			jobs = append(jobs, runner.NewJob(spec, cfg))
+			tags = append(tags, tag)
+		}
+	}
+	return jobs, tags, nil
+}
+
+// Drain performs the graceful-shutdown sequence: stop admitting (readyz
+// flips to 503), wait up to DrainGrace for in-flight sweeps, force-cancel
+// any stragglers (cooperative preemption unwinds their event loops), wait
+// for them to acknowledge, and flush the disk cache. Idempotent; safe to
+// call once the http listener has stopped accepting or while it still runs.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	s.opts.Log.Printf("drain: stopping admission")
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.opts.DrainGrace)
+	select {
+	case <-done:
+	case <-timer.C:
+		s.opts.Log.Printf("drain: grace %s expired, cancelling in-flight sweeps", s.opts.DrainGrace)
+		s.forceCancel()
+		<-done
+	}
+	timer.Stop()
+
+	var err error
+	if s.cache != nil {
+		err = s.cache.Close()
+	}
+	s.forceCancel() // release the merge goroutines of completed sweeps
+	s.opts.Log.Printf("drain: complete")
+	return err
+}
+
+// Metrics returns the server's registry snapshot (tests, introspection).
+func (s *Server) Metrics() metrics.Snapshot { return s.reg.Snapshot() }
+
+// mergeCancel returns a context cancelled when either parent is; stop
+// releases the watcher goroutine.
+func mergeCancel(ctx, other context.Context) (context.Context, context.CancelFunc) {
+	merged, cancel := context.WithCancel(ctx)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-other.Done():
+			cancel()
+		case <-merged.Done():
+		case <-stop:
+		}
+	}()
+	return merged, func() {
+		cancel()
+		close(stop)
+	}
+}
+
+// writeError answers a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -16,6 +16,8 @@
 // which keeps the sift paths free of index back-patching.
 package sim
 
+import "sync/atomic"
+
 // Cycle is a point in simulated time, in CPU cycles (3.2 GHz in the paper's
 // configuration). A uint64 cycle counter at 3.2 GHz lasts ~180 years of
 // simulated time, so overflow is not a practical concern.
@@ -58,6 +60,13 @@ type Stats struct {
 	MaxPending  uint64 // high-water mark of pending (live) events
 }
 
+// preemptStride is how many events Run/RunUntil fire between polls of the
+// cancellation channel. One poll per event would put a channel operation on
+// the hottest loop in the simulator; one poll per stride keeps the check
+// amortized to a fraction of a nanosecond per event while bounding the
+// preemption latency to a few hundred microseconds of wall time.
+const preemptStride = 4096
+
 // Engine owns the clock and the pending-event queue.
 type Engine struct {
 	now     Cycle
@@ -66,8 +75,18 @@ type Engine struct {
 	slots   []slot
 	free    []int32 // recycled arena indices
 	pending int     // live (non-cancelled) scheduled events
-	stopped bool
-	stats   Stats
+
+	// stopped is written by Stop, possibly from another goroutine (a
+	// watchdog or signal handler), and polled by the run loops.
+	stopped atomic.Bool
+
+	// Cooperative cancellation: done is polled every preemptStride events;
+	// countdown and preempted are owned by the run-loop goroutine.
+	done      <-chan struct{}
+	countdown int
+	preempted bool
+
+	stats Stats
 }
 
 // NewEngine returns an engine at cycle 0 with no pending events.
@@ -139,8 +158,46 @@ func (e *Engine) release(idx int32) {
 	e.free = append(e.free, idx)
 }
 
-// Stop makes Run return after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes Run return after the current event completes. It is safe to
+// call from another goroutine; the run loops observe it at the next event
+// boundary.
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// SetCancel binds a cancellation channel (normally ctx.Done()) to the run
+// loops: Run and RunUntil poll it every preemptStride events and return
+// early once it is closed. A nil channel (the default) disables polling
+// entirely, so engines that never need preemption pay nothing. The first
+// poll happens before the first event, so a run bound to an
+// already-cancelled context fires no events at all.
+func (e *Engine) SetCancel(done <-chan struct{}) {
+	e.done = done
+	e.countdown = 1
+}
+
+// Preempted reports whether the last Run/RunUntil returned because the
+// cancellation channel closed (as opposed to draining the queue, reaching
+// the limit, or Stop).
+func (e *Engine) Preempted() bool { return e.preempted }
+
+// cancelled is the run loops' per-iteration preemption check: a countdown
+// decrement on the fast path, a non-blocking channel poll every
+// preemptStride events.
+func (e *Engine) cancelled() bool {
+	if e.done == nil {
+		return false
+	}
+	if e.countdown--; e.countdown > 0 {
+		return false
+	}
+	e.countdown = preemptStride
+	select {
+	case <-e.done:
+		e.preempted = true
+		return true
+	default:
+		return false
+	}
+}
 
 // next pops heap entries until a live one surfaces, returning (entry, true),
 // or (zero, false) when the queue is exhausted. Stale entries belong to
@@ -185,21 +242,26 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run processes events in time order until the queue drains or Stop is
-// called. It returns the final cycle.
+// Run processes events in time order until the queue drains, Stop is
+// called, or the cancellation channel bound with SetCancel closes. It
+// returns the final cycle; Preempted distinguishes cancellation from a
+// drained queue.
 func (e *Engine) Run() Cycle {
-	e.stopped = false
-	for !e.stopped && e.Step() {
+	e.stopped.Store(false)
+	e.preempted = false
+	for !e.stopped.Load() && !e.cancelled() && e.Step() {
 	}
 	return e.now
 }
 
 // RunUntil processes events with At <= limit. Events beyond the limit remain
 // queued. Returns the clock, which is min(limit, last fired event) when the
-// queue still has later events.
+// queue still has later events. Like Run, it honours Stop and the
+// SetCancel channel.
 func (e *Engine) RunUntil(limit Cycle) Cycle {
-	e.stopped = false
-	for !e.stopped {
+	e.stopped.Store(false)
+	e.preempted = false
+	for !e.stopped.Load() && !e.cancelled() {
 		at, ok := e.peekAt()
 		if !ok || at > limit {
 			break

@@ -1,0 +1,72 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cameo/internal/workload"
+)
+
+// TestTryRunHonoursCancellation: cancelling the context mid-run must
+// surface as an error wrapping context.Canceled well before the simulation
+// would finish on its own, and no Result escapes a partial run.
+func TestTryRunHonoursCancellation(t *testing.T) {
+	spec, ok := workload.SpecByName("milc")
+	if !ok {
+		t.Fatal("milc missing")
+	}
+	cfg := quickCfg(CAMEO)
+	cfg.InstrPerCore = 50_000_000 // minutes of simulation if not preempted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	res, err := TryRun(ctx, spec, cfg)
+	if err == nil {
+		t.Fatal("TryRun completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res.Cycles != 0 || res.Instructions != 0 {
+		t.Fatalf("partial result escaped a cancelled run: %+v", res)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s; preemption points are not working", elapsed)
+	}
+}
+
+// TestTryRunPreCancelled: an already-expired context fails fast without
+// simulating anything.
+func TestTryRunPreCancelled(t *testing.T) {
+	spec, ok := workload.SpecByName("milc")
+	if !ok {
+		t.Fatal("milc missing")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TryRun(ctx, spec, quickCfg(Baseline)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTryRunNilContext: a nil context means "never cancelled" rather than a
+// panic, matching the historical synchronous contract.
+func TestTryRunNilContext(t *testing.T) {
+	spec, ok := workload.SpecByName("sphinx3")
+	if !ok {
+		t.Fatal("sphinx3 missing")
+	}
+	cfg := quickCfg(Baseline)
+	cfg.InstrPerCore = 1000
+	//nolint:staticcheck // deliberate nil-context robustness check
+	res, err := TryRun(nil, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("no instructions retired")
+	}
+}

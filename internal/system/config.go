@@ -5,6 +5,8 @@ package system
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"cameo/internal/cameo"
 )
@@ -60,6 +62,38 @@ func (k OrgKind) String() string {
 		return "LH-Cache+MissMap"
 	}
 	return fmt.Sprintf("OrgKind(%d)", int(k))
+}
+
+// orgNames maps the lower-case CLI/API spellings onto kinds — the single
+// parse table shared by cameo-sim, cameo-sweep, and cameod.
+var orgNames = map[string]OrgKind{
+	"baseline":    Baseline,
+	"cache":       Cache,
+	"tlm-static":  TLMStatic,
+	"tlm-dynamic": TLMDynamic,
+	"tlm-freq":    TLMFreq,
+	"tlm-oracle":  TLMOracle,
+	"cameo":       CAMEO,
+	"doubleuse":   DoubleUse,
+	"lh-cache":    LHCache,
+	"lh-missmap":  LHCacheMM,
+}
+
+// ParseOrg maps a case-insensitive organization name (the CLI/API spelling,
+// e.g. "tlm-dynamic") onto its kind.
+func ParseOrg(name string) (OrgKind, bool) {
+	k, ok := orgNames[strings.ToLower(name)]
+	return k, ok
+}
+
+// OrgNames returns every parseable organization name, sorted.
+func OrgNames() []string {
+	names := make([]string, 0, len(orgNames))
+	for n := range orgNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Full-scale capacities (Table I): 4 GB stacked, 12 GB off-chip.

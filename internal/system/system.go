@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -411,7 +412,7 @@ func (m *machine) registerMetrics() *metrics.Registry {
 // measurements. It panics on an invalid spec or configuration; use TryRun
 // when the configuration is runtime input (sweep cells).
 func Run(spec workload.Spec, cfg Config) Result {
-	res, err := TryRun(spec, cfg)
+	res, err := TryRun(context.Background(), spec, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -420,7 +421,11 @@ func Run(spec workload.Spec, cfg Config) Result {
 
 // TryRun is Run with invalid specs and configurations reported as errors
 // instead of panics, so one bad sweep cell fails as a cell, not a process.
-func TryRun(spec workload.Spec, cfg Config) (Result, error) {
+// ctx cancellation preempts the event loop cooperatively (the engine polls
+// it every few thousand events) and comes back as an error wrapping
+// ctx.Err(), so a timed-out or interrupted cell releases its goroutine and
+// memory instead of simulating to completion.
+func TryRun(ctx context.Context, spec workload.Spec, cfg Config) (Result, error) {
 	cfg = cfg.WithDefaults()
 	// Validate before sizing anything by cfg.Cores: a negative core count
 	// must be a config error, not a makeslice panic.
@@ -431,22 +436,23 @@ func TryRun(spec workload.Spec, cfg Config) (Result, error) {
 	for i := range specs {
 		specs[i] = spec
 	}
-	return runMachine(specs, cfg, spec.Name, spec.Class)
+	return runMachine(ctx, specs, cfg, spec.Name, spec.Class)
 }
 
 // RunMix simulates a multi-programmed mix: core i runs mix[i mod len(mix)].
 // The reported class is CapacityLimited if any member is. It panics on an
 // invalid mix or configuration; use TryRunMix for runtime input.
 func RunMix(mix []workload.Spec, cfg Config) Result {
-	res, err := TryRunMix(mix, cfg)
+	res, err := TryRunMix(context.Background(), mix, cfg)
 	if err != nil {
 		panic(err)
 	}
 	return res
 }
 
-// TryRunMix is RunMix with validation failures reported as errors.
-func TryRunMix(mix []workload.Spec, cfg Config) (Result, error) {
+// TryRunMix is RunMix with validation failures reported as errors and the
+// same cooperative-cancellation contract as TryRun.
+func TryRunMix(ctx context.Context, mix []workload.Spec, cfg Config) (Result, error) {
 	cfg = cfg.WithDefaults()
 	if len(mix) == 0 {
 		return Result{}, fmt.Errorf("system: empty mix")
@@ -466,18 +472,28 @@ func TryRunMix(mix []workload.Spec, cfg Config) (Result, error) {
 	for i := range specs {
 		specs[i] = mix[i%len(mix)]
 	}
-	return runMachine(specs, cfg, "mix("+strings.Join(names, "+")+")", class)
+	return runMachine(ctx, specs, cfg, "mix("+strings.Join(names, "+")+")", class)
 }
 
-func runMachine(specs []workload.Spec, cfg Config, name string, class workload.Class) (Result, error) {
+func runMachine(ctx context.Context, specs []workload.Spec, cfg Config, name string, class workload.Class) (Result, error) {
 	m, err := newMachine(specs, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.eng.SetCancel(ctx.Done())
 	for _, c := range m.cores {
 		c.Start()
 	}
 	m.eng.Run()
+	if m.eng.Preempted() {
+		// The run is partial: no Result escapes, the machine (heap, arenas,
+		// page tables) becomes garbage, and the caller's goroutine returns.
+		return Result{}, fmt.Errorf("system: %s on %s cancelled at cycle %d: %w",
+			name, cfg.Org, m.eng.Now(), ctx.Err())
+	}
 
 	res := Result{
 		Org:               m.org.Name(),

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"testing"
 
 	"cameo/internal/cameo"
@@ -284,10 +285,10 @@ func TestResultDerivedMetrics(t *testing.T) {
 func TestTryRunReportsInvalidConfig(t *testing.T) {
 	spec, _ := workload.SpecByName("sphinx3")
 	bad := Config{Org: CAMEO, ScaleDiv: 1000, Cores: 2, InstrPerCore: 1000} // not a power of two
-	if _, err := TryRun(spec, bad); err == nil {
+	if _, err := TryRun(context.Background(), spec, bad); err == nil {
 		t.Fatal("TryRun accepted a non-power-of-two ScaleDiv")
 	}
-	if _, err := TryRunMix(nil, Config{ScaleDiv: 4096, Cores: 2, InstrPerCore: 1000}); err == nil {
+	if _, err := TryRunMix(context.Background(), nil, Config{ScaleDiv: 4096, Cores: 2, InstrPerCore: 1000}); err == nil {
 		t.Fatal("TryRunMix accepted an empty mix")
 	}
 	defer func() {
