@@ -9,18 +9,29 @@
 //	               request order. 400 invalid request, 429 saturated (honour
 //	               Retry-After), 503 draining, 504 request deadline hit.
 //	GET  /healthz  liveness: 200 while the process serves, even during drain.
-//	GET  /readyz   admission readiness: 503 once draining begins.
+//	GET  /readyz   admission readiness: a JSON body with in-flight slots,
+//	               queue depth and drain state; 503 once draining begins.
 //	GET  /metrics  server counters/gauges as deterministic JSON.
+//	GET/PUT /cache/<hash>  the fleet cache-peer protocol: checksummed
+//	               cameo-cache-entry-v1 envelopes, verified on both ends
+//	               (requires -cachedir).
 //
 // A request's timeout_ms (and a disconnecting client) cancels its sweep
 // mid-flight: the cancellation reaches the simulator's event loops, which
 // unwind at their preemption points, and the workers are reclaimed.
 //
+// Fleet mode: with -peers, a worker consults the listed peer caches before
+// recomputing a cell. With -coordinator -workers=..., cameod serves the
+// same /sweep contract but shards cells across the workers by consistent
+// hashing, work-steals stragglers, and re-shards the cells of lost workers
+// — see internal/fleet.
+//
 // On SIGTERM/SIGINT cameod drains: it stops admitting (readyz flips to
 // 503), lets in-flight sweeps finish within -drain-grace, force-cancels any
 // stragglers, flushes the -cachedir result cache, and exits 0. A second
 // signal aborts immediately with exit 130. Exit codes: 0 clean (including
-// drained), 1 runtime failure, 2 bad flags.
+// drained), 1 runtime failure (including an unusable listen address), 2 bad
+// flags.
 package main
 
 import (
@@ -28,23 +39,29 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"cameo/internal/fleet"
+	"cameo/internal/runner"
 	"cameo/internal/server"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cameod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8347", "listen address")
 		jobs        = fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation workers per sweep")
@@ -53,35 +70,94 @@ func run(args []string) int {
 		maxCells    = fs.Int("max-cells", 1024, "largest grid a single request may ask for")
 		jobTimeout  = fs.Duration("job-timeout", 0, "per-cell watchdog: cancel an attempt running longer than this and reclaim its worker (0 = off)")
 		retries     = fs.Int("retries", 0, "retry transiently-failed cells this many times")
-		cachedir    = fs.String("cachedir", "", "persistent result-cache directory shared across requests and restarts")
+		cachedir    = fs.String("cachedir", "", "persistent result-cache directory shared across requests and restarts (coordinator mode: checkpoint-manifest directory)")
 		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for in-flight sweeps before cancelling them")
+		peers       = fs.String("peers", "", "comma-separated peer worker base URLs whose caches are consulted before recomputing (needs -cachedir)")
+		coordinator = fs.Bool("coordinator", false, "serve as fleet coordinator: shard sweeps across -workers instead of simulating locally")
+		workers     = fs.String("workers", "", "comma-separated worker base URLs the coordinator shards across")
+		vnodes      = fs.Int("vnodes", 0, "virtual nodes per worker on the hash ring (0 = default)")
+		resume      = fs.Bool("resume", false, "coordinator mode: resume an interrupted sweep from the manifest in -cachedir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	logger := log.New(os.Stderr, "cameod: ", log.LstdFlags)
+	logger := log.New(stderr, "cameod: ", log.LstdFlags)
 
-	srv, err := server.New(server.Options{
-		Jobs:        *jobs,
-		MaxInflight: *maxInflight,
-		MaxQueue:    *maxQueue,
-		MaxCells:    *maxCells,
-		JobTimeout:  *jobTimeout,
-		Retries:     *retries,
-		CacheDir:    *cachedir,
-		DrainGrace:  *drainGrace,
-		Log:         logger,
-	})
+	// Listen before building anything else: a busy or malformed address is
+	// the most common operational error, and it must fail with one clear
+	// line, not a panic or a goroutine's log.Fatal.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Print(err)
+		logger.Printf("cannot listen on %s: %v", *addr, err)
 		return 1
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var handler http.Handler
+	drain := func() error { return nil }
+	if *coordinator {
+		if *workers == "" {
+			logger.Print("-coordinator needs -workers (the fleet to shard across)")
+			ln.Close()
+			return 2
+		}
+		co, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
+			Workers:       splitList(*workers),
+			VNodes:        *vnodes,
+			MaxCells:      *maxCells,
+			CheckpointDir: *cachedir,
+			Resume:        *resume,
+			Log:           logger,
+		})
+		if err != nil {
+			logger.Print(err)
+			ln.Close()
+			return 1
+		}
+		handler = co.Handler()
+		logger.Printf("coordinating %d workers", len(splitList(*workers)))
+	} else {
+		opts := server.Options{
+			Jobs:        *jobs,
+			MaxInflight: *maxInflight,
+			MaxQueue:    *maxQueue,
+			MaxCells:    *maxCells,
+			JobTimeout:  *jobTimeout,
+			Retries:     *retries,
+			CacheDir:    *cachedir,
+			DrainGrace:  *drainGrace,
+			Log:         logger,
+		}
+		if *peers != "" {
+			if *cachedir == "" {
+				logger.Print("-peers needs -cachedir: the peer protocol serves and adopts entries through the local disk cache")
+				ln.Close()
+				return 2
+			}
+			disk, err := runner.OpenDiskCache(*cachedir)
+			if err != nil {
+				logger.Print(err)
+				ln.Close()
+				return 1
+			}
+			opts.CacheDir = ""
+			opts.Disk = disk
+			opts.Cache = fleet.NewPeerTier(disk, splitList(*peers), 0)
+		}
+		srv, err := server.New(opts)
+		if err != nil {
+			logger.Print(err)
+			ln.Close()
+			return 1
+		}
+		handler = srv.Handler()
+		drain = srv.Drain
+	}
+
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	go func() { serveErr <- httpSrv.Serve(ln) }()
 	logger.Printf("listening on %s (inflight %d, queue %d, %d workers/sweep)",
-		*addr, *maxInflight, *maxQueue, *jobs)
+		ln.Addr(), *maxInflight, *maxQueue, *jobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,7 +172,7 @@ func run(args []string) int {
 	// Drain: admission closes first, then in-flight sweeps get the grace,
 	// then the cache is flushed. The HTTP listener shuts down after the
 	// handlers have finished, so Shutdown returns promptly.
-	if err := srv.Drain(); err != nil {
+	if err := drain(); err != nil {
 		logger.Printf("drain: %v", err)
 		return 1
 	}
@@ -106,6 +182,17 @@ func run(args []string) int {
 		logger.Printf("shutdown: %v", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "cameod: exiting after clean drain")
+	fmt.Fprintln(stderr, "cameod: exiting after clean drain")
 	return 0
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

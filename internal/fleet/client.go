@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cameo/internal/sweepapi"
+)
+
+// Client talks to cameod workers: cell dispatch, readiness probes, and
+// liveness checks. One Client serves a whole coordinator; it is stateless
+// and safe for concurrent use.
+type Client struct {
+	http *http.Client
+	// probe bounds healthz/readyz probes separately from dispatches —
+	// a probe against a dead worker must fail fast.
+	probe *http.Client
+}
+
+// NewClient builds a worker client. dispatchTimeout bounds one cell
+// dispatch end to end (<=0: no client-side bound; the sweep context still
+// applies). Probes are always bounded at 2s.
+func NewClient(dispatchTimeout time.Duration) *Client {
+	return &Client{
+		http:  &http.Client{Timeout: dispatchTimeout},
+		probe: &http.Client{Timeout: 2 * time.Second},
+	}
+}
+
+// errShed marks a 429 from a worker's admission control: the cell was not
+// run, and the caller should back off and retry rather than fail over.
+type errShed struct{ retryAfter time.Duration }
+
+func (e errShed) Error() string {
+	return fmt.Sprintf("fleet: worker saturated, retry after %s", e.retryAfter)
+}
+
+// errDraining marks a 503: the worker is draining and will not take new
+// cells this run — treat like a lost worker and re-shard.
+var errDraining = fmt.Errorf("fleet: worker draining")
+
+// RunCell dispatches one single-cell request to a worker and returns the
+// worker's response. Error classes the caller dispatches on: errShed
+// (back off, same worker), errDraining (re-shard), *permanentCellError
+// (the worker rejected the cell as invalid — retrying elsewhere cannot
+// help), and transport errors (probe the worker, maybe re-shard).
+func (c *Client) RunCell(ctx context.Context, worker string, req sweepapi.Request) (*sweepapi.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshalling cell request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr sweepapi.Response
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return nil, fmt.Errorf("fleet: worker %s answered unparseable response: %w", worker, err)
+		}
+		return &sr, nil
+	case http.StatusTooManyRequests:
+		wait := time.Second
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			wait = time.Duration(ra) * time.Second
+		}
+		return nil, errShed{retryAfter: wait}
+	case http.StatusServiceUnavailable:
+		return nil, errDraining
+	case http.StatusBadRequest:
+		return nil, &permanentCellError{worker: worker, body: errorBody(data)}
+	default:
+		return nil, fmt.Errorf("fleet: worker %s answered %d: %s", worker, resp.StatusCode, errorBody(data))
+	}
+}
+
+// permanentCellError is a worker's 400: the cell itself is invalid, so no
+// retry or failover can succeed.
+type permanentCellError struct {
+	worker string
+	body   string
+}
+
+func (e *permanentCellError) Error() string {
+	return fmt.Sprintf("fleet: worker %s rejected cell: %s", e.worker, e.body)
+}
+
+// errorBody extracts the "error" field of a JSON error answer, falling
+// back to the raw (first-line, bounded) body.
+func errorBody(data []byte) string {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err == nil && m["error"] != "" {
+		return m["error"]
+	}
+	s := string(data)
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// Ready probes a worker's /readyz and returns its admission state.
+func (c *Client) Ready(ctx context.Context, worker string) (sweepapi.ReadyState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/readyz", nil)
+	if err != nil {
+		return sweepapi.ReadyState{}, err
+	}
+	resp, err := c.probe.Do(req)
+	if err != nil {
+		return sweepapi.ReadyState{}, err
+	}
+	defer resp.Body.Close()
+	var st sweepapi.ReadyState
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+		return sweepapi.ReadyState{}, fmt.Errorf("fleet: worker %s readyz: %w", worker, err)
+	}
+	return st, nil
+}
+
+// Healthy probes a worker's /healthz: true means the process is alive
+// (possibly draining), false means gone.
+func (c *Client) Healthy(ctx context.Context, worker string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.probe.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

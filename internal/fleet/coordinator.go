@@ -1,0 +1,723 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+	"cameo/internal/sweepapi"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Workers are the cameod worker base URLs the sweep cells shard
+	// across. At least one is required.
+	Workers []string
+	// VNodes is the ring's virtual-node count per worker (<=0:
+	// DefaultVirtualNodes).
+	VNodes int
+	// SlotsPerWorker caps concurrent cell dispatches per worker. <=0 means
+	// admission-aware: each worker's /readyz MaxInflight, probed at sweep
+	// start, so the coordinator fills exactly the slots a worker
+	// advertises and its admission queue never sheds fleet traffic.
+	SlotsPerWorker int
+	// MaxCells caps the grid size a single request may ask for (<=0: 1024).
+	MaxCells int
+	// DispatchRetries is how many times a transport-failed dispatch is
+	// retried against the same worker before the worker is health-probed
+	// and, if dead, its cells re-sharded (<0: 0; default 2).
+	DispatchRetries int
+	// DispatchTimeout bounds one cell dispatch (0: unbounded; the sweep
+	// deadline still applies).
+	DispatchTimeout time.Duration
+	// CheckpointDir, when non-empty, persists a cameo-manifest-v1 manifest
+	// (with the fleet extension) per sweep so a restarted coordinator can
+	// resume: completed cells replay from worker caches, and the manifest
+	// records the live sharding picture as workers join the dead list.
+	CheckpointDir string
+	// Resume adopts an existing manifest for the same job set instead of
+	// starting over.
+	Resume bool
+	// Log receives operational lines (deaths, re-shards, steals). Nil
+	// discards them.
+	Log *log.Logger
+}
+
+// Coordinator shards sweeps across a fleet of cameod workers: consistent-
+// hash placement, bounded per-worker dispatch, work-stealing off the
+// longest queue when a worker goes idle, and re-sharding of a dead
+// worker's incomplete cells onto the survivors. Safe for concurrent
+// sweeps; worker deaths observed by one sweep are remembered for the next.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	client *Client
+	log    *log.Logger
+
+	mu   sync.Mutex
+	dead map[string]bool // workers lost; never dispatched to again
+
+	reg        *metrics.Registry
+	sweeps     *metrics.Counter
+	dispatched *metrics.Counter
+	stolen     *metrics.Counter
+	resharded  *metrics.Counter
+	deaths     *metrics.Counter
+	retries    *metrics.Counter
+	shedWaits  *metrics.Counter
+	cellsFail  *metrics.Counter
+}
+
+// NewCoordinator validates the options and builds a Coordinator.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("fleet: coordinator needs at least one worker")
+	}
+	seen := map[string]bool{}
+	for _, w := range opts.Workers {
+		w = strings.TrimRight(w, "/")
+		if !strings.HasPrefix(w, "http://") && !strings.HasPrefix(w, "https://") {
+			return nil, fmt.Errorf("fleet: worker %q is not an http(s) base URL", w)
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet: worker %q registered twice", w)
+		}
+		seen[w] = true
+	}
+	if opts.MaxCells <= 0 {
+		opts.MaxCells = 1024
+	}
+	if opts.DispatchRetries < 0 {
+		opts.DispatchRetries = 0
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	c := &Coordinator{
+		opts:   opts,
+		client: NewClient(opts.DispatchTimeout),
+		log:    opts.Log,
+		dead:   map[string]bool{},
+		reg:    metrics.NewRegistry(),
+	}
+	sc := c.reg.Scope("fleet")
+	c.sweeps = sc.Counter("sweeps_completed")
+	c.dispatched = sc.Counter("cells_dispatched")
+	c.stolen = sc.Counter("cells_stolen")
+	c.resharded = sc.Counter("cells_resharded")
+	c.deaths = sc.Counter("worker_deaths")
+	c.retries = sc.Counter("dispatch_retries")
+	c.shedWaits = sc.Counter("shed_backoffs")
+	c.cellsFail = sc.Counter("cells_failed")
+	sc.GaugeFunc("workers_alive", func() float64 { return float64(len(c.aliveWorkers())) })
+	return c, nil
+}
+
+// aliveWorkers returns the registered workers not yet declared dead,
+// sorted (deterministic ring construction).
+func (c *Coordinator) aliveWorkers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, w := range c.opts.Workers {
+		w = strings.TrimRight(w, "/")
+		if !c.dead[w] {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// markDead records a lost worker fleet-wide.
+func (c *Coordinator) markDead(worker string) {
+	c.mu.Lock()
+	if !c.dead[worker] {
+		c.dead[worker] = true
+		c.deaths.Inc()
+	}
+	c.mu.Unlock()
+}
+
+// Metrics returns the coordinator's counters under the fleet scope.
+func (c *Coordinator) Metrics() metrics.Snapshot { return c.reg.Snapshot() }
+
+// errBadRequest marks request-shaped failures (unknown org/benchmark,
+// oversized grid) so the HTTP layer can answer 400 exactly like a worker.
+type errBadRequest struct{ err error }
+
+func (e *errBadRequest) Error() string { return e.err.Error() }
+func (e *errBadRequest) Unwrap() error { return e.err }
+
+// fleetCell is one unique sweep cell in flight across the fleet.
+type fleetCell struct {
+	job  runner.Job
+	spec sweepapi.CellSpec
+	key  string
+	hash string
+}
+
+// sweepRun is the per-sweep dispatch state.
+type sweepRun struct {
+	co  *Coordinator
+	ctx context.Context
+	req sweepapi.Request
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ring     *Ring
+	alive    map[string]bool
+	queues   map[string][]*fleetCell
+	results  map[string]sweepapi.Cell
+	failures map[string]runner.CellFailure
+	pending  int // unresolved unique cells
+	fatal    error
+
+	cp *runner.Checkpoint
+}
+
+// Run executes one sweep across the fleet and returns the merged
+// response — cells in request order, failures key-sorted — byte-for-byte
+// the response a single worker would have produced for the same request.
+// The error mirrors the worker contract: *errBadRequest for invalid
+// requests, the context error on cancellation, a plain error when the
+// whole fleet is lost. Worker-quarantined cells are not an error; they
+// appear in Response.Failures.
+func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.Response, error) {
+	grid, err := sweepapi.BuildGrid(req, c.opts.MaxCells)
+	if err != nil {
+		return nil, &errBadRequest{err: err}
+	}
+
+	// Unique cells (duplicate request cells dispatch once, like the
+	// runner's singleflight).
+	cells := map[string]*fleetCell{}
+	order := []*fleetCell{}
+	for i, j := range grid.Jobs {
+		key := j.Key()
+		if _, ok := cells[key]; ok {
+			continue
+		}
+		fc := &fleetCell{job: j, spec: grid.Cells[i], key: key, hash: j.Hash()}
+		cells[key] = fc
+		order = append(order, fc)
+	}
+
+	s := &sweepRun{
+		co:       c,
+		ctx:      ctx,
+		req:      req,
+		alive:    map[string]bool{},
+		queues:   map[string][]*fleetCell{},
+		results:  map[string]sweepapi.Cell{},
+		failures: map[string]runner.CellFailure{},
+		pending:  len(order),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	if c.opts.CheckpointDir != "" {
+		cp, err := runner.OpenCheckpoint(c.opts.CheckpointDir, grid.Jobs, c.opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		s.cp = cp
+	}
+
+	// Build the ring over the currently-alive membership and probe each
+	// worker's admission state: a worker that cannot even answer /readyz
+	// is dead before the first cell, and the advertised MaxInflight sizes
+	// its dispatch slots (admission-aware placement).
+	workers := c.aliveWorkers()
+	if len(workers) == 0 {
+		return nil, errors.New("fleet: no live workers")
+	}
+	s.ring = NewRing(c.opts.VNodes)
+	slots := map[string]int{}
+	for _, w := range workers {
+		st, err := c.client.Ready(ctx, w)
+		if err != nil || !st.Ready {
+			c.log.Printf("fleet: worker %s not ready at sweep start (%v), excluding", w, err)
+			c.markDead(w)
+			continue
+		}
+		n := st.MaxInflight
+		if c.opts.SlotsPerWorker > 0 && c.opts.SlotsPerWorker < n {
+			n = c.opts.SlotsPerWorker
+		}
+		if n < 1 {
+			n = 1
+		}
+		slots[w] = n
+		s.alive[w] = true
+		s.ring.Add(w)
+	}
+	if s.ring.Len() == 0 {
+		return nil, errors.New("fleet: no live workers")
+	}
+	for _, fc := range order {
+		owner := s.ring.Owner(fc.key)
+		s.queues[owner] = append(s.queues[owner], fc)
+	}
+	s.checkpointFleet()
+
+	var wg sync.WaitGroup
+	for w, n := range slots {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(w string) {
+				defer wg.Done()
+				s.dispatchLoop(w)
+			}(w)
+		}
+	}
+
+	// Wake the dispatch loops when the sweep context dies so none of them
+	// stays parked in cond.Wait.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+		case <-watchDone:
+		}
+	}()
+	wg.Wait()
+	close(watchDone)
+
+	s.mu.Lock()
+	fatal := s.fatal
+	s.mu.Unlock()
+	if fatal != nil {
+		return nil, fatal
+	}
+
+	resp := &sweepapi.Response{Org: req.Org, Cells: []sweepapi.Cell{}}
+	for i, j := range grid.Jobs {
+		cell, ok := s.results[j.Key()]
+		if !ok {
+			continue // quarantined; listed in Failures
+		}
+		cell.Benchmark = grid.Tags[i]
+		resp.Cells = append(resp.Cells, cell)
+	}
+	if len(s.failures) > 0 {
+		keys := make([]string, 0, len(s.failures))
+		for k := range s.failures {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			resp.Failures = append(resp.Failures, s.failures[k])
+		}
+	}
+	if len(resp.Failures) == 0 && s.cp != nil {
+		if err := s.cp.Finish(); err != nil {
+			c.log.Printf("fleet: removing manifest: %v", err)
+		}
+	}
+	c.sweeps.Inc()
+	return resp, nil
+}
+
+// checkpointFleet writes the current sharding picture into the manifest.
+// Callers must NOT hold s.mu.
+func (s *sweepRun) checkpointFleet() {
+	if s.cp == nil {
+		return
+	}
+	s.mu.Lock()
+	fs := &runner.FleetState{Assignments: map[string][]string{}}
+	for w := range s.alive {
+		fs.Workers = append(fs.Workers, w)
+		hashes := make([]string, 0, len(s.queues[w]))
+		for _, fc := range s.queues[w] {
+			hashes = append(hashes, fc.hash)
+		}
+		sort.Strings(hashes)
+		if len(hashes) > 0 {
+			fs.Assignments[w] = hashes
+		}
+	}
+	sort.Strings(fs.Workers)
+	s.co.mu.Lock()
+	for w := range s.co.dead {
+		fs.Dead = append(fs.Dead, w)
+	}
+	s.co.mu.Unlock()
+	sort.Strings(fs.Dead)
+	s.mu.Unlock()
+	s.cp.SetFleet(fs)
+}
+
+// fail records a fatal sweep error and wakes everyone.
+func (s *sweepRun) fail(err error) {
+	s.mu.Lock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// dispatchLoop runs one dispatch slot against one worker until the sweep
+// resolves, the worker dies, or the sweep fails.
+func (s *sweepRun) dispatchLoop(worker string) {
+	for {
+		fc, stolen := s.next(worker)
+		if fc == nil {
+			return
+		}
+		if stolen {
+			s.co.stolen.Inc()
+		}
+		s.dispatch(worker, fc)
+	}
+}
+
+// next pops the worker's next cell, stealing from the longest other queue
+// when its own is empty — the tail of a straggling worker's backlog is
+// exactly the work that would otherwise gate sweep completion. Blocks
+// while cells are in flight elsewhere (they may yet be requeued); returns
+// nil when the sweep is resolved, fatal, or this worker is dead.
+func (s *sweepRun) next(worker string) (*fleetCell, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.fatal != nil || s.pending == 0 || !s.alive[worker] {
+			s.cond.Broadcast()
+			return nil, false
+		}
+		if q := s.queues[worker]; len(q) > 0 {
+			fc := q[0]
+			s.queues[worker] = q[1:]
+			return fc, false
+		}
+		// Steal from the deepest queue (ties break by name for
+		// determinism of victim choice, though placement never affects
+		// results — simulation is deterministic per cell).
+		victim := ""
+		depth := 0
+		for w, q := range s.queues {
+			if w == worker || !s.alive[w] || len(q) == 0 {
+				continue
+			}
+			if len(q) > depth || (len(q) == depth && w < victim) {
+				victim, depth = w, len(q)
+			}
+		}
+		if victim != "" {
+			q := s.queues[victim]
+			fc := q[len(q)-1]
+			s.queues[victim] = q[:len(q)-1]
+			return fc, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// dispatch sends one cell to one worker, handling shedding, retries,
+// worker loss, and permanent rejections.
+func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
+	attempts := 0
+	for {
+		if err := s.ctx.Err(); err != nil {
+			s.fail(err)
+			return
+		}
+		req := sweepapi.CellRequest(s.req, fc.spec)
+		if dl, ok := s.ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				req.TimeoutMS = ms
+			}
+		}
+		s.co.dispatched.Inc()
+		resp, err := s.co.client.RunCell(s.ctx, worker, req)
+		if err == nil {
+			s.resolve(fc, resp)
+			return
+		}
+
+		var shed errShed
+		var perm *permanentCellError
+		switch {
+		case errors.As(err, &shed):
+			// The worker is saturated (other tenants, other sweeps): honor
+			// Retry-After and try the same worker again. Not a failure and
+			// not worth a failover — admission pressure is transient.
+			s.co.shedWaits.Inc()
+			wait := shed.retryAfter
+			if wait > 2*time.Second {
+				wait = 2 * time.Second
+			}
+			sleepCtx(s.ctx, wait)
+			continue
+		case errors.As(err, &perm):
+			// The worker rejected the cell itself; no other worker will
+			// accept it. Mirror the runner's invalid-config taxonomy.
+			s.recordFailure(fc, runner.CellFailure{
+				Key:      fc.key,
+				Name:     fc.job.Name(),
+				Hash:     fc.hash,
+				Attempts: 1,
+				Kind:     "invalid-config",
+				Error:    firstLine(perm.body),
+			})
+			return
+		case errors.Is(err, s.ctx.Err()) && s.ctx.Err() != nil:
+			s.fail(s.ctx.Err())
+			return
+		case errors.Is(err, errDraining):
+			// A draining worker takes no new cells this run: treat as lost.
+			s.co.log.Printf("fleet: worker %s draining, re-sharding its cells", worker)
+			s.loseWorker(worker, fc)
+			return
+		default:
+			attempts++
+			if attempts <= s.co.opts.DispatchRetries {
+				s.co.retries.Inc()
+				sleepCtx(s.ctx, time.Duration(attempts)*100*time.Millisecond)
+				continue
+			}
+			// Out of retries: is the worker gone, or is the cell cursed?
+			if s.co.client.Healthy(s.ctx, worker) {
+				s.recordFailure(fc, runner.CellFailure{
+					Key:      fc.key,
+					Name:     fc.job.Name(),
+					Hash:     fc.hash,
+					Attempts: attempts,
+					Kind:     "error",
+					Error:    firstLine(err.Error()),
+				})
+				return
+			}
+			s.co.log.Printf("fleet: worker %s lost (%v), re-sharding its cells", worker, err)
+			s.loseWorker(worker, fc)
+			return
+		}
+	}
+}
+
+// resolve records a worker's answer for one cell.
+func (s *sweepRun) resolve(fc *fleetCell, resp *sweepapi.Response) {
+	if len(resp.Failures) > 0 {
+		// The worker ran the cell and quarantined it (keep-going): adopt
+		// its failure record verbatim — same taxonomy, same bytes as a
+		// single-node report.
+		s.recordFailure(fc, resp.Failures[0])
+		return
+	}
+	if len(resp.Cells) != 1 {
+		s.recordFailure(fc, runner.CellFailure{
+			Key:      fc.key,
+			Name:     fc.job.Name(),
+			Hash:     fc.hash,
+			Attempts: 1,
+			Kind:     "error",
+			Error:    fmt.Sprintf("worker answered %d cells for a single-cell dispatch", len(resp.Cells)),
+		})
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.results[fc.key]; !dup {
+		s.results[fc.key] = resp.Cells[0]
+		s.pending--
+	}
+	s.mu.Unlock()
+	s.cp.MarkDone(fc.hash)
+	s.cond.Broadcast()
+}
+
+// recordFailure quarantines one cell fleet-side.
+func (s *sweepRun) recordFailure(fc *fleetCell, cf runner.CellFailure) {
+	s.co.cellsFail.Inc()
+	s.mu.Lock()
+	if _, dup := s.failures[fc.key]; !dup {
+		s.failures[fc.key] = cf
+		s.pending--
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// loseWorker declares a worker dead mid-sweep and re-shards its backlog
+// (and the in-flight cell that exposed the loss) across the survivors via
+// the ring — only its cells move, everyone else's stay put.
+func (s *sweepRun) loseWorker(worker string, inflight *fleetCell) {
+	s.co.markDead(worker)
+	s.mu.Lock()
+	if !s.alive[worker] {
+		// Another slot already re-sharded the queue; requeue just the
+		// in-flight cell.
+		s.mu.Unlock()
+		s.requeue(inflight)
+		return
+	}
+	delete(s.alive, worker)
+	s.ring.Remove(worker)
+	orphans := append(s.queues[worker], inflight)
+	delete(s.queues, worker)
+	if s.ring.Len() == 0 {
+		s.fatalLocked(errors.New("fleet: all workers lost"))
+		s.mu.Unlock()
+		return
+	}
+	for _, fc := range orphans {
+		owner := s.ring.Owner(fc.key)
+		s.queues[owner] = append(s.queues[owner], fc)
+		s.co.resharded.Inc()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.checkpointFleet()
+}
+
+// requeue re-shards one cell onto the current ring.
+func (s *sweepRun) requeue(fc *fleetCell) {
+	s.mu.Lock()
+	if s.ring.Len() == 0 {
+		s.fatalLocked(errors.New("fleet: all workers lost"))
+		s.mu.Unlock()
+		return
+	}
+	owner := s.ring.Owner(fc.key)
+	s.queues[owner] = append(s.queues[owner], fc)
+	s.co.resharded.Inc()
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// fatalLocked records a fatal error with s.mu held.
+func (s *sweepRun) fatalLocked(err error) {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.cond.Broadcast()
+}
+
+// sleepCtx sleeps for d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// firstLine trims a message to its first line, like the runner's failure
+// reports (multi-line bodies are non-deterministic across runs).
+func firstLine(msg string) string {
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		return msg[:i]
+	}
+	return msg
+}
+
+// Handler returns the coordinator's HTTP routes: the same /sweep contract
+// a worker serves (so clients are fleet-agnostic), /healthz, /readyz with
+// the fleet membership picture, and /metrics.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", c.handleReadyz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.reg.Snapshot().WriteJSON(w); err != nil {
+			c.log.Printf("fleet: metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/sweep", c.handleSweep)
+	return mux
+}
+
+// coordReady is the coordinator's /readyz body: ready while at least one
+// worker survives.
+type coordReady struct {
+	Ready   bool     `json:"ready"`
+	Workers []string `json:"workers"`
+	Dead    []string `json:"dead,omitempty"`
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	alive := c.aliveWorkers()
+	c.mu.Lock()
+	dead := make([]string, 0, len(c.dead))
+	for d := range c.dead {
+		dead = append(dead, d)
+	}
+	c.mu.Unlock()
+	sort.Strings(dead)
+	body := coordReady{Ready: len(alive) > 0, Workers: alive, Dead: dead}
+	w.Header().Set("Content-Type", "application/json")
+	if !body.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		c.log.Printf("fleet: readyz: %v", err)
+	}
+}
+
+// handleSweep serves the worker-compatible sweep contract over the fleet.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req sweepapi.Request
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+	}
+	defer cancel()
+
+	resp, err := c.Run(ctx, req)
+	var bad *errBadRequest
+	switch {
+	case err == nil:
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, bad.Error())
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "sweep cancelled: "+err.Error())
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		c.log.Printf("fleet: sweep response: %v", err)
+	}
+}
+
+// writeError answers a JSON error body with the given status (same shape
+// as the worker's).
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+	"cameo/internal/system"
+)
+
+// PeerTier is a runner.Cache that layers the fleet's shared cache on top
+// of a worker's local DiskCache: a miss locally falls through to HTTP GETs
+// of the checksummed cameo-cache-entry-v1 envelope from peer workers, each
+// response re-verified by the same schema+checksum check the disk path
+// uses. A verified peer entry is adopted into the local disk (so the next
+// hit is local) and a corrupt or truncated one is rejected and counted —
+// the tier then simply recomputes, never trusts.
+//
+// Stores stay local-only: peers pull on demand, so the fleet needs no
+// write fan-out, and a cell computed by any node is reachable by all of
+// them. That is what makes a second fleet run of the same sweep recompute
+// nothing, wherever the ring happens to place each cell.
+type PeerTier struct {
+	local  *runner.DiskCache
+	client *http.Client
+
+	mu    sync.RWMutex
+	peers []string // base URLs ("http://host:port")
+
+	reg        *metrics.Registry
+	localHits  *metrics.Counter
+	peerHits   *metrics.Counter
+	misses     *metrics.Counter
+	rejects    *metrics.Counter
+	peerErrors *metrics.Counter
+	stores     *metrics.Counter
+}
+
+// NewPeerTier composes the shared tier over a worker's local cache.
+// timeout bounds each peer probe (<=0: 2s) — a dead peer must cost
+// milliseconds, not hang a sweep cell.
+func NewPeerTier(local *runner.DiskCache, peers []string, timeout time.Duration) *PeerTier {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	t := &PeerTier{
+		local:  local,
+		peers:  append([]string(nil), peers...),
+		client: &http.Client{Timeout: timeout},
+		reg:    metrics.NewRegistry(),
+	}
+	sc := t.reg.Scope("fleet/peercache")
+	t.localHits = sc.Counter("local_hits")
+	t.peerHits = sc.Counter("peer_hits")
+	t.misses = sc.Counter("misses")
+	t.rejects = sc.Counter("rejects")
+	t.peerErrors = sc.Counter("peer_errors")
+	t.stores = sc.Counter("stores")
+	return t
+}
+
+// SetPeers replaces the peer list (tests wire peers up after the httptest
+// servers exist; cameod knows them at flag-parse time).
+func (t *PeerTier) SetPeers(peers []string) {
+	t.mu.Lock()
+	t.peers = append([]string(nil), peers...)
+	t.mu.Unlock()
+}
+
+// Load implements runner.Cache: local disk first, then each peer in order.
+func (t *PeerTier) Load(hash string) (system.Result, bool) {
+	if res, ok := t.local.Load(hash); ok {
+		t.localHits.Inc()
+		return res, true
+	}
+	t.mu.RLock()
+	peers := t.peers
+	t.mu.RUnlock()
+	for _, p := range peers {
+		data, err := t.fetch(p, hash)
+		if err != nil {
+			if err != errNotFound {
+				t.peerErrors.Inc()
+			}
+			continue
+		}
+		res, err := runner.DecodeEntry(data)
+		if err != nil {
+			// Corrupt or truncated in flight (or a lying peer): reject and
+			// keep looking; worst case the cell recomputes.
+			t.rejects.Inc()
+			continue
+		}
+		// Adopt the verified envelope bytes so the next load is local.
+		// Best-effort: an adoption failure only costs a future re-fetch.
+		_ = t.local.StoreRaw(hash, data) //nolint:errcheck
+		t.peerHits.Inc()
+		return res, true
+	}
+	t.misses.Inc()
+	return system.Result{}, false
+}
+
+// errNotFound distinguishes a clean 404 (peer simply lacks the cell) from
+// a peer that is down or misbehaving.
+var errNotFound = fmt.Errorf("fleet: peer has no entry")
+
+// fetch GETs one envelope from one peer.
+func (t *PeerTier) fetch(peer, hash string) ([]byte, error) {
+	resp, err := t.client.Get(peer + "/cache/" + hash)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, errNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: peer %s answered %d for %s", peer, resp.StatusCode, hash)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// Store implements runner.Cache: results persist locally; peers pull.
+func (t *PeerTier) Store(hash string, res system.Result) {
+	t.local.Store(hash, res)
+	t.stores.Inc()
+}
+
+// Push PUTs a locally-held envelope to a peer — the proactive half of the
+// protocol, used to seed a joining worker or repair a peer that lost an
+// entry. The receiving side re-verifies before persisting.
+func (t *PeerTier) Push(peer, hash string) error {
+	data, ok := t.local.LoadRaw(hash)
+	if !ok {
+		return fmt.Errorf("fleet: no local entry %.12s to push", hash)
+	}
+	req, err := http.NewRequest(http.MethodPut, peer+"/cache/"+hash, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: peer %s rejected push of %.12s: %d %s", peer, hash, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// Metrics returns the tier's counters (local_hits, peer_hits, misses,
+// rejects, peer_errors, stores) under the fleet/peercache scope.
+func (t *PeerTier) Metrics() metrics.Snapshot { return t.reg.Snapshot() }

@@ -164,6 +164,33 @@ func (c *DiskCache) Load(hash string) (system.Result, bool) {
 	return res, true
 }
 
+// DecodeEntry verifies and unwraps one cameo-cache-entry-v1 envelope:
+// schema pin, payload checksum, payload decode. It is the single
+// verification path for entries from any source — local disk, a cache peer
+// over HTTP, a backup — so a flipped bit or truncation is rejected
+// identically everywhere.
+func DecodeEntry(data []byte) (system.Result, error) { return decodeEntry(data) }
+
+// EncodeEntry wraps a result in the checksummed cameo-cache-entry-v1
+// envelope — the exact bytes DiskCache persists and the cache-peer protocol
+// ships.
+func EncodeEntry(res system.Result) ([]byte, error) {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("runner: marshalling result: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(cacheEntry{
+		Schema:  entrySchema,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runner: marshalling envelope: %w", err)
+	}
+	return data, nil
+}
+
 // decodeEntry verifies and unwraps one on-disk entry.
 func decodeEntry(data []byte) (system.Result, error) {
 	var e cacheEntry
@@ -207,31 +234,62 @@ func (c *DiskCache) quarantine(path string, cause error) {
 // store_errors counter (the cell simply recomputes next run), and never
 // leave a temp file behind.
 func (c *DiskCache) Store(hash string, res system.Result) {
-	payload, err := json.Marshal(res)
-	if err != nil {
-		c.storeFailed(hash, fmt.Errorf("marshalling result: %w", err))
-		return
-	}
-	sum := sha256.Sum256(payload)
-	data, err := json.Marshal(cacheEntry{
-		Schema:  entrySchema,
-		SHA256:  hex.EncodeToString(sum[:]),
-		Payload: payload,
-	})
-	if err != nil {
-		c.storeFailed(hash, fmt.Errorf("marshalling envelope: %w", err))
-		return
-	}
-	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	data, err := EncodeEntry(res)
 	if err != nil {
 		c.storeFailed(hash, err)
 		return
 	}
+	if err := c.writeEntry(hash, data); err != nil {
+		c.storeFailed(hash, err)
+		return
+	}
+	c.stores.Inc()
+}
+
+// LoadRaw returns the verified envelope bytes for a cell hash — the unit
+// the cache-peer protocol serves. Entries failing verification are
+// quarantined exactly as in Load, so a worker never ships corruption to a
+// peer; raw reads deliberately skip the hit/miss counters, which track
+// local cell decisions, not peer traffic.
+func (c *DiskCache) LoadRaw(hash string) ([]byte, bool) {
+	path := c.path(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := decodeEntry(data); err != nil {
+		c.quarantine(path, err)
+		return nil, false
+	}
+	return data, true
+}
+
+// StoreRaw verifies an envelope received from elsewhere (a cache peer's
+// PUT, a peer GET being adopted locally) and persists it atomically.
+// Unlike Store, failures are returned, not swallowed: the caller is a
+// protocol handler that must answer 4xx for a corrupt entry.
+func (c *DiskCache) StoreRaw(hash string, data []byte) error {
+	if _, err := decodeEntry(data); err != nil {
+		return fmt.Errorf("runner: cache: refusing unverified entry %.12s: %w", hash, err)
+	}
+	if err := c.writeEntry(hash, data); err != nil {
+		c.storeErrors.Inc()
+		return err
+	}
+	c.stores.Inc()
+	return nil
+}
+
+// writeEntry is the shared atomic publish path: temp file, fsync, rename.
+func (c *DiskCache) writeEntry(hash string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
 	if f, ok := c.faults.Evaluate(faultinject.SiteCacheStore, hash, 0); ok && f.Kind == faultinject.WriteFail {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		c.storeFailed(hash, fmt.Errorf("faultinject: injected write failure"))
-		return
+		return fmt.Errorf("faultinject: injected write failure")
 	}
 	_, werr := tmp.Write(data)
 	if werr == nil {
@@ -246,15 +304,13 @@ func (c *DiskCache) Store(hash string, res system.Result) {
 		if werr == nil {
 			werr = cerr
 		}
-		c.storeFailed(hash, werr)
-		return
+		return werr
 	}
 	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
 		os.Remove(tmp.Name())
-		c.storeFailed(hash, err)
-		return
+		return err
 	}
-	c.stores.Inc()
+	return nil
 }
 
 // storeFailed records and reports one degraded store.

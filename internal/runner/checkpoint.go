@@ -25,6 +25,26 @@ type Manifest struct {
 	RunID  string   `json:"run_id"`
 	Total  int      `json:"total"`
 	Done   []string `json:"done"`
+	// Fleet, when present, is the coordinator's live sharding picture —
+	// absent entirely for single-node sweeps, so their manifests are
+	// byte-identical to the pre-fleet format (still cameo-manifest-v1; the
+	// field is additive and optional).
+	Fleet *FleetState `json:"fleet,omitempty"`
+}
+
+// FleetState extends the manifest for coordinated sweeps: which workers
+// the run was sharded across, which were lost, and which incomplete cells
+// each live worker currently owns. A coordinator restarted over this
+// manifest (same run ID) knows exactly what was outstanding; a worker in
+// Dead never gets cells again this run.
+type FleetState struct {
+	// Workers are the registered worker base URLs, sorted.
+	Workers []string `json:"workers"`
+	// Dead lists workers lost mid-run (re-sharded away), sorted.
+	Dead []string `json:"dead,omitempty"`
+	// Assignments maps a live worker to the sorted hashes of its
+	// incomplete cells. Completed cells live in Done, not here.
+	Assignments map[string][]string `json:"assignments,omitempty"`
 }
 
 // uniqueJobHashes returns the sorted, deduplicated cell hashes of a job set.
@@ -64,6 +84,7 @@ type Checkpoint struct {
 	runID string
 	total int
 	done  map[string]bool
+	fleet *FleetState
 
 	resumed int // cells already done when the checkpoint was opened
 }
@@ -108,6 +129,7 @@ func OpenCheckpoint(dir string, jobs []Job, resume bool) (*Checkpoint, error) {
 			for _, h := range m.Done {
 				cp.done[h] = true
 			}
+			cp.fleet = m.Fleet
 			cp.resumed = len(cp.done)
 		case os.IsNotExist(err):
 			// Nothing to resume: behave as a fresh run.
@@ -151,6 +173,41 @@ func (cp *Checkpoint) MarkDone(hash string) {
 	cp.flushLocked() // best-effort: a failed flush costs re-runs, not correctness
 }
 
+// Done reports whether a cell hash is already recorded as completed.
+// Nil-safe.
+func (cp *Checkpoint) Done(hash string) bool {
+	if cp == nil {
+		return false
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.done[hash]
+}
+
+// SetFleet records (and flushes) the coordinator's sharding state into the
+// manifest. Pass a normalized FleetState: the checkpoint sorts nothing
+// itself. Nil-safe; a nil state removes the fleet section.
+func (cp *Checkpoint) SetFleet(fs *FleetState) {
+	if cp == nil {
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.fleet = fs
+	cp.flushLocked() // best-effort, like MarkDone
+}
+
+// Fleet returns the fleet state loaded from a resumed manifest (or set via
+// SetFleet), nil for single-node runs. Nil-safe.
+func (cp *Checkpoint) Fleet() *FleetState {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.fleet
+}
+
 // DoneCount returns how many cells the checkpoint has recorded.
 func (cp *Checkpoint) DoneCount() int {
 	if cp == nil {
@@ -175,6 +232,7 @@ func (cp *Checkpoint) flushLocked() error {
 		RunID:  cp.runID,
 		Total:  cp.total,
 		Done:   hashes,
+		Fleet:  cp.fleet,
 	}, "", "  ")
 	if err != nil {
 		return err

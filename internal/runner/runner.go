@@ -135,6 +135,15 @@ func New(opts Options) *Runner {
 // Jobs returns the worker-pool size.
 func (r *Runner) Jobs() int { return r.opts.Jobs }
 
+// ExecutedCells returns how many cells this runner actually simulated
+// (cache hits and memo hits excluded) — the number a fleet's
+// zero-recompute assertions watch.
+func (r *Runner) ExecutedCells() uint64 { return r.executed.Value() }
+
+// CacheHitCells returns how many cells were answered from the persistent
+// cache instead of being executed.
+func (r *Runner) CacheHitCells() uint64 { return r.cacheHits.Value() }
+
 // Get returns the job's result, computing it at most once: the first
 // caller for a key executes, concurrent callers for the same key block on
 // that execution, later callers hit the memo map. ctx propagates into the

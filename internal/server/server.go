@@ -37,8 +37,8 @@ import (
 
 	"cameo/internal/metrics"
 	"cameo/internal/runner"
+	"cameo/internal/sweepapi"
 	"cameo/internal/system"
-	"cameo/internal/workload"
 )
 
 // Options configures a Server. The zero value is usable for tests: no disk
@@ -58,8 +58,16 @@ type Options struct {
 	// Retries is the runner's transient-failure retry budget.
 	Retries int
 	// CacheDir, when non-empty, persists cell results across requests and
-	// restarts (shared runner.DiskCache).
+	// restarts (shared runner.DiskCache). Ignored when Disk is set.
 	CacheDir string
+	// Disk, when non-nil, is a pre-opened local result store the caller
+	// composed (e.g. under a fleet peer-cache tier). The server adopts it:
+	// it backs the /cache/ peer endpoints and is closed by Drain.
+	Disk *runner.DiskCache
+	// Cache, when non-nil, overrides the execution-tier cache handed to the
+	// runner (e.g. a fleet.PeerTier consulting other workers before
+	// recomputing). Nil falls back to Disk / CacheDir.
+	Cache runner.Cache
 	// DrainGrace bounds how long Drain waits for in-flight sweeps before
 	// force-cancelling them (<=0: 30s).
 	DrainGrace time.Duration
@@ -95,14 +103,20 @@ type Server struct {
 	forceCtx    context.Context
 	forceCancel context.CancelFunc
 
-	reg       *metrics.Registry
-	requests  *metrics.Counter
-	admitted  *metrics.Counter
-	shed      *metrics.Counter
-	completed *metrics.Counter
-	cancelled *metrics.Counter
-	failed    *metrics.Counter
-	panics    *metrics.Counter
+	reg            *metrics.Registry
+	requests       *metrics.Counter
+	admitted       *metrics.Counter
+	shed           *metrics.Counter
+	completed      *metrics.Counter
+	cancelled      *metrics.Counter
+	failed         *metrics.Counter
+	panics         *metrics.Counter
+	cellsExecuted  *metrics.Counter
+	cellsFromCache *metrics.Counter
+	peerGets       *metrics.Counter
+	peerGetMisses  *metrics.Counter
+	peerPuts       *metrics.Counter
+	peerPutRejects *metrics.Counter
 }
 
 // New builds a Server, opening the disk cache when CacheDir is set.
@@ -136,6 +150,12 @@ func New(opts Options) (*Server, error) {
 	s.cancelled = sc.Counter("cancelled")
 	s.failed = sc.Counter("failed")
 	s.panics = sc.Counter("panics")
+	s.cellsExecuted = sc.Counter("cells_executed")
+	s.cellsFromCache = sc.Counter("cells_from_cache")
+	s.peerGets = sc.Counter("peer_cache_gets")
+	s.peerGetMisses = sc.Counter("peer_cache_get_misses")
+	s.peerPuts = sc.Counter("peer_cache_puts")
+	s.peerPutRejects = sc.Counter("peer_cache_put_rejects")
 	sc.GaugeFunc("inflight", func() float64 { return float64(len(s.slots)) })
 	sc.GaugeFunc("queued", func() float64 {
 		if q := s.pending.Load() - int64(len(s.slots)); q > 0 {
@@ -143,7 +163,10 @@ func New(opts Options) (*Server, error) {
 		}
 		return 0
 	})
-	if opts.CacheDir != "" {
+	switch {
+	case opts.Disk != nil:
+		s.cache = opts.Disk
+	case opts.CacheDir != "":
 		cache, err := runner.OpenDiskCache(opts.CacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -161,6 +184,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/cache/", s.handleCache)
 	return s.protect(mux)
 }
 
@@ -187,63 +211,135 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// handleReadyz reports admission readiness: 503 once draining so load
-// balancers stop routing new sweeps here.
+// handleReadyz reports admission readiness with a structured body: 503 once
+// draining so load balancers stop routing new sweeps here, and a JSON
+// ReadyState either way (in-flight slots, queue depth, drain state) so a
+// fleet coordinator can make admission-aware placement decisions instead of
+// inferring load from a bare status code.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
+	st := s.ReadyState()
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ready\n")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(st); err != nil {
+		s.opts.Log.Printf("readyz: %v", err)
+	}
 }
 
-// handleMetrics emits the server registry snapshot (counters plus pull-style
-// inflight/queued gauges) as deterministic JSON.
+// ReadyState samples the admission picture readyz serves.
+func (s *Server) ReadyState() sweepapi.ReadyState {
+	draining := s.draining.Load()
+	inflight := len(s.slots)
+	queued := int(s.pending.Load()) - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	return sweepapi.ReadyState{
+		Ready:       !draining,
+		Draining:    draining,
+		Inflight:    inflight,
+		MaxInflight: s.opts.MaxInflight,
+		Queued:      queued,
+		MaxQueue:    s.opts.MaxQueue,
+	}
+}
+
+// handleCache is the fleet cache-peer protocol: GET serves the local
+// checksummed cameo-cache-entry-v1 envelope for a cell hash, PUT accepts
+// one (verified before it touches disk). Peers verify on read too, so a
+// corrupt entry can never cross the fleet: it is quarantined at whichever
+// side first notices.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	hash := strings.TrimPrefix(r.URL.Path, "/cache/")
+	if !validCellHash(hash) {
+		writeError(w, http.StatusBadRequest, "malformed cell hash")
+		return
+	}
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "no cache configured")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.peerGets.Inc()
+		data, ok := s.cache.LoadRaw(hash)
+		if !ok {
+			s.peerGetMisses.Inc()
+			writeError(w, http.StatusNotFound, "no entry for "+hash)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading entry: "+err.Error())
+			return
+		}
+		if err := s.cache.StoreRaw(hash, data); err != nil {
+			s.peerPutRejects.Inc()
+			writeError(w, http.StatusBadRequest, "entry rejected: "+err.Error())
+			return
+		}
+		s.peerPuts.Inc()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	}
+}
+
+// validCellHash accepts exactly the hex SHA-256 shape runner.Job.Hash
+// produces — anything else (including path tricks) is rejected.
+func validCellHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, c := range h {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// handleMetrics emits the service metrics as one deterministic JSON
+// snapshot: the server registry (counters plus pull-style inflight/queued
+// gauges) merged with the local disk cache's counters and, when the
+// execution tier is a composed cache (fleet.PeerTier), its hit/miss/reject
+// counters — so one endpoint answers "did this worker recompute anything?".
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+	if err := s.metricsSnapshot().WriteJSON(w); err != nil {
 		s.opts.Log.Printf("metrics: %v", err)
 	}
 }
 
-// SweepRequest is the POST /sweep body. Org/Benchmarks use the CLI
-// spellings; Sweep/Values mirror cameo-sweep's dimensions.
-type SweepRequest struct {
-	Org        string   `json:"org"`
-	Benchmarks []string `json:"benchmarks"`
-	// Sweep is the swept dimension: scale, cores, ratio, or seed. Empty
-	// with no Values runs one cell per benchmark at the defaults.
-	Sweep  string   `json:"sweep,omitempty"`
-	Values []uint64 `json:"values,omitempty"`
-	Instr  uint64   `json:"instr,omitempty"`
-	Cores  int      `json:"cores,omitempty"`
-	Scale  uint64   `json:"scale,omitempty"`
-	Seed   uint64   `json:"seed,omitempty"`
-	// TimeoutMS bounds the whole request; on expiry the sweep is cancelled
-	// mid-flight (not abandoned) and the request answers 504.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+// metricsSnapshot merges the server scope with the cache tiers' scopes.
+func (s *Server) metricsSnapshot() metrics.Snapshot {
+	snaps := []metrics.Snapshot{s.reg.Snapshot()}
+	if s.cache != nil {
+		snaps = append(snaps, s.cache.Metrics())
+	}
+	if m, ok := s.opts.Cache.(interface{ Metrics() metrics.Snapshot }); ok {
+		snaps = append(snaps, m.Metrics())
+	}
+	return metrics.Merge(snaps...)
 }
 
-// SweepCell is one grid cell of the response, in request order.
-type SweepCell struct {
-	Benchmark     string  `json:"benchmark"`
-	Org           string  `json:"org"`
-	Cycles        uint64  `json:"cycles"`
-	Instructions  uint64  `json:"instructions"`
-	Demands       uint64  `json:"demands"`
-	AvgMemLatency float64 `json:"avg_mem_latency"`
-	LatencyP95    uint64  `json:"latency_p95"`
-}
-
-// SweepResponse is the POST /sweep reply. Failures lists cells quarantined
-// by the runner's keep-going mode; the grid still contains every cell that
-// completed.
-type SweepResponse struct {
-	Org      string               `json:"org"`
-	Cells    []SweepCell          `json:"cells"`
-	Failures []runner.CellFailure `json:"failures,omitempty"`
-}
+// The sweep wire schema lives in internal/sweepapi (shared with the fleet
+// coordinator); these aliases keep the historical server names working.
+type (
+	// SweepRequest is the POST /sweep body.
+	SweepRequest = sweepapi.Request
+	// SweepCell is one grid cell of the response, in request order.
+	SweepCell = sweepapi.Cell
+	// SweepResponse is the POST /sweep reply.
+	SweepResponse = sweepapi.Response
+)
 
 // handleSweep admits, executes, and answers one sweep request.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -257,11 +353,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	jobs, tags, err := s.buildJobs(req)
+	grid, err := sweepapi.BuildGrid(req, s.opts.MaxCells)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	jobs, tags := grid.Jobs, grid.Tags
 
 	release, ok := s.admit(w, r)
 	if !ok {
@@ -288,13 +385,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Retries:    s.opts.Retries,
 		KeepGoing:  true,
 	}
-	if s.cache != nil {
+	switch {
+	case s.opts.Cache != nil:
+		// A composed tier (e.g. the fleet peer cache) consults the local
+		// disk itself.
+		ropts.Cache = s.opts.Cache
+	case s.cache != nil:
 		// Assign only when present: a nil *DiskCache in the interface field
 		// would read as non-nil and dereference.
 		ropts.Cache = s.cache
 	}
 	run := runner.New(ropts)
 	err = run.RunAll(ctx, jobs)
+	s.cellsExecuted.Add(run.ExecutedCells())
+	s.cellsFromCache.Add(run.CacheHitCells())
 	var failedCells *runner.FailedCellsError
 	switch {
 	case err == nil:
@@ -388,80 +492,6 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	}, true
 }
 
-// buildJobs turns a request into the job grid plus per-cell benchmark tags
-// (request order — the response grid preserves it).
-func (s *Server) buildJobs(req SweepRequest) ([]runner.Job, []string, error) {
-	kind, ok := system.ParseOrg(req.Org)
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown organization %q (have: %s)",
-			req.Org, strings.Join(system.OrgNames(), ", "))
-	}
-	if len(req.Benchmarks) == 0 {
-		return nil, nil, errors.New("no benchmarks given")
-	}
-	values := req.Values
-	sweep := req.Sweep
-	if len(values) == 0 {
-		if sweep != "" {
-			return nil, nil, fmt.Errorf("sweep %q with no values", sweep)
-		}
-		values = []uint64{0} // one cell per benchmark at the defaults
-		sweep = "none"
-	} else if sweep == "" {
-		return nil, nil, errors.New("values given with no sweep dimension")
-	}
-	if n := len(req.Benchmarks) * len(values); n > s.opts.MaxCells {
-		return nil, nil, fmt.Errorf("%d cells exceeds the per-request cap of %d", n, s.opts.MaxCells)
-	}
-
-	var jobs []runner.Job
-	var tags []string
-	for _, bn := range req.Benchmarks {
-		spec, ok := workload.SpecByName(strings.TrimSpace(bn))
-		if !ok {
-			return nil, nil, fmt.Errorf("unknown benchmark %q", bn)
-		}
-		for _, v := range values {
-			cfg := system.Config{
-				Org:          kind,
-				ScaleDiv:     req.Scale,
-				Cores:        req.Cores,
-				InstrPerCore: req.Instr,
-				Seed:         req.Seed,
-			}
-			if cfg.ScaleDiv == 0 {
-				cfg.ScaleDiv = 1024
-			}
-			if cfg.InstrPerCore == 0 {
-				cfg.InstrPerCore = 300_000
-			}
-			if cfg.Cores == 0 {
-				cfg.Cores = 16
-			}
-			tag := spec.Name
-			switch sweep {
-			case "none":
-			case "scale":
-				cfg.ScaleDiv = v
-			case "cores":
-				cfg.Cores = int(v)
-			case "ratio":
-				cfg.StackedDivisor = int(v)
-			case "seed":
-				cfg.Seed = v
-			default:
-				return nil, nil, fmt.Errorf("unknown sweep dimension %q (have: scale, cores, ratio, seed)", sweep)
-			}
-			if sweep != "none" {
-				tag = fmt.Sprintf("%s@%s=%d", spec.Name, sweep, v)
-			}
-			jobs = append(jobs, runner.NewJob(spec, cfg))
-			tags = append(tags, tag)
-		}
-	}
-	return jobs, tags, nil
-}
-
 // Drain performs the graceful-shutdown sequence: stop admitting (readyz
 // flips to 503), wait up to DrainGrace for in-flight sweeps, force-cancel
 // any stragglers (cooperative preemption unwinds their event loops), wait
@@ -500,8 +530,9 @@ func (s *Server) Drain() error {
 	return err
 }
 
-// Metrics returns the server's registry snapshot (tests, introspection).
-func (s *Server) Metrics() metrics.Snapshot { return s.reg.Snapshot() }
+// Metrics returns the merged service snapshot (server scope plus cache
+// tiers), as served by /metrics.
+func (s *Server) Metrics() metrics.Snapshot { return s.metricsSnapshot() }
 
 // mergeCancel returns a context cancelled when either parent is; stop
 // releases the watcher goroutine.

@@ -8,12 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"cameo/internal/runner"
+	"cameo/internal/sweepapi"
 	"cameo/internal/system"
 )
 
@@ -419,5 +421,175 @@ func TestQueueAdmitsUpToLimit(t *testing.T) {
 	}
 	if ok200 != 3 || shed429 != 2 {
 		t.Fatalf("200s = %d, 429s = %d; want 3 and 2", ok200, shed429)
+	}
+}
+
+// TestReadyzBody: /readyz answers a structured JSON body — the admission
+// picture a fleet coordinator sizes its dispatch slots from — both while
+// serving (200) and while draining (503).
+func TestReadyzBody(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxInflight: 3, MaxQueue: 5})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sweepapi.ReadyState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("readyz body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+	}
+	want := sweepapi.ReadyState{Ready: true, MaxInflight: 3, MaxQueue: 5}
+	if st != want {
+		t.Fatalf("ReadyState = %+v, want %+v", st, want)
+	}
+	if st.FreeSlots() != 3 {
+		t.Fatalf("FreeSlots = %d, want 3", st.FreeSlots())
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained sweepapi.ReadyState
+	if err := json.NewDecoder(resp.Body).Decode(&drained); err != nil {
+		t.Fatalf("draining readyz body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	if drained.Ready || !drained.Draining {
+		t.Fatalf("draining ReadyState = %+v", drained)
+	}
+}
+
+// TestCachePeerEndpoints exercises the fleet cache-peer protocol served at
+// /cache/<hash>: round-trip GET/PUT of the checksummed envelope, 404 for
+// absent entries, 400 for malformed hashes and corrupt envelopes, with the
+// peer counters moving accordingly.
+func TestCachePeerEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Options{CacheDir: dir})
+
+	// Populate one entry via a real sweep.
+	resp, b := postSweep(t, ts.URL, `{"org":"cameo","benchmarks":["milc"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed sweep: %d %s", resp.StatusCode, b)
+	}
+	// Find its hash from the cache dir listing (single entry).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := ""
+	for _, e := range entries {
+		if n := strings.TrimSuffix(e.Name(), ".json"); len(n) == 64 {
+			hash = n
+		}
+	}
+	if hash == "" {
+		t.Fatalf("no cache entry on disk after sweep: %v", entries)
+	}
+
+	// GET round-trips the envelope.
+	gresp, err := http.Get(ts.URL + "/cache/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK || len(envelope) == 0 {
+		t.Fatalf("GET /cache/%s = %d (%d bytes)", hash, gresp.StatusCode, len(envelope))
+	}
+	if counter(t, s, "server/peer_cache_gets") != 1 {
+		t.Fatalf("peer_cache_gets = %d, want 1", counter(t, s, "server/peer_cache_gets"))
+	}
+
+	// Absent entry: clean 404, counted as a miss.
+	missHash := strings.Repeat("0", 64)
+	gresp, err = http.Get(ts.URL + "/cache/" + missHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent = %d, want 404", gresp.StatusCode)
+	}
+	if counter(t, s, "server/peer_cache_get_misses") != 1 {
+		t.Fatalf("peer_cache_get_misses = %d, want 1", counter(t, s, "server/peer_cache_get_misses"))
+	}
+
+	// Malformed hashes (wrong length, uppercase) are rejected before
+	// touching the cache; path traversal gets cleaned away by the mux
+	// (404) before the handler even runs — never a file read.
+	for bad, want := range map[string]int{
+		"abc":                      http.StatusBadRequest,
+		strings.Repeat("A", 64):    http.StatusBadRequest,
+		"%2e%2e/%2e%2e/etc/passwd": http.StatusBadRequest,
+		"../../etc/passwd":         http.StatusNotFound,
+	} {
+		gresp, err := http.Get(ts.URL + "/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gresp.Body.Close()
+		if gresp.StatusCode != want {
+			t.Fatalf("GET /cache/%s = %d, want %d", bad, gresp.StatusCode, want)
+		}
+	}
+
+	// PUT of the valid envelope into a second server persists it.
+	dir2 := t.TempDir()
+	s2, ts2 := newTestServer(t, Options{CacheDir: dir2})
+	preq, err := http.NewRequest(http.MethodPut, ts2.URL+"/cache/"+hash, bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT valid envelope = %d, want 204", presp.StatusCode)
+	}
+	if counter(t, s2, "server/peer_cache_puts") != 1 {
+		t.Fatalf("peer_cache_puts = %d, want 1", counter(t, s2, "server/peer_cache_puts"))
+	}
+	gresp, err = http.Get(ts2.URL + "/cache/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT = %d, want 200", gresp.StatusCode)
+	}
+
+	// A corrupt envelope is rejected by the checksum check and never
+	// touches disk.
+	corrupt := make([]byte, len(envelope))
+	copy(corrupt, envelope)
+	corrupt[len(corrupt)-5] ^= 0x10
+	preq, err = http.NewRequest(http.MethodPut, ts2.URL+"/cache/"+hash, bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err = http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "entry rejected") {
+		t.Fatalf("PUT corrupt envelope = %d %s, want 400 entry rejected", presp.StatusCode, body)
+	}
+	if counter(t, s2, "server/peer_cache_put_rejects") != 1 {
+		t.Fatalf("peer_cache_put_rejects = %d, want 1", counter(t, s2, "server/peer_cache_put_rejects"))
 	}
 }

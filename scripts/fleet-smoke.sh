@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Fleet smoke test: a coordinator sharding real sweeps across two cameod
+# workers with cross-wired peer caches. Asserts that
+#   (a) the fleet's merged report is byte-identical to a single-node run,
+#   (b) SIGKILL-ing a worker mid-sweep re-shards its cells onto the
+#       survivor and the sweep still completes byte-identically,
+#   (c) a second fleet run of the same sweep recomputes nothing — the
+#       workers' cells_executed counters do not move.
+#
+# Run from the repository root: ./scripts/fleet-smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+pids=()
+trap 'rm -rf "$workdir"; for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done' EXIT
+
+go build -o "$workdir/cameod" ./cmd/cameod
+
+ref_addr=127.0.0.1:18440
+w1_addr=127.0.0.1:18441
+w2_addr=127.0.0.1:18442
+co_addr=127.0.0.1:18443
+
+wait_healthy() { # url logfile
+  for _ in $(seq 1 50); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "service at $1 did not become healthy"; cat "$2"; exit 1
+}
+
+metric() { # url name
+  curl -fsS "$1/metrics" | python3 -c "
+import json, sys
+for s in json.load(sys.stdin):
+    if s['name'] == '$2':
+        print(s.get('value', 0)); break
+else:
+    print(0)"
+}
+
+sweep='{"org":"cameo","benchmarks":["sphinx3","milc","gcc"],"sweep":"seed","values":[1,2,3,4],"instr":200000,"cores":4}'
+
+# --- Reference: one standalone worker answers the sweep. -------------------
+"$workdir/cameod" -addr "$ref_addr" -cachedir "$workdir/ref-cache" -jobs 2 \
+  2>"$workdir/ref.log" &
+refpid=$!; pids+=("$refpid")
+wait_healthy "http://$ref_addr" "$workdir/ref.log"
+curl -fsS -X POST -d "$sweep" "http://$ref_addr/sweep" -o "$workdir/reference.json"
+kill -TERM "$refpid"; wait "$refpid" || true
+
+start_worker() { # addr cachedir peer logfile
+  "$workdir/cameod" -addr "$1" -cachedir "$2" -peers "http://$3" -jobs 2 \
+    -max-inflight 2 2>"$4" &
+  pids+=("$!")
+  wait_healthy "http://$1" "$4"
+}
+
+start_worker "$w1_addr" "$workdir/w1-cache" "$w2_addr" "$workdir/w1.log"
+w1pid=${pids[-1]}
+start_worker "$w2_addr" "$workdir/w2-cache" "$w1_addr" "$workdir/w2.log"
+
+"$workdir/cameod" -addr "$co_addr" -coordinator \
+  -workers "http://$w1_addr,http://$w2_addr" 2>"$workdir/co.log" &
+pids+=("$!")
+wait_healthy "http://$co_addr" "$workdir/co.log"
+
+# --- (a) Fleet result is byte-identical to the single-node reference. ------
+curl -fsS -X POST -d "$sweep" "http://$co_addr/sweep" -o "$workdir/fleet1.json"
+cmp "$workdir/reference.json" "$workdir/fleet1.json" || {
+  echo "fleet sweep differs from single-node reference"; exit 1; }
+
+# --- (c) A repeat run recomputes nothing anywhere in the fleet. ------------
+before=$(( $(metric "http://$w1_addr" server/cells_executed) \
+         + $(metric "http://$w2_addr" server/cells_executed) ))
+curl -fsS -X POST -d "$sweep" "http://$co_addr/sweep" -o "$workdir/fleet2.json"
+cmp "$workdir/reference.json" "$workdir/fleet2.json"
+after=$(( $(metric "http://$w1_addr" server/cells_executed) \
+        + $(metric "http://$w2_addr" server/cells_executed) ))
+if [ "$after" -ne "$before" ]; then
+  echo "second fleet run recomputed $((after - before)) cells, want 0"; exit 1
+fi
+
+# --- (b) SIGKILL a worker mid-sweep; the survivor absorbs its cells. -------
+# A bigger, uncached sweep so the kill lands while cells are in flight.
+bigsweep='{"org":"cameo","benchmarks":["sphinx3","milc","gcc","mcf"],"sweep":"seed","values":[5,6,7,8],"instr":2000000,"cores":4}'
+curl -fsS -X POST -d "$bigsweep" "http://$ref_addr/sweep" -o /dev/null 2>/dev/null || true
+curl -sS -X POST -d "$bigsweep" "http://$co_addr/sweep" -o "$workdir/fleet3.json" &
+curlpid=$!
+sleep 0.4
+kill -KILL "$w1pid" 2>/dev/null || true
+wait "$curlpid"
+
+# The sweep completed despite the kill. Verify against a fresh single-node
+# reference of the same request.
+"$workdir/cameod" -addr "$ref_addr" -cachedir "$workdir/ref2-cache" -jobs 2 \
+  2>"$workdir/ref2.log" &
+refpid=$!; pids+=("$refpid")
+wait_healthy "http://$ref_addr" "$workdir/ref2.log"
+curl -fsS -X POST -d "$bigsweep" "http://$ref_addr/sweep" -o "$workdir/reference3.json"
+cmp "$workdir/reference3.json" "$workdir/fleet3.json" || {
+  echo "post-kill fleet sweep differs from single-node reference"
+  cat "$workdir/co.log"; exit 1; }
+
+grep -q "re-sharding its cells" "$workdir/co.log" || {
+  echo "coordinator log has no re-shard line"; cat "$workdir/co.log"; exit 1; }
+
+echo "fleet smoke test passed"
