@@ -68,7 +68,10 @@ func run(args []string) (code int) {
 		instr    = fs.Uint64("instr", 600_000, "instructions per core")
 		seed     = fs.Uint64("seed", 0xCA3E0, "random seed")
 		useL3    = fs.Bool("l3", false, "model the shared L3 explicitly")
+		mempart  = fs.Int("mempart", 0, "memcache: percent of stacked DRAM exposed as memory (0 = org default)")
+		ways     = fs.Int("ways", 0, "gemini: victim-region associativity (0 = org default)")
 		list     = fs.Bool("list", false, "list benchmarks and exit")
+		listOrgs = fs.Bool("list-orgs", false, "list registered memory organizations and exit")
 		vsBase   = fs.Bool("speedup", true, "also run the baseline and report speedup")
 		mix      = fs.String("mix", "", "comma-separated benchmarks for a multi-programmed mix (overrides -bench)")
 		warmup   = fs.Uint64("warmup", 0, "per-core warm-up instructions before measurement")
@@ -110,6 +113,15 @@ func run(args []string) (code int) {
 		}
 		return 0
 	}
+	if *listOrgs {
+		for _, name := range system.OrgNames() {
+			k, _ := system.ParseOrg(name)
+			if d, ok := system.OrgDescriptor(k); ok {
+				fmt.Printf("%-12s %-12s %s\n", d.Name, d.Display, d.Summary)
+			}
+		}
+		return 0
+	}
 
 	var mixSpecs []workload.Spec
 	if *mix != "" {
@@ -141,6 +153,8 @@ func run(args []string) (code int) {
 		UseL3:        *useL3,
 		WarmupInstr:  *warmup,
 		Refresh:      *refresh,
+		MemPartPct:   *mempart,
+		HybridWays:   *ways,
 	}
 	if kind == system.CAMEO {
 		var ok1, ok2 bool

@@ -9,6 +9,11 @@
 //	-sweep ratio   -values 2,4               stacked share divisor
 //	-sweep seed    -values 1,2,3,4,5         placement/stream seeds
 //
+// Organizations may declare extra dimensions (system.SweepDims):
+//
+//	-org memcache -sweep mempart -values 25,50,75   memory/cache partition %
+//	-org gemini   -sweep ways    -values 2,4,8      victim-region associativity
+//
 // Example:
 //
 //	cameo-sweep -org cameo -bench milc,gcc -sweep scale -values 512,1024 -out sweep.csv
@@ -53,9 +58,9 @@ func main() {
 func run(args []string) (code int) {
 	fs := flag.NewFlagSet("cameo-sweep", flag.ContinueOnError)
 	var (
-		org      = fs.String("org", "cameo", "organization to sweep")
+		org      = fs.String("org", "cameo", "organization to sweep (one of: "+strings.Join(system.OrgNames(), ", ")+")")
 		bench    = fs.String("bench", "milc,gcc,mcf", "comma-separated benchmarks")
-		sweep    = fs.String("sweep", "scale", "dimension: scale, cores, ratio, seed")
+		sweep    = fs.String("sweep", "scale", "dimension: scale, cores, ratio, seed, or an org-specific one (memcache: mempart; gemini: ways)")
 		values   = fs.String("values", "512,1024,2048", "comma-separated sweep values")
 		instr    = fs.Uint64("instr", 300_000, "instructions per core")
 		cores    = fs.Int("cores", 16, "core count (unless swept)")
@@ -132,17 +137,8 @@ func run(args []string) (code int) {
 				Cores:        *cores,
 				InstrPerCore: *instr,
 			}
-			switch *sweep {
-			case "scale":
-				cfg.ScaleDiv = v
-			case "cores":
-				cfg.Cores = int(v)
-			case "ratio":
-				cfg.StackedDivisor = int(v)
-			case "seed":
-				cfg.Seed = v
-			default:
-				fmt.Fprintln(os.Stderr, "cameo-sweep: unknown sweep dimension", *sweep)
+			if err := system.ApplySweep(&cfg, *sweep, v); err != nil {
+				fmt.Fprintln(os.Stderr, "cameo-sweep:", err)
 				return 2
 			}
 			cells = append(cells, cell{

@@ -1,0 +1,55 @@
+package alloy
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+)
+
+// build wires an Alloy cache instance; Cache and DoubleUse differ only in
+// geometry (DoubleUse idealistically folds the stacked capacity into the
+// visible space) and reporting name.
+func build(name string) func(memorg.Env) (memorg.Organization, error) {
+	return func(e memorg.Env) (memorg.Organization, error) {
+		// The off-chip module backs the whole visible space (DoubleUse's
+		// extra capacity is modeled as a larger module, unchanged timing).
+		off, err := e.NewOffChip(e.VisibleLines * dram.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		stacked, err := e.NewStacked()
+		if err != nil {
+			return nil, err
+		}
+		return NewCache(Config{
+			Name:             name,
+			Cores:            e.Cores,
+			PredictorEntries: 256,
+			VisibleLines:     e.VisibleLines,
+		}, stacked, off)
+	}
+}
+
+func init() {
+	memorg.Register(memorg.Descriptor{
+		Kind:    memorg.KindCache,
+		Name:    "cache",
+		Display: "Cache",
+		Summary: "stacked DRAM as a direct-mapped Alloy cache (tag+data in one burst, miss predictor); capacity stays off-chip-only",
+		Paper:   "Alloy Cache, Qureshi/Loh, MICRO 2012",
+		Geometry: func(e memorg.Env) (uint64, uint64) {
+			return e.OffChipBytes / dram.LineBytes, 0
+		},
+		Build: build("Cache"),
+	})
+	memorg.Register(memorg.Descriptor{
+		Kind:    memorg.KindDoubleUse,
+		Name:    "doubleuse",
+		Display: "DoubleUse",
+		Summary: "idealistic upper bound: Alloy cache latency plus the stacked capacity counted into the address space",
+		Paper:   "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (Section II motivation)",
+		Geometry: func(e memorg.Env) (uint64, uint64) {
+			return (e.OffChipBytes + e.StackedBytes) / dram.LineBytes, 0
+		},
+		Build: build("DoubleUse"),
+	})
+}

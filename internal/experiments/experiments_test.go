@@ -22,7 +22,7 @@ func tinySuite() *Suite {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig2", "fig3", "fig8", "fig9",
 		"fig12", "table3", "fig13", "table4", "fig14", "fig15",
-		"ext-hybrid", "ext-threshold", "ext-ratio", "ext-scale", "ext-mix", "ext-controller", "ext-dramcache", "ext-knobs", "ext-lltcache"}
+		"ext-hybrid", "ext-threshold", "ext-ratio", "ext-scale", "ext-mix", "ext-controller", "ext-dramcache", "ext-knobs", "ext-lltcache", "ext-neworgs"}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
 	}

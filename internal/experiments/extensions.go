@@ -339,6 +339,27 @@ func ExtKnobs(s *Suite, w io.Writer) {
 	tab.Render(w)
 }
 
+func extNewOrgCols(s *Suite) []column {
+	return []column{
+		{"Alloy", s.sysConfig(system.Cache)},
+		{"MemCache", s.sysConfig(system.MemCache)},
+		{"Gemini", s.sysConfig(system.Gemini)},
+		{"CAMEO", s.cameoCfg(cameo.CoLocatedLLT, cameo.LLP)},
+	}
+}
+
+// PlanExtNewOrgs declares ExtNewOrgs' grid.
+func PlanExtNewOrgs(s *Suite) []runner.Job { return s.planSpeedup(extNewOrgCols(s)) }
+
+// ExtNewOrgs compares the two organizations added from the related papers —
+// MemCache's static part-memory/part-cache split and Gemini's hybrid
+// direct/set-associative mapping — against the Alloy cache they build on
+// and against CAMEO, all at their registry defaults.
+func ExtNewOrgs(s *Suite, w io.Writer) {
+	s.speedupTable("Extension: related-paper organizations (MemCache, Gemini) vs Alloy and CAMEO",
+		extNewOrgCols(s), w)
+}
+
 // pickScaleSubset keeps ExtScale affordable: the configured subset if one
 // was given, else one benchmark per class.
 func pickScaleSubset(s *Suite) []string {

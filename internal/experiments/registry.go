@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"ext-dramcache", "Extension: Loh-Hill vs Alloy DRAM caches vs CAMEO", PlanExtDRAMCache, ExtDRAMCache},
 		{"ext-knobs", "Extension: model-fidelity knobs (refresh, TLB, L3)", PlanExtKnobs, ExtKnobs},
 		{"ext-lltcache", "Extension: SRAM entry cache for the Embedded LLT", PlanExtLLTCache, ExtLLTCache},
+		{"ext-neworgs", "Extension: MemCache and Gemini vs Alloy and CAMEO", PlanExtNewOrgs, ExtNewOrgs},
 	}
 }
 

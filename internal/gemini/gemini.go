@@ -1,0 +1,325 @@
+// Package gemini implements a hybrid-mapped stacked-DRAM cache after Chi's
+// Gemini proposal: most of the stacked capacity is a direct-mapped
+// fast-path region with Alloy's one-burst tag-and-data layout, and a small
+// set-associative victim region catches the conflict misses that plague
+// direct mapping. A direct-region hit costs a single stacked burst; a
+// victim-region hit pays a serialized tag read plus a data read and
+// promotes the line back into its direct slot (the displaced line demotes
+// into the victim set); a miss pays the probes and the off-chip access.
+//
+// The result trades a little hit latency on conflict-heavy sets for a
+// direct-mapped fast path on the common case — between Alloy (all direct)
+// and Loh-Hill (all set-associative) in both latency and hit rate.
+package gemini
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// TADBytes is one direct-region tag-and-data burst, as in Alloy.
+const TADBytes = 72
+
+// tadsPerRow is how many TADs fit a 2 KB direct-region row.
+const tadsPerRow = 28
+
+// linesPerRow is the row size in plain 64 B lines.
+const linesPerRow = 32
+
+// victimRowShare is the fraction denominator of rows given to the victim
+// region: 1 row in 8.
+const victimRowShare = 8
+
+// DefaultWays is the victim-region associativity when the knob is zero.
+const DefaultWays = 4
+
+// MaxWays bounds the associativity: one tag line plus the data ways must
+// fit a 32-line row.
+const MaxWays = 16
+
+// Config sizes the organization.
+type Config struct {
+	// VisibleLines is the off-chip (OS-visible) line address space.
+	VisibleLines uint64
+	// Ways is the victim-region associativity (power of two, <= MaxWays).
+	Ways int
+}
+
+type tadEntry struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64
+}
+
+// Stats counts cache-level events.
+type Stats struct {
+	DirectHits  uint64
+	VictimHits  uint64
+	Misses      uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	Promotions  uint64 // victim hit moved back to the direct slot
+	DirtyEvicts uint64
+}
+
+// HitRate returns the read hit rate across both regions.
+func (s Stats) HitRate() float64 {
+	t := s.DirectHits + s.VictimHits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.DirectHits+s.VictimHits) / float64(t)
+}
+
+// Cache is the hybrid-mapped organization. It implements
+// memsys.Organization.
+type Cache struct {
+	cfg        Config
+	stacked    dram.Device
+	off        dram.Device
+	directSets uint64
+	victimSets uint64
+	directRows uint64
+	ways       uint64
+	direct     []tadEntry
+	victim     []way // set-major, ways per set
+	tick       uint64
+	stats      Stats
+}
+
+var _ memsys.Organization = (*Cache)(nil)
+
+// NewCache builds the organization, reporting a descriptive error for an
+// unusable configuration. Rows split 7:1 between the direct and victim
+// regions; each victim row is one set (a tag line plus Ways data lines).
+func NewCache(cfg Config, stacked, off dram.Device) (*Cache, error) {
+	if stacked == nil || off == nil {
+		return nil, fmt.Errorf("gemini: nil DRAM module")
+	}
+	if cfg.VisibleLines == 0 {
+		return nil, fmt.Errorf("gemini: zero visible lines")
+	}
+	w := cfg.Ways
+	if w == 0 {
+		w = DefaultWays
+	}
+	if w < 1 || w > MaxWays || w&(w-1) != 0 {
+		return nil, fmt.Errorf("gemini: ways %d not a power of two in [1,%d]", cfg.Ways, MaxWays)
+	}
+	rows := stacked.Config().CapacityBytes / dram.LineBytes / linesPerRow
+	if rows < 2 {
+		return nil, fmt.Errorf("gemini: stacked capacity %d below two rows", stacked.Config().CapacityBytes)
+	}
+	victimRows := rows / victimRowShare
+	if victimRows == 0 {
+		victimRows = 1
+	}
+	directRows := rows - victimRows
+	c := &Cache{
+		cfg:        cfg,
+		stacked:    stacked,
+		off:        off,
+		directSets: directRows * tadsPerRow,
+		victimSets: victimRows,
+		directRows: directRows,
+		ways:       uint64(w),
+	}
+	c.cfg.Ways = w
+	c.direct = make([]tadEntry, c.directSets)
+	c.victim = make([]way, c.victimSets*c.ways)
+	return c, nil
+}
+
+// Name implements memsys.Organization.
+func (c *Cache) Name() string { return "Gemini" }
+
+// VisibleLines implements memsys.Organization.
+func (c *Cache) VisibleLines() uint64 { return c.cfg.VisibleLines }
+
+// DirectSets and VictimSets expose the geometry, for tests.
+func (c *Cache) DirectSets() uint64 { return c.directSets }
+func (c *Cache) VictimSets() uint64 { return c.victimSets }
+
+// StackedStats implements memsys.Organization.
+func (c *Cache) StackedStats() dram.Stats { return c.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (c *Cache) OffChipStats() dram.Stats { return c.off.Stats() }
+
+// Stats returns cache-level counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats implements memsys.Organization: counters only; contents and
+// recency state stay warm.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.stacked.ResetStats()
+	c.off.ResetStats()
+}
+
+// directDevLine maps a direct set to its stacked device line (28 TADs per
+// row, rows [0, directRows)).
+func (c *Cache) directDevLine(set uint64) uint64 {
+	return (set/tadsPerRow)*linesPerRow + set%tadsPerRow
+}
+
+// victimTagLine is the device line holding a victim set's tags; the data
+// ways follow it in the same row.
+func (c *Cache) victimTagLine(set uint64) uint64 {
+	return (c.directRows + set) * linesPerRow
+}
+
+func (c *Cache) victimDataLine(set, w uint64) uint64 {
+	return (c.directRows+set)*linesPerRow + 1 + w
+}
+
+// findVictimWay returns the way index holding line in the victim set, or
+// (0, false).
+func (c *Cache) findVictimWay(vset, line uint64) (uint64, bool) {
+	base := vset * c.ways
+	for w := uint64(0); w < c.ways; w++ {
+		if e := &c.victim[base+w]; e.valid && e.tag == line {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// lruWay returns the least-recently-used way of a victim set, preferring
+// invalid ways.
+func (c *Cache) lruWay(vset uint64) uint64 {
+	base := vset * c.ways
+	best, bestUsed := uint64(0), c.victim[base].used
+	for w := uint64(0); w < c.ways; w++ {
+		e := &c.victim[base+w]
+		if !e.valid {
+			return w
+		}
+		if e.used < bestUsed {
+			best, bestUsed = w, e.used
+		}
+	}
+	return best
+}
+
+// Access implements memsys.Organization.
+func (c *Cache) Access(at uint64, req memsys.Request) uint64 {
+	if req.PLine >= c.cfg.VisibleLines {
+		panic(fmt.Sprintf("gemini: line %d beyond visible space %d", req.PLine, c.cfg.VisibleLines))
+	}
+	line := req.PLine
+	dset := line % c.directSets
+	vset := line % c.victimSets
+	dentry := &c.direct[dset]
+	directHit := dentry.valid && dentry.tag == line
+
+	if req.Write {
+		return c.writeback(at, line, dset, vset, directHit)
+	}
+
+	// Fast path: the direct probe is one Alloy-style burst.
+	probeDone := c.stacked.Access(at, c.directDevLine(dset), TADBytes, false)
+	if directHit {
+		c.stats.DirectHits++
+		return probeDone
+	}
+
+	// Victim region: serialized tag read, then (on hit) the data way.
+	tagDone := c.stacked.Access(probeDone, c.victimTagLine(vset), dram.LineBytes, false)
+	if w, ok := c.findVictimWay(vset, line); ok {
+		c.stats.VictimHits++
+		dataDone := c.stacked.Access(tagDone, c.victimDataLine(vset, w), dram.LineBytes, false)
+		c.promote(at, line, dset, vset, w)
+		return dataDone
+	}
+
+	c.stats.Misses++
+	complete := c.off.Access(tagDone, line, dram.LineBytes, false)
+	c.fillDirect(at, line, dset, false)
+	c.stats.Fills++
+	return complete
+}
+
+// writeback handles posted dirty traffic: update in place wherever the
+// line lives, write around on miss. Tag state is model knowledge — posted
+// writes are not timed through the probe path.
+func (c *Cache) writeback(at, line, dset, vset uint64, directHit bool) uint64 {
+	if directHit {
+		c.stats.WriteHits++
+		c.direct[dset].dirty = true
+		return c.stacked.Access(at, c.directDevLine(dset), TADBytes, true)
+	}
+	if w, ok := c.findVictimWay(vset, line); ok {
+		c.stats.WriteHits++
+		e := &c.victim[vset*c.ways+w]
+		e.dirty = true
+		c.tick++
+		e.used = c.tick
+		return c.stacked.Access(at, c.victimDataLine(vset, w), dram.LineBytes, true)
+	}
+	c.stats.WriteMisses++
+	return c.off.Access(at, line, dram.LineBytes, true)
+}
+
+// promote swaps a victim-region hit back into its direct slot; the
+// displaced direct occupant demotes into its own victim set. Both moves
+// are posted stacked writes timed at the request's arrival (near-monotone
+// timestamps, as in the fill paths of the other cache organizations).
+func (c *Cache) promote(at, line, dset, vset, w uint64) {
+	dentry := &c.direct[dset]
+	ventry := &c.victim[vset*c.ways+w]
+	c.stats.Promotions++
+	promoted := tadEntry{tag: line, valid: true, dirty: ventry.dirty}
+	*ventry = way{} // the promoted line leaves its way free
+	if dentry.valid {
+		c.demote(at, *dentry)
+	}
+	*dentry = promoted
+	c.stacked.Access(at, c.directDevLine(dset), TADBytes, true)
+}
+
+// demote moves a displaced direct-region entry into the LRU way of the
+// victim set its own address maps to, writing back that way's dirty
+// previous tenant.
+func (c *Cache) demote(at uint64, e tadEntry) {
+	vset := e.tag % c.victimSets
+	w := c.lruWay(vset)
+	ventry := &c.victim[vset*c.ways+w]
+	if ventry.valid && ventry.dirty {
+		c.off.Access(at, ventry.tag, dram.LineBytes, true)
+		c.stats.DirtyEvicts++
+	}
+	c.tick++
+	*ventry = way{tag: e.tag, valid: true, dirty: e.dirty, used: c.tick}
+	c.stacked.Access(at, c.victimDataLine(vset, w), dram.LineBytes, true)
+}
+
+// fillDirect installs a missed line into its direct slot; the displaced
+// occupant demotes into its own victim set.
+func (c *Cache) fillDirect(at, line, dset uint64, dirty bool) {
+	dentry := &c.direct[dset]
+	if dentry.valid {
+		c.demote(at, *dentry)
+	}
+	*dentry = tadEntry{tag: line, valid: true, dirty: dirty}
+	c.stacked.Access(at, c.directDevLine(dset), TADBytes, true)
+}
+
+// Contains reports residency in either region, for tests.
+func (c *Cache) Contains(line uint64) bool {
+	if e := c.direct[line%c.directSets]; e.valid && e.tag == line {
+		return true
+	}
+	_, ok := c.findVictimWay(line%c.victimSets, line)
+	return ok
+}

@@ -1,0 +1,169 @@
+package gemini
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// testCache builds a 1 MB stacked cache (512 rows: 448 direct, 64 victim)
+// over a 4 MB off-chip space.
+func testCache(t testing.TB, ways int) (*Cache, *dram.Module, *dram.Module) {
+	t.Helper()
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	c, err := NewCache(Config{
+		VisibleLines: (4 << 20) / dram.LineBytes,
+		Ways:         ways,
+	}, stacked, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, stacked, off
+}
+
+func read(line uint64) memsys.Request  { return memsys.Request{PLine: line} }
+func write(line uint64) memsys.Request { return memsys.Request{PLine: line, Write: true} }
+
+func TestGeometry(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	// 512 rows split 7:1 -> 64 victim sets, 448*28 direct sets.
+	if c.VictimSets() != 64 {
+		t.Fatalf("victim sets = %d", c.VictimSets())
+	}
+	if c.DirectSets() != 448*28 {
+		t.Fatalf("direct sets = %d", c.DirectSets())
+	}
+	if c.cfg.Ways != DefaultWays {
+		t.Fatalf("default ways = %d", c.cfg.Ways)
+	}
+}
+
+func TestMissThenDirectHit(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	d1 := c.Access(0, read(100))
+	if c.Stats().Misses != 1 || !c.Contains(100) {
+		t.Fatalf("after miss: %+v", c.Stats())
+	}
+	d2 := c.Access(d1, read(100))
+	if c.Stats().DirectHits != 1 {
+		t.Fatalf("direct hits = %d", c.Stats().DirectHits)
+	}
+	if d2-d1 >= d1 {
+		t.Fatalf("direct-hit latency %d not below miss latency %d", d2-d1, d1)
+	}
+}
+
+func TestConflictDemotesThenVictimHitPromotes(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	a := uint64(5)
+	b := a + c.DirectSets() // same direct set, different tag
+	at := c.Access(0, read(a))
+	at = c.Access(at, read(b)) // fills b, demotes a into a's victim set
+	if !c.Contains(a) || !c.Contains(b) {
+		t.Fatalf("after conflict: a=%v b=%v", c.Contains(a), c.Contains(b))
+	}
+	dVictim := c.Access(at, read(a)) // victim hit, promotes a, demotes b
+	if c.Stats().VictimHits != 1 || c.Stats().Promotions != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	start := dVictim
+	dDirect := c.Access(start, read(a)) // now a direct hit again
+	if c.Stats().DirectHits != 1 {
+		t.Fatalf("promoted line not a direct hit: %+v", c.Stats())
+	}
+	if dDirect-start >= dVictim-at {
+		t.Fatalf("direct-hit latency %d not below victim-hit latency %d", dDirect-start, dVictim-at)
+	}
+	if !c.Contains(b) {
+		t.Fatal("demoted line lost")
+	}
+}
+
+func TestVictimOverflowWritesBackDirty(t *testing.T) {
+	c, _, off := testCache(t, 2) // 2 ways overflow quickly
+	base := uint64(7)
+	// Dirty the first line, then march conflicting lines through the
+	// direct slot so demotions overflow the 2-way victim set.
+	c.Access(0, read(base))
+	c.Access(1000, write(base))
+	// DirectSets is a multiple of VictimSets here, so a stride of
+	// DirectSets keeps both the direct set and the victim set fixed.
+	at := uint64(2000)
+	for i := uint64(1); i <= 3; i++ {
+		at = c.Access(at, read(base+i*c.DirectSets()))
+	}
+	if c.Stats().DirtyEvicts == 0 {
+		t.Fatalf("no dirty eviction after overflow: %+v", c.Stats())
+	}
+	if off.Stats().Writes == 0 {
+		t.Fatal("dirty victim produced no off-chip write")
+	}
+}
+
+func TestWritebackMissWritesAround(t *testing.T) {
+	c, stacked, off := testCache(t, 0)
+	c.Access(0, write(77))
+	if c.Stats().WriteMisses != 1 || c.Contains(77) {
+		t.Fatalf("write miss allocated: %+v", c.Stats())
+	}
+	if off.Stats().Writes != 1 || stacked.Stats().Writes != 0 {
+		t.Fatalf("traffic: off %d writes, stacked %d", off.Stats().Writes, stacked.Stats().Writes)
+	}
+}
+
+func TestRejectsBadConfigs(t *testing.T) {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	for i, cfg := range []Config{
+		{VisibleLines: 0},              // no visible space
+		{VisibleLines: 1000, Ways: 3},  // not a power of two
+		{VisibleLines: 1000, Ways: 32}, // beyond MaxWays
+		{VisibleLines: 1000, Ways: -1}, // negative
+	} {
+		if _, err := NewCache(cfg, stacked, off); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewCache(Config{VisibleLines: 1000}, nil, off); err == nil {
+		t.Error("nil stacked accepted")
+	}
+	tiny := dram.NewModule(dram.StackedConfig(1 << 10))
+	if _, err := NewCache(Config{VisibleLines: 1000}, tiny, off); err == nil {
+		t.Error("sub-two-row stacked capacity accepted")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	c.Access(0, read(3))
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatalf("stats survived reset: %+v", c.Stats())
+	}
+	c.Access(1000, read(3))
+	if c.Stats().DirectHits != 1 {
+		t.Fatal("cache contents did not survive reset")
+	}
+}
+
+func TestAccessIsAllocationFree(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	var at uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		at = c.Access(at, read(at%5000))
+	})
+	if allocs != 0 {
+		t.Fatalf("Access allocates %v per call", allocs)
+	}
+}
+
+func BenchmarkGeminiAccess(b *testing.B) {
+	c, _, _ := testCache(b, 0)
+	var at uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at = c.Access(at, read(uint64(i)%40000))
+	}
+}

@@ -1,0 +1,53 @@
+package gemini
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+)
+
+// resolveWays applies the default and validates the associativity knob.
+func resolveWays(e memorg.Env) (int, error) {
+	w := e.HybridWays
+	if w == 0 {
+		w = DefaultWays
+	}
+	if w < 1 || w > MaxWays || w&(w-1) != 0 {
+		return 0, fmt.Errorf("gemini: ways %d not a power of two in [1,%d]", e.HybridWays, MaxWays)
+	}
+	return w, nil
+}
+
+func init() {
+	memorg.Register(memorg.Descriptor{
+		Kind:      memorg.KindGemini,
+		Name:      "gemini",
+		Display:   "Gemini",
+		Summary:   "hybrid-mapped stacked-DRAM cache: a direct-mapped fast path backed by a small set-associative victim region",
+		Paper:     "Chi, Gemini: a hybrid set-associative/direct-mapped DRAM cache",
+		SweepDims: []string{"ways"},
+		Geometry: func(e memorg.Env) (uint64, uint64) {
+			return e.OffChipBytes / dram.LineBytes, 0
+		},
+		Validate: func(e memorg.Env) error {
+			_, err := resolveWays(e)
+			return err
+		},
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			w, err := resolveWays(e)
+			if err != nil {
+				return nil, err
+			}
+			off, err := e.NewOffChip(e.OffChipBytes)
+			if err != nil {
+				return nil, err
+			}
+			stacked, err := e.NewStacked()
+			if err != nil {
+				return nil, err
+			}
+			return NewCache(Config{VisibleLines: e.VisibleLines, Ways: w}, stacked, off)
+		},
+	})
+}

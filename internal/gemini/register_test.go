@@ -1,0 +1,166 @@
+package gemini
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+	"cameo/internal/metrics"
+)
+
+// testEnv is a 1 MB stacked / 4 MB off-chip construction environment, the
+// same footprint the direct-construction tests use.
+func testEnv(ways int) memorg.Env {
+	return memorg.Env{
+		Kind:         memorg.KindGemini,
+		StackedBytes: 1 << 20,
+		OffChipBytes: 4 << 20,
+		HybridWays:   ways,
+		NewStacked: func() (dram.Device, error) {
+			return dram.New(dram.StackedConfig(1 << 20))
+		},
+		NewOffChip: func(capacity uint64) (dram.Device, error) {
+			return dram.New(dram.OffChipConfig(capacity))
+		},
+	}
+}
+
+func descriptor(t *testing.T) memorg.Descriptor {
+	t.Helper()
+	d, ok := memorg.ByKind(memorg.KindGemini)
+	if !ok {
+		t.Fatal("gemini not registered")
+	}
+	return d
+}
+
+func TestDescriptorGeometryAndBuild(t *testing.T) {
+	d := descriptor(t)
+	e := testEnv(0) // zero resolves to the design-default associativity
+	if err := d.Validate(e); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	vis, stk := d.Geometry(e)
+	if vis != (4<<20)/dram.LineBytes || stk != 0 {
+		t.Fatalf("geometry = (%d, %d): gemini is a pure cache, visible space is off-chip only", vis, stk)
+	}
+	e.VisibleLines, e.StackedLines = vis, stk
+	org, err := d.Build(e)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := org.(*Cache)
+	if c.cfg.Ways != DefaultWays || c.VisibleLines() != vis {
+		t.Fatalf("built (%d ways, %d visible), want (%d, %d)", c.cfg.Ways, c.VisibleLines(), DefaultWays, vis)
+	}
+	if c.Name() != d.Display {
+		t.Fatalf("Name() = %q, display %q", c.Name(), d.Display)
+	}
+}
+
+func TestDescriptorRejectsBadWays(t *testing.T) {
+	d := descriptor(t)
+	for _, w := range []int{-1, 3, 5, 32} {
+		if err := d.Validate(testEnv(w)); err == nil {
+			t.Errorf("ways %d accepted", w)
+		}
+		if _, err := d.Build(testEnv(w)); err == nil {
+			t.Errorf("Build accepted ways %d", w)
+		}
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate = %v", r)
+	}
+	if r := (Stats{DirectHits: 2, VictimHits: 1, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}
+
+// TestVictimWriteHit exercises the writeback lookup in both regions: a
+// write to a direct-resident line and a write to a demoted (victim) line
+// must both count as write hits and dirty the entry in place.
+func TestVictimWriteHit(t *testing.T) {
+	c, _, off := testCache(t, 0)
+	a := uint64(5)
+	b := a + c.DirectSets() // same direct set, different tag
+	at := c.Access(0, read(a))
+	at = c.Access(at, write(a)) // direct write hit
+	if c.Stats().WriteHits != 1 {
+		t.Fatalf("direct write hit not counted: %+v", c.Stats())
+	}
+	at = c.Access(at, read(b)) // demotes dirty a into its victim set
+	at = c.Access(at, write(a))
+	if c.Stats().WriteHits != 2 {
+		t.Fatalf("victim write hit not counted: %+v", c.Stats())
+	}
+	// Promote b's successor through the set until a's dirty victim entry is
+	// evicted: the write must reach off-chip memory.
+	before := off.Stats().Writes
+	for i := uint64(2); c.Contains(a); i++ {
+		at = c.Access(at, read(a+i*c.DirectSets()))
+	}
+	if off.Stats().Writes == before {
+		t.Fatal("evicting the dirtied victim produced no off-chip write")
+	}
+}
+
+func TestRegisterMetricsMatchesStats(t *testing.T) {
+	c, _, _ := testCache(t, 0)
+	var at uint64
+	for i := uint64(0); i < 6000; i++ {
+		// 32 base/alias pairs ping-pong through their shared direct slot,
+		// so direct hits, victim hits, promotions, and write traffic on
+		// both sides all occur; every 8th group adds an uncached write.
+		g := i / 4 % 32
+		switch i % 4 {
+		case 0, 2:
+			at = c.Access(at+1, read(g))
+		case 1:
+			at = c.Access(at+1, read(g+c.DirectSets()))
+		case 3:
+			if i%8 == 7 {
+				at = c.Access(at+1, write(40000+i))
+			} else {
+				at = c.Access(at+1, write(g))
+			}
+		}
+	}
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+
+	st := c.Stats()
+	want := map[string]uint64{
+		"gemini/direct_hits":  st.DirectHits,
+		"gemini/victim_hits":  st.VictimHits,
+		"gemini/misses":       st.Misses,
+		"gemini/write_hits":   st.WriteHits,
+		"gemini/write_misses": st.WriteMisses,
+		"gemini/fills":        st.Fills,
+		"gemini/promotions":   st.Promotions,
+		"gemini/dirty_evicts": st.DirtyEvicts,
+	}
+	for name, v := range want {
+		sm, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("snapshot missing %s", name)
+		}
+		if sm.Value != v {
+			t.Errorf("%s = %d, want %d", name, sm.Value, v)
+		}
+	}
+	for _, name := range []string{"dram/stacked/reads", "dram/offchip/reads"} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if st.DirectHits == 0 || st.VictimHits == 0 || st.Misses == 0 {
+		t.Errorf("traffic did not exercise all paths: %+v", st)
+	}
+	if c.StackedStats().Reads == 0 || c.OffChipStats().Reads == 0 {
+		t.Error("a DRAM device saw no reads")
+	}
+}

@@ -79,19 +79,32 @@ type Cache struct {
 
 var _ memsys.Organization = (*Cache)(nil)
 
-// New builds the cache over the two modules; the set count comes from the
-// stacked capacity (one set per 2 KB row).
+// New builds the cache over the two modules, panicking on an invalid
+// configuration — the convenience path for static program data. Runtime
+// configurations go through NewCache, whose error surfaces as a per-cell
+// job failure instead of a crash.
 func New(cfg Config, stacked, off dram.Device) *Cache {
+	c, err := NewCache(cfg, stacked, off)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCache builds the cache over the two modules, reporting a descriptive
+// error for an unusable configuration; the set count comes from the
+// stacked capacity (one set per 2 KB row).
+func NewCache(cfg Config, stacked, off dram.Device) (*Cache, error) {
 	if stacked == nil || off == nil {
-		panic("lohhill: nil DRAM module")
+		return nil, fmt.Errorf("lohhill: nil DRAM module")
 	}
 	if cfg.VisibleLines == 0 {
-		panic("lohhill: zero visible lines")
+		return nil, fmt.Errorf("lohhill: zero visible lines")
 	}
 	devLines := stacked.Config().CapacityBytes / dram.LineBytes
 	sets := devLines / linesPerRow
 	if sets == 0 {
-		panic(fmt.Sprintf("lohhill: stacked capacity %d too small", stacked.Config().CapacityBytes))
+		return nil, fmt.Errorf("lohhill: stacked capacity %d too small", stacked.Config().CapacityBytes)
 	}
 	return &Cache{
 		cfg:      cfg,
@@ -100,7 +113,7 @@ func New(cfg Config, stacked, off dram.Device) *Cache {
 		sets:     sets,
 		channels: uint64(stacked.Config().Channels),
 		ways:     make([]way, sets*Ways),
-	}
+	}, nil
 }
 
 // Name implements memsys.Organization.

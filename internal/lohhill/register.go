@@ -1,0 +1,47 @@
+package lohhill
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+)
+
+// build wires an LH-Cache instance; the two registered kinds differ only in
+// the idealized MissMap (misses skip the serialized tag probe).
+func build(missMap bool) func(memorg.Env) (memorg.Organization, error) {
+	return func(e memorg.Env) (memorg.Organization, error) {
+		off, err := e.NewOffChip(e.OffChipBytes)
+		if err != nil {
+			return nil, err
+		}
+		stacked, err := e.NewStacked()
+		if err != nil {
+			return nil, err
+		}
+		return NewCache(Config{VisibleLines: e.VisibleLines, MissMap: missMap}, stacked, off)
+	}
+}
+
+func offOnlyGeometry(e memorg.Env) (uint64, uint64) {
+	return e.OffChipBytes / dram.LineBytes, 0
+}
+
+func init() {
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindLHCache,
+		Name:     "lh-cache",
+		Display:  "LH-Cache",
+		Summary:  "set-associative tags-in-DRAM cache (29-way, 2 KB row sets); tag probe serialized before every data access",
+		Paper:    "Loh/Hill, MICRO 2011",
+		Geometry: offOnlyGeometry,
+		Build:    build(false),
+	})
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindLHCacheMM,
+		Name:     "lh-missmap",
+		Display:  "LH-Cache+MissMap",
+		Summary:  "LH-Cache with an idealized MissMap: misses bypass the tag probe at zero cost",
+		Paper:    "Loh/Hill, MICRO 2011 (MissMap bound)",
+		Geometry: offOnlyGeometry,
+		Build:    build(true),
+	})
+}

@@ -1,0 +1,211 @@
+// Package memcache implements a statically partitioned stacked DRAM in the
+// spirit of Bakhshalipour et al.: part of the stacked capacity is exposed
+// to the OS as plain fast memory, the rest runs as a hardware-managed
+// direct-mapped line cache in front of the off-chip DRAM. It sits between
+// the pure-cache designs (Alloy, Loh-Hill) and the pure-memory designs
+// (TLM): the memory part contributes capacity like TLM, the cache part
+// accelerates the off-chip space like Alloy — but the split is fixed at
+// boot, so neither part can grow when the workload would prefer it.
+//
+// The cache part reuses the Alloy layout: 72 B tag-and-data units, 28 per
+// 2 KB stacked row, one burst per probe. There is no miss predictor — the
+// probe is always serialized before the off-chip access, which is the
+// simplicity the static-partition designs argue for.
+package memcache
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// TADBytes is one tag-and-data burst (64 B line + 8 B tag), as in Alloy.
+const TADBytes = 72
+
+// tadsPerRow is how many TADs fit a 2 KB stacked row (28*72 = 2016 B).
+const tadsPerRow = 28
+
+// linesPerRow is the row size in plain 64 B lines.
+const linesPerRow = 32
+
+// DefaultMemPartPct is the partition applied when the knob is zero: half
+// the stacked capacity as memory, half as cache.
+const DefaultMemPartPct = 50
+
+// Config sizes the organization.
+type Config struct {
+	// MemLines is the stacked-line prefix exposed as OS-visible memory
+	// (page-aligned: a multiple of 64 lines). The remaining stacked lines
+	// run as the cache part.
+	MemLines uint64
+	// VisibleLines is the whole OS-visible line space: MemLines of stacked
+	// memory followed by the off-chip space.
+	VisibleLines uint64
+}
+
+type tadEntry struct {
+	tag   uint64 // off-chip line address
+	valid bool
+	dirty bool
+}
+
+// Stats counts organization-level events (DRAM traffic lives in the
+// modules).
+type Stats struct {
+	MemReads    uint64 // demand reads served by the memory part
+	MemWrites   uint64
+	Hits        uint64 // cache-part read hits
+	Misses      uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Fills       uint64
+	DirtyEvicts uint64
+}
+
+// HitRate returns the cache part's read hit rate.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is the part-memory/part-cache organization. It implements
+// memsys.Organization.
+type Cache struct {
+	cfg     Config
+	stacked dram.Device
+	off     dram.Device
+	sets    uint64
+	tags    []tadEntry
+	stats   Stats
+}
+
+var _ memsys.Organization = (*Cache)(nil)
+
+// NewCache builds the organization, reporting a descriptive error for an
+// unusable configuration. The cache part occupies the stacked device lines
+// above MemLines; its set count is derived from that region's rows.
+func NewCache(cfg Config, stacked, off dram.Device) (*Cache, error) {
+	if stacked == nil || off == nil {
+		return nil, fmt.Errorf("memcache: nil DRAM module")
+	}
+	devLines := stacked.Config().CapacityBytes / dram.LineBytes
+	if cfg.MemLines == 0 || cfg.MemLines%64 != 0 {
+		return nil, fmt.Errorf("memcache: memory part %d lines not a positive page multiple", cfg.MemLines)
+	}
+	if cfg.MemLines >= devLines {
+		return nil, fmt.Errorf("memcache: memory part %d lines leaves no cache in %d stacked lines",
+			cfg.MemLines, devLines)
+	}
+	if cfg.VisibleLines <= cfg.MemLines {
+		return nil, fmt.Errorf("memcache: visible space %d not beyond the memory part %d",
+			cfg.VisibleLines, cfg.MemLines)
+	}
+	cacheLines := devLines - cfg.MemLines
+	sets := (cacheLines / linesPerRow) * tadsPerRow
+	if sets == 0 {
+		return nil, fmt.Errorf("memcache: cache part %d lines smaller than one row", cacheLines)
+	}
+	return &Cache{
+		cfg:     cfg,
+		stacked: stacked,
+		off:     off,
+		sets:    sets,
+		tags:    make([]tadEntry, sets),
+	}, nil
+}
+
+// Name implements memsys.Organization.
+func (c *Cache) Name() string { return "MemCache" }
+
+// VisibleLines implements memsys.Organization.
+func (c *Cache) VisibleLines() uint64 { return c.cfg.VisibleLines }
+
+// MemLines returns the stacked-memory prefix size in lines.
+func (c *Cache) MemLines() uint64 { return c.cfg.MemLines }
+
+// Sets returns the cache part's direct-mapped set count.
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// StackedStats implements memsys.Organization.
+func (c *Cache) StackedStats() dram.Stats { return c.stacked.Stats() }
+
+// OffChipStats implements memsys.Organization.
+func (c *Cache) OffChipStats() dram.Stats { return c.off.Stats() }
+
+// Stats returns organization-level counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats implements memsys.Organization: counters only; cache contents
+// stay warm.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.stacked.ResetStats()
+	c.off.ResetStats()
+}
+
+// tadDevLine maps a cache set to a stacked device line above the memory
+// part, packing 28 TADs per 32-line row for row-buffer locality.
+func (c *Cache) tadDevLine(set uint64) uint64 {
+	return c.cfg.MemLines + (set/tadsPerRow)*linesPerRow + set%tadsPerRow
+}
+
+// Access implements memsys.Organization.
+func (c *Cache) Access(at uint64, req memsys.Request) uint64 {
+	if req.PLine >= c.cfg.VisibleLines {
+		panic(fmt.Sprintf("memcache: line %d beyond visible space %d", req.PLine, c.cfg.VisibleLines))
+	}
+	if req.PLine < c.cfg.MemLines {
+		// Memory part: the physical line IS the stacked device line.
+		if req.Write {
+			c.stats.MemWrites++
+		} else {
+			c.stats.MemReads++
+		}
+		return c.stacked.Access(at, req.PLine, dram.LineBytes, req.Write)
+	}
+	oline := req.PLine - c.cfg.MemLines // off-chip device line
+	set := oline % c.sets
+	entry := &c.tags[set]
+	hit := entry.valid && entry.tag == oline
+
+	if req.Write {
+		// Posted writeback: update in place on hit, write around on miss.
+		if hit {
+			c.stats.WriteHits++
+			entry.dirty = true
+			return c.stacked.Access(at, c.tadDevLine(set), TADBytes, true)
+		}
+		c.stats.WriteMisses++
+		return c.off.Access(at, oline, dram.LineBytes, true)
+	}
+
+	// The probe always reads the TAD: tag check and (on hit) data together.
+	probeDone := c.stacked.Access(at, c.tadDevLine(set), TADBytes, false)
+	if hit {
+		c.stats.Hits++
+		return probeDone
+	}
+	c.stats.Misses++
+	complete := c.off.Access(probeDone, oline, dram.LineBytes, false)
+	// The fill is timed at the probe's start so the analytic DRAM model's
+	// timestamps stay near-monotone (see the cameo package's swap comment).
+	if entry.valid && entry.dirty {
+		c.off.Access(at, entry.tag, dram.LineBytes, true)
+		c.stats.DirtyEvicts++
+	}
+	c.stacked.Access(at, c.tadDevLine(set), TADBytes, true)
+	c.stats.Fills++
+	*entry = tadEntry{tag: oline, valid: true}
+	return complete
+}
+
+// Contains reports cache-part residency of an off-chip device line, for
+// tests.
+func (c *Cache) Contains(oline uint64) bool {
+	e := c.tags[oline%c.sets]
+	return e.valid && e.tag == oline
+}

@@ -1,0 +1,151 @@
+package memcache
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// testCache builds a 1 MB stacked module split in half: 8192 memory lines,
+// the rest a cache over a 4 MB off-chip space.
+func testCache(t testing.TB) (*Cache, *dram.Module, *dram.Module) {
+	t.Helper()
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	memLines := uint64((1 << 20) / dram.LineBytes / 2) // 8192, page-aligned
+	c, err := NewCache(Config{
+		MemLines:     memLines,
+		VisibleLines: memLines + (4<<20)/dram.LineBytes,
+	}, stacked, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, stacked, off
+}
+
+func read(line uint64) memsys.Request  { return memsys.Request{PLine: line} }
+func write(line uint64) memsys.Request { return memsys.Request{PLine: line, Write: true} }
+
+func TestGeometry(t *testing.T) {
+	c, _, _ := testCache(t)
+	// 8192 cache-part lines = 256 rows * 28 TADs.
+	if c.Sets() != 256*28 {
+		t.Fatalf("sets = %d, want %d", c.Sets(), 256*28)
+	}
+	if c.MemLines() != 8192 {
+		t.Fatalf("memLines = %d", c.MemLines())
+	}
+}
+
+func TestMemoryPartGoesStraightToStacked(t *testing.T) {
+	c, stacked, off := testCache(t)
+	c.Access(0, read(100))
+	c.Access(1000, write(200))
+	st := c.Stats()
+	if st.MemReads != 1 || st.MemWrites != 1 {
+		t.Fatalf("memory-part counters = %+v", st)
+	}
+	if stacked.Stats().Accesses() != 2 || off.Stats().Accesses() != 0 {
+		t.Fatalf("traffic: stacked %d, off %d", stacked.Stats().Accesses(), off.Stats().Accesses())
+	}
+}
+
+func TestCachePartMissThenHit(t *testing.T) {
+	c, _, _ := testCache(t)
+	line := c.MemLines() + 77
+	d1 := c.Access(0, read(line))
+	if c.Stats().Misses != 1 || !c.Contains(77) {
+		t.Fatalf("after miss: %+v, contains=%v", c.Stats(), c.Contains(77))
+	}
+	d2 := c.Access(d1, read(line))
+	if c.Stats().Hits != 1 {
+		t.Fatalf("hits = %d", c.Stats().Hits)
+	}
+	if d2-d1 >= d1 {
+		t.Fatalf("hit latency %d not below miss latency %d", d2-d1, d1)
+	}
+}
+
+func TestDirtyEvictionWritesOffChip(t *testing.T) {
+	c, _, off := testCache(t)
+	a := c.MemLines() + 5
+	c.Access(0, read(a))
+	c.Access(1000, write(a)) // dirty it
+	if c.Stats().WriteHits != 1 {
+		t.Fatalf("write hits = %d", c.Stats().WriteHits)
+	}
+	before := off.Stats().Writes
+	c.Access(2000, read(a+c.Sets())) // same set, evicts dirty a
+	if c.Stats().DirtyEvicts != 1 || off.Stats().Writes != before+1 {
+		t.Fatalf("dirty evicts = %d, off writes %d -> %d", c.Stats().DirtyEvicts, before, off.Stats().Writes)
+	}
+	if c.Contains(a - c.MemLines()) {
+		t.Fatal("evicted line still resident")
+	}
+}
+
+func TestWritebackMissWritesAround(t *testing.T) {
+	c, _, off := testCache(t)
+	c.Access(0, write(c.MemLines()+9))
+	if c.Stats().WriteMisses != 1 || c.Contains(9) {
+		t.Fatalf("write miss allocated: %+v", c.Stats())
+	}
+	if off.Stats().Writes != 1 {
+		t.Fatalf("off-chip writes = %d", off.Stats().Writes)
+	}
+}
+
+func TestRejectsBadConfigs(t *testing.T) {
+	stacked := dram.NewModule(dram.StackedConfig(1 << 20))
+	off := dram.NewModule(dram.OffChipConfig(4 << 20))
+	lines := uint64((1 << 20) / dram.LineBytes)
+	cases := []Config{
+		{MemLines: 0, VisibleLines: 1000},              // no memory part
+		{MemLines: 100, VisibleLines: 10000},           // not page-aligned
+		{MemLines: lines, VisibleLines: lines + 1},     // no cache part
+		{MemLines: lines / 2, VisibleLines: lines / 2}, // visible inside memory part
+	}
+	for i, cfg := range cases {
+		if _, err := NewCache(cfg, stacked, off); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewCache(Config{MemLines: 64, VisibleLines: 1 << 20}, nil, off); err == nil {
+		t.Error("nil stacked accepted")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c, _, _ := testCache(t)
+	line := c.MemLines() + 3
+	c.Access(0, read(line))
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatalf("stats survived reset: %+v", c.Stats())
+	}
+	c.Access(1000, read(line))
+	if c.Stats().Hits != 1 {
+		t.Fatal("cache contents did not survive reset")
+	}
+}
+
+func TestAccessIsAllocationFree(t *testing.T) {
+	c, _, _ := testCache(t)
+	var at uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		at = c.Access(at, read(c.MemLines()+at%5000))
+	})
+	if allocs != 0 {
+		t.Fatalf("Access allocates %v per call", allocs)
+	}
+}
+
+func BenchmarkMemCacheAccess(b *testing.B) {
+	c, _, _ := testCache(b)
+	var at uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at = c.Access(at, read(c.MemLines()+uint64(i)%40000))
+	}
+}

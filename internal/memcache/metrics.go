@@ -1,0 +1,27 @@
+package memcache
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+	"cameo/internal/metrics"
+)
+
+// RegisterMetrics publishes the organization's counters under "memcache/..."
+// and its DRAM modules under "dram/stacked" and "dram/offchip". Instruments
+// are pull-style closures over the live counters: nothing is paid on the
+// access hot path.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry) {
+	sc := reg.Scope("memcache")
+	sc.CounterFunc("mem_reads", func() uint64 { return c.stats.MemReads })
+	sc.CounterFunc("mem_writes", func() uint64 { return c.stats.MemWrites })
+	sc.CounterFunc("hits", func() uint64 { return c.stats.Hits })
+	sc.CounterFunc("misses", func() uint64 { return c.stats.Misses })
+	sc.CounterFunc("write_hits", func() uint64 { return c.stats.WriteHits })
+	sc.CounterFunc("write_misses", func() uint64 { return c.stats.WriteMisses })
+	sc.CounterFunc("fills", func() uint64 { return c.stats.Fills })
+	sc.CounterFunc("dirty_evicts", func() uint64 { return c.stats.DirtyEvicts })
+	dram.RegisterMetrics(reg.Scope("dram/stacked"), c.stacked)
+	dram.RegisterMetrics(reg.Scope("dram/offchip"), c.off)
+}
+
+var _ memsys.MetricSource = (*Cache)(nil)

@@ -1,0 +1,67 @@
+package memcache
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+)
+
+// memLines resolves the partition knob into the page-aligned stacked-line
+// prefix exposed as memory. Zero means the design default.
+func memLines(e memorg.Env) (uint64, error) {
+	pct := e.MemPartPct
+	if pct == 0 {
+		pct = DefaultMemPartPct
+	}
+	if pct < 1 || pct > 99 {
+		return 0, fmt.Errorf("memcache: memory partition %d%% out of [1,99]", pct)
+	}
+	stk := e.StackedBytes / dram.LineBytes
+	m := stk * uint64(pct) / 100
+	m -= m % 64 // the memory part is the vm layer's stacked-frame prefix
+	if m == 0 {
+		return 0, fmt.Errorf("memcache: partition %d%% of %d stacked lines is below one page", pct, stk)
+	}
+	if cacheLines := stk - m; cacheLines < linesPerRow {
+		return 0, fmt.Errorf("memcache: partition %d%% leaves %d lines of cache, below one row", pct, stk-m)
+	}
+	return m, nil
+}
+
+func init() {
+	memorg.Register(memorg.Descriptor{
+		Kind:      memorg.KindMemCache,
+		Name:      "memcache",
+		Display:   "MemCache",
+		Summary:   "stacked DRAM statically split part-memory/part-cache: a fixed prefix is OS-visible capacity, the rest a direct-mapped line cache",
+		Paper:     "Bakhshalipour et al., die-stacked DRAM as part memory / part cache",
+		SweepDims: []string{"mempart"},
+		Geometry: func(e memorg.Env) (uint64, uint64) {
+			m, err := memLines(e)
+			if err != nil {
+				return 0, 0 // Validate reports the error before geometry matters
+			}
+			return m + e.OffChipBytes/dram.LineBytes, m
+		},
+		Validate: func(e memorg.Env) error {
+			_, err := memLines(e)
+			return err
+		},
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			m, err := memLines(e)
+			if err != nil {
+				return nil, err
+			}
+			off, err := e.NewOffChip(e.OffChipBytes)
+			if err != nil {
+				return nil, err
+			}
+			stacked, err := e.NewStacked()
+			if err != nil {
+				return nil, err
+			}
+			return NewCache(Config{MemLines: m, VisibleLines: e.VisibleLines}, stacked, off)
+		},
+	})
+}

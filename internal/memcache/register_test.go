@@ -1,0 +1,155 @@
+package memcache
+
+import (
+	"strings"
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+	"cameo/internal/metrics"
+)
+
+// testEnv is a 1 MB stacked / 4 MB off-chip construction environment, the
+// same footprint the direct-construction tests use.
+func testEnv(pct int) memorg.Env {
+	e := memorg.Env{
+		Kind:         memorg.KindMemCache,
+		StackedBytes: 1 << 20,
+		OffChipBytes: 4 << 20,
+		MemPartPct:   pct,
+		NewStacked: func() (dram.Device, error) {
+			return dram.New(dram.StackedConfig(1 << 20))
+		},
+		NewOffChip: func(capacity uint64) (dram.Device, error) {
+			return dram.New(dram.OffChipConfig(capacity))
+		},
+	}
+	return e
+}
+
+func descriptor(t *testing.T) memorg.Descriptor {
+	t.Helper()
+	d, ok := memorg.ByKind(memorg.KindMemCache)
+	if !ok {
+		t.Fatal("memcache not registered")
+	}
+	return d
+}
+
+func TestDescriptorGeometryAndBuild(t *testing.T) {
+	d := descriptor(t)
+	e := testEnv(0) // zero resolves to the 50% design default
+	if err := d.Validate(e); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	vis, stk := d.Geometry(e)
+	wantMem := uint64(1<<20) / dram.LineBytes / 2
+	if stk != wantMem || vis != wantMem+(4<<20)/dram.LineBytes {
+		t.Fatalf("geometry = (%d, %d), want (%d, %d)",
+			vis, stk, wantMem+(4<<20)/dram.LineBytes, wantMem)
+	}
+	e.VisibleLines, e.StackedLines = vis, stk
+	org, err := d.Build(e)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := org.(*Cache)
+	if c.MemLines() != wantMem || c.VisibleLines() != vis {
+		t.Fatalf("built (%d mem, %d visible), want (%d, %d)",
+			c.MemLines(), c.VisibleLines(), wantMem, vis)
+	}
+	if c.Name() != d.Display {
+		t.Fatalf("Name() = %q, display %q", c.Name(), d.Display)
+	}
+}
+
+func TestDescriptorRejectsBadPartitions(t *testing.T) {
+	d := descriptor(t)
+	for _, pct := range []int{-1, 100, 1000} {
+		if err := d.Validate(testEnv(pct)); err == nil {
+			t.Errorf("partition %d%% accepted", pct)
+		}
+		if vis, stk := d.Geometry(testEnv(pct)); vis != 0 || stk != 0 {
+			t.Errorf("partition %d%% produced geometry (%d, %d)", pct, vis, stk)
+		}
+		if _, err := d.Build(testEnv(pct)); err == nil {
+			t.Errorf("Build accepted partition %d%%", pct)
+		}
+	}
+	// 99% of 80 stacked lines rounds the memory part to 64, leaving a
+	// 16-line cache — less than one row.
+	tiny := testEnv(99)
+	tiny.StackedBytes = 5 << 10
+	if err := d.Validate(tiny); err == nil || !strings.Contains(err.Error(), "below one row") {
+		t.Errorf("sub-row cache accepted: %v", err)
+	}
+	// 1% of a tiny stacked space rounds the memory part down to zero pages.
+	tiny = testEnv(1)
+	tiny.StackedBytes = 64 << 10
+	if err := d.Validate(tiny); err == nil || !strings.Contains(err.Error(), "below one page") {
+		t.Errorf("sub-page memory part accepted: %v", err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate = %v", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}
+
+func TestRegisterMetricsMatchesStats(t *testing.T) {
+	c, _, _ := testCache(t)
+	var at uint64
+	for i := uint64(0); i < 4000; i++ {
+		// Alternate between the memory part (lines below 8192) and the
+		// cache part, over a footprint small enough that the second pass
+		// records cache hits.
+		line := i*31%2048 + i%2*8192
+		if i%7 == 0 {
+			at = c.Access(at+1, write(line))
+		} else {
+			at = c.Access(at+1, read(line))
+		}
+	}
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+
+	st := c.Stats()
+	want := map[string]uint64{
+		"memcache/mem_reads":    st.MemReads,
+		"memcache/mem_writes":   st.MemWrites,
+		"memcache/hits":         st.Hits,
+		"memcache/misses":       st.Misses,
+		"memcache/write_hits":   st.WriteHits,
+		"memcache/write_misses": st.WriteMisses,
+		"memcache/fills":        st.Fills,
+		"memcache/dirty_evicts": st.DirtyEvicts,
+	}
+	for name, v := range want {
+		sm, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("snapshot missing %s", name)
+		}
+		if sm.Value != v {
+			t.Errorf("%s = %d, want %d", name, sm.Value, v)
+		}
+	}
+	for _, name := range []string{"dram/stacked/reads", "dram/offchip/reads"} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if st.MemReads == 0 || st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("traffic did not exercise both partitions: %+v", st)
+	}
+	if d := c.StackedStats(); d.Reads == 0 {
+		t.Error("stacked device saw no reads")
+	}
+	if d := c.OffChipStats(); d.Reads == 0 {
+		t.Error("off-chip device saw no reads")
+	}
+}

@@ -1,0 +1,33 @@
+package memorg
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// The baseline registers here rather than in memsys: memsys is the access
+// contract every organization imports, so it must stay below the registry.
+func init() {
+	Register(Descriptor{
+		Kind:    KindBaseline,
+		Name:    "baseline",
+		Display: "Baseline",
+		Summary: "commodity off-chip DRAM only; the speedup denominator",
+		Paper:   "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (evaluation baseline)",
+		Geometry: func(e Env) (uint64, uint64) {
+			return e.OffChipBytes / dram.LineBytes, 0
+		},
+		Build: func(e Env) (Organization, error) {
+			if e.VisibleLines == 0 {
+				return nil, fmt.Errorf("baseline: zero visible lines")
+			}
+			off, err := e.NewOffChip(e.OffChipBytes)
+			if err != nil {
+				return nil, err
+			}
+			return memsys.NewBaseline(off, e.VisibleLines), nil
+		},
+	})
+}

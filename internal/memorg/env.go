@@ -1,0 +1,70 @@
+package memorg
+
+import (
+	"cameo/internal/dram"
+	"cameo/internal/memsys"
+)
+
+// Organization re-exports the access contract so a Descriptor reads as one
+// self-contained interface: memsys owns the request path, memorg owns
+// construction.
+type Organization = memsys.Organization
+
+// OS is the paging hook migration-capable organizations need: patch page
+// tables and inspect frame residency. vm.Memory satisfies it; package
+// system threads it into the Env.
+type OS interface {
+	SwapFrames(a, b uint64)
+	MoveFrame(src, dst uint64)
+	FrameOwner(f uint64) (proc int, vpage uint64, ok bool)
+}
+
+// Env is the organization-neutral construction environment package system
+// derives from a system.Config. Geometry sees the capacity and knob fields;
+// Build additionally receives the computed line spaces, the device
+// factories, and the OS hooks. Knobs an organization does not declare are
+// simply ignored by its Build, exactly as system.Config documents.
+type Env struct {
+	// Kind is the organization under construction (a Kind* constant);
+	// useful for families registering several kinds over one Build.
+	Kind int
+	// Cores is the core count (per-core predictor sizing).
+	Cores int
+	// Seed drives any organization-internal randomness.
+	Seed uint64
+	// StackedBytes and OffChipBytes are the scaled module capacities.
+	StackedBytes uint64
+	OffChipBytes uint64
+	// StackedDivisor is the stacked share divisor of the fixed total
+	// (CAMEO's congruence-group associativity).
+	StackedDivisor int
+
+	// VisibleLines and StackedLines are filled from Geometry before Build
+	// runs: the OS-visible line space and the prefix of it vm treats as
+	// stacked frames.
+	VisibleLines uint64
+	StackedLines uint64
+
+	// NewStacked and NewOffChip construct DRAM modules with the run's
+	// fidelity knobs (refresh, write buffering, FR-FCFS) applied; nil
+	// outside Build. NewOffChip takes the capacity because cache
+	// organizations size the off-chip space to their visible lines.
+	NewStacked func() (dram.Device, error)
+	NewOffChip func(capacity uint64) (dram.Device, error)
+	// OS is the paging layer for page-migrating organizations; nil
+	// outside Build.
+	OS OS
+
+	// Organization-specific knobs, mirroring system.Config.
+	LLT                int
+	Pred               int
+	LLTCacheEntries    int
+	HotSwapThreshold   uint32
+	MigrationThreshold int
+	EpochAccesses      uint64
+	// MemPartPct is memcache's partition: the percent of stacked capacity
+	// exposed as OS-visible memory (0 = the design default of 50).
+	MemPartPct int
+	// HybridWays is gemini's victim-region associativity (0 = default 4).
+	HybridWays int
+}

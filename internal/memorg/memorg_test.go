@@ -1,0 +1,101 @@
+package memorg
+
+import (
+	"sort"
+	"testing"
+)
+
+// validDescriptor returns a registrable descriptor with a unique name and
+// kind well above the real ones, so test registrations cannot collide with
+// the baseline (the only organization registered inside this package).
+func validDescriptor(name string, kind int) Descriptor {
+	return Descriptor{
+		Kind:     kind,
+		Name:     name,
+		Display:  "Test",
+		Summary:  "test-only descriptor",
+		Paper:    "none",
+		Geometry: func(Env) (uint64, uint64) { return 1, 0 },
+		Build:    func(Env) (Organization, error) { return nil, nil },
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	Register(validDescriptor("zz-test-org", 9001))
+	d, ok := ByName("zz-test-org")
+	if !ok || d.Kind != 9001 {
+		t.Fatalf("ByName = %+v, %v", d, ok)
+	}
+	if _, ok := ByName("ZZ-Test-ORG"); !ok {
+		t.Fatal("lookup is not case-insensitive")
+	}
+	if d, ok := ByKind(9001); !ok || d.Name != "zz-test-org" {
+		t.Fatalf("ByKind = %+v, %v", d, ok)
+	}
+	if _, ok := ByName("no-such-org"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if _, ok := ByKind(123456); ok {
+		t.Fatal("unknown kind resolved")
+	}
+}
+
+func TestRegisterRejectsBadDescriptors(t *testing.T) {
+	mustPanic(t, "empty name", func() {
+		Register(validDescriptor("", 9100))
+	})
+	mustPanic(t, "upper-case name", func() {
+		Register(validDescriptor("ZZ-Bad", 9101))
+	})
+	d := validDescriptor("zz-no-summary", 9102)
+	d.Summary = ""
+	mustPanic(t, "missing summary", func() { Register(d) })
+	d = validDescriptor("zz-no-build", 9103)
+	d.Build = nil
+	mustPanic(t, "missing build", func() { Register(d) })
+
+	Register(validDescriptor("zz-dup", 9104))
+	mustPanic(t, "duplicate name", func() {
+		Register(validDescriptor("zz-dup", 9105))
+	})
+	mustPanic(t, "duplicate kind", func() {
+		Register(validDescriptor("zz-dup2", 9104))
+	})
+}
+
+func TestNamesSortedAndAllAligned(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d entries, Names() %d", len(all), len(names))
+	}
+	for i, d := range all {
+		if d.Name != names[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, d.Name, names[i])
+		}
+	}
+}
+
+func TestBaselineRegistered(t *testing.T) {
+	d, ok := ByKind(KindBaseline)
+	if !ok || d.Name != "baseline" {
+		t.Fatalf("baseline descriptor = %+v, %v", d, ok)
+	}
+	vis, stk := d.Geometry(Env{OffChipBytes: 1 << 20})
+	if vis != (1<<20)/64 || stk != 0 {
+		t.Fatalf("baseline geometry = %d, %d", vis, stk)
+	}
+}

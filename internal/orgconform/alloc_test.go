@@ -1,0 +1,87 @@
+package orgconform
+
+import (
+	"testing"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+	"cameo/internal/memsys"
+	"cameo/internal/system"
+	"cameo/internal/vm"
+)
+
+// buildViaDescriptor wires an organization exactly as package system does —
+// geometry from the descriptor, analytic DRAM modules, a real paging layer
+// as the OS hook — at conformance scale.
+func buildViaDescriptor(t *testing.T, d memorg.Descriptor, kind system.OrgKind) (memorg.Organization, *vm.Memory) {
+	t.Helper()
+	cfg := conformConfig(kind).WithDefaults()
+	e := memorg.Env{
+		Kind:           d.Kind,
+		Cores:          cfg.Cores,
+		Seed:           cfg.Seed,
+		StackedBytes:   cfg.StackedBytes(),
+		OffChipBytes:   cfg.OffChipBytes(),
+		StackedDivisor: 4,
+		EpochAccesses:  200_000,
+	}
+	e.VisibleLines, e.StackedLines = d.Geometry(e)
+	if e.VisibleLines == 0 {
+		t.Fatal("descriptor geometry returned an empty visible space")
+	}
+	if e.StackedLines > e.VisibleLines {
+		t.Fatalf("stacked prefix %d exceeds visible space %d", e.StackedLines, e.VisibleLines)
+	}
+	if e.StackedLines%vm.LinesPerPage != 0 || e.VisibleLines%vm.LinesPerPage != 0 {
+		t.Fatalf("geometry (%d, %d) not page-aligned", e.VisibleLines, e.StackedLines)
+	}
+	e.NewStacked = func() (dram.Device, error) { return dram.New(dram.StackedConfig(e.StackedBytes)) }
+	e.NewOffChip = func(capacity uint64) (dram.Device, error) { return dram.New(dram.OffChipConfig(capacity)) }
+	vmCfg := vm.DefaultConfig(e.VisibleLines/vm.LinesPerPage, e.StackedLines/vm.LinesPerPage)
+	vmCfg.Seed = cfg.Seed
+	vmm := vm.New(vmCfg, cfg.Cores)
+	e.OS = vmm
+	org, err := d.Build(e)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if org.VisibleLines() != e.VisibleLines {
+		t.Fatalf("organization reports %d visible lines, geometry declared %d",
+			org.VisibleLines(), e.VisibleLines)
+	}
+	return org, vmm
+}
+
+// TestAccessAllocationBound holds each organization's steady-state Access
+// path to the allocation budget its descriptor declares (zero for the
+// hardware-managed designs; the page-migrating TLM variants declare a
+// small amortized bound).
+func TestAccessAllocationBound(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		org, vmm := buildViaDescriptor(t, d, kind)
+		// Drive translated addresses, as the system does: two strided
+		// readers over a resident footprint (32 pages per core), with every
+		// 8th access a posted writeback. The warm-up pass faults every page
+		// in and fills the caches; the measured region is steady state.
+		const footprint = 2048 // vlines; 17 is coprime, so the stride covers all of it
+		var at uint64
+		step := func(i uint64) {
+			core := int(i % 2)
+			vline := (i * 17) % footprint
+			pline, _ := vmm.Translate(core, vline, false)
+			req := memsys.Request{Core: core, PLine: pline, Write: i%8 == 7}
+			at = org.Access(at+1, req)
+		}
+		for i := uint64(0); i < 3*footprint; i++ {
+			step(i)
+		}
+		var i uint64 = 3 * footprint
+		allocs := testing.AllocsPerRun(2000, func() {
+			step(i)
+			i++
+		})
+		if allocs > d.AccessAllocBound {
+			t.Fatalf("Access allocates %v per call, descriptor bound %v", allocs, d.AccessAllocBound)
+		}
+	})
+}

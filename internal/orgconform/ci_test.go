@@ -1,0 +1,47 @@
+package orgconform
+
+import (
+	"os"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cameo/internal/system"
+)
+
+// TestCIMatrixMatchesRegistry pins the CI org-matrix to the registry: a
+// newly registered organization that is not added to the workflow's matrix
+// (or a stale name left behind) fails here, so every registered design is
+// guaranteed a conformance + golden-sweep job.
+func TestCIMatrixMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("read workflow: %v", err)
+	}
+	m := regexp.MustCompile(`(?m)^\s*org:\s*\[([^\]]*)\]`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("ci.yml has no `org: [...]` matrix line")
+	}
+	var matrix []string
+	for _, f := range strings.Split(string(m[1]), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			matrix = append(matrix, f)
+		}
+	}
+	if want := system.OrgNames(); !reflect.DeepEqual(matrix, want) {
+		t.Fatalf("ci.yml org matrix %v does not match the registry %v", matrix, want)
+	}
+}
+
+// TestGoldenFilesExistPerOrg requires a checked-in golden sweep CSV for
+// every registered organization (scripts/org-golden.sh --update-all
+// regenerates them).
+func TestGoldenFilesExistPerOrg(t *testing.T) {
+	for _, name := range system.OrgNames() {
+		if _, err := os.Stat("../../results/golden/" + name + ".csv"); err != nil {
+			t.Errorf("missing golden sweep for %s: %v (run scripts/org-golden.sh %s --update)",
+				name, err, name)
+		}
+	}
+}

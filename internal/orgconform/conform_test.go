@@ -1,0 +1,190 @@
+package orgconform
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"cameo/internal/memorg"
+	"cameo/internal/runner"
+	"cameo/internal/system"
+	"cameo/internal/workload"
+)
+
+// conformConfig is the scale every contract runs at: small enough for CI,
+// large enough that every organization sees faults, evictions, and (for the
+// migrating designs) page movement.
+func conformConfig(kind system.OrgKind) system.Config {
+	return system.Config{
+		Org:          kind,
+		ScaleDiv:     8192,
+		Cores:        2,
+		InstrPerCore: 20_000,
+		Seed:         1,
+	}
+}
+
+// forEachOrg runs fn as a subtest per registered organization, honouring
+// the CONFORM_ORG filter.
+func forEachOrg(t *testing.T, fn func(t *testing.T, d memorg.Descriptor, kind system.OrgKind)) {
+	t.Helper()
+	only := os.Getenv("CONFORM_ORG")
+	matched := false
+	for _, name := range system.OrgNames() {
+		if only != "" && name != only {
+			continue
+		}
+		matched = true
+		kind, ok := system.ParseOrg(name)
+		if !ok {
+			t.Fatalf("registry name %q does not parse", name)
+		}
+		d, ok := system.OrgDescriptor(kind)
+		if !ok {
+			t.Fatalf("no descriptor behind kind %v", kind)
+		}
+		t.Run(name, func(t *testing.T) { fn(t, d, kind) })
+	}
+	if !matched {
+		t.Fatalf("CONFORM_ORG=%q matches no registered organization (have: %v)", only, system.OrgNames())
+	}
+}
+
+func mustRun(t *testing.T, cfg system.Config) system.Result {
+	t.Helper()
+	spec, ok := workload.SpecByName("milc")
+	if !ok {
+		t.Fatal("milc spec missing")
+	}
+	res, err := system.TryRun(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatalf("TryRun: %v", err)
+	}
+	return res
+}
+
+// TestRunIsDeterministic runs the same cell twice and requires identical
+// timing, traffic, and metrics.
+func TestRunIsDeterministic(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		a := mustRun(t, conformConfig(kind))
+		b := mustRun(t, conformConfig(kind))
+		if a.Cycles != b.Cycles || a.Demands != b.Demands || a.Instructions != b.Instructions {
+			t.Fatalf("runs differ: (%d cy, %d dem, %d in) vs (%d cy, %d dem, %d in)",
+				a.Cycles, a.Demands, a.Instructions, b.Cycles, b.Demands, b.Instructions)
+		}
+		ma, err := json.Marshal(a.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := json.Marshal(b.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ma, mb) {
+			t.Fatal("metrics snapshots differ between identical runs")
+		}
+	})
+}
+
+// TestTelemetryStableAcrossWorkerCounts requires the runner's telemetry to
+// be byte-identical at 1 and 8 workers over a multi-cell grid.
+func TestTelemetryStableAcrossWorkerCounts(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		spec, _ := workload.SpecByName("milc")
+		var jobs []runner.Job
+		for seed := uint64(1); seed <= 4; seed++ {
+			cfg := conformConfig(kind)
+			cfg.Seed = seed
+			jobs = append(jobs, runner.NewJob(spec, cfg))
+		}
+		telemetry := func(workers int) []byte {
+			r := runner.New(runner.Options{Jobs: workers})
+			if err := r.RunAll(context.Background(), jobs); err != nil {
+				t.Fatalf("RunAll(jobs=%d): %v", workers, err)
+			}
+			var buf bytes.Buffer
+			if err := r.Telemetry(false).WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		if !bytes.Equal(telemetry(1), telemetry(8)) {
+			t.Fatal("telemetry differs between -jobs 1 and -jobs 8")
+		}
+	})
+}
+
+// TestInvalidConfigsRejected feeds each organization configurations that
+// must come back as errors (and never panics): a broken base config plus
+// every organization-specific knob at an invalid setting.
+func TestInvalidConfigsRejected(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		bad := []system.Config{}
+		cfg := conformConfig(kind)
+		cfg.Cores = -1
+		bad = append(bad, cfg)
+		cfg = conformConfig(kind)
+		cfg.ScaleDiv = 1000 // not a power of two
+		bad = append(bad, cfg)
+		for _, dim := range d.SweepDims {
+			cfg = conformConfig(kind)
+			switch dim {
+			case "mempart":
+				cfg.MemPartPct = 100
+			case "ways":
+				cfg.HybridWays = 3
+			default:
+				t.Fatalf("conformance suite does not know how to break sweep dim %q", dim)
+			}
+			bad = append(bad, cfg)
+		}
+		spec, _ := workload.SpecByName("milc")
+		for i, cfg := range bad {
+			if _, err := system.TryRun(context.Background(), spec, cfg); err == nil {
+				t.Errorf("bad config %d accepted: %+v", i, cfg)
+			}
+		}
+	})
+}
+
+// TestDifferentialAgainstBaseline checks each organization against the
+// flat-DRAM oracle: the workload is identical, so retired instructions and
+// demand counts must match the baseline exactly, and the timing must be
+// non-degenerate.
+func TestDifferentialAgainstBaseline(t *testing.T) {
+	base := mustRun(t, conformConfig(system.Baseline))
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		res := mustRun(t, conformConfig(kind))
+		if res.Instructions != base.Instructions {
+			t.Errorf("instructions %d != baseline %d", res.Instructions, base.Instructions)
+		}
+		if res.Demands != base.Demands {
+			t.Errorf("demands %d != baseline %d", res.Demands, base.Demands)
+		}
+		if res.Cycles == 0 || res.AvgMemLatency <= 0 {
+			t.Errorf("degenerate timing: %d cycles, %.1f avg latency", res.Cycles, res.AvgMemLatency)
+		}
+		// No organization should be slower than 5x the flat-DRAM system or
+		// faster than 20x at this scale — a tripwire for broken timing, not
+		// a performance claim.
+		if res.Cycles > base.Cycles*5 || res.Cycles*20 < base.Cycles {
+			t.Errorf("cycles %d implausible against baseline %d", res.Cycles, base.Cycles)
+		}
+	})
+}
+
+// TestReportedNameMatchesDisplay checks that a built organization reports
+// itself under its registered display label (CAMEO appends its LLT/Pred
+// sub-design, so the display is a prefix there).
+func TestReportedNameMatchesDisplay(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		res := mustRun(t, conformConfig(kind))
+		if !strings.HasPrefix(res.Org, d.Display) {
+			t.Errorf("Result.Org = %q does not carry descriptor display %q", res.Org, d.Display)
+		}
+	})
+}

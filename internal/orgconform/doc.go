@@ -1,0 +1,20 @@
+// Package orgconform is the organization conformance suite: one set of
+// behavioural contracts every registered memory organization must satisfy,
+// discovered from the memorg registry so a newly registered design is
+// tested without writing a line of suite code. The contracts:
+//
+//   - construction through the registry descriptor succeeds at conformance
+//     scale, and the declared geometry matches what the built organization
+//     reports;
+//   - a full-system run is deterministic: two runs of the same cell produce
+//     identical cycles, traffic, and metrics snapshots;
+//   - runner telemetry is byte-identical at -jobs 1 and -jobs 8;
+//   - invalid configurations are rejected as errors, never panics;
+//   - the steady-state Access path stays within the allocation budget the
+//     descriptor declares (zero for the hardware-managed designs);
+//   - differential sanity against the flat-DRAM baseline: same instruction
+//     and demand counts, non-degenerate timing.
+//
+// CONFORM_ORG=<name> narrows every test to one organization — the knob the
+// CI org-matrix uses to fan the suite out one job per organization.
+package orgconform

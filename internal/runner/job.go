@@ -76,12 +76,22 @@ func (j Job) Key() string {
 		c.EpochAccesses, c.UseL3, c.MigrationThreshold, c.LLTCacheEntries,
 		c.HotSwapThreshold, c.WarmupInstr, c.Refresh, c.WriteBuffered,
 		c.FRFCFS, c.UseTLB, c.StackedDivisor)
+	// Organization-specific knobs are appended only when set: zero means
+	// "the organization's default" and is never filled by WithDefaults, so
+	// every cell key that predates the knob stays byte-identical (no
+	// persistent-cache invalidation when a knob is introduced).
+	if c.MemPartPct != 0 {
+		fmt.Fprintf(&b, "|mempart=%d", c.MemPartPct)
+	}
+	if c.HybridWays != 0 {
+		fmt.Fprintf(&b, "|hways=%d", c.HybridWays)
+	}
 	return b.String()
 }
 
 // keyFieldCount is the number of system.Config fields Key encodes; a test
 // fails when Config grows without this (and Key) being updated.
-const keyFieldCount = 18
+const keyFieldCount = 20
 
 // Hash returns the hex SHA-256 of the schema-versioned canonical key — the
 // filename-safe identity the persistent cache stores cells under.

@@ -17,7 +17,10 @@ func TestKeyCoversEveryConfigField(t *testing.T) {
 	typ := reflect.TypeOf(system.Config{})
 	if typ.NumField() != keyFieldCount {
 		t.Fatalf("system.Config has %d fields but Job.Key encodes %d: "+
-			"add the new field to Key, bump cacheSchema, and update keyFieldCount",
+			"add the new field to Key and update keyFieldCount. Encode it "+
+			"unconditionally and bump cacheSchema — or, if zero means 'org "+
+			"default' and WithDefaults leaves it zero, append it only when "+
+			"nonzero so existing cell keys (and the persistent cache) survive",
 			typ.NumField(), keyFieldCount)
 	}
 

@@ -24,8 +24,9 @@ import (
 type Request struct {
 	Org        string   `json:"org"`
 	Benchmarks []string `json:"benchmarks"`
-	// Sweep is the swept dimension: scale, cores, ratio, or seed. Empty
-	// with no Values runs one cell per benchmark at the defaults.
+	// Sweep is the swept dimension: scale, cores, ratio, seed, or an
+	// organization-specific dimension from system.SweepDims. Empty with no
+	// Values runs one cell per benchmark at the defaults.
 	Sweep  string   `json:"sweep,omitempty"`
 	Values []uint64 `json:"values,omitempty"`
 	Instr  uint64   `json:"instr,omitempty"`
@@ -162,20 +163,10 @@ func BuildGrid(req Request, maxCells int) (*Grid, error) {
 				cfg.Cores = 16
 			}
 			tag := spec.Name
-			switch sweep {
-			case "none":
-			case "scale":
-				cfg.ScaleDiv = v
-			case "cores":
-				cfg.Cores = int(v)
-			case "ratio":
-				cfg.StackedDivisor = int(v)
-			case "seed":
-				cfg.Seed = v
-			default:
-				return nil, fmt.Errorf("unknown sweep dimension %q (have: scale, cores, ratio, seed)", sweep)
-			}
 			if sweep != "none" {
+				if err := system.ApplySweep(&cfg, sweep, v); err != nil {
+					return nil, err
+				}
 				tag = fmt.Sprintf("%s@%s=%d", spec.Name, sweep, v)
 			}
 			g.Jobs = append(g.Jobs, runner.NewJob(spec, cfg))

@@ -5,96 +5,68 @@ package system
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"cameo/internal/cameo"
+	"cameo/internal/memorg"
 )
 
-// OrgKind names the memory organizations of the paper's evaluation.
+// OrgKind names a registered memory organization. The integer values are
+// the memorg registry kinds; runner cell keys render them as decimals, so
+// they are stable forever for the seed organizations.
 type OrgKind int
 
 const (
 	// Baseline: 12 GB off-chip DRAM, no stacked DRAM.
-	Baseline OrgKind = iota
+	Baseline = OrgKind(memorg.KindBaseline)
 	// Cache: stacked DRAM as an Alloy cache; capacity stays 12 GB.
-	Cache
+	Cache = OrgKind(memorg.KindCache)
 	// TLMStatic: stacked DRAM in the address space, random page placement.
-	TLMStatic
+	TLMStatic = OrgKind(memorg.KindTLMStatic)
 	// TLMDynamic: TLM with page swap on every off-chip touch.
-	TLMDynamic
+	TLMDynamic = OrgKind(memorg.KindTLMDynamic)
 	// TLMFreq: TLM with epoch-based frequency-ranked page placement.
-	TLMFreq
+	TLMFreq = OrgKind(memorg.KindTLMFreq)
 	// TLMOracle: TLM with profiled (oracular) initial placement.
-	TLMOracle
+	TLMOracle = OrgKind(memorg.KindTLMOracle)
 	// CAMEO: the paper's proposal; LLT/Pred sub-options select the design.
-	CAMEO
+	CAMEO = OrgKind(memorg.KindCAMEO)
 	// DoubleUse: idealistic Alloy cache plus 16 GB of capacity.
-	DoubleUse
+	DoubleUse = OrgKind(memorg.KindDoubleUse)
 	// LHCache: the Loh-Hill set-associative DRAM cache (the paper's
 	// citation [10]), as a second hardware-cache baseline.
-	LHCache
+	LHCache = OrgKind(memorg.KindLHCache)
 	// LHCacheMM: LH-Cache with an idealized MissMap (misses skip the probe).
-	LHCacheMM
+	LHCacheMM = OrgKind(memorg.KindLHCacheMM)
+	// MemCache: stacked DRAM statically partitioned part-memory/part-cache.
+	MemCache = OrgKind(memorg.KindMemCache)
+	// Gemini: hybrid direct/set-associative DRAM cache mapping.
+	Gemini = OrgKind(memorg.KindGemini)
 )
 
 func (k OrgKind) String() string {
-	switch k {
-	case Baseline:
-		return "Baseline"
-	case Cache:
-		return "Cache"
-	case TLMStatic:
-		return "TLM-Static"
-	case TLMDynamic:
-		return "TLM-Dynamic"
-	case TLMFreq:
-		return "TLM-Freq"
-	case TLMOracle:
-		return "TLM-Oracle"
-	case CAMEO:
-		return "CAMEO"
-	case DoubleUse:
-		return "DoubleUse"
-	case LHCache:
-		return "LH-Cache"
-	case LHCacheMM:
-		return "LH-Cache+MissMap"
+	if d, ok := memorg.ByKind(int(k)); ok {
+		return d.Display
 	}
 	return fmt.Sprintf("OrgKind(%d)", int(k))
 }
 
-// orgNames maps the lower-case CLI/API spellings onto kinds — the single
-// parse table shared by cameo-sim, cameo-sweep, and cameod.
-var orgNames = map[string]OrgKind{
-	"baseline":    Baseline,
-	"cache":       Cache,
-	"tlm-static":  TLMStatic,
-	"tlm-dynamic": TLMDynamic,
-	"tlm-freq":    TLMFreq,
-	"tlm-oracle":  TLMOracle,
-	"cameo":       CAMEO,
-	"doubleuse":   DoubleUse,
-	"lh-cache":    LHCache,
-	"lh-missmap":  LHCacheMM,
-}
-
 // ParseOrg maps a case-insensitive organization name (the CLI/API spelling,
-// e.g. "tlm-dynamic") onto its kind.
+// e.g. "tlm-dynamic") onto its kind via the memorg registry.
 func ParseOrg(name string) (OrgKind, bool) {
-	k, ok := orgNames[strings.ToLower(name)]
-	return k, ok
+	d, ok := memorg.ByName(name)
+	if !ok {
+		return 0, false
+	}
+	return OrgKind(d.Kind), true
 }
 
-// OrgNames returns every parseable organization name, sorted.
-func OrgNames() []string {
-	names := make([]string, 0, len(orgNames))
-	for n := range orgNames {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+// OrgNames returns every registered organization name, sorted — the single
+// source for cmd usage text, -org error messages, and the CI org matrix.
+func OrgNames() []string { return memorg.Names() }
+
+// OrgDescriptor returns the registry entry behind a kind, for consumers
+// that need the design summary or sweep dimensions.
+func OrgDescriptor(k OrgKind) (memorg.Descriptor, bool) { return memorg.ByKind(int(k)) }
 
 // Full-scale capacities (Table I): 4 GB stacked, 12 GB off-chip.
 const (
@@ -164,6 +136,17 @@ type Config struct {
 	// half-capacity point the paper's introduction motivates). It is also
 	// CAMEO's congruence-group associativity, so only 2..4 are encodable.
 	StackedDivisor int
+	// MemPartPct configures MemCache (ignored otherwise): the percent of
+	// stacked capacity exposed as OS-visible memory, the rest running as a
+	// direct-mapped cache. 0 means the design default of 50. Deliberately
+	// NOT filled by WithDefaults: cell keys encode it only when set, so
+	// every pre-existing cell key stays byte-identical.
+	MemPartPct int
+	// HybridWays configures Gemini (ignored otherwise): the associativity
+	// of the set-associative victim region backing the direct-mapped
+	// fast-path region. 0 means the design default of 4; must be a power
+	// of two <= 16. Not filled by WithDefaults, like MemPartPct.
+	HybridWays int
 }
 
 // WithDefaults fills zero fields with the paper-equivalent defaults.
@@ -187,11 +170,14 @@ func (c Config) WithDefaults() Config {
 		c.StackedDivisor = 4
 	}
 	// LLT and Pred need no defaulting: their zero values are the paper's
-	// final design (Co-Located LLT with the LLP).
+	// final design (Co-Located LLT with the LLP). MemPartPct and
+	// HybridWays stay zero on purpose — the organizations apply their own
+	// defaults, keeping pre-existing cell keys byte-stable.
 	return c
 }
 
-// Validate reports a descriptive error for an unusable configuration.
+// Validate reports a descriptive error for an unusable configuration,
+// including organization-specific checks from the registry descriptor.
 func (c Config) Validate() error {
 	switch {
 	case c.ScaleDiv == 0 || c.ScaleDiv&(c.ScaleDiv-1) != 0:
@@ -209,7 +195,37 @@ func (c Config) Validate() error {
 	case c.FRFCFS && (c.WriteBuffered || c.Refresh):
 		return fmt.Errorf("system: FRFCFS excludes the analytic model's WriteBuffered/Refresh knobs")
 	}
+	d, ok := memorg.ByKind(int(c.Org))
+	if !ok {
+		return fmt.Errorf("system: unknown organization %v", c.Org)
+	}
+	if d.Validate != nil {
+		if err := d.Validate(c.buildEnv()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// buildEnv lifts the configuration into the organization-neutral build
+// environment; device factories and OS hooks are threaded in by buildOrg.
+func (c Config) buildEnv() memorg.Env {
+	return memorg.Env{
+		Kind:               int(c.Org),
+		Cores:              c.Cores,
+		Seed:               c.Seed,
+		StackedBytes:       c.StackedBytes(),
+		OffChipBytes:       c.OffChipBytes(),
+		StackedDivisor:     c.StackedDivisor,
+		LLT:                int(c.LLT),
+		Pred:               int(c.Pred),
+		LLTCacheEntries:    c.LLTCacheEntries,
+		HotSwapThreshold:   c.HotSwapThreshold,
+		MigrationThreshold: c.MigrationThreshold,
+		EpochAccesses:      c.EpochAccesses,
+		MemPartPct:         c.MemPartPct,
+		HybridWays:         c.HybridWays,
+	}
 }
 
 // StackedBytes returns the scaled stacked-DRAM capacity.

@@ -1,0 +1,12 @@
+package system
+
+// The organization packages self-register into the memorg registry from
+// their init functions. alloy, cameo, lohhill, and tlm are imported for
+// their types elsewhere in this package; the cache-only designs below are
+// linked in purely for their registrations. Adding an organization means
+// adding its package here (or anywhere on the binary's import graph) —
+// nothing else in package system changes.
+import (
+	_ "cameo/internal/gemini"
+	_ "cameo/internal/memcache"
+)

@@ -12,6 +12,7 @@ import (
 	"cameo/internal/dram"
 	"cameo/internal/lohhill"
 	"cameo/internal/memctrl"
+	"cameo/internal/memorg"
 	"cameo/internal/memsys"
 	"cameo/internal/metrics"
 	"cameo/internal/sim"
@@ -98,30 +99,13 @@ type machine struct {
 }
 
 // geometry computes the OS-visible line space and the stacked/off split for
-// the configured organization.
+// the configured organization, as declared by its registry descriptor.
 func geometry(cfg Config) (visibleLines, stackedLines uint64) {
-	stkLines := cfg.StackedBytes() / dram.LineBytes
-	offLines := cfg.OffChipBytes() / dram.LineBytes
-	switch cfg.Org {
-	case Baseline, Cache, LHCache, LHCacheMM:
-		return offLines, 0
-	case DoubleUse:
-		return offLines + stkLines, 0 // idealistic extra capacity, all "off-chip"
-	case CAMEO:
-		groups := cameoGroups(cfg)
-		return groups * uint64(cfg.StackedDivisor), groups
-	default: // TLM variants
-		return stkLines + offLines, stkLines
+	d, ok := memorg.ByKind(int(cfg.Org))
+	if !ok {
+		return 0, 0 // Validate rejects unknown kinds before geometry matters
 	}
-}
-
-// cameoGroups returns the congruence-group count: the stacked lines that
-// stay OS-visible under the most restrictive LLT layout (LEAD: 31 of 32),
-// rounded down to a page multiple so the visible space is page-aligned.
-func cameoGroups(cfg Config) uint64 {
-	devLines := cfg.StackedBytes() / dram.LineBytes
-	g := cameo.VisibleStackedLines(devLines)
-	return g - g%64 // segments * groups must stay a multiple of 64 lines
+	return d.Geometry(cfg.buildEnv())
 }
 
 // newMachine wires up the system; specs assigns one benchmark per core
@@ -140,6 +124,10 @@ func newMachine(specs []workload.Spec, cfg Config) (*machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	desc, ok := memorg.ByKind(int(cfg.Org))
+	if !ok {
+		return nil, fmt.Errorf("system: unknown organization %v", cfg.Org)
+	}
 	m := &machine{cfg: cfg, eng: sim.NewEngine()}
 
 	visibleLines, stackedLines := geometry(cfg)
@@ -151,13 +139,13 @@ func newMachine(specs []workload.Spec, cfg Config) (*machine, error) {
 		m.streams = append(m.streams, workload.NewStream(specs[core], cfg.ScaleDiv, core, cfg.Seed))
 	}
 
-	org, err := buildOrg(cfg, m.vmm, visibleLines, stackedLines)
+	org, err := buildOrg(desc, cfg, m.vmm, visibleLines, stackedLines)
 	if err != nil {
 		return nil, fmt.Errorf("system: building %s: %w", cfg.Org, err)
 	}
 	m.org = org
 
-	if cfg.Org == TLMOracle {
+	if desc.OracleHotPages {
 		m.installOraclePlacement(stackedLines)
 	}
 	if cfg.UseL3 {
@@ -197,31 +185,22 @@ func (m *machine) onWarm(coreID int, now uint64) {
 	m.dropped = 0
 }
 
-// buildOrg constructs the organization under test. Constructor failures
-// (bad geometry after scaling, invalid DRAM timing) are reported as errors
-// and surface as per-cell job failures instead of crashing the sweep.
-func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (memsys.Organization, error) {
-	var devErr error
-	newDevice := func(c dram.Config) dram.Device {
-		if devErr != nil {
-			return nil
-		}
+// buildOrg constructs the organization under test through its registry
+// descriptor. Constructor failures (bad geometry after scaling, invalid
+// DRAM timing) are reported as errors and surface as per-cell job failures
+// instead of crashing the sweep.
+func buildOrg(desc memorg.Descriptor, cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (memsys.Organization, error) {
+	newDevice := func(c dram.Config) (dram.Device, error) {
 		if cfg.FRFCFS {
-			d, err := memctrl.NewController(c)
-			if err != nil {
-				devErr = err
-				return nil
-			}
-			return d
+			return memctrl.NewController(c)
 		}
-		d, err := dram.New(c)
-		if err != nil {
-			devErr = err
-			return nil
-		}
-		return d
+		return dram.New(c)
 	}
-	newStacked := func() dram.Device {
+	env := cfg.buildEnv()
+	env.VisibleLines = visibleLines
+	env.StackedLines = stackedLines
+	env.OS = vmm
+	env.NewStacked = func() (dram.Device, error) {
 		c := dram.StackedConfig(cfg.StackedBytes())
 		if cfg.Refresh {
 			c.EnableRefresh(260) // denser stacks refresh faster per bank
@@ -231,7 +210,7 @@ func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (me
 		}
 		return newDevice(c)
 	}
-	newOffChip := func(capacity uint64) dram.Device {
+	env.NewOffChip = func(capacity uint64) (dram.Device, error) {
 		c := dram.OffChipConfig(capacity)
 		if cfg.Refresh {
 			c.EnableRefresh(350)
@@ -241,85 +220,7 @@ func buildOrg(cfg Config, vmm *vm.Memory, visibleLines, stackedLines uint64) (me
 		}
 		return newDevice(c)
 	}
-	switch cfg.Org {
-	case Baseline:
-		off := newOffChip(cfg.OffChipBytes())
-		if devErr != nil {
-			return nil, devErr
-		}
-		return memsys.NewBaseline(off, visibleLines), nil
-	case Cache, DoubleUse:
-		// DoubleUse's extra capacity is modeled as a larger off-chip space
-		// with unchanged timing (the idealism the paper describes).
-		offBytes := visibleLines * dram.LineBytes
-		off := newOffChip(offBytes)
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		name := "Cache"
-		if cfg.Org == DoubleUse {
-			name = "DoubleUse"
-		}
-		return alloy.NewCache(alloy.Config{
-			Name:             name,
-			Cores:            cfg.Cores,
-			PredictorEntries: 256,
-			VisibleLines:     visibleLines,
-		}, stacked, off)
-	case LHCache, LHCacheMM:
-		off := newOffChip(cfg.OffChipBytes())
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		return lohhill.New(lohhill.Config{
-			VisibleLines: visibleLines,
-			MissMap:      cfg.Org == LHCacheMM,
-		}, stacked, off), nil
-	case TLMStatic, TLMOracle:
-		off := newOffChip(cfg.OffChipBytes())
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		return tlm.NewStatic(cfg.Org.String(), stacked, off, stackedLines, visibleLines), nil
-	case TLMDynamic:
-		off := newOffChip(cfg.OffChipBytes())
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		threshold := cfg.MigrationThreshold
-		if threshold < 1 {
-			threshold = 1
-		}
-		return tlm.NewDynamicThreshold(stacked, off, stackedLines, visibleLines, vmm, threshold), nil
-	case TLMFreq:
-		off := newOffChip(cfg.OffChipBytes())
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		return tlm.NewFreq(stacked, off, stackedLines, visibleLines, vmm, cfg.EpochAccesses), nil
-	case CAMEO:
-		off := newOffChip(cfg.OffChipBytes())
-		stacked := newStacked()
-		if devErr != nil {
-			return nil, devErr
-		}
-		return cameo.NewSystem(cameo.Config{
-			Groups:           stackedLines,
-			Segments:         cfg.StackedDivisor,
-			LLT:              cfg.LLT,
-			Pred:             cfg.Pred,
-			Cores:            cfg.Cores,
-			LLPEntries:       256,
-			HotSwapThreshold: cfg.HotSwapThreshold,
-			LLTCacheEntries:  cfg.LLTCacheEntries,
-		}, stacked, off)
-	}
-	return nil, fmt.Errorf("system: unknown organization %v", cfg.Org)
+	return desc.Build(env)
 }
 
 // installOraclePlacement grants TLM-Oracle its profiled knowledge: each

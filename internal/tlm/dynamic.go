@@ -1,6 +1,8 @@
 package tlm
 
 import (
+	"fmt"
+
 	"cameo/internal/dram"
 	"cameo/internal/memsys"
 	"cameo/internal/vm"
@@ -42,13 +44,27 @@ func NewDynamic(stacked, off dram.Device, stackedLines, totalLines uint64, swapp
 // only once it has accumulated `threshold` demand touches.
 func NewDynamicThreshold(stacked, off dram.Device, stackedLines, totalLines uint64,
 	swapper Swapper, threshold int) *Dynamic {
+	d, err := TryNewDynamicThreshold(stacked, off, stackedLines, totalLines, swapper, threshold)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TryNewDynamicThreshold is NewDynamicThreshold with invalid configurations
+// reported as errors instead of panics.
+func TryNewDynamicThreshold(stacked, off dram.Device, stackedLines, totalLines uint64,
+	swapper Swapper, threshold int) (*Dynamic, error) {
 	if swapper == nil {
-		panic("tlm: nil swapper")
+		return nil, fmt.Errorf("tlm: nil swapper")
 	}
 	if threshold < 1 {
-		panic("tlm: migration threshold must be >= 1")
+		return nil, fmt.Errorf("tlm: migration threshold %d must be >= 1", threshold)
 	}
-	r := newRoute(stacked, off, stackedLines, totalLines)
+	r, err := newRouteChecked(stacked, off, stackedLines, totalLines)
+	if err != nil {
+		return nil, err
+	}
 	return &Dynamic{
 		route:         r,
 		swapper:       swapper,
@@ -56,7 +72,7 @@ func NewDynamicThreshold(stacked, off dram.Device, stackedLines, totalLines uint
 		refBits:       make([]bool, stackedLines/vm.LinesPerPage),
 		threshold:     threshold,
 		touches:       make(map[uint64]int),
-	}
+	}, nil
 }
 
 // Name implements memsys.Organization.

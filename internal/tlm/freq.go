@@ -1,6 +1,7 @@
 package tlm
 
 import (
+	"fmt"
 	"sort"
 
 	"cameo/internal/dram"
@@ -28,20 +29,34 @@ var _ memsys.Organization = (*Freq)(nil)
 // NewFreq builds TLM-Freq with the given epoch length in demand accesses.
 func NewFreq(stacked, off dram.Device, stackedLines, totalLines uint64,
 	swapper Swapper, epochAccesses uint64) *Freq {
+	f, err := TryNewFreq(stacked, off, stackedLines, totalLines, swapper, epochAccesses)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TryNewFreq is NewFreq with invalid configurations reported as errors
+// instead of panics.
+func TryNewFreq(stacked, off dram.Device, stackedLines, totalLines uint64,
+	swapper Swapper, epochAccesses uint64) (*Freq, error) {
 	if swapper == nil {
-		panic("tlm: nil swapper")
+		return nil, fmt.Errorf("tlm: nil swapper")
 	}
 	if epochAccesses == 0 {
-		panic("tlm: zero epoch length")
+		return nil, fmt.Errorf("tlm: zero epoch length")
 	}
-	r := newRoute(stacked, off, stackedLines, totalLines)
+	r, err := newRouteChecked(stacked, off, stackedLines, totalLines)
+	if err != nil {
+		return nil, err
+	}
 	return &Freq{
 		route:         r,
 		swapper:       swapper,
 		stackedFrames: stackedLines / vm.LinesPerPage,
 		counts:        make([]uint32, totalLines/vm.LinesPerPage),
 		epochAccesses: epochAccesses,
-	}
+	}, nil
 }
 
 // Name implements memsys.Organization.

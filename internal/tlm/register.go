@@ -1,0 +1,107 @@
+package tlm
+
+import (
+	"fmt"
+
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+)
+
+// tlmGeometry exposes the whole capacity as OS-visible address space with
+// the stacked lines as its prefix — the Two-Level Memory address split.
+func tlmGeometry(e memorg.Env) (uint64, uint64) {
+	stk := e.StackedBytes / dram.LineBytes
+	off := e.OffChipBytes / dram.LineBytes
+	return stk + off, stk
+}
+
+// devices wires the two modules every TLM variant routes between.
+func devices(e memorg.Env) (stacked, off dram.Device, err error) {
+	if off, err = e.NewOffChip(e.OffChipBytes); err != nil {
+		return nil, nil, err
+	}
+	if stacked, err = e.NewStacked(); err != nil {
+		return nil, nil, err
+	}
+	return stacked, off, nil
+}
+
+func init() {
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindTLMStatic,
+		Name:     "tlm-static",
+		Display:  "TLM-Static",
+		Summary:  "stacked DRAM in the address space, pages stay where the OS placed them (random placement)",
+		Paper:    "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (Section II TLM)",
+		Geometry: tlmGeometry,
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			stacked, off, err := devices(e)
+			if err != nil {
+				return nil, err
+			}
+			return TryNewStatic("TLM-Static", stacked, off, e.StackedLines, e.VisibleLines)
+		},
+	})
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindTLMOracle,
+		Name:     "tlm-oracle",
+		Display:  "TLM-Oracle",
+		Summary:  "TLM with profiled (oracular) initial placement of each core's hottest pages",
+		Paper:    "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (Section VI-D)",
+		Geometry: tlmGeometry,
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			stacked, off, err := devices(e)
+			if err != nil {
+				return nil, err
+			}
+			return TryNewStatic("TLM-Oracle", stacked, off, e.StackedLines, e.VisibleLines)
+		},
+		OracleHotPages: true,
+	})
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindTLMDynamic,
+		Name:     "tlm-dynamic",
+		Display:  "TLM-Dynamic",
+		Summary:  "TLM that swaps a touched off-chip page with a CLOCK-chosen stacked victim (16 KB per swap)",
+		Paper:    "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (Section II-C)",
+		Geometry: tlmGeometry,
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			if e.OS == nil {
+				return nil, fmt.Errorf("tlm: dynamic migration needs the paging layer")
+			}
+			stacked, off, err := devices(e)
+			if err != nil {
+				return nil, err
+			}
+			threshold := e.MigrationThreshold
+			if threshold < 1 {
+				threshold = 1
+			}
+			return TryNewDynamicThreshold(stacked, off, e.StackedLines, e.VisibleLines, e.OS, threshold)
+		},
+		// CLOCK ref-bit churn and the touch map make the steady state
+		// cheap but not allocation-free; the conformance bound reflects it.
+		AccessAllocBound: 2,
+	})
+	memorg.Register(memorg.Descriptor{
+		Kind:     memorg.KindTLMFreq,
+		Name:     "tlm-freq",
+		Display:  "TLM-Freq",
+		Summary:  "TLM with per-page access counters; every epoch the hottest pages migrate into stacked DRAM",
+		Paper:    "CAMEO, Chou/Jaleel/Qureshi, MICRO 2014 (Section VI-D)",
+		Geometry: tlmGeometry,
+		Build: func(e memorg.Env) (memorg.Organization, error) {
+			if e.OS == nil {
+				return nil, fmt.Errorf("tlm: frequency migration needs the paging layer")
+			}
+			stacked, off, err := devices(e)
+			if err != nil {
+				return nil, err
+			}
+			return TryNewFreq(stacked, off, e.StackedLines, e.VisibleLines, e.OS, e.EpochAccesses)
+		},
+		// Epoch-boundary sorting allocates; amortized over an epoch it
+		// stays under this bound.
+		AccessAllocBound: 2,
+	})
+}

@@ -40,16 +40,26 @@ type route struct {
 }
 
 func newRoute(stacked, off dram.Device, stackedLines, totalLines uint64) route {
+	r, err := newRouteChecked(stacked, off, stackedLines, totalLines)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// newRouteChecked is newRoute with invalid splits reported as errors, for
+// the registry's validated-constructor path.
+func newRouteChecked(stacked, off dram.Device, stackedLines, totalLines uint64) (route, error) {
 	if stacked == nil || off == nil {
-		panic("tlm: nil DRAM module")
+		return route{}, fmt.Errorf("tlm: nil DRAM module")
 	}
 	if stackedLines == 0 || stackedLines >= totalLines {
-		panic(fmt.Sprintf("tlm: bad split stacked=%d total=%d", stackedLines, totalLines))
+		return route{}, fmt.Errorf("tlm: bad split stacked=%d total=%d", stackedLines, totalLines)
 	}
 	if stackedLines%vm.LinesPerPage != 0 || totalLines%vm.LinesPerPage != 0 {
-		panic("tlm: split not page-aligned")
+		return route{}, fmt.Errorf("tlm: split stacked=%d total=%d not page-aligned", stackedLines, totalLines)
 	}
-	return route{stacked: stacked, off: off, stackedLines: stackedLines, totalLines: totalLines}
+	return route{stacked: stacked, off: off, stackedLines: stackedLines, totalLines: totalLines}, nil
 }
 
 // access times one line access in whichever module holds it.
@@ -89,7 +99,21 @@ var _ memsys.Organization = (*Static)(nil)
 // NewStatic builds the no-migration TLM. name is the reporting label
 // ("TLM-Static" or "TLM-Oracle").
 func NewStatic(name string, stacked, off dram.Device, stackedLines, totalLines uint64) *Static {
-	return &Static{route: newRoute(stacked, off, stackedLines, totalLines), name: name}
+	s, err := TryNewStatic(name, stacked, off, stackedLines, totalLines)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TryNewStatic is NewStatic with invalid splits reported as errors instead
+// of panics, so a bad sweep cell fails as a cell.
+func TryNewStatic(name string, stacked, off dram.Device, stackedLines, totalLines uint64) (*Static, error) {
+	r, err := newRouteChecked(stacked, off, stackedLines, totalLines)
+	if err != nil {
+		return nil, err
+	}
+	return &Static{route: r, name: name}, nil
 }
 
 // Name implements memsys.Organization.

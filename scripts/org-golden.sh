@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Golden per-organization sweep: run a small fixed sweep for one registered
+# memory organization and byte-compare the CSV against the checked-in
+# results/golden/<org>.csv. The CI org-matrix fans this out one job per
+# organization, so any change to an organization's timing, traffic, or CSV
+# shape shows up as a golden diff on exactly that organization's job.
+#
+# Usage:
+#   ./scripts/org-golden.sh <org>            # compare against the golden file
+#   ./scripts/org-golden.sh <org> --update   # regenerate the golden file
+#   ./scripts/org-golden.sh --update-all     # regenerate every golden file
+#
+# Run from the repository root.
+set -euo pipefail
+
+golden_dir=results/golden
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/cameo-sweep" ./cmd/cameo-sweep
+
+# Small fixed grid: 2 benchmarks x 2 scales, tiny instruction budget. The
+# scale sweep pins the footprint, so every organization finishes in seconds.
+# -jobs 4 is safe because per-cell results are deterministic at any worker
+# count (the conformance suite holds every organization to that).
+run_sweep() {
+  "$workdir/cameo-sweep" -org "$1" -bench milc,gcc -sweep scale \
+    -values 4096,8192 -instr 30000 -cores 2 -jobs 4 -quiet -out "$2"
+}
+
+orgs_from_binary() {
+  # The -org flag's usage text embeds the registry's name list:
+  #   "organization to sweep (one of: a, b, c)"
+  "$workdir/cameo-sweep" -h 2>&1 |
+    sed -n 's/.*one of: \([^)]*\)).*/\1/p' | tr -d ',' | tr ' ' '\n' | sed '/^$/d'
+}
+
+update_one() {
+  mkdir -p "$golden_dir"
+  run_sweep "$1" "$golden_dir/$1.csv"
+  echo "updated $golden_dir/$1.csv"
+}
+
+case "${1:-}" in
+--update-all)
+  while IFS= read -r org; do
+    update_one "$org"
+  done < <(orgs_from_binary)
+  ;;
+"")
+  echo "usage: $0 <org> [--update] | $0 --update-all" >&2
+  exit 2
+  ;;
+*)
+  org=$1
+  if [ "${2:-}" = "--update" ]; then
+    update_one "$org"
+    exit 0
+  fi
+  golden=$golden_dir/$org.csv
+  if [ ! -f "$golden" ]; then
+    echo "no golden file $golden — run: $0 $org --update" >&2
+    exit 1
+  fi
+  run_sweep "$org" "$workdir/got.csv"
+  if ! cmp "$golden" "$workdir/got.csv"; then
+    echo "golden sweep for '$org' diverged from $golden" >&2
+    diff -u "$golden" "$workdir/got.csv" | head -40 >&2 || true
+    exit 1
+  fi
+  echo "golden sweep for '$org' matches $golden"
+  ;;
+esac
