@@ -21,10 +21,18 @@
 // unwind at their preemption points, and the workers are reclaimed.
 //
 // Fleet mode: with -peers, a worker consults the listed peer caches before
-// recomputing a cell. With -coordinator -workers=..., cameod serves the
-// same /sweep contract but shards cells across the workers by consistent
-// hashing, work-steals stragglers, and re-shards the cells of lost workers
-// — see internal/fleet.
+// recomputing a cell (and serves POST /cache/warm so a coordinator can ask
+// it to pre-fetch a batch of entries from those peers). With -coordinator
+// -workers=..., cameod serves the same /sweep contract but shards cells
+// across the workers by consistent hashing, work-steals stragglers, and
+// re-shards the cells of lost workers — see internal/fleet. With -heartbeat
+// the coordinator runs the suspicion-based failure detector
+// (alive→suspect→dead, tuned by -suspect-misses/-dead-misses) and serves
+// POST /fleet/join for runtime registration; a worker started with
+// -join <coordinator> announces itself there and re-joins automatically
+// after a crash. -chaos/-chaos-seed inject deterministic transport faults
+// (drop, latency, error5xx, partition) at the fleet/dispatch,
+// fleet/heartbeat, and fleet/cachefetch sites for replayable drills.
 //
 // On SIGTERM/SIGINT cameod drains: it stops admitting (readyz flips to
 // 503), lets in-flight sweeps finish within -drain-grace, force-cancels any
@@ -50,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/fleet"
 	"cameo/internal/runner"
 	"cameo/internal/server"
@@ -77,11 +86,30 @@ func run(args []string, stderr io.Writer) int {
 		workers     = fs.String("workers", "", "comma-separated worker base URLs the coordinator shards across")
 		vnodes      = fs.Int("vnodes", 0, "virtual nodes per worker on the hash ring (0 = default)")
 		resume      = fs.Bool("resume", false, "coordinator mode: resume an interrupted sweep from the manifest in -cachedir")
+
+		join          = fs.String("join", "", "worker mode: coordinator base URL to register with at startup (and keep re-announcing to)")
+		advertise     = fs.String("advertise", "", "worker mode: this worker's own base URL as reachable by the coordinator and peers (default http://<addr>)")
+		heartbeat     = fs.Duration("heartbeat", 0, "coordinator mode: probe worker liveness at this cadence and run the suspicion-based failure detector (0 = off: a failed dispatch plus a failed probe kills a worker immediately); worker mode with -join: re-announce cadence")
+		suspectMisses = fs.Int("suspect-misses", 0, "coordinator mode: consecutive heartbeat misses before a worker turns suspect (0 = default 2)")
+		deadMisses    = fs.Int("dead-misses", 0, "coordinator mode: total consecutive misses before a suspect is declared dead and re-sharded (0 = default: suspect-misses+4)")
+		chaos         = fs.String("chaos", "", "comma-separated deterministic fault rules injected under fleet transport (site:kind[:opt=v]...; sites fleet/dispatch, fleet/heartbeat, fleet/cachefetch; kinds drop, latency, error5xx, partition)")
+		chaosSeed     = fs.Uint64("chaos-seed", 1, "seed for the -chaos fault plan (same seed + same traffic = same faults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	logger := log.New(stderr, "cameod: ", log.LstdFlags)
+
+	var chaosPlan *faultinject.Plan
+	if *chaos != "" {
+		plan, err := faultinject.ParseSpec(*chaosSeed, *chaos)
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		chaosPlan = plan
+		logger.Printf("chaos: injecting %q (seed %d)", *chaos, *chaosSeed)
+	}
 
 	// Listen before building anything else: a busy or malformed address is
 	// the most common operational error, and it must fail with one clear
@@ -100,21 +128,35 @@ func run(args []string, stderr io.Writer) int {
 			ln.Close()
 			return 2
 		}
+		if *join != "" {
+			logger.Print("-join is a worker flag: a coordinator is joined, it does not join")
+			ln.Close()
+			return 2
+		}
 		co, err := fleet.NewCoordinator(fleet.CoordinatorOptions{
-			Workers:       splitList(*workers),
-			VNodes:        *vnodes,
-			MaxCells:      *maxCells,
-			CheckpointDir: *cachedir,
-			Resume:        *resume,
-			Log:           logger,
+			Workers:           splitList(*workers),
+			VNodes:            *vnodes,
+			MaxCells:          *maxCells,
+			CheckpointDir:     *cachedir,
+			Resume:            *resume,
+			HeartbeatInterval: *heartbeat,
+			SuspectMisses:     *suspectMisses,
+			DeadMisses:        *deadMisses,
+			Chaos:             chaosPlan,
+			Log:               logger,
 		})
 		if err != nil {
 			logger.Print(err)
 			ln.Close()
 			return 1
 		}
+		defer co.Close()
 		handler = co.Handler()
-		logger.Printf("coordinating %d workers", len(splitList(*workers)))
+		if *heartbeat > 0 {
+			logger.Printf("coordinating %d workers (failure detector on, heartbeat %s)", len(splitList(*workers)), *heartbeat)
+		} else {
+			logger.Printf("coordinating %d workers", len(splitList(*workers)))
+		}
 	} else {
 		opts := server.Options{
 			Jobs:        *jobs,
@@ -141,7 +183,11 @@ func run(args []string, stderr io.Writer) int {
 			}
 			opts.CacheDir = ""
 			opts.Disk = disk
-			opts.Cache = fleet.NewPeerTier(disk, splitList(*peers), 0)
+			tier := fleet.NewPeerTier(disk, splitList(*peers), 0)
+			if chaosPlan != nil {
+				tier.SetChaos(chaosPlan)
+			}
+			opts.Cache = tier
 		}
 		srv, err := server.New(opts)
 		if err != nil {
@@ -151,6 +197,18 @@ func run(args []string, stderr io.Writer) int {
 		}
 		handler = srv.Handler()
 		drain = srv.Drain
+		if *join != "" {
+			// Register with the coordinator now and keep re-announcing: a
+			// worker started (or restarted) mid-sweep inserts itself into
+			// the ring and receives only the cells the ring moves to it.
+			self := *advertise
+			if self == "" {
+				self = "http://" + ln.Addr().String()
+			}
+			annCtx, annCancel := context.WithCancel(context.Background())
+			defer annCancel()
+			go fleet.Announce(annCtx, *join, self, *heartbeat, logger.Printf)
+		}
 	}
 
 	httpSrv := &http.Server{Handler: handler}

@@ -95,3 +95,27 @@ func TestSplitList(t *testing.T) {
 		t.Fatalf("splitList(\"\") = %#v, want nil", splitList(""))
 	}
 }
+
+// TestRunMembershipFlagValidation: the membership/chaos flags fail fast on
+// incoherent combinations — a coordinator cannot -join, and an unparsable
+// -chaos spec is a usage error naming the bad rule.
+func TestRunMembershipFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run([]string{"-addr", "127.0.0.1:0", "-coordinator",
+		"-workers", "http://w:1", "-join", "http://c:1"}, &stderr)
+	if code != 2 {
+		t.Fatalf("-coordinator with -join: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-join is a worker flag") {
+		t.Fatalf("stderr lacks the -join diagnostic: %q", stderr.String())
+	}
+
+	stderr.Reset()
+	code = run([]string{"-addr", "127.0.0.1:0", "-chaos", "fleet/dispatch:no-such-kind"}, &stderr)
+	if code != 2 {
+		t.Fatalf("bad -chaos spec: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no-such-kind") {
+		t.Fatalf("stderr does not name the bad chaos kind: %q", stderr.String())
+	}
+}

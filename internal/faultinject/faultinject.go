@@ -10,7 +10,11 @@
 // disk cache consults it around entry reads and writes (SiteCacheLoad,
 // SiteCacheStore), so every failure path the fault-tolerance layer handles
 // — watchdog timeouts, retries, quarantine, degraded stores — can be
-// exercised by tests against the real recovery code.
+// exercised by tests against the real recovery code. The fleet's HTTP
+// transport consults it per request (SiteFleetDispatch, SiteFleetHeartbeat,
+// SiteFleetCacheFetch) with the network kinds Drop, Latency, Error5xx, and
+// Partition, so membership churn — suspicion, false deaths, warm re-shard —
+// is chaos-tested against deterministic, replayable network schedules too.
 package faultinject
 
 import (
@@ -35,6 +39,18 @@ const (
 	// SiteCacheStore is consulted by the disk cache while writing an entry;
 	// WriteFail faults abort the write so the degraded-store path runs.
 	SiteCacheStore Site = "cachestore"
+
+	// SiteFleetDispatch is consulted by the fleet transport before a cell
+	// dispatch (POST /sweep) leaves the coordinator; Drop, Latency,
+	// Error5xx, and Partition faults are meaningful here.
+	SiteFleetDispatch Site = "fleet/dispatch"
+	// SiteFleetHeartbeat is consulted before a liveness or readiness probe
+	// (GET /healthz, /readyz) — the failure detector's input channel, so
+	// partition drills can starve it without touching dispatch traffic.
+	SiteFleetHeartbeat Site = "fleet/heartbeat"
+	// SiteFleetCacheFetch is consulted before a peer-cache transfer
+	// (GET/PUT /cache/<hash>), including warm-prefetch pulls.
+	SiteFleetCacheFetch Site = "fleet/cachefetch"
 )
 
 // Kind is the failure mode a rule injects.
@@ -60,6 +76,21 @@ const (
 	// exercise watchdog-triggered preemption and worker reclamation
 	// without depending on scheduler timing.
 	Stall
+	// Drop fails a transport request without sending it — the connection-
+	// refused / reset shape a crashed process produces (fleet sites).
+	Drop
+	// Latency delays a transport request by the rule's Delay before
+	// forwarding it normally — a slow network or GC pause, not a failure.
+	Latency
+	// Error5xx answers a transport request with a synthetic 500 without
+	// reaching the server — a mid-tier proxy failure (fleet sites).
+	Error5xx
+	// Partition fails a transport request as if the target were
+	// unreachable. Behaviourally like Drop at a single site; the distinct
+	// kind exists so chaos specs read as what they model — a network
+	// partition isolating a worker for a bounded window (scope it with
+	// match= on the worker's host:port and max= on the attempt count).
+	Partition
 )
 
 func (k Kind) String() string {
@@ -76,6 +107,14 @@ func (k Kind) String() string {
 		return "writefail"
 	case Stall:
 		return "stall"
+	case Drop:
+		return "drop"
+	case Latency:
+		return "latency"
+	case Error5xx:
+		return "error5xx"
+	case Partition:
+		return "partition"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -83,8 +122,8 @@ func (k Kind) String() string {
 // Fault is one injected failure, returned by Evaluate when a rule fires.
 type Fault struct {
 	Kind Kind
-	// Delay is the hang/stall duration (Hang and Stall faults only; zero
-	// means "until cancelled" at the runner's job site).
+	// Delay is the hang/stall/latency duration (Hang, Stall, and Latency
+	// faults; zero means "until cancelled" at the runner's job site).
 	Delay time.Duration
 }
 
@@ -144,13 +183,23 @@ func (p *Plan) RuleFires(i int) uint64 {
 	return p.fired[i].Load()
 }
 
-// roll maps (seed, site, key, attempt) to a uniform value in [0,1). FNV-1a
-// is deterministic, dependency-free, and plenty for fault scheduling.
+// roll maps (seed, site, key, attempt) to a uniform value in [0,1).
+// FNV-1a is deterministic and dependency-free but avalanches weakly in
+// its high bits for inputs that differ only near the end (consecutive
+// attempt numbers hash to near-identical top bits), so the sum is pushed
+// through a splitmix64-style finalizer before scaling — without it a
+// Prob rule fires in long all-or-nothing streaks across attempts.
 func (p *Plan) roll(site Site, key string, attempt int) float64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%d", p.seed, site, key, attempt)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
 	const scale = 1 << 53
-	return float64(h.Sum64()>>11) / scale
+	return float64(x>>11) / scale
 }
 
 // Evaluate reports whether a fault fires at the site for (key, attempt),

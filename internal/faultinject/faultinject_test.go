@@ -166,3 +166,74 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestParseSpecFleetSites: the fleet transport sites and network kinds
+// parse, including a match= value that itself contains colons (a
+// host:port) — the option splitter must not cut it.
+func TestParseSpecFleetSites(t *testing.T) {
+	p, err := ParseSpec(1,
+		"fleet/dispatch:drop:p=0.5;"+
+			"fleet/heartbeat:partition:match=127.0.0.1:18441:max=3;"+
+			"fleet/cachefetch:error5xx:limit=2;"+
+			"fleet/dispatch:latency:delay=40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(p.rules))
+	}
+	if r := p.rules[0]; r.Site != SiteFleetDispatch || r.Kind != Drop || r.Prob != 0.5 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if r := p.rules[1]; r.Site != SiteFleetHeartbeat || r.Kind != Partition ||
+		r.Match != "127.0.0.1:18441" || r.MaxAttempt != 3 {
+		t.Fatalf("rule 1 = %+v (colon-valued match must survive parsing)", r)
+	}
+	if r := p.rules[2]; r.Site != SiteFleetCacheFetch || r.Kind != Error5xx || r.Limit != 2 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+	if r := p.rules[3]; r.Kind != Latency || r.Delay != 40*time.Millisecond {
+		t.Fatalf("rule 3 = %+v", r)
+	}
+
+	// The partition window fires exactly on attempts 0..2 for the matched
+	// host and never for another worker.
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, ok := p.Evaluate(SiteFleetHeartbeat, "127.0.0.1:18441", attempt); !ok {
+			t.Errorf("partition did not fire at attempt %d", attempt)
+		}
+	}
+	if _, ok := p.Evaluate(SiteFleetHeartbeat, "127.0.0.1:18441", 3); ok {
+		t.Error("partition fired past max=3 — the window must close")
+	}
+	if _, ok := p.Evaluate(SiteFleetHeartbeat, "127.0.0.1:9999", 0); ok {
+		t.Error("partition fired for an unmatched worker")
+	}
+}
+
+func TestNetworkKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Drop: "drop", Latency: "latency", Error5xx: "error5xx", Partition: "partition",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// TestRollMixesAttempts: consecutive attempts must not roll into
+// all-or-nothing streaks — the finalizer exists precisely because raw
+// FNV-1a clusters near-identical inputs.
+func TestRollMixesAttempts(t *testing.T) {
+	p := NewPlan(42, Rule{Site: SiteFleetHeartbeat, Kind: Drop, Prob: 0.5})
+	fired := 0
+	const n = 64
+	for a := 0; a < n; a++ {
+		if _, ok := p.Evaluate(SiteFleetHeartbeat, "127.0.0.1:43112", a); ok {
+			fired++
+		}
+	}
+	if fired < n/5 || fired > n*4/5 {
+		t.Errorf("p=0.5 fired %d/%d across consecutive attempts — roll not mixing", fired, n)
+	}
+}

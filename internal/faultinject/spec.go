@@ -12,16 +12,21 @@ import (
 //
 //	site:kind[:opt=value]...
 //
-// with sites job, cacheload, cachestore; kinds panic, error, hang, stall,
-// corrupt, writefail; and options
+// with sites job, cacheload, cachestore, fleet/dispatch, fleet/heartbeat,
+// fleet/cachefetch; kinds panic, error, hang, stall, corrupt, writefail,
+// drop, latency, error5xx, partition; and options
 //
 //	p=0.25        firing probability (default 1)
-//	match=milc    substring filter on the cell key
+//	match=milc    substring filter on the key (cell key at the job/cache
+//	              sites; the target's host:port at the fleet sites)
 //	max=2         fire only on attempts < 2 (transient fault)
-//	delay=250ms   hang/stall duration (those kinds; 0 = until cancelled)
+//	delay=250ms   hang/stall/latency duration (those kinds; 0 = until
+//	              cancelled at the job site)
 //	limit=10      total fire cap
 //
-// Example: "job:panic:p=0.1:max=1;cacheload:corrupt:match=milc".
+// Examples: "job:panic:p=0.1:max=1;cacheload:corrupt:match=milc",
+// "fleet/heartbeat:partition:match=127.0.0.1:18441:max=3" (the first three
+// heartbeat probes of one worker vanish — a bounded partition window).
 func ParseSpec(seed uint64, spec string) (*Plan, error) {
 	var rules []Rule
 	for _, raw := range strings.Split(spec, ";") {
@@ -42,9 +47,12 @@ func ParseSpec(seed uint64, spec string) (*Plan, error) {
 }
 
 var siteNames = map[string]Site{
-	"job":        SiteJobRun,
-	"cacheload":  SiteCacheLoad,
-	"cachestore": SiteCacheStore,
+	"job":              SiteJobRun,
+	"cacheload":        SiteCacheLoad,
+	"cachestore":       SiteCacheStore,
+	"fleet/dispatch":   SiteFleetDispatch,
+	"fleet/heartbeat":  SiteFleetHeartbeat,
+	"fleet/cachefetch": SiteFleetCacheFetch,
 }
 
 var kindNames = map[string]Kind{
@@ -54,6 +62,10 @@ var kindNames = map[string]Kind{
 	"corrupt":   Corrupt,
 	"writefail": WriteFail,
 	"stall":     Stall,
+	"drop":      Drop,
+	"latency":   Latency,
+	"error5xx":  Error5xx,
+	"partition": Partition,
 }
 
 func parseRule(raw string) (Rule, error) {
@@ -63,14 +75,24 @@ func parseRule(raw string) (Rule, error) {
 	}
 	site, ok := siteNames[parts[0]]
 	if !ok {
-		return Rule{}, fmt.Errorf("faultinject: unknown site %q (have job, cacheload, cachestore)", parts[0])
+		return Rule{}, fmt.Errorf("faultinject: unknown site %q (have job, cacheload, cachestore, fleet/dispatch, fleet/heartbeat, fleet/cachefetch)", parts[0])
 	}
 	kind, ok := kindNames[parts[1]]
 	if !ok {
-		return Rule{}, fmt.Errorf("faultinject: unknown kind %q (have panic, error, hang, stall, corrupt, writefail)", parts[1])
+		return Rule{}, fmt.Errorf("faultinject: unknown kind %q (have panic, error, hang, stall, corrupt, writefail, drop, latency, error5xx, partition)", parts[1])
 	}
 	r := Rule{Site: site, Kind: kind, Prob: 1}
-	for _, opt := range parts[2:] {
+	// An option value may itself contain ':' (match=127.0.0.1:18441): a
+	// segment without '=' continues the previous option's value.
+	var opts []string
+	for _, seg := range parts[2:] {
+		if !strings.Contains(seg, "=") && len(opts) > 0 {
+			opts[len(opts)-1] += ":" + seg
+			continue
+		}
+		opts = append(opts, seg)
+	}
+	for _, opt := range opts {
 		k, v, found := strings.Cut(opt, "=")
 		if !found {
 			return Rule{}, fmt.Errorf("faultinject: option %q is not key=value", opt)

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/sweepapi"
 )
 
@@ -25,11 +26,14 @@ type Client struct {
 
 // NewClient builds a worker client. dispatchTimeout bounds one cell
 // dispatch end to end (<=0: no client-side bound; the sweep context still
-// applies). Probes are always bounded at 2s.
-func NewClient(dispatchTimeout time.Duration) *Client {
+// applies). Probes are always bounded at 2s. chaos, when non-nil, wires
+// the deterministic transport fault plan under every request (sites
+// fleet/dispatch and fleet/heartbeat) — the fault-free path is untouched.
+func NewClient(dispatchTimeout time.Duration, chaos *faultinject.Plan) *Client {
+	rt := newChaosTransport(nil, chaos)
 	return &Client{
-		http:  &http.Client{Timeout: dispatchTimeout},
-		probe: &http.Client{Timeout: 2 * time.Second},
+		http:  &http.Client{Timeout: dispatchTimeout, Transport: rt},
+		probe: &http.Client{Timeout: 2 * time.Second, Transport: rt},
 	}
 }
 
@@ -135,7 +139,9 @@ func (c *Client) Ready(ctx context.Context, worker string) (sweepapi.ReadyState,
 }
 
 // Healthy probes a worker's /healthz: true means the process is alive
-// (possibly draining), false means gone.
+// (possibly draining), false means gone. This is also the heartbeat probe
+// — it rides the fleet/heartbeat fault site, so partition drills can
+// starve the failure detector without touching dispatches.
 func (c *Client) Healthy(ctx context.Context, worker string) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
 	if err != nil {
@@ -147,4 +153,37 @@ func (c *Client) Healthy(ctx context.Context, worker string) bool {
 	}
 	resp.Body.Close()
 	return resp.StatusCode == http.StatusOK
+}
+
+// Warm pushes a warm-prefetch order to a joining worker: the cell hashes
+// the ring just moved to it and the peers that may hold them. Best-effort
+// — an unreachable or pre-warm worker costs recomputation, not
+// correctness — so the caller only logs failures.
+func (c *Client) Warm(ctx context.Context, worker string, wr sweepapi.WarmRequest) (sweepapi.WarmResponse, error) {
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return sweepapi.WarmResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/cache/warm", bytes.NewReader(body))
+	if err != nil {
+		return sweepapi.WarmResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return sweepapi.WarmResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return sweepapi.WarmResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sweepapi.WarmResponse{}, fmt.Errorf("fleet: worker %s warm: %d %s", worker, resp.StatusCode, errorBody(data))
+	}
+	var out sweepapi.WarmResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return sweepapi.WarmResponse{}, fmt.Errorf("fleet: worker %s warm answer unparseable: %w", worker, err)
+	}
+	return out, nil
 }

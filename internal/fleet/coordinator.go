@@ -8,11 +8,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/metrics"
 	"cameo/internal/runner"
 	"cameo/internal/sweepapi"
@@ -20,8 +22,8 @@ import (
 
 // CoordinatorOptions configures a Coordinator.
 type CoordinatorOptions struct {
-	// Workers are the cameod worker base URLs the sweep cells shard
-	// across. At least one is required.
+	// Workers are the cameod worker base URLs known at start. At least one
+	// is required; more may join at runtime via POST /fleet/join.
 	Workers []string
 	// VNodes is the ring's virtual-node count per worker (<=0:
 	// DefaultVirtualNodes).
@@ -35,7 +37,7 @@ type CoordinatorOptions struct {
 	MaxCells int
 	// DispatchRetries is how many times a transport-failed dispatch is
 	// retried against the same worker before the worker is health-probed
-	// and, if dead, its cells re-sharded (<0: 0; default 2).
+	// and escalated (<0: 0; default 2).
 	DispatchRetries int
 	// DispatchTimeout bounds one cell dispatch (0: unbounded; the sweep
 	// deadline still applies).
@@ -43,28 +45,55 @@ type CoordinatorOptions struct {
 	// CheckpointDir, when non-empty, persists a cameo-manifest-v1 manifest
 	// (with the fleet extension) per sweep so a restarted coordinator can
 	// resume: completed cells replay from worker caches, and the manifest
-	// records the live sharding picture as workers join the dead list.
+	// records the live sharding picture plus the membership event log.
 	CheckpointDir string
 	// Resume adopts an existing manifest for the same job set instead of
-	// starting over.
+	// starting over, including its fleet section: the dead list carries
+	// over, and the membership event sequence continues past the highest
+	// recorded seq so resumed histories never collide.
 	Resume bool
-	// Log receives operational lines (deaths, re-shards, steals). Nil
-	// discards them.
+	// HeartbeatInterval, when positive, runs the background failure
+	// detector: every interval each alive worker's /healthz is probed, and
+	// misses drive the alive → suspect → dead lifecycle. Zero disables the
+	// detector and restores the legacy behaviour (a dispatch failure whose
+	// health probe also fails kills the worker immediately).
+	HeartbeatInterval time.Duration
+	// SuspectMisses is how many consecutive heartbeat misses turn an alive
+	// worker suspect (<=0: 2). A suspect keeps its ring arcs and queued
+	// cells; only new dispatches pause.
+	SuspectMisses int
+	// DeadMisses is the total consecutive misses that turn a suspect dead
+	// (<= SuspectMisses: SuspectMisses+4). Only this transition re-shards.
+	DeadMisses int
+	// Chaos, when non-nil, injects deterministic transport faults under
+	// every coordinator request (sites fleet/dispatch, fleet/heartbeat).
+	Chaos *faultinject.Plan
+	// Log receives operational lines (deaths, re-shards, steals, joins).
+	// Nil discards them.
 	Log *log.Logger
 }
 
 // Coordinator shards sweeps across a fleet of cameod workers: consistent-
 // hash placement, bounded per-worker dispatch, work-stealing off the
-// longest queue when a worker goes idle, and re-sharding of a dead
-// worker's incomplete cells onto the survivors. Safe for concurrent
-// sweeps; worker deaths observed by one sweep are remembered for the next.
+// longest queue when a worker goes idle, and self-healing membership — a
+// suspicion-based failure detector (alive → suspect → dead; only dead
+// re-shards), runtime join/re-join via POST /fleet/join, and warm
+// re-sharding that pre-fetches a joiner's cells from peer caches before
+// dispatch. Safe for concurrent sweeps; membership transitions observed by
+// one sweep apply to every active and future sweep.
 type Coordinator struct {
 	opts   CoordinatorOptions
 	client *Client
 	log    *log.Logger
+	mem    *membership
 
-	mu   sync.Mutex
-	dead map[string]bool // workers lost; never dispatched to again
+	mu        sync.Mutex
+	runs      map[*sweepRun]struct{}
+	adoptOnce sync.Once
+
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	closeOnce sync.Once
 
 	reg        *metrics.Registry
 	sweeps     *metrics.Counter
@@ -77,22 +106,27 @@ type Coordinator struct {
 	cellsFail  *metrics.Counter
 }
 
-// NewCoordinator validates the options and builds a Coordinator.
+// NewCoordinator validates the options, builds a Coordinator, and — when
+// HeartbeatInterval is set — starts the failure detector. Call Close to
+// stop it.
 func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if len(opts.Workers) == 0 {
 		return nil, errors.New("fleet: coordinator needs at least one worker")
 	}
 	seen := map[string]bool{}
+	normalized := make([]string, 0, len(opts.Workers))
 	for _, w := range opts.Workers {
-		w = strings.TrimRight(w, "/")
-		if !strings.HasPrefix(w, "http://") && !strings.HasPrefix(w, "https://") {
-			return nil, fmt.Errorf("fleet: worker %q is not an http(s) base URL", w)
+		w, err := normalizeWorkerURL(w)
+		if err != nil {
+			return nil, err
 		}
 		if seen[w] {
 			return nil, fmt.Errorf("fleet: worker %q registered twice", w)
 		}
 		seen[w] = true
+		normalized = append(normalized, w)
 	}
+	opts.Workers = normalized
 	if opts.MaxCells <= 0 {
 		opts.MaxCells = 1024
 	}
@@ -102,11 +136,22 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if opts.Log == nil {
 		opts.Log = log.New(io.Discard, "", 0)
 	}
+	if opts.CheckpointDir != "" {
+		// Unlike a worker (whose disk cache creates -cachedir), the
+		// coordinator uses the directory only for checkpoint manifests, so
+		// it must create it itself — before the first sweep fails trying to
+		// write one.
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+	}
 	c := &Coordinator{
 		opts:   opts,
-		client: NewClient(opts.DispatchTimeout),
+		client: NewClient(opts.DispatchTimeout, opts.Chaos),
 		log:    opts.Log,
-		dead:   map[string]bool{},
+		runs:   map[*sweepRun]struct{}{},
+		hbStop: make(chan struct{}),
+		hbDone: make(chan struct{}),
 		reg:    metrics.NewRegistry(),
 	}
 	sc := c.reg.Scope("fleet")
@@ -118,38 +163,184 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.retries = sc.Counter("dispatch_retries")
 	c.shedWaits = sc.Counter("shed_backoffs")
 	c.cellsFail = sc.Counter("cells_failed")
-	sc.GaugeFunc("workers_alive", func() float64 { return float64(len(c.aliveWorkers())) })
+	c.mem = newMembership(opts.SuspectMisses, opts.DeadMisses, opts.HeartbeatInterval, sc)
+	sc.GaugeFunc("workers_alive", func() float64 { return float64(len(c.mem.byState(StateAlive))) })
+	sc.GaugeFunc("workers_suspect", func() float64 { return float64(len(c.mem.byState(StateSuspect))) })
+	for _, w := range opts.Workers {
+		c.mem.admit(w)
+	}
+	if opts.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
+	} else {
+		close(c.hbDone)
+	}
 	return c, nil
 }
 
-// aliveWorkers returns the registered workers not yet declared dead,
-// sorted (deterministic ring construction).
-func (c *Coordinator) aliveWorkers() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []string
-	for _, w := range c.opts.Workers {
-		w = strings.TrimRight(w, "/")
-		if !c.dead[w] {
-			out = append(out, w)
-		}
+// normalizeWorkerURL trims and validates a worker base URL.
+func normalizeWorkerURL(w string) (string, error) {
+	w = strings.TrimRight(strings.TrimSpace(w), "/")
+	if !strings.HasPrefix(w, "http://") && !strings.HasPrefix(w, "https://") {
+		return "", fmt.Errorf("fleet: worker %q is not an http(s) base URL", w)
 	}
-	sort.Strings(out)
-	return out
+	return w, nil
 }
 
-// markDead records a lost worker fleet-wide.
-func (c *Coordinator) markDead(worker string) {
-	c.mu.Lock()
-	if !c.dead[worker] {
-		c.dead[worker] = true
-		c.deaths.Inc()
-	}
-	c.mu.Unlock()
+// Close stops the failure detector. Idempotent; active sweeps finish on
+// their own.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.hbStop)
+		if c.opts.HeartbeatInterval > 0 {
+			<-c.hbDone
+		}
+	})
 }
 
 // Metrics returns the coordinator's counters under the fleet scope.
 func (c *Coordinator) Metrics() metrics.Snapshot { return c.reg.Snapshot() }
+
+// snapshotRuns copies the active-sweep set so membership side effects are
+// applied without holding the registry lock.
+func (c *Coordinator) snapshotRuns() []*sweepRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*sweepRun, 0, len(c.runs))
+	for r := range c.runs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// heartbeatLoop is the failure detector: every interval, probe the due
+// workers (all alive ones each tick; suspects and dead on their jittered
+// backoff) and apply the resulting transitions.
+func (c *Coordinator) heartbeatLoop() {
+	defer close(c.hbDone)
+	t := time.NewTicker(c.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+		}
+		for _, w := range c.mem.due(time.Now()) {
+			select {
+			case <-c.hbStop:
+				return
+			default:
+			}
+			c.applyProbe(w, c.client.Healthy(context.Background(), w))
+		}
+	}
+}
+
+// applyProbe feeds one heartbeat answer into the detector and applies the
+// transition to every active sweep.
+func (c *Coordinator) applyProbe(worker string, ok bool) {
+	switch c.mem.probeResult(worker, ok) {
+	case transSuspected:
+		c.log.Printf("fleet: worker %s suspect (heartbeat missed); pausing dispatch, keeping its cells", worker)
+		for _, r := range c.snapshotRuns() {
+			r.pauseWorker(worker)
+		}
+	case transDied:
+		c.deaths.Inc()
+		c.log.Printf("fleet: worker %s dead (suspicion window elapsed), re-sharding its cells", worker)
+		for _, r := range c.snapshotRuns() {
+			r.removeWorker(worker)
+			r.checkpointFleet()
+		}
+	case transRecovered:
+		c.log.Printf("fleet: worker %s answered again before the suspicion window elapsed; resuming (no re-shard)", worker)
+		c.admitToRuns(worker)
+	case transRevived:
+		c.log.Printf("fleet: worker %s returned from the dead (false death); re-admitting as a fresh member", worker)
+		c.admitToRuns(worker)
+	}
+}
+
+// declareDead kills a worker immediately (deliberate departure: draining,
+// or the legacy no-heartbeat dispatch-failure path) and re-shards it out
+// of every active sweep.
+func (c *Coordinator) declareDead(worker string) {
+	if c.mem.forceDead(worker) != transDied {
+		return
+	}
+	c.deaths.Inc()
+	for _, r := range c.snapshotRuns() {
+		r.removeWorker(worker)
+		r.checkpointFleet()
+	}
+}
+
+// suspectWorker reports dispatch-level evidence of trouble: the worker
+// turns suspect (dispatch pauses everywhere) and the detector's probes
+// decide between recovery and death.
+func (c *Coordinator) suspectWorker(worker string) {
+	if c.mem.suspect(worker) != transSuspected {
+		return
+	}
+	c.log.Printf("fleet: worker %s suspect (dispatch failed and health probe missed); pausing dispatch, keeping its cells", worker)
+	for _, r := range c.snapshotRuns() {
+		r.pauseWorker(worker)
+	}
+}
+
+// workerSlots probes a worker's /readyz for its advertised dispatch
+// concurrency (admission-aware placement), clamped by SlotsPerWorker.
+func (c *Coordinator) workerSlots(ctx context.Context, worker string) (int, bool) {
+	st, err := c.client.Ready(ctx, worker)
+	if err != nil || !st.Ready {
+		return 0, false
+	}
+	n := st.MaxInflight
+	if c.opts.SlotsPerWorker > 0 && c.opts.SlotsPerWorker < n {
+		n = c.opts.SlotsPerWorker
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, true
+}
+
+// admitToRuns inserts a (re-)joined worker into every active sweep: the
+// ring moves exactly the cells whose arcs the joiner's virtual nodes now
+// own (the PR-6 remap bound — no other worker's cells move), those cells'
+// cache hashes are warm-pushed so the joiner pre-fetches finished results
+// from its peers before anything dispatches, and only then does dispatch
+// to the joiner resume.
+func (c *Coordinator) admitToRuns(worker string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	slots, ready := c.workerSlots(ctx, worker)
+	if !ready {
+		// Joined but not admitting sweeps yet: leave it in the ring for
+		// future sweeps; this run proceeds without it.
+		c.log.Printf("fleet: worker %s joined but /readyz not answering; deferring its dispatch", worker)
+		return
+	}
+	var peers []string
+	for _, p := range c.mem.ringMembers() {
+		if p != worker {
+			peers = append(peers, p)
+		}
+	}
+	for _, r := range c.snapshotRuns() {
+		hashes := r.addWorker(worker, slots)
+		if len(hashes) > 0 {
+			resp, err := c.client.Warm(ctx, worker, sweepapi.WarmRequest{Hashes: hashes, Peers: peers})
+			if err != nil {
+				c.log.Printf("fleet: warm push to %s failed: %v (its cells compute cold)", worker, err)
+			} else {
+				c.log.Printf("fleet: warmed %s: %d/%d cells pre-fetched from peers", worker, resp.Hits, len(hashes))
+			}
+		}
+		r.activateWorker(worker)
+		r.checkpointFleet()
+	}
+}
 
 // errBadRequest marks request-shaped failures (unknown org/benchmark,
 // oversized grid) so the HTTP layer can answer 400 exactly like a worker.
@@ -166,6 +357,24 @@ type fleetCell struct {
 	hash string
 }
 
+// runStatus is a worker's dispatchability within one sweep.
+type runStatus int
+
+const (
+	// runActive: dispatch loops pull from its queue.
+	runActive runStatus = iota
+	// runPaused: a suspect (or still-warming joiner); its loops park, its
+	// queued cells stay put but remain stealable by idle workers.
+	runPaused
+	// runGone: dead for this sweep; queue re-sharded, loops exited.
+	runGone
+)
+
+// runWorker is one worker's per-sweep record.
+type runWorker struct {
+	status runStatus
+}
+
 // sweepRun is the per-sweep dispatch state.
 type sweepRun struct {
 	co  *Coordinator
@@ -174,12 +383,14 @@ type sweepRun struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
+	wg       sync.WaitGroup
 	ring     *Ring
-	alive    map[string]bool
+	workers  map[string]*runWorker
 	queues   map[string][]*fleetCell
 	results  map[string]sweepapi.Cell
 	failures map[string]runner.CellFailure
 	pending  int // unresolved unique cells
+	closed   bool
 	fatal    error
 
 	cp *runner.Checkpoint
@@ -187,11 +398,12 @@ type sweepRun struct {
 
 // Run executes one sweep across the fleet and returns the merged
 // response — cells in request order, failures key-sorted — byte-for-byte
-// the response a single worker would have produced for the same request.
-// The error mirrors the worker contract: *errBadRequest for invalid
-// requests, the context error on cancellation, a plain error when the
-// whole fleet is lost. Worker-quarantined cells are not an error; they
-// appear in Response.Failures.
+// the response a single worker would have produced for the same request,
+// under any membership schedule (joins, suspicions, deaths, re-joins)
+// along the way. The error mirrors the worker contract: *errBadRequest
+// for invalid requests, the context error on cancellation, a plain error
+// when the whole fleet is lost. Worker-quarantined cells are not an
+// error; they appear in Response.Failures.
 func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.Response, error) {
 	grid, err := sweepapi.BuildGrid(req, c.opts.MaxCells)
 	if err != nil {
@@ -216,7 +428,7 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 		co:       c,
 		ctx:      ctx,
 		req:      req,
-		alive:    map[string]bool{},
+		workers:  map[string]*runWorker{},
 		queues:   map[string][]*fleetCell{},
 		results:  map[string]sweepapi.Cell{},
 		failures: map[string]runner.CellFailure{},
@@ -230,34 +442,38 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 			return nil, err
 		}
 		s.cp = cp
+		if c.opts.Resume {
+			// Adopt the interrupted run's membership history once: its
+			// dead list carries over and the event sequence continues.
+			c.adoptOnce.Do(func() { c.mem.adoptPrior(cp.Fleet()) })
+		}
 	}
 
-	// Build the ring over the currently-alive membership and probe each
-	// worker's admission state: a worker that cannot even answer /readyz
-	// is dead before the first cell, and the advertised MaxInflight sizes
-	// its dispatch slots (admission-aware placement).
-	workers := c.aliveWorkers()
-	if len(workers) == 0 {
+	// Build the ring over the current membership and probe each worker's
+	// admission state: the advertised MaxInflight sizes its dispatch slots
+	// (admission-aware placement). A worker that cannot answer /readyz is
+	// excluded — immediately dead in legacy mode, merely suspect (and
+	// re-admittable mid-sweep) when the failure detector runs.
+	members := c.mem.ringMembers()
+	if len(members) == 0 {
 		return nil, errors.New("fleet: no live workers")
 	}
 	s.ring = NewRing(c.opts.VNodes)
 	slots := map[string]int{}
-	for _, w := range workers {
-		st, err := c.client.Ready(ctx, w)
-		if err != nil || !st.Ready {
-			c.log.Printf("fleet: worker %s not ready at sweep start (%v), excluding", w, err)
-			c.markDead(w)
+	for _, w := range members {
+		n, ready := c.workerSlots(ctx, w)
+		if !ready {
+			if c.opts.HeartbeatInterval > 0 {
+				c.log.Printf("fleet: worker %s not ready at sweep start, suspecting (the detector may re-admit it)", w)
+				c.suspectWorker(w)
+			} else {
+				c.log.Printf("fleet: worker %s not ready at sweep start, excluding", w)
+				c.declareDead(w)
+			}
 			continue
 		}
-		n := st.MaxInflight
-		if c.opts.SlotsPerWorker > 0 && c.opts.SlotsPerWorker < n {
-			n = c.opts.SlotsPerWorker
-		}
-		if n < 1 {
-			n = 1
-		}
 		slots[w] = n
-		s.alive[w] = true
+		s.workers[w] = &runWorker{status: runActive}
 		s.ring.Add(w)
 	}
 	if s.ring.Len() == 0 {
@@ -267,18 +483,24 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 		owner := s.ring.Owner(fc.key)
 		s.queues[owner] = append(s.queues[owner], fc)
 	}
+
+	// Register with the coordinator so membership transitions reach this
+	// sweep, then persist the starting picture.
+	c.mu.Lock()
+	c.runs[s] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.runs, s)
+		c.mu.Unlock()
+	}()
 	s.checkpointFleet()
 
-	var wg sync.WaitGroup
+	s.mu.Lock()
 	for w, n := range slots {
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(w string) {
-				defer wg.Done()
-				s.dispatchLoop(w)
-			}(w)
-		}
+		s.spawnLoopsLocked(w, n)
 	}
+	s.mu.Unlock()
 
 	// Wake the dispatch loops when the sweep context dies so none of them
 	// stays parked in cond.Wait.
@@ -290,7 +512,19 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 		case <-watchDone:
 		}
 	}()
-	wg.Wait()
+
+	// The sweep resolves when every unique cell has a result or a failure
+	// record (or something fatal happened) — not when the loops drain:
+	// with every member paused under suspicion there may be moments with
+	// no runnable loop at all, and the sweep must simply wait them out.
+	s.mu.Lock()
+	for s.pending > 0 && s.fatal == nil {
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
 	close(watchDone)
 
 	s.mu.Lock()
@@ -328,34 +562,109 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 	return resp, nil
 }
 
-// checkpointFleet writes the current sharding picture into the manifest.
-// Callers must NOT hold s.mu.
-func (s *sweepRun) checkpointFleet() {
-	if s.cp == nil {
+// spawnLoopsLocked starts n dispatch slots for a worker. Callers hold s.mu
+// and have checked the run is not closed.
+func (s *sweepRun) spawnLoopsLocked(worker string, n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.dispatchLoop(worker)
+		}()
+	}
+}
+
+// addWorker inserts a (re-)joining worker into this sweep, paused: it
+// becomes a ring member, exactly the queued cells whose arcs it now owns
+// move to its queue (no other queue changes — the consistent-hashing remap
+// bound), and its dispatch loops spawn parked. Returns the cache hashes of
+// the cells it received so the caller can warm-push them before
+// activateWorker releases dispatch. Returns nil when the worker is already
+// a member or the sweep has resolved.
+func (s *sweepRun) addWorker(worker string, slots int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.fatal != nil || s.pending == 0 {
+		return nil
+	}
+	if rw, ok := s.workers[worker]; ok && rw.status != runGone {
+		return nil
+	}
+	s.workers[worker] = &runWorker{status: runPaused}
+	s.ring.Add(worker)
+	var moved []*fleetCell
+	for ow, q := range s.queues {
+		if ow == worker {
+			continue
+		}
+		kept := q[:0]
+		for _, fc := range q {
+			if s.ring.Owner(fc.key) == worker {
+				moved = append(moved, fc)
+			} else {
+				kept = append(kept, fc)
+			}
+		}
+		s.queues[ow] = kept
+	}
+	hashes := make([]string, 0, len(moved))
+	for _, fc := range moved {
+		s.queues[worker] = append(s.queues[worker], fc)
+		hashes = append(hashes, fc.hash)
+	}
+	sort.Strings(hashes)
+	s.spawnLoopsLocked(worker, slots)
+	return hashes
+}
+
+// activateWorker releases a paused worker's dispatch loops.
+func (s *sweepRun) activateWorker(worker string) {
+	s.mu.Lock()
+	if rw, ok := s.workers[worker]; ok && rw.status == runPaused {
+		rw.status = runActive
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// pauseWorker parks a suspect's dispatch loops; its queue stays (and stays
+// stealable).
+func (s *sweepRun) pauseWorker(worker string) {
+	s.mu.Lock()
+	if rw, ok := s.workers[worker]; ok && rw.status == runActive {
+		rw.status = runPaused
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// removeWorker re-shards a dead worker's backlog across the survivors via
+// the ring — only its cells move, everyone else's stay put. Idempotent.
+func (s *sweepRun) removeWorker(worker string) {
+	s.mu.Lock()
+	rw, ok := s.workers[worker]
+	if !ok || rw.status == runGone {
+		s.mu.Unlock()
 		return
 	}
-	s.mu.Lock()
-	fs := &runner.FleetState{Assignments: map[string][]string{}}
-	for w := range s.alive {
-		fs.Workers = append(fs.Workers, w)
-		hashes := make([]string, 0, len(s.queues[w]))
-		for _, fc := range s.queues[w] {
-			hashes = append(hashes, fc.hash)
+	rw.status = runGone
+	s.ring.Remove(worker)
+	orphans := s.queues[worker]
+	delete(s.queues, worker)
+	if s.ring.Len() == 0 {
+		if s.pending > 0 {
+			s.fatalLocked(errors.New("fleet: all workers lost"))
 		}
-		sort.Strings(hashes)
-		if len(hashes) > 0 {
-			fs.Assignments[w] = hashes
-		}
+		s.mu.Unlock()
+		return
 	}
-	sort.Strings(fs.Workers)
-	s.co.mu.Lock()
-	for w := range s.co.dead {
-		fs.Dead = append(fs.Dead, w)
+	for _, fc := range orphans {
+		owner := s.ring.Owner(fc.key)
+		s.queues[owner] = append(s.queues[owner], fc)
+		s.co.resharded.Inc()
 	}
-	s.co.mu.Unlock()
-	sort.Strings(fs.Dead)
 	s.mu.Unlock()
-	s.cp.SetFleet(fs)
+	s.cond.Broadcast()
 }
 
 // fail records a fatal sweep error and wakes everyone.
@@ -384,17 +693,23 @@ func (s *sweepRun) dispatchLoop(worker string) {
 }
 
 // next pops the worker's next cell, stealing from the longest other queue
-// when its own is empty — the tail of a straggling worker's backlog is
-// exactly the work that would otherwise gate sweep completion. Blocks
-// while cells are in flight elsewhere (they may yet be requeued); returns
-// nil when the sweep is resolved, fatal, or this worker is dead.
+// when its own is empty — the tail of a straggling (or suspect) worker's
+// backlog is exactly the work that would otherwise gate sweep completion.
+// Parks while this worker is paused under suspicion, and blocks while
+// cells are in flight elsewhere (they may yet be requeued); returns nil
+// when the sweep is resolved, fatal, or this worker is gone.
 func (s *sweepRun) next(worker string) (*fleetCell, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.fatal != nil || s.pending == 0 || !s.alive[worker] {
+		rw := s.workers[worker]
+		if s.fatal != nil || s.closed || s.pending == 0 || rw == nil || rw.status == runGone {
 			s.cond.Broadcast()
 			return nil, false
+		}
+		if rw.status == runPaused {
+			s.cond.Wait()
+			continue
 		}
 		if q := s.queues[worker]; len(q) > 0 {
 			fc := q[0]
@@ -403,11 +718,16 @@ func (s *sweepRun) next(worker string) (*fleetCell, bool) {
 		}
 		// Steal from the deepest queue (ties break by name for
 		// determinism of victim choice, though placement never affects
-		// results — simulation is deterministic per cell).
+		// results — simulation is deterministic per cell). Paused
+		// suspects are valid victims: their backlog is exactly what
+		// suspicion would otherwise stall on.
 		victim := ""
 		depth := 0
 		for w, q := range s.queues {
-			if w == worker || !s.alive[w] || len(q) == 0 {
+			if w == worker || len(q) == 0 {
+				continue
+			}
+			if vw, ok := s.workers[w]; !ok || vw.status == runGone {
 				continue
 			}
 			if len(q) > depth || (len(q) == depth && w < victim) {
@@ -425,7 +745,7 @@ func (s *sweepRun) next(worker string) (*fleetCell, bool) {
 }
 
 // dispatch sends one cell to one worker, handling shedding, retries,
-// worker loss, and permanent rejections.
+// worker loss, suspicion, and permanent rejections.
 func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 	attempts := 0
 	for {
@@ -476,9 +796,11 @@ func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 			s.fail(s.ctx.Err())
 			return
 		case errors.Is(err, errDraining):
-			// A draining worker takes no new cells this run: treat as lost.
+			// A draining worker is leaving on purpose — no suspicion
+			// window applies; it is dead to the fleet now.
 			s.co.log.Printf("fleet: worker %s draining, re-sharding its cells", worker)
-			s.loseWorker(worker, fc)
+			s.co.declareDead(worker)
+			s.requeue(worker, fc)
 			return
 		default:
 			attempts++
@@ -499,14 +821,29 @@ func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 				})
 				return
 			}
+			if s.co.opts.HeartbeatInterval > 0 {
+				// Suspicion mode: never kill on one bad dispatch — a
+				// dropped connection or a GC pause is not a crash. Park
+				// the worker, put the cell back (its queue is stealable),
+				// and let the failure detector adjudicate.
+				s.co.suspectWorker(worker)
+				s.requeue(worker, fc)
+				return
+			}
+			// Legacy mode (no detector): the probe is all the evidence
+			// there will be; declare the worker dead and re-shard.
 			s.co.log.Printf("fleet: worker %s lost (%v), re-sharding its cells", worker, err)
-			s.loseWorker(worker, fc)
+			s.co.declareDead(worker)
+			s.requeue(worker, fc)
 			return
 		}
 	}
 }
 
-// resolve records a worker's answer for one cell.
+// resolve records a worker's answer for one cell. Duplicate answers for
+// the same canonical cell key (a re-joined worker's stale dispatch racing
+// the re-assigned one) are dropped here — the dedupe that guarantees no
+// cell resolves twice whatever the membership churn.
 func (s *sweepRun) resolve(fc *fleetCell, resp *sweepapi.Response) {
 	if len(resp.Failures) > 0 {
 		// The worker ran the cell and quarantined it (keep-going): adopt
@@ -548,40 +885,10 @@ func (s *sweepRun) recordFailure(fc *fleetCell, cf runner.CellFailure) {
 	s.cond.Broadcast()
 }
 
-// loseWorker declares a worker dead mid-sweep and re-shards its backlog
-// (and the in-flight cell that exposed the loss) across the survivors via
-// the ring — only its cells move, everyone else's stay put.
-func (s *sweepRun) loseWorker(worker string, inflight *fleetCell) {
-	s.co.markDead(worker)
-	s.mu.Lock()
-	if !s.alive[worker] {
-		// Another slot already re-sharded the queue; requeue just the
-		// in-flight cell.
-		s.mu.Unlock()
-		s.requeue(inflight)
-		return
-	}
-	delete(s.alive, worker)
-	s.ring.Remove(worker)
-	orphans := append(s.queues[worker], inflight)
-	delete(s.queues, worker)
-	if s.ring.Len() == 0 {
-		s.fatalLocked(errors.New("fleet: all workers lost"))
-		s.mu.Unlock()
-		return
-	}
-	for _, fc := range orphans {
-		owner := s.ring.Owner(fc.key)
-		s.queues[owner] = append(s.queues[owner], fc)
-		s.co.resharded.Inc()
-	}
-	s.mu.Unlock()
-	s.cond.Broadcast()
-	s.checkpointFleet()
-}
-
-// requeue re-shards one cell onto the current ring.
-func (s *sweepRun) requeue(fc *fleetCell) {
+// requeue puts one cell back onto its ring owner's queue: the failing
+// worker's own under suspicion (it still holds the arc), a survivor's
+// after a death — the latter counts as a re-shard.
+func (s *sweepRun) requeue(from string, fc *fleetCell) {
 	s.mu.Lock()
 	if s.ring.Len() == 0 {
 		s.fatalLocked(errors.New("fleet: all workers lost"))
@@ -590,7 +897,9 @@ func (s *sweepRun) requeue(fc *fleetCell) {
 	}
 	owner := s.ring.Owner(fc.key)
 	s.queues[owner] = append(s.queues[owner], fc)
-	s.co.resharded.Inc()
+	if owner != from {
+		s.co.resharded.Inc()
+	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -601,6 +910,35 @@ func (s *sweepRun) fatalLocked(err error) {
 		s.fatal = err
 	}
 	s.cond.Broadcast()
+}
+
+// checkpointFleet writes the current sharding picture and membership
+// event log into the manifest. Callers must NOT hold s.mu.
+func (s *sweepRun) checkpointFleet() {
+	if s.cp == nil {
+		return
+	}
+	fs := &runner.FleetState{Assignments: map[string][]string{}}
+	s.mu.Lock()
+	for w, rw := range s.workers {
+		if rw.status == runGone {
+			continue
+		}
+		fs.Workers = append(fs.Workers, w)
+		hashes := make([]string, 0, len(s.queues[w]))
+		for _, fc := range s.queues[w] {
+			hashes = append(hashes, fc.hash)
+		}
+		sort.Strings(hashes)
+		if len(hashes) > 0 {
+			fs.Assignments[w] = hashes
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(fs.Workers)
+	fs.Dead = s.co.mem.byState(StateDead)
+	fs.Events = s.co.mem.eventLog()
+	s.cp.SetFleet(fs)
 }
 
 // sleepCtx sleeps for d or until ctx dies.
@@ -626,8 +964,9 @@ func firstLine(msg string) string {
 }
 
 // Handler returns the coordinator's HTTP routes: the same /sweep contract
-// a worker serves (so clients are fleet-agnostic), /healthz, /readyz with
-// the fleet membership picture, and /metrics.
+// a worker serves (so clients are fleet-agnostic), /fleet/join for
+// runtime registration, /healthz, /readyz with the fleet membership
+// picture, and /metrics.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -642,27 +981,69 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/sweep", c.handleSweep)
+	mux.HandleFunc("/fleet/join", c.handleJoin)
 	return mux
 }
 
+// handleJoin serves runtime worker registration: a new worker joins the
+// ring, a dead one is re-admitted as a fresh member (its prior cells were
+// already re-assigned; the coordinator's per-key dedupe makes double
+// execution harmless), and a re-announcement from a live member is an
+// idempotent no-op.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var jr sweepapi.JoinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&jr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad join body: "+err.Error())
+		return
+	}
+	worker, err := normalizeWorkerURL(jr.Worker)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var status string
+	switch c.mem.admit(worker) {
+	case transJoined:
+		status = "joined"
+		c.log.Printf("fleet: worker %s joined at runtime", worker)
+		c.admitToRuns(worker)
+	case transRejoined:
+		status = "rejoined"
+		c.log.Printf("fleet: worker %s re-joined after death; re-admitting as a fresh member", worker)
+		c.admitToRuns(worker)
+	case transRecovered:
+		status = "already-member"
+		c.log.Printf("fleet: suspect worker %s announced itself; resuming (no re-shard)", worker)
+		c.admitToRuns(worker)
+	default:
+		status = "already-member"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(sweepapi.JoinResponse{Status: status}); err != nil {
+		c.log.Printf("fleet: join response: %v", err)
+	}
+}
+
 // coordReady is the coordinator's /readyz body: ready while at least one
-// worker survives.
+// worker is not dead, with the full membership picture.
 type coordReady struct {
 	Ready   bool     `json:"ready"`
 	Workers []string `json:"workers"`
+	Suspect []string `json:"suspect,omitempty"`
 	Dead    []string `json:"dead,omitempty"`
 }
 
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	alive := c.aliveWorkers()
-	c.mu.Lock()
-	dead := make([]string, 0, len(c.dead))
-	for d := range c.dead {
-		dead = append(dead, d)
+	body := coordReady{
+		Workers: c.mem.byState(StateAlive),
+		Suspect: c.mem.byState(StateSuspect),
+		Dead:    c.mem.byState(StateDead),
 	}
-	c.mu.Unlock()
-	sort.Strings(dead)
-	body := coordReady{Ready: len(alive) > 0, Workers: alive, Dead: dead}
+	body.Ready = len(body.Workers)+len(body.Suspect) > 0
 	w.Header().Set("Content-Type", "application/json")
 	if !body.Ready {
 		w.WriteHeader(http.StatusServiceUnavailable)

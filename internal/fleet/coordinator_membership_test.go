@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cameo/internal/faultinject"
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+	"cameo/internal/server"
+	"cameo/internal/system"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func counterOrZero(snap metrics.Snapshot, name string) uint64 {
+	if s, ok := snap.Get(name); ok {
+		return s.Value
+	}
+	return 0
+}
+
+// TestFleetRuntimeJoinMidSweep: a sweep starts on one slow worker; a
+// second worker joins through POST /fleet/join while cells are still
+// queued. The joiner must receive (only) the cells the ring moves to it,
+// the merged report must stay byte-identical to single-node, and the
+// joins counter must record the runtime registration.
+func TestFleetRuntimeJoinMidSweep(t *testing.T) {
+	want := singleNodeReference(t, fleetSweepBody)
+
+	slowExec := func(ctx context.Context, j runner.Job) system.Result {
+		select {
+		case <-time.After(60 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return coordFakeExecute(ctx, j)
+	}
+	_, w1 := newFleetWorker(t, server.Options{Execute: slowExec, MaxInflight: 1, Jobs: 1})
+	w2srv, w2 := newFleetWorker(t, server.Options{})
+
+	co, cts := newTestCoordinator(t, CoordinatorOptions{
+		Workers:           []string{w1.URL},
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	t.Cleanup(co.Close)
+
+	// Fire the sweep, then join w2 while w1 grinds through its queue.
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, b := postJSON(t, cts.URL, fleetSweepBody)
+		done <- result{resp.StatusCode, b}
+	}()
+	time.Sleep(120 * time.Millisecond) // a couple of slow cells in
+
+	jr, err := http.Post(cts.URL+"/fleet/join", "application/json",
+		strings.NewReader(`{"worker":"`+w2.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if ack.Status != "joined" {
+		t.Fatalf("join status = %q, want joined", ack.Status)
+	}
+
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", res.status, res.body)
+	}
+	if !bytes.Equal(res.body, want) {
+		t.Errorf("post-join response differs from single-node:\nfleet:  %s\nsingle: %s", res.body, want)
+	}
+	snap := co.Metrics()
+	if got := counterOrZero(snap, "fleet/joins"); got != 2 {
+		t.Errorf("fleet/joins = %d, want 2 (flag-listed + runtime)", got)
+	}
+	if got := counterOrZero(snap, "fleet/worker_deaths"); got != 0 {
+		t.Errorf("worker_deaths = %d, want 0", got)
+	}
+	// The joiner actually worked: the slow worker alone would have taken
+	// ~12 * 60ms; the joiner must have executed some of the moved cells.
+	if got := counterValue(t, w2srv.Metrics(), "server/cells_executed"); got == 0 {
+		t.Errorf("joiner executed 0 cells — join did not move work")
+	}
+	// A repeat announcement is an idempotent no-op.
+	jr2, err := http.Post(cts.URL+"/fleet/join", "application/json",
+		strings.NewReader(`{"worker":"`+w2.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(jr2.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	jr2.Body.Close()
+	if ack.Status != "already-member" {
+		t.Errorf("repeat join status = %q, want already-member", ack.Status)
+	}
+	if got := counterOrZero(co.Metrics(), "fleet/joins"); got != 2 {
+		t.Errorf("fleet/joins after repeat announce = %d, want still 2", got)
+	}
+}
+
+// TestFleetPartitionShorterThanSuspicionWindow is the in-process
+// partition drill: a chaos plan isolates one worker's heartbeat channel
+// for a bounded window shorter than the suspicion window. The worker
+// must pass through suspect and return to alive with zero deaths, zero
+// false deaths, and zero re-shards — and a sweep afterwards is
+// byte-identical.
+func TestFleetPartitionShorterThanSuspicionWindow(t *testing.T) {
+	want := singleNodeReference(t, fleetSweepBody)
+
+	_, w1 := newFleetWorker(t, server.Options{})
+	_, w2 := newFleetWorker(t, server.Options{})
+	w2host := strings.TrimPrefix(w2.URL, "http://")
+
+	// The first 2 heartbeat probes against w2 fail; suspicion needs 2
+	// misses, death needs 6 — the partition heals well inside the window.
+	plan := faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteFleetHeartbeat, Kind: faultinject.Partition,
+		Prob: 1, Match: w2host, MaxAttempt: 2,
+	})
+	co, cts := newTestCoordinator(t, CoordinatorOptions{
+		Workers:           []string{w1.URL, w2.URL},
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectMisses:     2,
+		DeadMisses:        6,
+		Chaos:             plan,
+	})
+	t.Cleanup(co.Close)
+
+	waitFor(t, 5*time.Second, "w2 suspected", func() bool {
+		return counterOrZero(co.Metrics(), "fleet/suspects") >= 1
+	})
+	waitFor(t, 5*time.Second, "w2 back alive", func() bool {
+		return co.mem.state(w2.URL) == StateAlive
+	})
+	snap := co.Metrics()
+	if got := counterOrZero(snap, "fleet/worker_deaths"); got != 0 {
+		t.Errorf("worker_deaths = %d, want 0 (partition was shorter than the window)", got)
+	}
+	if got := counterOrZero(snap, "fleet/false_deaths"); got != 0 {
+		t.Errorf("false_deaths = %d, want 0", got)
+	}
+	if got := counterOrZero(snap, "fleet/cells_resharded"); got != 0 {
+		t.Errorf("cells_resharded = %d, want 0 (suspicion must not move cells)", got)
+	}
+
+	resp, got := postJSON(t, cts.URL, fleetSweepBody)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("post-drill sweep: status %d, identical=%v", resp.StatusCode, bytes.Equal(got, want))
+	}
+}
+
+// TestFleetFalseDeathRevival: a worker unreachable past the suspicion
+// window is declared dead and re-sharded away; when it answers probes
+// again the detector must count a false death, re-admit it as a fresh
+// member, and use it for the next sweep — byte-identically.
+func TestFleetFalseDeathRevival(t *testing.T) {
+	want := singleNodeReference(t, fleetSweepBody)
+
+	_, w1 := newFleetWorker(t, server.Options{})
+	w2srv, err := server.New(server.Options{Execute: coordFakeExecute, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partitioned atomic.Bool
+	inner := w2srv.Handler()
+	w2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("no hijack")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // connection reset: the network-partition shape
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(w2.Close)
+	t.Cleanup(func() { _ = w2srv.Drain() })
+
+	co, cts := newTestCoordinator(t, CoordinatorOptions{
+		Workers:           []string{w1.URL, w2.URL},
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectMisses:     1,
+		DeadMisses:        2,
+	})
+	t.Cleanup(co.Close)
+
+	partitioned.Store(true)
+	waitFor(t, 5*time.Second, "w2 declared dead", func() bool {
+		return co.mem.state(w2.URL) == StateDead
+	})
+	if got := counterOrZero(co.Metrics(), "fleet/worker_deaths"); got != 1 {
+		t.Fatalf("worker_deaths = %d, want 1", got)
+	}
+
+	// The partition outlasted the window — a false death. Heal it: the
+	// dead worker is still probed on its slow cadence and must revive.
+	partitioned.Store(false)
+	waitFor(t, 5*time.Second, "w2 revived", func() bool {
+		return co.mem.state(w2.URL) == StateAlive
+	})
+	if got := counterOrZero(co.Metrics(), "fleet/false_deaths"); got != 1 {
+		t.Errorf("false_deaths = %d, want 1", got)
+	}
+
+	// The revived member serves the next sweep, bytes unchanged.
+	resp, got := postJSON(t, cts.URL, fleetSweepBody)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("post-revival sweep: status %d, identical=%v", resp.StatusCode, bytes.Equal(got, want))
+	}
+	// Membership history records the full journey with monotonic seqs.
+	events := co.mem.eventLog()
+	var lastSeq uint64
+	kinds := map[string]int{}
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq %d after %d — not monotonic", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	if kinds["leave"] != 1 || kinds["rejoin"] != 1 {
+		t.Errorf("event kinds = %v, want one leave and one rejoin", kinds)
+	}
+}
+
+// TestFleetDeadWorkerRejoinDedupe: a sweep survives its worker dying
+// (cells re-shard to the survivor) and the dead worker re-joining
+// mid-sweep — the canonical-cell-key dedupe means any stale in-flight
+// answer from the re-joiner cannot double-resolve a cell, and the merged
+// bytes still match single-node.
+func TestFleetDeadWorkerRejoinDedupe(t *testing.T) {
+	want := singleNodeReference(t, fleetSweepBody)
+
+	slowExec := func(ctx context.Context, j runner.Job) system.Result {
+		select {
+		case <-time.After(40 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return coordFakeExecute(ctx, j)
+	}
+	_, w1 := newFleetWorker(t, server.Options{Execute: slowExec, MaxInflight: 1, Jobs: 1})
+
+	w2srv, err := server.New(server.Options{Execute: slowExec, MaxInflight: 1, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partitioned atomic.Bool
+	inner := w2srv.Handler()
+	w2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("no hijack")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(w2.Close)
+	t.Cleanup(func() { _ = w2srv.Drain() })
+
+	co, cts := newTestCoordinator(t, CoordinatorOptions{
+		Workers:           []string{w1.URL, w2.URL},
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectMisses:     1,
+		DeadMisses:        2,
+		DispatchRetries:   0,
+	})
+	t.Cleanup(co.Close)
+
+	done := make(chan []byte, 1)
+	status := make(chan int, 1)
+	go func() {
+		resp, b := postJSON(t, cts.URL, fleetSweepBody)
+		status <- resp.StatusCode
+		done <- b
+	}()
+	time.Sleep(100 * time.Millisecond) // sweep underway on both workers
+
+	partitioned.Store(true)
+	waitFor(t, 5*time.Second, "w2 dead mid-sweep", func() bool {
+		return co.mem.state(w2.URL) == StateDead
+	})
+	partitioned.Store(false)
+	// Explicit re-join (the restarted worker announcing itself) rather
+	// than waiting for the slow dead-probe cadence.
+	jr, err := http.Post(cts.URL+"/fleet/join", "application/json",
+		strings.NewReader(`{"worker":"`+w2.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+
+	if st := <-status; st != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", st, <-done)
+	}
+	if got := <-done; !bytes.Equal(got, want) {
+		t.Errorf("death+rejoin sweep differs from single-node:\nfleet:  %s\nsingle: %s", got, want)
+	}
+}

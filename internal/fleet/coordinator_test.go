@@ -181,7 +181,7 @@ func TestFleetWorkSteal(t *testing.T) {
 
 	slowExec := func(ctx context.Context, j runner.Job) system.Result {
 		select {
-		case <-time.After(80 * time.Millisecond):
+		case <-time.After(150 * time.Millisecond):
 		case <-ctx.Done():
 		}
 		return coordFakeExecute(ctx, j)

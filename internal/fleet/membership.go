@@ -1,0 +1,455 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cameo/internal/metrics"
+	"cameo/internal/runner"
+	"cameo/internal/sweepapi"
+)
+
+// MemberState is a worker's position in the failure-detection lifecycle.
+//
+//	alive ──misses──▶ suspect ──more misses──▶ dead
+//	  ▲                  │                       │
+//	  └──── probe ok ────┘      probe ok / join ─┘  (re-admitted fresh)
+//
+// Only the suspect→dead edge triggers a re-shard; a suspect keeps its ring
+// arcs and its queued cells (stealable by idle workers), so a dropped
+// connection or a slow GC pause costs latency, never placement.
+type MemberState int
+
+const (
+	// StateAlive: heartbeats answer; the worker receives dispatches.
+	StateAlive MemberState = iota
+	// StateSuspect: heartbeats are missing but the suspicion window has
+	// not elapsed. New dispatches pause; ring membership is unchanged.
+	StateSuspect
+	// StateDead: the suspicion window elapsed. The worker left the ring,
+	// its cells re-sharded. It is still probed (with backoff) so a healed
+	// partition re-admits it — counted as a false death.
+	StateDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("MemberState(%d)", int(s))
+}
+
+// transition is what a probe result or join changed, returned so the
+// coordinator can apply side effects (pause, re-shard, warm re-admit)
+// outside the membership lock.
+type transition int
+
+const (
+	transNone transition = iota
+	// transSuspected: alive → suspect (pause dispatch, keep ring arcs).
+	transSuspected
+	// transDied: suspect → dead (leave ring, re-shard its cells).
+	transDied
+	// transRecovered: suspect → alive (resume dispatch; nothing moved).
+	transRecovered
+	// transRevived: dead → alive via a successful probe — the death was
+	// false (partition outlasted the window). Re-admit as a fresh member.
+	transRevived
+	// transJoined: a new worker registered.
+	transJoined
+	// transRejoined: a dead worker re-registered via /fleet/join.
+	transRejoined
+)
+
+// member is one worker's detector state.
+type member struct {
+	state     MemberState
+	misses    int           // consecutive failed probes
+	gen       int           // admission generation; bumps on re-admit
+	backoff   time.Duration // current suspect/dead probe backoff
+	nextProbe time.Time     // due time for suspect/dead probes
+}
+
+// membership is the coordinator's failure detector and join registry: the
+// three-state lifecycle per worker, heartbeat-miss accounting with
+// jittered probe backoff, and the monotonic join/leave event log the
+// manifest records. All methods are safe for concurrent use; none calls
+// out while holding the lock, so callers apply transitions' side effects
+// themselves.
+type membership struct {
+	suspectMisses int
+	deadMisses    int
+	interval      time.Duration
+
+	mu      sync.Mutex
+	members map[string]*member
+	seq     uint64
+	events  []runner.FleetEvent
+	rng     *rand.Rand
+
+	joins       *metrics.Counter
+	suspects    *metrics.Counter
+	falseDeaths *metrics.Counter
+}
+
+// newMembership builds the detector. suspectMisses is the consecutive
+// heartbeat misses that turn alive into suspect (<=0: 2); deadMisses the
+// total consecutive misses that turn suspect into dead (<= suspectMisses:
+// suspectMisses+4). interval is the base heartbeat cadence the probe
+// backoff scales from.
+func newMembership(suspectMisses, deadMisses int, interval time.Duration, sc *metrics.Scope) *membership {
+	if suspectMisses <= 0 {
+		suspectMisses = 2
+	}
+	if deadMisses <= suspectMisses {
+		deadMisses = suspectMisses + 4
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m := &membership{
+		suspectMisses: suspectMisses,
+		deadMisses:    deadMisses,
+		interval:      interval,
+		members:       map[string]*member{},
+		// Fixed seed: jitter decorrelates probe bursts, it does not need
+		// to be unpredictable — and a fixed stream keeps drills closer to
+		// repeatable.
+		rng: rand.New(rand.NewSource(1)),
+	}
+	if sc != nil {
+		m.joins = sc.Counter("joins")
+		m.suspects = sc.Counter("suspects")
+		m.falseDeaths = sc.Counter("false_deaths")
+	}
+	return m
+}
+
+// inc is nil-safe (membership built without a scope in unit tests).
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// record appends a membership event with the next monotonic sequence.
+// Callers hold m.mu.
+func (m *membership) record(kind, worker string) {
+	m.seq++
+	m.events = append(m.events, runner.FleetEvent{Seq: m.seq, Kind: kind, Worker: worker})
+}
+
+// admit registers a worker (a flag-listed worker at startup, a runtime
+// POST /fleet/join, or a dead worker probing healthy again). The returned
+// transition tells the coordinator whether ring/sweep state must change.
+func (m *membership) admit(worker string) transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[worker]
+	if !ok {
+		m.members[worker] = &member{state: StateAlive}
+		m.record("join", worker)
+		inc(m.joins)
+		return transJoined
+	}
+	switch mb.state {
+	case StateDead:
+		// Re-admitted as a fresh ring member: its prior in-flight cells
+		// were already re-assigned when it died, so it starts clean.
+		mb.state = StateAlive
+		mb.misses = 0
+		mb.gen++
+		mb.backoff = 0
+		m.record("rejoin", worker)
+		inc(m.joins)
+		return transRejoined
+	case StateSuspect:
+		// The worker itself says it is up — as good as a probe success.
+		mb.state = StateAlive
+		mb.misses = 0
+		mb.backoff = 0
+		return transRecovered
+	default:
+		return transNone
+	}
+}
+
+// forceDead declares a worker dead immediately, bypassing suspicion — for
+// deliberate departures (a draining worker) and for the legacy
+// dispatch-failure path when heartbeats are disabled.
+func (m *membership) forceDead(worker string) transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[worker]
+	if !ok || mb.state == StateDead {
+		return transNone
+	}
+	mb.state = StateDead
+	mb.misses = m.deadMisses
+	mb.backoff = 4 * m.interval
+	mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+	m.record("leave", worker)
+	return transDied
+}
+
+// suspect reports out-of-band evidence of trouble (a dispatch that
+// exhausted its retries against an unhealthy worker): alive → suspect
+// without waiting for the next heartbeat tick. Never kills.
+func (m *membership) suspect(worker string) transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[worker]
+	if !ok || mb.state != StateAlive {
+		return transNone
+	}
+	mb.state = StateSuspect
+	if mb.misses < m.suspectMisses {
+		mb.misses = m.suspectMisses
+	}
+	mb.backoff = m.interval
+	mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+	inc(m.suspects)
+	return transSuspected
+}
+
+// probeResult feeds one heartbeat answer into the detector.
+func (m *membership) probeResult(worker string, ok bool) transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, present := m.members[worker]
+	if !present {
+		return transNone
+	}
+	if ok {
+		switch mb.state {
+		case StateSuspect:
+			mb.state = StateAlive
+			mb.misses = 0
+			mb.backoff = 0
+			return transRecovered
+		case StateDead:
+			// The detector was wrong: the worker outlived its death
+			// sentence. Count it and re-admit fresh.
+			mb.state = StateAlive
+			mb.misses = 0
+			mb.gen++
+			mb.backoff = 0
+			inc(m.falseDeaths)
+			m.record("rejoin", worker)
+			inc(m.joins)
+			return transRevived
+		default:
+			mb.misses = 0
+			return transNone
+		}
+	}
+	switch mb.state {
+	case StateAlive:
+		mb.misses++
+		if mb.misses >= m.suspectMisses {
+			mb.state = StateSuspect
+			mb.backoff = m.interval
+			mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+			inc(m.suspects)
+			return transSuspected
+		}
+		return transNone
+	case StateSuspect:
+		mb.misses++
+		if mb.misses >= m.deadMisses {
+			mb.state = StateDead
+			mb.backoff = 4 * m.interval
+			mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+			m.record("leave", worker)
+			return transDied
+		}
+		// Exponential probe backoff while suspicion deepens: each miss
+		// doubles the wait (capped), so a flapping worker is not hammered.
+		mb.backoff *= 2
+		if max := 8 * m.interval; mb.backoff > max {
+			mb.backoff = max
+		}
+		mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+		return transNone
+	default: // dead stays dead on a failed probe; keep the slow cadence
+		mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+		return transNone
+	}
+}
+
+// jittered spreads d by ±25% so suspect/dead probes across workers
+// decorrelate instead of arriving as synchronized bursts.
+func (m *membership) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	f := 0.75 + 0.5*m.rng.Float64()
+	return time.Duration(float64(d) * f)
+}
+
+// due returns the workers whose probe is owed at now: every alive member
+// (probed each tick) plus the suspect and dead members whose backoff
+// elapsed.
+func (m *membership) due(now time.Time) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for w, mb := range m.members {
+		if mb.state == StateAlive || !mb.nextProbe.After(now) {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ringMembers returns the workers that hold ring arcs — alive and suspect,
+// sorted. Suspects keep their arcs: only death moves cells.
+func (m *membership) ringMembers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for w, mb := range m.members {
+		if mb.state != StateDead {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// state returns one worker's current state (StateDead for unknowns —
+// an unknown worker gets nothing dispatched).
+func (m *membership) state(worker string) MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mb, ok := m.members[worker]; ok {
+		return mb.state
+	}
+	return StateDead
+}
+
+// byState returns the members in a given state, sorted.
+func (m *membership) byState(s MemberState) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for w, mb := range m.members {
+		if mb.state == s {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// eventLog returns a copy of the membership history.
+func (m *membership) eventLog() []runner.FleetEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]runner.FleetEvent(nil), m.events...)
+}
+
+// adoptPrior merges a resumed manifest's fleet section: the prior event
+// log is replayed first, events already recorded locally (the initial
+// flag-listed joins) are re-sequenced to continue past the highest prior
+// seq — so the merged history stays strictly monotonic — and workers the
+// prior run declared dead start dead here too; they re-admit only
+// through a successful probe or an explicit /fleet/join.
+func (m *membership) adoptPrior(fs *runner.FleetState) {
+	if fs == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var maxPrior uint64
+	for _, ev := range fs.Events {
+		if ev.Seq > maxPrior {
+			maxPrior = ev.Seq
+		}
+	}
+	rebased := make([]runner.FleetEvent, len(m.events))
+	for i, ev := range m.events {
+		ev.Seq = maxPrior + uint64(i) + 1
+		rebased[i] = ev
+	}
+	m.seq = maxPrior + uint64(len(m.events))
+	m.events = append(append([]runner.FleetEvent(nil), fs.Events...), rebased...)
+	for _, w := range fs.Dead {
+		mb, ok := m.members[w]
+		if !ok {
+			mb = &member{}
+			m.members[w] = mb
+		}
+		mb.state = StateDead
+		mb.misses = m.deadMisses
+		mb.backoff = 4 * m.interval
+		mb.nextProbe = time.Now().Add(m.jittered(mb.backoff))
+	}
+}
+
+// Announce registers self with a coordinator's /fleet/join and keeps
+// re-announcing every interval until ctx dies. The first successful
+// registration is logged; re-announcements are idempotent no-ops on the
+// coordinator (and are what re-admit this worker automatically after a
+// coordinator restart or a false death). Failures retry at the same
+// cadence — a worker that outlives a coordinator blip re-joins by itself.
+func Announce(ctx context.Context, coordinator, self string, interval time.Duration, logf func(format string, v ...any)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	coordinator = strings.TrimRight(coordinator, "/")
+	body, _ := json.Marshal(sweepapi.JoinRequest{Worker: self})
+	client := &http.Client{Timeout: 2 * time.Second}
+	registered := false
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+"/fleet/join", bytes.NewReader(body))
+		if err != nil {
+			logf("fleet: join request: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			logf("fleet: join %s: %v (retrying)", coordinator, err)
+		case resp.StatusCode == http.StatusOK:
+			if !registered {
+				logf("fleet: joined coordinator %s as %s", coordinator, self)
+				registered = true
+			}
+			resp.Body.Close()
+		default:
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			logf("fleet: join %s rejected: %d %s (retrying)", coordinator, resp.StatusCode, firstLine(string(b)))
+		}
+		t := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"cameo/internal/runner"
+)
+
+// TestMembershipLifecycle walks one worker through the full detector
+// state machine: alive → suspect (after suspectMisses), → dead (after
+// deadMisses), → alive again via a successful probe — the false-death
+// path — asserting the transition the coordinator must act on at each
+// step.
+func TestMembershipLifecycle(t *testing.T) {
+	m := newMembership(2, 4, time.Second, nil)
+	if tr := m.admit("http://w:1"); tr != transJoined {
+		t.Fatalf("first admit = %v, want transJoined", tr)
+	}
+	if st := m.state("http://w:1"); st != StateAlive {
+		t.Fatalf("state after join = %v, want alive", st)
+	}
+
+	// One miss: still alive (below the suspicion threshold).
+	if tr := m.probeResult("http://w:1", false); tr != transNone {
+		t.Fatalf("miss 1 = %v, want transNone", tr)
+	}
+	if st := m.state("http://w:1"); st != StateAlive {
+		t.Fatalf("state after 1 miss = %v, want alive", st)
+	}
+
+	// Second consecutive miss: suspect.
+	if tr := m.probeResult("http://w:1", false); tr != transSuspected {
+		t.Fatalf("miss 2 = %v, want transSuspected", tr)
+	}
+	if st := m.state("http://w:1"); st != StateSuspect {
+		t.Fatalf("state = %v, want suspect", st)
+	}
+	// A suspect still holds ring arcs.
+	if got := m.ringMembers(); len(got) != 1 {
+		t.Fatalf("ringMembers with a suspect = %v, want the suspect kept", got)
+	}
+
+	// Recovery before the window elapses: back to alive, no re-shard.
+	if tr := m.probeResult("http://w:1", true); tr != transRecovered {
+		t.Fatalf("recovery = %v, want transRecovered", tr)
+	}
+
+	// Now drive it all the way to dead: misses 1..4.
+	for i := 0; i < 3; i++ {
+		m.probeResult("http://w:1", false)
+	}
+	if st := m.state("http://w:1"); st != StateSuspect {
+		t.Fatalf("state after 3 misses = %v, want suspect", st)
+	}
+	if tr := m.probeResult("http://w:1", false); tr != transDied {
+		t.Fatalf("miss 4 = %v, want transDied", tr)
+	}
+	if got := m.ringMembers(); len(got) != 0 {
+		t.Fatalf("ringMembers with a dead worker = %v, want empty", got)
+	}
+
+	// The dead are still probed; an answer is a false death and re-admits.
+	if tr := m.probeResult("http://w:1", true); tr != transRevived {
+		t.Fatalf("post-death answer = %v, want transRevived", tr)
+	}
+	if st := m.state("http://w:1"); st != StateAlive {
+		t.Fatalf("state after revival = %v, want alive", st)
+	}
+}
+
+// TestMembershipRejoin: a dead worker re-registering via admit (the
+// /fleet/join path) is re-admitted as a fresh member with a bumped
+// generation, and the event log records join → leave → rejoin in
+// monotonic sequence order.
+func TestMembershipRejoin(t *testing.T) {
+	m := newMembership(1, 2, time.Second, nil)
+	m.admit("http://w:1")
+	m.probeResult("http://w:1", false) // suspect (threshold 1)
+	m.probeResult("http://w:1", false) // dead (threshold 2)
+	if st := m.state("http://w:1"); st != StateDead {
+		t.Fatalf("state = %v, want dead", st)
+	}
+	if tr := m.admit("http://w:1"); tr != transRejoined {
+		t.Fatalf("re-admit of dead worker = %v, want transRejoined", tr)
+	}
+
+	events := m.eventLog()
+	kinds := []string{}
+	var lastSeq uint64
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq %d after %d — not strictly monotonic", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Worker != "http://w:1" {
+			t.Errorf("event names %q", ev.Worker)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{"join", "leave", "rejoin"}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestMembershipSuspectRecoverIsNotARejoin: the partition-drill
+// invariant — a suspect that answers again produces no membership event
+// at all (no leave, no rejoin), so a blip shorter than the suspicion
+// window leaves the manifest history untouched.
+func TestMembershipSuspectRecoverIsNotARejoin(t *testing.T) {
+	m := newMembership(2, 6, time.Second, nil)
+	m.admit("http://w:1")
+	before := len(m.eventLog())
+	m.probeResult("http://w:1", false)
+	m.probeResult("http://w:1", false) // suspect
+	m.probeResult("http://w:1", true)  // recovered
+	if got := len(m.eventLog()); got != before {
+		t.Errorf("suspect→recover added %d events, want 0", got-before)
+	}
+	// An announce while merely suspect recovers too, without a rejoin event.
+	m.probeResult("http://w:1", false)
+	m.probeResult("http://w:1", false)
+	if tr := m.admit("http://w:1"); tr != transRecovered {
+		t.Fatalf("announce while suspect = %v, want transRecovered", tr)
+	}
+	if got := len(m.eventLog()); got != before {
+		t.Errorf("suspect→announce added %d events, want 0", got-before)
+	}
+}
+
+// TestMembershipDue: alive members are probed every tick; suspects only
+// once their backoff elapses; dead members on their slow cadence.
+func TestMembershipDue(t *testing.T) {
+	m := newMembership(1, 3, time.Second, nil)
+	m.admit("http://a:1")
+	m.admit("http://b:1")
+	now := time.Now()
+	if got := m.due(now); len(got) != 2 {
+		t.Fatalf("due with two alive = %v, want both", got)
+	}
+	m.probeResult("http://a:1", false) // a: suspect, backoff ~1s from now
+	if got := m.due(now); len(got) != 1 || got[0] != "http://b:1" {
+		t.Fatalf("due right after suspicion = %v, want only b", got)
+	}
+	if got := m.due(now.Add(3 * time.Second)); len(got) != 2 {
+		t.Fatalf("due after backoff = %v, want both", got)
+	}
+}
+
+// TestMembershipAdoptPrior: resuming from a manifest continues the event
+// sequence past the recorded history and keeps prior deaths dead.
+func TestMembershipAdoptPrior(t *testing.T) {
+	prior := newMembership(1, 2, time.Second, nil)
+	prior.admit("http://a:1")
+	prior.admit("http://b:1")
+	prior.probeResult("http://b:1", false)
+	prior.probeResult("http://b:1", false) // b dead: join join leave
+
+	next := newMembership(1, 2, time.Second, nil)
+	next.admit("http://a:1")
+	next.adoptPrior(&runner.FleetState{
+		Events: prior.eventLog(),
+		Dead:   prior.byState(StateDead),
+	})
+	if st := next.state("http://b:1"); st != StateDead {
+		t.Fatalf("adopted dead worker state = %v, want dead", st)
+	}
+	events := next.eventLog()
+	if len(events) != 4 {
+		t.Fatalf("adopted event log has %d events, want 4 (3 prior + 1 local)", len(events))
+	}
+	// Local history re-sequences after the prior run's maximum.
+	if events[3].Seq <= events[2].Seq {
+		t.Errorf("post-adopt seq %d does not continue past prior max %d", events[3].Seq, events[2].Seq)
+	}
+	// New events keep climbing from there.
+	next.admit("http://c:1")
+	events = next.eventLog()
+	if last := events[len(events)-1]; last.Seq <= events[len(events)-2].Seq {
+		t.Errorf("new event seq %d not past %d", last.Seq, events[len(events)-2].Seq)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"cameo/internal/faultinject"
 	"cameo/internal/metrics"
 	"cameo/internal/runner"
 	"cameo/internal/system"
@@ -39,6 +40,8 @@ type PeerTier struct {
 	rejects    *metrics.Counter
 	peerErrors *metrics.Counter
 	stores     *metrics.Counter
+	warmHits   *metrics.Counter
+	warmMisses *metrics.Counter
 }
 
 // NewPeerTier composes the shared tier over a worker's local cache.
@@ -61,7 +64,15 @@ func NewPeerTier(local *runner.DiskCache, peers []string, timeout time.Duration)
 	t.rejects = sc.Counter("rejects")
 	t.peerErrors = sc.Counter("peer_errors")
 	t.stores = sc.Counter("stores")
+	t.warmHits = sc.Counter("warm_prefetch_hits")
+	t.warmMisses = sc.Counter("warm_prefetch_misses")
 	return t
+}
+
+// SetChaos wires a deterministic transport fault plan under the tier's
+// peer fetches (site fleet/cachefetch). Call before serving traffic.
+func (t *PeerTier) SetChaos(plan *faultinject.Plan) {
+	t.client.Transport = newChaosTransport(t.client.Transport, plan)
 }
 
 // SetPeers replaces the peer list (tests wire peers up after the httptest
@@ -130,6 +141,55 @@ func (t *PeerTier) fetch(peer, hash string) ([]byte, error) {
 func (t *PeerTier) Store(hash string, res system.Result) {
 	t.local.Store(hash, res)
 	t.stores.Inc()
+}
+
+// Warm pre-fetches the given cell hashes from the given peers (falling
+// back to the tier's configured peers when the list is empty) into the
+// local disk — the joining-worker half of the warm re-shard protocol.
+// Every fetched envelope passes the same verify-on-read check Load uses;
+// a hash no peer holds is a miss (its cell simply computes on dispatch).
+// Returns (hits, misses); already-local entries count as hits without
+// touching the network.
+func (t *PeerTier) Warm(peers, hashes []string) (hits, misses int) {
+	if len(peers) == 0 {
+		t.mu.RLock()
+		peers = t.peers
+		t.mu.RUnlock()
+	}
+	for _, h := range hashes {
+		if _, ok := t.local.LoadRaw(h); ok {
+			hits++
+			t.warmHits.Inc()
+			continue
+		}
+		fetched := false
+		for _, p := range peers {
+			data, err := t.fetch(p, h)
+			if err != nil {
+				if err != errNotFound {
+					t.peerErrors.Inc()
+				}
+				continue
+			}
+			if _, err := runner.DecodeEntry(data); err != nil {
+				t.rejects.Inc()
+				continue
+			}
+			if err := t.local.StoreRaw(h, data); err != nil {
+				continue
+			}
+			fetched = true
+			break
+		}
+		if fetched {
+			hits++
+			t.warmHits.Inc()
+		} else {
+			misses++
+			t.warmMisses.Inc()
+		}
+	}
+	return hits, misses
 }
 
 // Push PUTs a locally-held envelope to a peer — the proactive half of the

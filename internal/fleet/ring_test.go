@@ -210,3 +210,68 @@ func TestRingEdgeCases(t *testing.T) {
 		t.Fatalf("ring not empty after removing last worker")
 	}
 }
+
+// TestRingAddRemoveRestoresAssignment is the membership-churn inverse
+// property the self-healing fleet leans on: a worker that joins and then
+// leaves (or dies and is re-sharded away) leaves the ring exactly where
+// it started — every key's owner is restored bit-for-bit, so a bounded
+// membership excursion (join→leave, or death→rejoin→death) can never
+// permanently skew placement. Checked at N ∈ {2,3,5,8} incumbents, and
+// in both orders (add-then-remove and remove-then-re-add), with the
+// moved-key count on each edge within the 2× ideal-share bound.
+func TestRingAddRemoveRestoresAssignment(t *testing.T) {
+	keys := ringKeys(4000)
+	for _, n := range []int{2, 3, 5, 8} {
+		workers := workerNames(n + 1)
+		r := NewRing(DefaultVirtualNodes)
+		for _, w := range workers[:n] {
+			r.Add(w)
+		}
+		before := map[string]string{}
+		for _, k := range keys {
+			before[k] = r.Owner(k)
+		}
+
+		// Excursion 1: transient joiner. Add, bound the churn, remove,
+		// demand exact restoration.
+		transient := workers[n]
+		r.Add(transient)
+		moved := 0
+		for _, k := range keys {
+			if r.Owner(k) != before[k] {
+				moved++
+			}
+		}
+		ideal := len(keys) / (n + 1)
+		if moved > 2*ideal {
+			t.Errorf("n=%d: transient join moved %d keys, want ≲ %d", n, moved, 2*ideal)
+		}
+		r.Remove(transient)
+		for _, k := range keys {
+			if got := r.Owner(k); got != before[k] {
+				t.Fatalf("n=%d: after add+remove of %q, key %q owned by %q, want %q (prior assignment not restored)",
+					n, transient, k, got, before[k])
+			}
+		}
+
+		// Excursion 2: an incumbent dies and re-joins. Same demand.
+		victim := workers[0]
+		r.Remove(victim)
+		movedOut := 0
+		for _, k := range keys {
+			if r.Owner(k) != before[k] {
+				movedOut++
+			}
+		}
+		if idealShare := len(keys) / n; movedOut > 2*idealShare {
+			t.Errorf("n=%d: death of %q moved %d keys, want ≲ %d", n, victim, movedOut, 2*idealShare)
+		}
+		r.Add(victim)
+		for _, k := range keys {
+			if got := r.Owner(k); got != before[k] {
+				t.Fatalf("n=%d: after remove+re-add of %q, key %q owned by %q, want %q (re-join must restore the dead worker's arcs exactly)",
+					n, victim, k, got, before[k])
+			}
+		}
+	}
+}

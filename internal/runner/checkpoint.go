@@ -45,6 +45,20 @@ type FleetState struct {
 	// Assignments maps a live worker to the sorted hashes of its
 	// incomplete cells. Completed cells live in Done, not here.
 	Assignments map[string][]string `json:"assignments,omitempty"`
+	// Events is the membership history in occurrence order: joins, leaves
+	// (deaths), and re-joins, each stamped with a monotonic sequence
+	// number — never wall-clock, so a resumed coordinator replays the
+	// same history bytes regardless of when the churn happened.
+	Events []FleetEvent `json:"events,omitempty"`
+}
+
+// FleetEvent is one membership change. Seq is a coordinator-wide monotonic
+// counter (1, 2, 3, …); a resumed coordinator continues from the highest
+// sequence in the manifest, so event identity is stable across restarts.
+type FleetEvent struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"` // "join", "leave", or "rejoin"
+	Worker string `json:"worker"`
 }
 
 // uniqueJobHashes returns the sorted, deduplicated cell hashes of a job set.

@@ -112,3 +112,64 @@ func TestRunnerRecordsCheckpoint(t *testing.T) {
 		t.Fatalf("resumed DoneCount = %d, want 4", cp2.DoneCount())
 	}
 }
+
+// TestCheckpointFleetEventsRoundTrip: the manifest's fleet section
+// carries the membership event log — monotonic sequence numbers, never
+// wall-clock — and a resumed checkpoint hands it back verbatim.
+func TestCheckpointFleetEventsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(3)
+	cp, err := OpenCheckpoint(dir, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []FleetEvent{
+		{Seq: 1, Kind: "join", Worker: "http://a:1"},
+		{Seq: 2, Kind: "join", Worker: "http://b:1"},
+		{Seq: 3, Kind: "leave", Worker: "http://b:1"},
+		{Seq: 4, Kind: "rejoin", Worker: "http://b:1"},
+	}
+	cp.SetFleet(&FleetState{
+		Workers: []string{"http://a:1", "http://b:1"},
+		Events:  events,
+	})
+	cp.MarkDone(jobs[0].Hash()) // flushes the manifest
+
+	cp2, err := OpenCheckpoint(dir, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := cp2.Fleet()
+	if fs == nil {
+		t.Fatal("resumed checkpoint lost the fleet section")
+	}
+	if len(fs.Events) != len(events) {
+		t.Fatalf("resumed %d events, want %d", len(fs.Events), len(events))
+	}
+	for i, ev := range fs.Events {
+		if ev != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+}
+
+// TestCheckpointSingleNodeManifestUnchanged: a manifest written without
+// any fleet involvement contains no fleet key at all — single-node
+// checkpoint bytes are identical to the pre-fleet (and pre-membership)
+// format, so old and new binaries interoperate on the same cachedir.
+func TestCheckpointSingleNodeManifestUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(2)
+	cp, err := OpenCheckpoint(dir, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.MarkDone(jobs[0].Hash())
+	data, err := os.ReadFile(cp.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "fleet") || strings.Contains(string(data), "events") {
+		t.Errorf("single-node manifest mentions fleet state:\n%s", data)
+	}
+}

@@ -117,6 +117,8 @@ type Server struct {
 	peerGetMisses  *metrics.Counter
 	peerPuts       *metrics.Counter
 	peerPutRejects *metrics.Counter
+	warmHits       *metrics.Counter
+	warmMisses     *metrics.Counter
 }
 
 // New builds a Server, opening the disk cache when CacheDir is set.
@@ -156,6 +158,8 @@ func New(opts Options) (*Server, error) {
 	s.peerGetMisses = sc.Counter("peer_cache_get_misses")
 	s.peerPuts = sc.Counter("peer_cache_puts")
 	s.peerPutRejects = sc.Counter("peer_cache_put_rejects")
+	s.warmHits = sc.Counter("peer_warm_prefetch_hits")
+	s.warmMisses = sc.Counter("peer_warm_prefetch_misses")
 	sc.GaugeFunc("inflight", func() float64 { return float64(len(s.slots)) })
 	sc.GaugeFunc("queued", func() float64 {
 		if q := s.pending.Load() - int64(len(s.slots)); q > 0 {
@@ -184,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/cache/warm", s.handleWarm)
 	mux.HandleFunc("/cache/", s.handleCache)
 	return s.protect(mux)
 }
@@ -287,6 +292,48 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET or PUT only")
+	}
+}
+
+// Warmer is the cache capability behind POST /cache/warm: pre-fetch the
+// given cell hashes from the given peers into local storage and report
+// (hits, misses). fleet.PeerTier implements it; a worker running on a
+// plain disk cache does not, and answers 501.
+type Warmer interface {
+	Warm(peers, hashes []string) (hits, misses int)
+}
+
+// handleWarm is the joining-worker half of the fleet's warm re-shard
+// protocol: the coordinator POSTs the cache hashes the ring just moved
+// here plus the peers that may hold them, and the worker pulls each
+// missing entry (verify-on-read) before those cells are dispatched.
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	warmer, ok := s.opts.Cache.(Warmer)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "no peer cache tier configured")
+		return
+	}
+	var req sweepapi.WarmRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad warm body: "+err.Error())
+		return
+	}
+	for _, h := range req.Hashes {
+		if !validCellHash(h) {
+			writeError(w, http.StatusBadRequest, "malformed cell hash "+h)
+			return
+		}
+	}
+	hits, misses := warmer.Warm(req.Peers, req.Hashes)
+	s.warmHits.Add(uint64(hits))
+	s.warmMisses.Add(uint64(misses))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(sweepapi.WarmResponse{Hits: hits, Misses: misses}); err != nil {
+		s.opts.Log.Printf("warm: %v", err)
 	}
 }
 

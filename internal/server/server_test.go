@@ -593,3 +593,96 @@ func TestCachePeerEndpoints(t *testing.T) {
 		t.Fatalf("peer_cache_put_rejects = %d, want 1", counter(t, s2, "server/peer_cache_put_rejects"))
 	}
 }
+
+// warmRecorder is a runner.Cache that implements the Warmer capability
+// and records what /cache/warm asked it to prefetch.
+type warmRecorder struct {
+	mu     sync.Mutex
+	peers  []string
+	hashes []string
+}
+
+func (w *warmRecorder) Load(string) (system.Result, bool) { return system.Result{}, false }
+func (w *warmRecorder) Store(string, system.Result)       {}
+func (w *warmRecorder) Warm(peers, hashes []string) (int, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.peers = append([]string(nil), peers...)
+	w.hashes = append([]string(nil), hashes...)
+	return len(hashes) - 1, 1 // pretend the last hash was nowhere to be found
+}
+
+// TestCacheWarmEndpoint: POST /cache/warm forwards the order to the
+// cache tier's Warm, answers the hit/miss split as JSON, and counts both
+// in the server's peer_warm_prefetch metrics.
+func TestCacheWarmEndpoint(t *testing.T) {
+	rec := &warmRecorder{}
+	s, ts := newTestServer(t, Options{Cache: rec})
+
+	const h1 = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+	const h2 = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+	body := fmt.Sprintf(`{"hashes":["%s","%s"],"peers":["http://peer:1"]}`, h1, h2)
+	resp, err := http.Post(ts.URL+"/cache/warm", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr sweepapi.WarmResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || wr.Hits != 1 || wr.Misses != 1 {
+		t.Fatalf("warm = %d %+v, want 200 with 1 hit / 1 miss", resp.StatusCode, wr)
+	}
+	rec.mu.Lock()
+	if len(rec.hashes) != 2 || rec.hashes[0] != h1 || len(rec.peers) != 1 {
+		t.Errorf("Warm received (%v, %v), want the posted order", rec.peers, rec.hashes)
+	}
+	rec.mu.Unlock()
+	snap := s.Metrics()
+	if got, _ := snap.Get("server/peer_warm_prefetch_hits"); got.Value != 1 {
+		t.Errorf("peer_warm_prefetch_hits = %d, want 1", got.Value)
+	}
+	if got, _ := snap.Get("server/peer_warm_prefetch_misses"); got.Value != 1 {
+		t.Errorf("peer_warm_prefetch_misses = %d, want 1", got.Value)
+	}
+
+	// Malformed hashes are rejected before reaching the tier.
+	resp2, err := http.Post(ts.URL+"/cache/warm", "application/json",
+		strings.NewReader(`{"hashes":["../../etc/passwd"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed hash = %d, want 400", resp2.StatusCode)
+	}
+
+	// GET is not part of the protocol.
+	resp3, err := http.Get(ts.URL + "/cache/warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /cache/warm = %d, want 405", resp3.StatusCode)
+	}
+}
+
+// TestCacheWarmWithoutTier: a worker running on a plain disk cache (no
+// peer tier) answers 501 — warm is an optional capability, not an error.
+func TestCacheWarmWithoutTier(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/cache/warm", "application/json",
+		strings.NewReader(`{"hashes":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("warm without a tier = %d, want 501", resp.StatusCode)
+	}
+}

@@ -81,6 +81,39 @@ func (rs ReadyState) FreeSlots() int {
 	return 0
 }
 
+// JoinRequest is the POST /fleet/join body a worker sends a coordinator to
+// register (or re-register) at runtime. Worker is the worker's own base
+// URL as reachable by the coordinator and its peers.
+type JoinRequest struct {
+	Worker string `json:"worker"`
+}
+
+// JoinResponse acknowledges a join. Status is "joined" for a first
+// registration, "rejoined" for a previously-dead worker re-admitted, and
+// "already-member" for an idempotent re-announcement.
+type JoinResponse struct {
+	Status string `json:"status"`
+}
+
+// WarmRequest is the POST /cache/warm body the coordinator pushes to a
+// joining worker: the cache hashes of the cells the ring just moved to it,
+// plus the peer base URLs that may already hold those entries. The worker
+// pre-fetches each missing hash from the peers (GET /cache/<hash>,
+// verify-on-read) before any of those cells is dispatched, so a re-joined
+// worker recomputes nothing the fleet already computed.
+type WarmRequest struct {
+	Hashes []string `json:"hashes"`
+	Peers  []string `json:"peers,omitempty"`
+}
+
+// WarmResponse reports the prefetch outcome: Hits entries now local (held
+// already or fetched and verified), Misses nowhere to be found (those
+// cells will compute on dispatch — correct, just colder).
+type WarmResponse struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
 // CellSpec identifies one request-order grid cell by its swept coordinates
 // — the information needed to re-express that single cell as its own
 // Request (the coordinator's dispatch unit).

@@ -106,3 +106,127 @@ grep -q "re-sharding its cells" "$workdir/co.log" || {
   echo "coordinator log has no re-shard line"; cat "$workdir/co.log"; exit 1; }
 
 echo "fleet smoke test passed"
+
+# === Membership drills: failure detector, runtime re-join, coordinator ====
+# === resume, and a bounded heartbeat partition. ===========================
+# Fresh fleet with the suspicion-based failure detector on, so deaths come
+# from missed heartbeats rather than the legacy dispatch-failure path.
+w3_addr=127.0.0.1:18444
+w4_addr=127.0.0.1:18445
+co2_addr=127.0.0.1:18446
+co3_addr=127.0.0.1:18447
+
+wait_metric_ge() { # url name floor
+  for _ in $(seq 1 100); do
+    v=$(metric "$1" "$2")
+    [ "${v%.*}" -ge "$3" ] 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "metric $2 at $1 never reached $3 (last: $v)"; return 1
+}
+
+start_worker "$w3_addr" "$workdir/w3-cache" "$w4_addr" "$workdir/w3.log"
+start_worker "$w4_addr" "$workdir/w4-cache" "$w3_addr" "$workdir/w4.log"
+w4pid=${pids[-1]}
+
+"$workdir/cameod" -addr "$co2_addr" -coordinator \
+  -workers "http://$w3_addr,http://$w4_addr" -cachedir "$workdir/co2-manifest" \
+  -heartbeat 100ms -suspect-misses 1 -dead-misses 3 2>"$workdir/co2.log" &
+co2pid=$!; pids+=("$co2pid")
+wait_healthy "http://$co2_addr" "$workdir/co2.log"
+
+# --- (d) SIGKILL a worker mid-sweep; it re-joins at runtime. ---------------
+d1sweep='{"org":"cameo","benchmarks":["sphinx3","milc","gcc","mcf"],"sweep":"seed","values":[11,12,13,14],"instr":2000000,"cores":4}'
+curl -fsS -X POST -d "$d1sweep" "http://$ref_addr/sweep" -o "$workdir/reference-d1.json"
+curl -sS -X POST -d "$d1sweep" "http://$co2_addr/sweep" -o "$workdir/fleet-d1.json" &
+curlpid=$!
+sleep 0.4
+kill -KILL "$w4pid" 2>/dev/null || true
+wait "$curlpid"
+cmp "$workdir/reference-d1.json" "$workdir/fleet-d1.json" || {
+  echo "sweep across a worker death differs from single-node reference"
+  cat "$workdir/co2.log"; exit 1; }
+
+# The failure detector walks the dead worker through suspect -> dead...
+wait_metric_ge "http://$co2_addr" fleet/worker_deaths 1 || { cat "$workdir/co2.log"; exit 1; }
+# ...and the restarted worker announces itself back with -join. (If a slow
+# dead-probe lands first the coordinator revives it as a false death — the
+# same fresh re-admission, logged differently; accept either.)
+"$workdir/cameod" -addr "$w4_addr" -cachedir "$workdir/w4-cache" \
+  -peers "http://$w3_addr" -jobs 2 -max-inflight 2 \
+  -join "http://$co2_addr" -heartbeat 150ms 2>"$workdir/w4b.log" &
+pids+=("$!")
+wait_healthy "http://$w4_addr" "$workdir/w4b.log"
+for _ in $(seq 1 50); do
+  grep -qE "re-joined after death|returned from the dead" "$workdir/co2.log" && break
+  sleep 0.1
+done
+grep -qE "re-joined after death|returned from the dead" "$workdir/co2.log" || {
+  echo "coordinator log has no runtime re-admission line"; cat "$workdir/co2.log"; exit 1; }
+
+# Already-cached cells are not recomputed on the re-joined fleet: a repeat
+# of the same sweep moves no cells_executed counter anywhere.
+before=$(( $(metric "http://$w3_addr" server/cells_executed) \
+         + $(metric "http://$w4_addr" server/cells_executed) ))
+curl -fsS -X POST -d "$d1sweep" "http://$co2_addr/sweep" -o "$workdir/fleet-d1b.json"
+cmp "$workdir/reference-d1.json" "$workdir/fleet-d1b.json"
+after=$(( $(metric "http://$w3_addr" server/cells_executed) \
+        + $(metric "http://$w4_addr" server/cells_executed) ))
+if [ "$after" -ne "$before" ]; then
+  echo "re-joined fleet recomputed $((after - before)) already-cached cells, want 0"; exit 1
+fi
+
+# --- (e) SIGKILL the coordinator mid-sweep; -resume completes the sweep. ---
+d2sweep='{"org":"cameo","benchmarks":["sphinx3","milc","gcc","mcf"],"sweep":"seed","values":[21,22,23,24],"instr":2000000,"cores":4}'
+curl -fsS -X POST -d "$d2sweep" "http://$ref_addr/sweep" -o "$workdir/reference-d2.json"
+curl -sS -X POST -d "$d2sweep" "http://$co2_addr/sweep" -o /dev/null &
+curlpid=$!
+sleep 0.4
+kill -KILL "$co2pid" 2>/dev/null || true
+wait "$curlpid" || true
+
+"$workdir/cameod" -addr "$co2_addr" -coordinator \
+  -workers "http://$w3_addr,http://$w4_addr" -cachedir "$workdir/co2-manifest" -resume \
+  -heartbeat 100ms -suspect-misses 1 -dead-misses 3 2>"$workdir/co2b.log" &
+pids+=("$!")
+wait_healthy "http://$co2_addr" "$workdir/co2b.log"
+curl -fsS -X POST -d "$d2sweep" "http://$co2_addr/sweep" -o "$workdir/fleet-d2.json"
+cmp "$workdir/reference-d2.json" "$workdir/fleet-d2.json" || {
+  echo "resumed coordinator sweep differs from single-node reference"
+  cat "$workdir/co2b.log"; exit 1; }
+
+# --- (f) Heartbeat partition shorter than the suspicion window. ------------
+# Inject a deterministic partition that swallows the first 3 heartbeat
+# probes to w3: long enough to turn it suspect, too short to kill it. The
+# worker must return to alive with zero deaths, zero false deaths, and
+# zero re-sharded cells.
+"$workdir/cameod" -addr "$co3_addr" -coordinator \
+  -workers "http://$w3_addr,http://$w4_addr" \
+  -heartbeat 100ms -suspect-misses 2 -dead-misses 8 \
+  -chaos "fleet/heartbeat:partition:match=$w3_addr:max=3" 2>"$workdir/co3.log" &
+pids+=("$!")
+wait_healthy "http://$co3_addr" "$workdir/co3.log"
+
+wait_metric_ge "http://$co3_addr" fleet/suspects 1 || { cat "$workdir/co3.log"; exit 1; }
+for _ in $(seq 1 100); do
+  ready=$(curl -fsS "http://$co3_addr/readyz" | python3 -c "
+import json, sys
+r = json.load(sys.stdin)
+print(1 if len(r.get('workers', [])) == 2 and not r.get('suspect') and not r.get('dead') else 0)")
+  [ "$ready" = 1 ] && break
+  sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "partitioned worker never returned to alive"; cat "$workdir/co3.log"; exit 1; }
+
+for m in fleet/worker_deaths fleet/false_deaths fleet/cells_resharded; do
+  v=$(metric "http://$co3_addr" "$m")
+  if [ "${v%.*}" -ne 0 ]; then
+    echo "partition drill moved $m to $v, want 0"; cat "$workdir/co3.log"; exit 1
+  fi
+done
+
+# The healed fleet still answers byte-identically (everything is cached).
+curl -fsS -X POST -d "$d1sweep" "http://$co3_addr/sweep" -o "$workdir/fleet-d3.json"
+cmp "$workdir/reference-d1.json" "$workdir/fleet-d3.json"
+
+echo "fleet membership drills passed"
