@@ -143,6 +143,7 @@ func run(args []string, stderr io.Writer) int {
 			SuspectMisses:     *suspectMisses,
 			DeadMisses:        *deadMisses,
 			Chaos:             chaosPlan,
+			ChaosSeed:         *chaosSeed,
 			Log:               logger,
 		})
 		if err != nil {

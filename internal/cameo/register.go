@@ -36,6 +36,7 @@ func init() {
 				LLTCacheEntries:  e.LLTCacheEntries,
 			}, stacked, off)
 		},
+		ShardableState: buildShardPlan,
 	})
 }
 

@@ -1,0 +1,96 @@
+package cameo
+
+import (
+	"cameo/internal/memorg"
+)
+
+// buildShardPlan is CAMEO's ShardableState capability: the congruence
+// groups partition across min(memorg.ShardLanes, groups) lanes by
+// g mod lanes, each lane a complete CAMEO system (its own LLT, predictor,
+// hot filter, SRAM entry cache, and DRAM device models) over only its
+// groups. A line only ever swaps within its group (the paper's congruence
+// invariant), so no state is shared between lanes and each lane's
+// evolution depends only on its own access subsequence — the property the
+// sharded execution mode's byte-identity rests on.
+//
+// The lane count is fixed by the configuration, never by the worker count:
+// geometry always rounds groups to a multiple of 64, so every CAMEO
+// configuration decomposes into exactly memorg.ShardLanes equal lanes.
+func buildShardPlan(e memorg.Env) (*memorg.ShardPlan, error) {
+	groups := e.StackedLines
+	lanes := uint64(memorg.ShardLanes)
+	if lanes > groups {
+		lanes = groups
+	}
+	// Lane l owns {g : g mod lanes == l}; its group count is the size of
+	// that residue class (the classes differ by at most one group when the
+	// total is not a lane multiple).
+	laneGroups := make([]uint64, lanes)
+	for l := uint64(0); l < lanes; l++ {
+		laneGroups[l] = groups / lanes
+		if l < groups%lanes {
+			laneGroups[l]++
+		}
+	}
+	plan := &memorg.ShardPlan{VisibleLines: groups * uint64(e.StackedDivisor)}
+	for l := uint64(0); l < lanes; l++ {
+		off, err := e.NewOffChip(e.OffChipBytes)
+		if err != nil {
+			return nil, err
+		}
+		stacked, err := e.NewStacked()
+		if err != nil {
+			return nil, err
+		}
+		sys, err := NewSystem(Config{
+			Groups:           laneGroups[l],
+			Segments:         e.StackedDivisor,
+			LLT:              LLTKind(e.LLT),
+			Pred:             PredKind(e.Pred),
+			Cores:            e.Cores,
+			LLPEntries:       256,
+			HotSwapThreshold: e.HotSwapThreshold,
+			LLTCacheEntries:  e.LLTCacheEntries,
+		}, stacked, off)
+		if err != nil {
+			return nil, err
+		}
+		plan.Lanes = append(plan.Lanes, sys)
+	}
+	if lanes&(lanes-1) == 0 {
+		// Every realistic geometry lands here (ShardLanes is a power of
+		// two; fewer lanes only happen for toy group counts). Mask and
+		// shift in place of the two 64-bit divisions below — the route
+		// runs once per access on the serial front end, so its cost caps
+		// the achievable pipeline speedup.
+		mask, shift := lanes-1, uint(0)
+		for l := lanes; l > 1; l >>= 1 {
+			shift++
+		}
+		plan.Route = func(pline uint64) (int, uint64) {
+			// Segment recovery mirrors System.split's bounded subtraction:
+			// pline < groups*Segments and Segments <= MaxSegments, so at
+			// most three subtractions stand in for the divide.
+			g := pline
+			var seg uint64
+			for g >= groups {
+				g -= groups
+				seg++
+			}
+			lane := g & mask
+			return int(lane), seg*laneGroups[lane] + g>>shift
+		}
+		return plan, nil
+	}
+	plan.Route = func(pline uint64) (int, uint64) {
+		g := pline
+		var seg uint64
+		for g >= groups {
+			g -= groups
+			seg++
+		}
+		lane := g % lanes
+		return int(lane), seg*laneGroups[lane] + g/lanes
+	}
+	return plan, nil
+}

@@ -81,11 +81,7 @@ func (c *Client) RunCell(ctx context.Context, worker string, req sweepapi.Reques
 		}
 		return &sr, nil
 	case http.StatusTooManyRequests:
-		wait := time.Second
-		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-			wait = time.Duration(ra) * time.Second
-		}
-		return nil, errShed{retryAfter: wait}
+		return nil, errShed{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	case http.StatusServiceUnavailable:
 		return nil, errDraining
 	case http.StatusBadRequest:
@@ -93,6 +89,30 @@ func (c *Client) RunCell(ctx context.Context, worker string, req sweepapi.Reques
 	default:
 		return nil, fmt.Errorf("fleet: worker %s answered %d: %s", worker, resp.StatusCode, errorBody(data))
 	}
+}
+
+// maxShedBackoff caps the honoured Retry-After: a worker (or intermediary)
+// quoting minutes or hours must not stall dispatch, so absurd values clamp
+// here and failover proceeds on the coordinator's schedule.
+const maxShedBackoff = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delta-seconds or an HTTP-date — defaulting to one second when the header
+// is absent, malformed, or already in the past, and clamping the result to
+// maxShedBackoff.
+func parseRetryAfter(h string) time.Duration {
+	wait := time.Second
+	if ra, err := strconv.Atoi(h); err == nil && ra > 0 {
+		wait = time.Duration(ra) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > wait {
+			wait = d
+		}
+	}
+	if wait > maxShedBackoff {
+		wait = maxShedBackoff
+	}
+	return wait
 }
 
 // permanentCellError is a worker's 400: the cell itself is invalid, so no

@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms of the header —
+// delta-seconds and HTTP-date — plus the malformed and absurd cases the
+// shed-backoff path must stay sane under.
+func TestParseRetryAfter(t *testing.T) {
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name   string
+		header string
+		lo, hi time.Duration
+	}{
+		{"delta-seconds", "3", 3 * time.Second, 3 * time.Second},
+		{"absent", "", time.Second, time.Second},
+		{"malformed", "soon", time.Second, time.Second},
+		{"negative", "-5", time.Second, time.Second},
+		{"delta-clamped", "86400", maxShedBackoff, maxShedBackoff},
+		// HTTP-date resolves against the wall clock; allow slack below and
+		// require it lands in the intended neighbourhood.
+		{"http-date", httpDate(5 * time.Second), 3 * time.Second, 5 * time.Second},
+		{"http-date-past", httpDate(-time.Minute), time.Second, time.Second},
+		{"http-date-clamped", httpDate(2 * time.Hour), maxShedBackoff, maxShedBackoff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(tc.header)
+			if got < tc.lo || got > tc.hi {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.header, got, tc.lo, tc.hi)
+			}
+		})
+	}
+}

@@ -68,6 +68,11 @@ type CoordinatorOptions struct {
 	// Chaos, when non-nil, injects deterministic transport faults under
 	// every coordinator request (sites fleet/dispatch, fleet/heartbeat).
 	Chaos *faultinject.Plan
+	// ChaosSeed seeds the failure detector's probe jitter (0 = 1). Wiring
+	// it to the -chaos-seed flag keeps chaos drills replayable end to end:
+	// the same seed reproduces both the fault schedule and the probe
+	// timing, while distinct seeds explore distinct interleavings.
+	ChaosSeed uint64
 	// Log receives operational lines (deaths, re-shards, steals, joins).
 	// Nil discards them.
 	Log *log.Logger
@@ -163,7 +168,7 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.retries = sc.Counter("dispatch_retries")
 	c.shedWaits = sc.Counter("shed_backoffs")
 	c.cellsFail = sc.Counter("cells_failed")
-	c.mem = newMembership(opts.SuspectMisses, opts.DeadMisses, opts.HeartbeatInterval, sc)
+	c.mem = newMembership(opts.SuspectMisses, opts.DeadMisses, opts.HeartbeatInterval, opts.ChaosSeed, sc)
 	sc.GaugeFunc("workers_alive", func() float64 { return float64(len(c.mem.byState(StateAlive))) })
 	sc.GaugeFunc("workers_suspect", func() float64 { return float64(len(c.mem.byState(StateSuspect))) })
 	for _, w := range opts.Workers {

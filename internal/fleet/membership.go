@@ -110,8 +110,8 @@ type membership struct {
 // heartbeat misses that turn alive into suspect (<=0: 2); deadMisses the
 // total consecutive misses that turn suspect into dead (<= suspectMisses:
 // suspectMisses+4). interval is the base heartbeat cadence the probe
-// backoff scales from.
-func newMembership(suspectMisses, deadMisses int, interval time.Duration, sc *metrics.Scope) *membership {
+// backoff scales from. seed drives the probe jitter (0: 1).
+func newMembership(suspectMisses, deadMisses int, interval time.Duration, seed uint64, sc *metrics.Scope) *membership {
 	if suspectMisses <= 0 {
 		suspectMisses = 2
 	}
@@ -121,15 +121,19 @@ func newMembership(suspectMisses, deadMisses int, interval time.Duration, sc *me
 	if interval <= 0 {
 		interval = time.Second
 	}
+	if seed == 0 {
+		seed = 1
+	}
 	m := &membership{
 		suspectMisses: suspectMisses,
 		deadMisses:    deadMisses,
 		interval:      interval,
 		members:       map[string]*member{},
-		// Fixed seed: jitter decorrelates probe bursts, it does not need
-		// to be unpredictable — and a fixed stream keeps drills closer to
-		// repeatable.
-		rng: rand.New(rand.NewSource(1)),
+		// Seeded from the fleet chaos seed: jitter decorrelates probe
+		// bursts, it does not need to be unpredictable — and deriving the
+		// stream from the drill's seed keeps every chaos run replayable
+		// while distinct seeds still explore distinct probe timings.
+		rng: rand.New(rand.NewSource(int64(seed))),
 	}
 	if sc != nil {
 		m.joins = sc.Counter("joins")
@@ -438,10 +442,10 @@ func Announce(ctx context.Context, coordinator, self string, interval time.Durat
 				logf("fleet: joined coordinator %s as %s", coordinator, self)
 				registered = true
 			}
-			resp.Body.Close()
+			drainBody(resp.Body)
 		default:
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			resp.Body.Close()
+			drainBody(resp.Body)
 			logf("fleet: join %s rejected: %d %s (retrying)", coordinator, resp.StatusCode, firstLine(string(b)))
 		}
 		t := time.NewTimer(interval)
@@ -452,4 +456,14 @@ func Announce(ctx context.Context, coordinator, self string, interval time.Durat
 		case <-t.C:
 		}
 	}
+}
+
+// drainBody reads a response body to EOF (bounded — a server cannot make
+// us buffer arbitrary bytes) before closing it, so the keep-alive
+// connection returns to the client pool instead of being torn down; an
+// Announce loop re-POSTing every few seconds would otherwise open a fresh
+// connection per heartbeat.
+func drainBody(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 4<<10)) //nolint:errcheck // best-effort drain
+	body.Close()
 }

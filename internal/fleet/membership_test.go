@@ -13,7 +13,7 @@ import (
 // path — asserting the transition the coordinator must act on at each
 // step.
 func TestMembershipLifecycle(t *testing.T) {
-	m := newMembership(2, 4, time.Second, nil)
+	m := newMembership(2, 4, time.Second, 1, nil)
 	if tr := m.admit("http://w:1"); tr != transJoined {
 		t.Fatalf("first admit = %v, want transJoined", tr)
 	}
@@ -74,7 +74,7 @@ func TestMembershipLifecycle(t *testing.T) {
 // generation, and the event log records join → leave → rejoin in
 // monotonic sequence order.
 func TestMembershipRejoin(t *testing.T) {
-	m := newMembership(1, 2, time.Second, nil)
+	m := newMembership(1, 2, time.Second, 1, nil)
 	m.admit("http://w:1")
 	m.probeResult("http://w:1", false) // suspect (threshold 1)
 	m.probeResult("http://w:1", false) // dead (threshold 2)
@@ -114,7 +114,7 @@ func TestMembershipRejoin(t *testing.T) {
 // at all (no leave, no rejoin), so a blip shorter than the suspicion
 // window leaves the manifest history untouched.
 func TestMembershipSuspectRecoverIsNotARejoin(t *testing.T) {
-	m := newMembership(2, 6, time.Second, nil)
+	m := newMembership(2, 6, time.Second, 1, nil)
 	m.admit("http://w:1")
 	before := len(m.eventLog())
 	m.probeResult("http://w:1", false)
@@ -137,7 +137,7 @@ func TestMembershipSuspectRecoverIsNotARejoin(t *testing.T) {
 // TestMembershipDue: alive members are probed every tick; suspects only
 // once their backoff elapses; dead members on their slow cadence.
 func TestMembershipDue(t *testing.T) {
-	m := newMembership(1, 3, time.Second, nil)
+	m := newMembership(1, 3, time.Second, 1, nil)
 	m.admit("http://a:1")
 	m.admit("http://b:1")
 	now := time.Now()
@@ -156,13 +156,13 @@ func TestMembershipDue(t *testing.T) {
 // TestMembershipAdoptPrior: resuming from a manifest continues the event
 // sequence past the recorded history and keeps prior deaths dead.
 func TestMembershipAdoptPrior(t *testing.T) {
-	prior := newMembership(1, 2, time.Second, nil)
+	prior := newMembership(1, 2, time.Second, 1, nil)
 	prior.admit("http://a:1")
 	prior.admit("http://b:1")
 	prior.probeResult("http://b:1", false)
 	prior.probeResult("http://b:1", false) // b dead: join join leave
 
-	next := newMembership(1, 2, time.Second, nil)
+	next := newMembership(1, 2, time.Second, 1, nil)
 	next.admit("http://a:1")
 	next.adoptPrior(&runner.FleetState{
 		Events: prior.eventLog(),
@@ -184,5 +184,44 @@ func TestMembershipAdoptPrior(t *testing.T) {
 	events = next.eventLog()
 	if last := events[len(events)-1]; last.Seq <= events[len(events)-2].Seq {
 		t.Errorf("new event seq %d not past %d", last.Seq, events[len(events)-2].Seq)
+	}
+}
+
+// TestJitterSeedReplayable pins the chaos-seed wiring of the probe jitter:
+// the same seed reproduces the exact jitter stream (drills replay), while
+// distinct seeds decorrelate into distinct probe timings.
+func TestJitterSeedReplayable(t *testing.T) {
+	draw := func(seed uint64) []time.Duration {
+		m := newMembership(2, 4, time.Second, seed, nil)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = m.jittered(time.Second)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical jitter streams")
+	}
+	// Seed 0 must alias the historical default stream, not panic or zero out.
+	z := draw(0)
+	o := draw(1)
+	for i := range z {
+		if z[i] != o[i] {
+			t.Fatalf("seed 0 did not alias seed 1 at draw %d", i)
+		}
 	}
 }

@@ -1,0 +1,32 @@
+package memorg
+
+// ShardLanes is the canonical lane count of the group-sharded execution
+// mode. An organization that declares ShardableState partitions its
+// congruence-group state into min(ShardLanes, groups) lanes, and the
+// partition depends only on the configuration — never on how many worker
+// goroutines later drive the lanes. That invariant is what makes sharded
+// output byte-identical at every worker count: K only changes how lanes are
+// multiplexed onto goroutines (lane mod K), not which lane owns which
+// group, so every lane sees exactly the same access sequence at K=1 and
+// K=16.
+const ShardLanes = 16
+
+// ShardPlan is the canonical lane decomposition an organization returns
+// from its ShardableState capability: one fully wired organization per
+// lane, each owning a disjoint subset of the congruence groups, plus the
+// routing function mapping an OS-visible line onto (lane, lane-local line).
+type ShardPlan struct {
+	// Lanes are the per-lane organizations, each built over its own DRAM
+	// device models and migration/table state. Lane i owns the groups
+	// {g : g mod len(Lanes) == i}; no line ever moves between lanes, which
+	// is the partition invariant the whole mode rests on.
+	Lanes []Organization
+	// Route maps an OS-visible physical line onto the lane that owns it
+	// and the lane-local line address its organization understands. It is
+	// called on the sequential front-end for every access, so it must be
+	// cheap and allocation-free.
+	Route func(pline uint64) (lane int, localPLine uint64)
+	// VisibleLines is the combined OS-visible line space — identical to
+	// the unsharded organization's VisibleLines.
+	VisibleLines uint64
+}

@@ -1,0 +1,48 @@
+package orgconform
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cameo/internal/memorg"
+	"cameo/internal/system"
+)
+
+// TestShardedOutputMatchesAcrossWorkerCounts is the registry-wide contract
+// behind the group-sharded execution mode: any organization declaring
+// ShardableState must produce byte-identical results — the full Result and
+// the canonical metrics snapshot — at every worker count, because the lane
+// partition is fixed by the configuration and every merge is an
+// order-independent reduction. Organizations without the capability skip
+// (and Validate rejects the knob for them, covered in package system).
+func TestShardedOutputMatchesAcrossWorkerCounts(t *testing.T) {
+	forEachOrg(t, func(t *testing.T, d memorg.Descriptor, kind system.OrgKind) {
+		if d.ShardableState == nil {
+			t.Skip("organization does not declare group-shardable state")
+		}
+		var want []byte
+		for _, k := range []int{1, 2, 4} {
+			cfg := conformConfig(kind)
+			cfg.Shards = k
+			res := mustRun(t, cfg)
+			j, err := json.Marshal(res)
+			if err != nil {
+				t.Fatalf("shards=%d: marshal: %v", k, err)
+			}
+			var buf bytes.Buffer
+			buf.Write(j)
+			if err := res.Metrics.WriteJSON(&buf); err != nil {
+				t.Fatalf("shards=%d: metrics: %v", k, err)
+			}
+			got := buf.Bytes()
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("shards=%d output differs from shards=1", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"cameo/internal/cameo"
+	"cameo/internal/dram"
+	"cameo/internal/memorg"
+	"cameo/internal/memsys"
+	"cameo/internal/metrics"
+	"cameo/internal/stats"
+)
+
+// The group-sharded execution mode (Config.Shards > 0) trades the closed
+// timing feedback loop for intra-cell parallelism. In the sequential engine
+// every demand's completion cycle feeds back into the core's event
+// schedule, so the global access interleaving depends on every earlier
+// completion — state that cannot be parallelized without changing results.
+// Sharded mode cuts that loop once, deterministically: the front end
+// (engine, cores, paging, L3) stays a single goroutine and reports a fixed
+// NominalMemLatency for every demand, which makes the access sequence — and
+// therefore each lane's access subsequence — a pure function of the
+// configuration. The per-lane organization state then evolves identically
+// whether the lanes are driven inline (Shards=1) or by K worker goroutines
+// (lane mod K), because each lane's stream is processed in order either
+// way. Per-lane statistics merge with order-independent reductions (sums,
+// histogram-bucket sums, maxima), so CSV, telemetry, and metrics output is
+// byte-identical at every Shards >= 1 — the property cmd/benchgate and the
+// CI shard-determinism step gate. DESIGN.md §Performance documents the
+// model; the runner encodes only the mode bit ("sharded=1") into cell keys.
+const (
+	// NominalMemLatency is the fixed demand-read completion latency the
+	// decoupled front end reports to the cores — roughly an average mixed
+	// stacked/off-chip service time, so instruction pacing stays realistic
+	// even though it no longer tracks individual accesses.
+	NominalMemLatency = 200
+
+	// shardBatchSize is how many accesses the front end buffers per worker
+	// before handing the batch over; batches amortize channel operations to
+	// ~1/256 per access and recycle through a per-worker free list, keeping
+	// the steady state allocation-free.
+	shardBatchSize = 256
+
+	// shardQueueDepth is how many filled batches may be in flight to one
+	// worker; the free list doubles as backpressure — when a worker falls
+	// this far behind, the front end blocks instead of ballooning memory.
+	shardQueueDepth = 8
+)
+
+// shardEntry is one queued access, already routed to a lane.
+type shardEntry struct {
+	at    uint64
+	pline uint64 // lane-local line address
+	pc    uint64
+	core  int32
+	lane  int32
+	write bool
+}
+
+// shardBatch is the unit of hand-off between the front end and a worker.
+// A batch with a non-nil barrier carries no accesses: the worker signals it
+// and the sender knows everything enqueued earlier has been processed.
+type shardBatch struct {
+	n       int
+	entries [shardBatchSize]shardEntry
+	barrier chan struct{}
+}
+
+// shardedOrg drives a ShardPlan's lanes. It implements
+// memsys.Organization so the machine wiring is unchanged; it deliberately
+// does NOT implement memsys.MetricSource — lane registries are snapshotted
+// separately and merged key-ordered at the end of the run (laneSnapshots).
+type shardedOrg struct {
+	lanes   []memsys.Organization
+	route   func(pline uint64) (lane int, localPLine uint64)
+	visible uint64
+	workers int // goroutine count K; 1 runs lanes inline, no goroutines
+
+	// Per-lane measurement state. Each slot is written only by the worker
+	// that owns the lane (or by the caller when workers == 1), and read
+	// only after drain — no locks on the access path.
+	laneHist []stats.Hist
+	laneMax  []uint64 // max completion cycle seen per lane
+
+	// workers > 1 execution state.
+	chs  []chan *shardBatch
+	free []chan *shardBatch
+	cur  []*shardBatch
+	wg   sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+
+	drained bool
+}
+
+var _ memsys.Organization = (*shardedOrg)(nil)
+
+// newShardedOrg wires a plan to K workers. K is clamped to the lane count
+// (more goroutines than lanes cannot help); K=1 takes the inline path — an
+// honest sequential baseline, so the -shards 4 speedup the CI gate measures
+// is real pipeline parallelism, not a K=1 strawman paying queue overhead.
+func newShardedOrg(plan *memorg.ShardPlan, workers int) (*shardedOrg, error) {
+	if plan == nil || len(plan.Lanes) == 0 || plan.Route == nil {
+		return nil, fmt.Errorf("system: organization returned an unusable shard plan")
+	}
+	if workers > len(plan.Lanes) {
+		workers = len(plan.Lanes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	o := &shardedOrg{
+		lanes:    plan.Lanes,
+		route:    plan.Route,
+		visible:  plan.VisibleLines,
+		workers:  workers,
+		laneHist: make([]stats.Hist, len(plan.Lanes)),
+		laneMax:  make([]uint64, len(plan.Lanes)),
+	}
+	if workers > 1 {
+		for w := 0; w < workers; w++ {
+			free := make(chan *shardBatch, shardQueueDepth+1)
+			for i := 0; i < shardQueueDepth; i++ {
+				free <- &shardBatch{}
+			}
+			o.chs = append(o.chs, make(chan *shardBatch, shardQueueDepth))
+			o.free = append(o.free, free)
+			o.cur = append(o.cur, &shardBatch{})
+		}
+		o.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go o.worker(w)
+		}
+	}
+	return o, nil
+}
+
+// worker drains one queue. It never stops consuming before its channel
+// closes — even after a lane panicked — so the front end's enqueue path can
+// never deadlock on a wedged worker; the recorded error surfaces at drain.
+func (o *shardedOrg) worker(w int) {
+	defer o.wg.Done()
+	for b := range o.chs[w] {
+		if b.barrier != nil {
+			close(b.barrier)
+			continue
+		}
+		o.process(b)
+		b.n = 0
+		o.free[w] <- b
+	}
+}
+
+// process runs one batch through its lanes, converting a lane panic (a bad
+// address would otherwise kill the whole process) into a recorded error.
+func (o *shardedOrg) process(b *shardBatch) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.errMu.Lock()
+			if o.err == nil {
+				o.err = fmt.Errorf("system: shard worker: %v", r)
+			}
+			o.errMu.Unlock()
+		}
+	}()
+	for i := range b.entries[:b.n] {
+		e := &b.entries[i]
+		o.apply(int(e.lane), e.at, memsys.Request{
+			Core: int(e.core), PLine: e.pline, PC: e.pc, Write: e.write,
+		})
+	}
+}
+
+// apply runs one routed access on its lane and records the lane-side
+// measurements. Called from the owning worker, or inline when workers == 1.
+func (o *shardedOrg) apply(lane int, at uint64, req memsys.Request) {
+	c := o.lanes[lane].Access(at, req)
+	if !req.Write {
+		o.laneHist[lane].Observe(c - at)
+		if c > o.laneMax[lane] {
+			o.laneMax[lane] = c
+		}
+	}
+}
+
+// Access implements memsys.Organization: route, enqueue (or run inline),
+// and answer the nominal completion. Writes are posted as everywhere else.
+func (o *shardedOrg) Access(at uint64, req memsys.Request) uint64 {
+	if req.PLine >= o.visible {
+		panic(fmt.Sprintf("system: sharded line %d beyond visible space %d", req.PLine, o.visible))
+	}
+	lane, local := o.route(req.PLine)
+	req.PLine = local
+	if o.workers == 1 {
+		o.apply(lane, at, req)
+	} else {
+		w := lane % o.workers
+		b := o.cur[w]
+		b.entries[b.n] = shardEntry{
+			at: at, pline: local, pc: req.PC,
+			core: int32(req.Core), lane: int32(lane), write: req.Write,
+		}
+		b.n++
+		if b.n == shardBatchSize {
+			o.chs[w] <- b
+			o.cur[w] = <-o.free[w]
+		}
+	}
+	if req.Write {
+		return at
+	}
+	return at + NominalMemLatency
+}
+
+// flushWorker hands the worker's partial batch over and takes a fresh one.
+func (o *shardedOrg) flushWorker(w int) {
+	if b := o.cur[w]; b.n > 0 {
+		o.chs[w] <- b
+		o.cur[w] = <-o.free[w]
+	}
+}
+
+// barrierAll flushes every queue and waits until each worker has processed
+// everything enqueued so far. The barrier sits at a fixed position in each
+// lane's access stream (the front end is deterministic), so operations on
+// the quiesced lanes — the warm-up statistics reset — land at the same
+// per-lane point for every worker count.
+func (o *shardedOrg) barrierAll() {
+	if o.workers == 1 {
+		return
+	}
+	for w := range o.chs {
+		o.flushWorker(w)
+		done := make(chan struct{})
+		o.chs[w] <- &shardBatch{barrier: done}
+		<-done
+	}
+}
+
+// drain flushes and closes every queue, joins the workers, and reports any
+// lane error. It runs once, after the engine stops (including preemption,
+// so cancelled cells leak no goroutines); lane state is single-threaded
+// again afterwards.
+func (o *shardedOrg) drain() error {
+	if o.workers > 1 && !o.drained {
+		o.drained = true
+		for w := range o.chs {
+			o.flushWorker(w)
+			close(o.chs[w])
+		}
+		o.wg.Wait()
+	}
+	o.errMu.Lock()
+	defer o.errMu.Unlock()
+	return o.err
+}
+
+// mergeLatency folds the per-lane demand-latency histograms into h
+// (bucket-wise sums — order-independent, so the merged histogram is
+// byte-identical at every worker count).
+func (o *shardedOrg) mergeLatency(h *stats.Hist) {
+	for i := range o.laneHist {
+		h.Merge(&o.laneHist[i])
+	}
+}
+
+// maxComplete returns the latest completion cycle any lane produced — the
+// memory-side finish time max-merged into Result.Cycles.
+func (o *shardedOrg) maxComplete() uint64 {
+	var m uint64
+	for _, c := range o.laneMax {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// laneSnapshots captures each lane's metrics registry. Run after drain;
+// the merge into the run snapshot is metrics.Merge's key-ordered reduction.
+func (o *shardedOrg) laneSnapshots() []metrics.Snapshot {
+	var out []metrics.Snapshot
+	for _, l := range o.lanes {
+		src, ok := l.(memsys.MetricSource)
+		if !ok {
+			continue
+		}
+		reg := metrics.NewRegistry()
+		src.RegisterMetrics(reg)
+		out = append(out, reg.Snapshot())
+	}
+	return out
+}
+
+// cameoStats sums the lanes' CAMEO counters for Result.Cameo (nil when the
+// lanes are not CAMEO systems).
+func (o *shardedOrg) cameoStats() *cameo.Stats {
+	var sum cameo.Stats
+	found := false
+	for _, l := range o.lanes {
+		if cs, ok := l.(*cameo.System); ok {
+			found = true
+			sum.Add(cs.Stats())
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &sum
+}
+
+// Name implements memsys.Organization: the lane name is derived from the
+// same configuration the unsharded system would carry, so reports label
+// the design, not the execution mode.
+func (o *shardedOrg) Name() string { return o.lanes[0].Name() }
+
+// VisibleLines implements memsys.Organization.
+func (o *shardedOrg) VisibleLines() uint64 { return o.visible }
+
+// StackedStats implements memsys.Organization: the lane sum.
+func (o *shardedOrg) StackedStats() dram.Stats {
+	var sum dram.Stats
+	for _, l := range o.lanes {
+		sum.Add(l.StackedStats())
+	}
+	return sum
+}
+
+// OffChipStats implements memsys.Organization: the lane sum.
+func (o *shardedOrg) OffChipStats() dram.Stats {
+	var sum dram.Stats
+	for _, l := range o.lanes {
+		sum.Add(l.OffChipStats())
+	}
+	return sum
+}
+
+// ResetStats implements memsys.Organization — the warm-up boundary. The
+// barrier quiesces the workers first so every lane resets at the same
+// point of its access stream regardless of worker count.
+func (o *shardedOrg) ResetStats() {
+	o.barrierAll()
+	for _, l := range o.lanes {
+		l.ResetStats()
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // baseSweepDims are the dimensions every organization can sweep; an
 // organization's descriptor may append its own (e.g. memcache's partition).
-var baseSweepDims = []string{"scale", "cores", "ratio", "seed"}
+var baseSweepDims = []string{"scale", "cores", "ratio", "seed", "frfcfs"}
 
 // SweepDims returns the sweep dimensions valid for an organization, base
 // dims first and in a stable order — the single source for cameo-sweep's
@@ -47,6 +47,12 @@ func ApplySweep(cfg *Config, dim string, v uint64) error {
 		cfg.StackedDivisor = int(v)
 	case "seed":
 		cfg.Seed = v
+	case "frfcfs":
+		// 0/1 toggle: compares the analytic in-order DRAM model against the
+		// queued FR-FCFS controller on otherwise-identical cells (it is
+		// also how the shard-determinism smoke reaches a controller-heavy
+		// cell through the CLI).
+		cfg.FRFCFS = v != 0
 	case "mempart":
 		cfg.MemPartPct = int(v)
 	case "ways":

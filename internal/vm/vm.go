@@ -116,9 +116,16 @@ type Memory struct {
 	freeOffchip []uint64
 	tables      []map[uint64]uint64 // per-process vpage -> frame
 	onStorage   []map[uint64]bool   // per-process pages whose contents live on storage
-	clockHand   uint64
-	rng         *xrand.Rand
-	stats       Stats
+	// tcache memoizes each process's last successful translation — a
+	// software micro-TLB in front of the page-table map. Page-local access
+	// runs (64 lines per page) make it hit often enough that the map
+	// lookup leaves the per-access hot path; every operation that remaps
+	// or unmaps a page invalidates the affected entry, so it is pure
+	// memoization and cannot change any simulation result.
+	tcache    []transCache
+	clockHand uint64
+	rng       *xrand.Rand
+	stats     Stats
 
 	// PreferStacked, when non-nil, asks for frames in the stacked region for
 	// pages it returns true for (used by TLM-Oracle placement). Fallback is
@@ -147,11 +154,27 @@ func New(cfg Config, nprocs int) *Memory {
 	}
 	m.tables = make([]map[uint64]uint64, nprocs)
 	m.onStorage = make([]map[uint64]bool, nprocs)
+	m.tcache = make([]transCache, nprocs)
 	for i := range m.tables {
 		m.tables[i] = make(map[uint64]uint64)
 		m.onStorage[i] = make(map[uint64]bool)
 	}
 	return m
+}
+
+// transCache is one process's last-translation memo (see Memory.tcache).
+type transCache struct {
+	vpage uint64
+	frame uint64
+	valid bool
+}
+
+// invalidate drops proc's memoized translation if it covers vpage. Callers
+// are the remap/unmap sites: evictFrame, SwapFrames, MoveFrame.
+func (m *Memory) invalidate(proc int, vpage uint64) {
+	if proc >= 0 && proc < len(m.tcache) && m.tcache[proc].vpage == vpage {
+		m.tcache[proc].valid = false
+	}
 }
 
 // Config returns the configuration.
@@ -174,6 +197,15 @@ func (m *Memory) ResidentPages() uint64 {
 func (m *Memory) Translate(proc int, vline uint64, isWrite bool) (pline uint64, out FaultOutcome) {
 	vpage := vline / LinesPerPage
 	offset := vline % LinesPerPage
+	tc := &m.tcache[proc]
+	if tc.valid && tc.vpage == vpage {
+		fr := &m.frames[tc.frame]
+		fr.ref = true
+		if isWrite {
+			fr.dirty = true
+		}
+		return tc.frame*LinesPerPage + offset, FaultOutcome{}
+	}
 	table := m.tables[proc]
 	if f, ok := table[vpage]; ok {
 		fr := &m.frames[f]
@@ -181,6 +213,7 @@ func (m *Memory) Translate(proc int, vline uint64, isWrite bool) (pline uint64, 
 		if isWrite {
 			fr.dirty = true
 		}
+		*tc = transCache{vpage: vpage, frame: f, valid: true}
 		return f*LinesPerPage + offset, FaultOutcome{}
 	}
 
@@ -190,6 +223,7 @@ func (m *Memory) Translate(proc int, vline uint64, isWrite bool) (pline uint64, 
 	fr := &m.frames[f]
 	*fr = frameInfo{owner: proc, vpage: vpage, valid: true, ref: true, dirty: isWrite}
 	table[vpage] = f
+	*tc = transCache{vpage: vpage, frame: f, valid: true}
 
 	out.Fault = true
 	if major {
@@ -277,6 +311,7 @@ func (m *Memory) evict() uint64 {
 // evictFrame unmaps the page in frame f, charging storage traffic.
 func (m *Memory) evictFrame(f uint64) {
 	fr := &m.frames[f]
+	m.invalidate(fr.owner, fr.vpage)
 	delete(m.tables[fr.owner], fr.vpage)
 	m.onStorage[fr.owner][fr.vpage] = true
 	m.stats.Evictions++
@@ -293,6 +328,15 @@ func (m *Memory) evictFrame(f uint64) {
 // page has already been absorbed by the page-out).
 func (m *Memory) TranslateNoFault(proc int, vline uint64, isWrite bool) (pline uint64, ok bool) {
 	vpage := vline / LinesPerPage
+	tc := &m.tcache[proc]
+	if tc.valid && tc.vpage == vpage {
+		fr := &m.frames[tc.frame]
+		fr.ref = true
+		if isWrite {
+			fr.dirty = true
+		}
+		return tc.frame*LinesPerPage + vline%LinesPerPage, true
+	}
 	f, found := m.tables[proc][vpage]
 	if !found {
 		return 0, false
@@ -302,6 +346,7 @@ func (m *Memory) TranslateNoFault(proc int, vline uint64, isWrite bool) (pline u
 	if isWrite {
 		fr.dirty = true
 	}
+	*tc = transCache{vpage: vpage, frame: f, valid: true}
 	return f*LinesPerPage + vline%LinesPerPage, true
 }
 
@@ -324,6 +369,8 @@ func (m *Memory) SwapFrames(a, b uint64) {
 	if !fa.valid || !fb.valid {
 		panic("vm: SwapFrames on unmapped frame")
 	}
+	m.invalidate(fa.owner, fa.vpage)
+	m.invalidate(fb.owner, fb.vpage)
 	m.tables[fa.owner][fa.vpage] = b
 	m.tables[fb.owner][fb.vpage] = a
 	*fa, *fb = *fb, *fa
@@ -341,6 +388,7 @@ func (m *Memory) MoveFrame(src, dst uint64) {
 		panic("vm: MoveFrame onto occupied frame")
 	}
 	m.removeFromFree(dst)
+	m.invalidate(fs.owner, fs.vpage)
 	m.tables[fs.owner][fs.vpage] = dst
 	*fd = *fs
 	*fs = frameInfo{owner: -1}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Shard-determinism smoke: drive the group-sharded execution mode end to end
+# through both front ends and hold it to its two contracts.
+#
+#  1. paperbench: one fig13 cell at -shards 1, 2 and 4 — report, raw CSV and
+#     telemetry must be byte-identical at every worker count.
+#  2. cameo-sweep: a small grid (including a non-lane-multiple group count)
+#     at -shards 1 vs 4 — CSV and telemetry byte-identical.
+#  3. Speedup gate: a controller-heavy mcf cell must run >= 1.5x faster at
+#     -shards 4 than at -shards 1. Wall-clock speedup needs real cores, so
+#     this part only runs when the machine has >= 4; the byte-identity
+#     checks above carry the correctness contract everywhere.
+#
+# Run from the repository root.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/paperbench" ./cmd/paperbench
+go build -o "$workdir/cameo-sweep" ./cmd/cameo-sweep
+
+echo "== paperbench byte-identity across -shards 1/2/4"
+run_pb() {
+  # The report echoes the -csv/-telemetry paths ("wrote ... to ..."), which
+  # necessarily differ per run; everything else must match byte for byte.
+  "$workdir/paperbench" -exp fig13 -bench sphinx3,milc -scale 4096 \
+    -instr 40000 -cores 4 -jobs 2 -shards "$1" -quiet \
+    -csv "$workdir/pb-k$1.csv" -telemetry "$workdir/pb-k$1.json" |
+    grep -v '^wrote ' > "$workdir/pb-k$1.txt"
+}
+for k in 1 2 4; do run_pb "$k"; done
+for k in 2 4; do
+  cmp "$workdir/pb-k1.txt" "$workdir/pb-k$k.txt"
+  cmp "$workdir/pb-k1.csv" "$workdir/pb-k$k.csv"
+  cmp "$workdir/pb-k1.json" "$workdir/pb-k$k.json"
+done
+echo "   report, CSV and telemetry byte-identical"
+
+echo "== cameo-sweep byte-identity across -shards 1/4"
+run_sweep() {
+  "$workdir/cameo-sweep" -org cameo -bench milc,gcc -sweep scale \
+    -values 4096,8192 -instr 30000 -cores 2 -jobs 4 -shards "$1" -quiet \
+    -out "$workdir/sw-k$1.csv" -telemetry "$workdir/sw-k$1.json"
+}
+run_sweep 1
+run_sweep 4
+cmp "$workdir/sw-k1.csv" "$workdir/sw-k4.csv"
+cmp "$workdir/sw-k1.json" "$workdir/sw-k4.json"
+echo "   CSV and telemetry byte-identical"
+
+echo "== speedup gate (-shards 4 vs -shards 1, controller-heavy cell)"
+cores=$(nproc)
+if [ "$cores" -lt 4 ]; then
+  echo "   skipped: wall-clock gate needs >= 4 cores, this machine has $cores"
+  exit 0
+fi
+time_cell() {
+  # Best-of-2 wall nanoseconds for one FR-FCFS mcf cell at -shards $1.
+  # -jobs 1 pins cell-level parallelism so only lane workers move the clock.
+  local best=0 s e dt
+  for _ in 1 2; do
+    s=$(date +%s%N)
+    "$workdir/cameo-sweep" -org cameo -bench mcf -sweep frfcfs -values 1 \
+      -instr 2000000 -cores 8 -jobs 1 -shards "$1" -quiet -out /dev/null
+    e=$(date +%s%N)
+    dt=$((e - s))
+    if [ "$best" -eq 0 ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+  done
+  echo "$best"
+}
+t1=$(time_cell 1)
+t4=$(time_cell 4)
+awk -v a="$t1" -v b="$t4" \
+  'BEGIN { printf "   -shards 1: %.0fms   -shards 4: %.0fms   speedup %.2fx\n", a/1e6, b/1e6, a/b }'
+# speedup >= 1.5  <=>  2*t1 >= 3*t4, in integer arithmetic.
+if [ $((2 * t1)) -lt $((3 * t4)) ]; then
+  echo "shard-smoke: -shards 4 is not >= 1.5x faster than -shards 1" >&2
+  exit 1
+fi
+echo "   speedup >= 1.5x"
