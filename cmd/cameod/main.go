@@ -88,7 +88,10 @@ func run(args []string, stderr io.Writer) int {
 		resume      = fs.Bool("resume", false, "coordinator mode: resume an interrupted sweep from the manifest in -cachedir")
 
 		join          = fs.String("join", "", "worker mode: coordinator base URL to register with at startup (and keep re-announcing to)")
-		advertise     = fs.String("advertise", "", "worker mode: this worker's own base URL as reachable by the coordinator and peers (default http://<addr>)")
+		advertise     = fs.String("advertise", "", "this node's own base URL as reachable by the coordinator and peers (default http://<addr>)")
+		standby       = fs.String("standby", "", "standby coordinator mode: monitor this primary coordinator URL and take over its sweep (from the shared -cachedir manifest) when its death is confirmed")
+		gossipEvery   = fs.Duration("gossip-interval", 0, "anti-entropy gossip cadence: exchange the versioned fleet membership view with a random peer this often (0 = off)")
+		leaseTTL      = fs.Duration("lease-ttl", 30*time.Second, "coordinator mode: cell dispatch lease duration recorded in the manifest; expired leases make cells safely re-dispatchable (0 = leasing off)")
 		heartbeat     = fs.Duration("heartbeat", 0, "coordinator mode: probe worker liveness at this cadence and run the suspicion-based failure detector (0 = off: a failed dispatch plus a failed probe kills a worker immediately); worker mode with -join: re-announce cadence")
 		suspectMisses = fs.Int("suspect-misses", 0, "coordinator mode: consecutive heartbeat misses before a worker turns suspect (0 = default 2)")
 		deadMisses    = fs.Int("dead-misses", 0, "coordinator mode: total consecutive misses before a suspect is declared dead and re-sharded (0 = default: suspect-misses+4)")
@@ -120,9 +123,64 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
+	self := *advertise
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+
 	var handler http.Handler
 	drain := func() error { return nil }
-	if *coordinator {
+	switch {
+	case *standby != "":
+		if *coordinator {
+			logger.Print("-standby already implies the coordinator role; drop -coordinator")
+			ln.Close()
+			return 2
+		}
+		if *join != "" {
+			logger.Print("-join is a worker flag: a standby coordinator is joined, it does not join")
+			ln.Close()
+			return 2
+		}
+		if *cachedir == "" {
+			logger.Print("-standby needs -cachedir shared with the primary: the checkpoint manifest is the takeover handoff channel")
+			ln.Close()
+			return 2
+		}
+		st, err := fleet.NewStandby(fleet.StandbyOptions{
+			Primary: *standby,
+			Coordinator: fleet.CoordinatorOptions{
+				Workers:           splitList(*workers),
+				VNodes:            *vnodes,
+				MaxCells:          *maxCells,
+				CheckpointDir:     *cachedir,
+				HeartbeatInterval: *heartbeat,
+				SuspectMisses:     *suspectMisses,
+				DeadMisses:        *deadMisses,
+				Chaos:             chaosPlan,
+				ChaosSeed:         *chaosSeed,
+				LeaseTTL:          *leaseTTL,
+				Advertise:         self,
+				GossipInterval:    *gossipEvery,
+				Log:               logger,
+			},
+			Interval:      *heartbeat,
+			SuspectMisses: *suspectMisses,
+			DeadMisses:    *deadMisses,
+			Log:           logger,
+		})
+		if err != nil {
+			logger.Print(err)
+			ln.Close()
+			return 1
+		}
+		defer st.Close()
+		stCtx, stCancel := context.WithCancel(context.Background())
+		defer stCancel()
+		go st.Run(stCtx)
+		handler = st.Handler()
+		logger.Printf("standing by for coordinator %s (takeover from manifest in %s)", *standby, *cachedir)
+	case *coordinator:
 		if *workers == "" {
 			logger.Print("-coordinator needs -workers (the fleet to shard across)")
 			ln.Close()
@@ -144,6 +202,9 @@ func run(args []string, stderr io.Writer) int {
 			DeadMisses:        *deadMisses,
 			Chaos:             chaosPlan,
 			ChaosSeed:         *chaosSeed,
+			LeaseTTL:          *leaseTTL,
+			Advertise:         self,
+			GossipInterval:    *gossipEvery,
 			Log:               logger,
 		})
 		if err != nil {
@@ -158,7 +219,7 @@ func run(args []string, stderr io.Writer) int {
 		} else {
 			logger.Printf("coordinating %d workers", len(splitList(*workers)))
 		}
-	} else {
+	default:
 		opts := server.Options{
 			Jobs:        *jobs,
 			MaxInflight: *maxInflight,
@@ -170,6 +231,7 @@ func run(args []string, stderr io.Writer) int {
 			DrainGrace:  *drainGrace,
 			Log:         logger,
 		}
+		var tier *fleet.PeerTier
 		if *peers != "" {
 			if *cachedir == "" {
 				logger.Print("-peers needs -cachedir: the peer protocol serves and adopts entries through the local disk cache")
@@ -184,11 +246,35 @@ func run(args []string, stderr io.Writer) int {
 			}
 			opts.CacheDir = ""
 			opts.Disk = disk
-			tier := fleet.NewPeerTier(disk, splitList(*peers), 0)
+			tier = fleet.NewPeerTier(disk, splitList(*peers), 0)
 			if chaosPlan != nil {
 				tier.SetChaos(chaosPlan)
 			}
 			opts.Cache = tier
+		}
+		if *gossipEvery > 0 {
+			// The gossip view, not the static flag list, keeps the cache
+			// tier's peer set current: a joiner anywhere in the fleet
+			// becomes fetchable here within a few exchanges, and a confirmed
+			// death drops out — no restarts, no coordinator brokering.
+			onView := func([]string) {}
+			if tier != nil {
+				onView = tier.SetPeers
+			}
+			g := fleet.NewGossiper(fleet.GossipOptions{
+				Self:     self,
+				Seeds:    splitList(*peers),
+				Interval: *gossipEvery,
+				Seed:     *chaosSeed,
+				Chaos:    chaosPlan,
+				OnView:   onView,
+				Log:      logger.Printf,
+			})
+			opts.Gossip = g
+			gCtx, gCancel := context.WithCancel(context.Background())
+			defer gCancel()
+			go g.Run(gCtx)
+			logger.Printf("gossiping membership as %s every %s", self, *gossipEvery)
 		}
 		srv, err := server.New(opts)
 		if err != nil {
@@ -202,10 +288,6 @@ func run(args []string, stderr io.Writer) int {
 			// Register with the coordinator now and keep re-announcing: a
 			// worker started (or restarted) mid-sweep inserts itself into
 			// the ring and receives only the cells the ring moves to it.
-			self := *advertise
-			if self == "" {
-				self = "http://" + ln.Addr().String()
-			}
 			annCtx, annCancel := context.WithCancel(context.Background())
 			defer annCancel()
 			go fleet.Announce(annCtx, *join, self, *heartbeat, logger.Printf)

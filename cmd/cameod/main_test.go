@@ -119,3 +119,44 @@ func TestRunMembershipFlagValidation(t *testing.T) {
 		t.Fatalf("stderr does not name the bad chaos kind: %q", stderr.String())
 	}
 }
+
+// TestRunStandbyFlagValidation: -standby combinations that cannot work are
+// usage errors naming the conflict.
+func TestRunStandbyFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run([]string{"-addr", "127.0.0.1:0", "-standby", "http://primary:1", "-coordinator",
+		"-workers", "http://w:1", "-cachedir", t.TempDir()}, &stderr)
+	if code != 2 {
+		t.Fatalf("-standby with -coordinator: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-standby already implies the coordinator role") {
+		t.Fatalf("stderr lacks the -coordinator conflict diagnostic: %q", stderr.String())
+	}
+
+	stderr.Reset()
+	code = run([]string{"-addr", "127.0.0.1:0", "-standby", "http://primary:1",
+		"-join", "http://c:1", "-cachedir", t.TempDir()}, &stderr)
+	if code != 2 {
+		t.Fatalf("-standby with -join: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-join is a worker flag") {
+		t.Fatalf("stderr lacks the -join conflict diagnostic: %q", stderr.String())
+	}
+
+	stderr.Reset()
+	code = run([]string{"-addr", "127.0.0.1:0", "-standby", "http://primary:1"}, &stderr)
+	if code != 2 {
+		t.Fatalf("-standby without -cachedir: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-cachedir") {
+		t.Fatalf("stderr lacks the -cachedir diagnostic: %q", stderr.String())
+	}
+
+	// A malformed primary URL is caught by the standby's own validation.
+	stderr.Reset()
+	code = run([]string{"-addr", "127.0.0.1:0", "-standby", "primary-sans-scheme:9000",
+		"-cachedir", t.TempDir()}, &stderr)
+	if code != 1 {
+		t.Fatalf("schemeless -standby URL: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}

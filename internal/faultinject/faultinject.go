@@ -51,6 +51,11 @@ const (
 	// SiteFleetCacheFetch is consulted before a peer-cache transfer
 	// (GET/PUT /cache/<hash>), including warm-prefetch pulls.
 	SiteFleetCacheFetch Site = "fleet/cachefetch"
+	// SiteFleetGossip is consulted before an anti-entropy membership
+	// exchange (POST /fleet/gossip) — so partition drills can isolate the
+	// gossip plane (rumors stop spreading) without touching dispatches or
+	// heartbeats, and vice versa.
+	SiteFleetGossip Site = "fleet/gossip"
 )
 
 // Kind is the failure mode a rule injects.

@@ -115,6 +115,80 @@ func parseRetryAfter(h string) time.Duration {
 	return wait
 }
 
+// errBackoffDeadline tags a retry or shed backoff abandoned because the
+// request's remaining context budget could not cover the wait: sleeping
+// would only have converted a prompt, attributable deadline error into a
+// silent stall that dies at the deadline anyway. Unwraps to
+// context.DeadlineExceeded so callers' deadline handling applies unchanged.
+type errBackoffDeadline struct {
+	wait, remain time.Duration
+}
+
+func (e *errBackoffDeadline) Error() string {
+	return fmt.Sprintf("fleet: %s backoff exceeds the request's remaining %s budget: %v",
+		e.wait, e.remain, context.DeadlineExceeded)
+}
+
+func (e *errBackoffDeadline) Unwrap() error { return context.DeadlineExceeded }
+
+// waitBackoff sleeps d, but never past the context's deadline: when the
+// remaining budget cannot cover the wait it fails fast with a
+// deadline-tagged error instead of sleeping, and a cancellation mid-sleep
+// returns the context's error. A nil return means the full wait elapsed
+// and the caller may retry.
+func waitBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= d {
+			return &errBackoffDeadline{wait: d, remain: remain}
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Gossip runs one push-pull membership exchange against a peer's
+// POST /fleet/gossip: send our view, return the peer's merged view. Rides
+// the fleet/gossip fault site so partition drills can isolate the rumor
+// plane.
+func (c *Client) Gossip(ctx context.Context, peer string, req sweepapi.GossipRequest) (sweepapi.GossipResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sweepapi.GossipResponse{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/fleet/gossip", bytes.NewReader(body))
+	if err != nil {
+		return sweepapi.GossipResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.probe.Do(hreq)
+	if err != nil {
+		return sweepapi.GossipResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return sweepapi.GossipResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sweepapi.GossipResponse{}, fmt.Errorf("fleet: peer %s gossip: %d %s", peer, resp.StatusCode, errorBody(data))
+	}
+	var out sweepapi.GossipResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return sweepapi.GossipResponse{}, fmt.Errorf("fleet: peer %s gossip answer unparseable: %w", peer, err)
+	}
+	return out, nil
+}
+
 // permanentCellError is a worker's 400: the cell itself is invalid, so no
 // retry or failover can succeed.
 type permanentCellError struct {

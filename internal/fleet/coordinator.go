@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cameo/internal/faultinject"
@@ -73,6 +74,27 @@ type CoordinatorOptions struct {
 	// the same seed reproduces both the fault schedule and the probe
 	// timing, while distinct seeds explore distinct interleavings.
 	ChaosSeed uint64
+	// LeaseTTL, when positive, grants every cell dispatch a time-bounded
+	// lease recorded in the manifest: which worker holds which in-flight
+	// cell, until when. An expired lease makes its cell safely
+	// re-dispatchable (per-key result dedupe makes double execution
+	// harmless), and a crash-recovering or standby coordinator reads the
+	// leases to know what was outstanding. Zero disables leasing.
+	LeaseTTL time.Duration
+	// Epoch is this coordinator's generation for split-brain fencing (0:
+	// 1). A standby taking over claims a higher epoch in the manifest; a
+	// coordinator that later reads an epoch above its own from disk has
+	// been superseded and steps down instead of double-driving the fleet.
+	Epoch uint64
+	// Advertise is this coordinator's own base URL, used as the gossip
+	// identity (observers gossip under their own name without advertising
+	// themselves as cache peers). Required when GossipInterval is set.
+	Advertise string
+	// GossipInterval, when positive, runs the anti-entropy gossip loop: the
+	// coordinator exchanges its versioned fleet view with random workers,
+	// feeding the failure detector's verdicts into the rumor mill and
+	// confirming (never trusting) rumors it hears back. Zero disables it.
+	GossipInterval time.Duration
 	// Log receives operational lines (deaths, re-shards, steals, joins).
 	// Nil discards them.
 	Log *log.Logger
@@ -91,6 +113,14 @@ type Coordinator struct {
 	client *Client
 	log    *log.Logger
 	mem    *membership
+	leases *leaseTable
+	gossip *Gossiper
+	epoch  uint64
+
+	// stepped latches once this coordinator discovers a higher epoch on
+	// disk: a standby took over, so this instance must stop driving the
+	// fleet (split-brain refusal). It answers 503 and fails active sweeps.
+	stepped atomic.Bool
 
 	mu        sync.Mutex
 	runs      map[*sweepRun]struct{}
@@ -98,6 +128,8 @@ type Coordinator struct {
 
 	hbStop    chan struct{}
 	hbDone    chan struct{}
+	bgCancel  context.CancelFunc
+	bgWG      sync.WaitGroup
 	closeOnce sync.Once
 
 	reg        *metrics.Registry
@@ -109,6 +141,9 @@ type Coordinator struct {
 	retries    *metrics.Counter
 	shedWaits  *metrics.Counter
 	cellsFail  *metrics.Counter
+	leaseGrant *metrics.Counter
+	leaseExp   *metrics.Counter
+	stepDowns  *metrics.Counter
 }
 
 // NewCoordinator validates the options, builds a Coordinator, and — when
@@ -150,10 +185,17 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
 		}
 	}
+	if opts.GossipInterval > 0 && opts.Advertise == "" {
+		return nil, errors.New("fleet: gossip needs an advertise URL (the coordinator's own base URL)")
+	}
+	if opts.Epoch == 0 {
+		opts.Epoch = 1
+	}
 	c := &Coordinator{
 		opts:   opts,
 		client: NewClient(opts.DispatchTimeout, opts.Chaos),
 		log:    opts.Log,
+		epoch:  opts.Epoch,
 		runs:   map[*sweepRun]struct{}{},
 		hbStop: make(chan struct{}),
 		hbDone: make(chan struct{}),
@@ -168,11 +210,41 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.retries = sc.Counter("dispatch_retries")
 	c.shedWaits = sc.Counter("shed_backoffs")
 	c.cellsFail = sc.Counter("cells_failed")
+	c.leaseGrant = sc.Counter("leases_granted")
+	c.leaseExp = sc.Counter("leases_expired")
+	c.stepDowns = sc.Counter("step_downs")
 	c.mem = newMembership(opts.SuspectMisses, opts.DeadMisses, opts.HeartbeatInterval, opts.ChaosSeed, sc)
 	sc.GaugeFunc("workers_alive", func() float64 { return float64(len(c.mem.byState(StateAlive))) })
 	sc.GaugeFunc("workers_suspect", func() float64 { return float64(len(c.mem.byState(StateSuspect))) })
 	for _, w := range opts.Workers {
 		c.mem.admit(w)
+	}
+	c.leases = newLeaseTable(opts.LeaseTTL)
+	bgCtx, bgCancel := context.WithCancel(context.Background())
+	c.bgCancel = bgCancel
+	if opts.GossipInterval > 0 {
+		c.gossip = NewGossiper(GossipOptions{
+			Self:     opts.Advertise,
+			Seeds:    opts.Workers,
+			Interval: opts.GossipInterval,
+			Seed:     opts.ChaosSeed,
+			Observer: true,
+			Chaos:    opts.Chaos,
+			OnRumor:  c.onGossipRumor,
+			Log:      c.log.Printf,
+		})
+		c.bgWG.Add(1)
+		go func() {
+			defer c.bgWG.Done()
+			c.gossip.Run(bgCtx)
+		}()
+	}
+	if c.leases != nil {
+		c.bgWG.Add(1)
+		go func() {
+			defer c.bgWG.Done()
+			c.leaseReaperLoop(bgCtx)
+		}()
 	}
 	if opts.HeartbeatInterval > 0 {
 		go c.heartbeatLoop()
@@ -191,16 +263,30 @@ func normalizeWorkerURL(w string) (string, error) {
 	return w, nil
 }
 
-// Close stops the failure detector. Idempotent; active sweeps finish on
-// their own.
+// Close stops the failure detector, the gossip loop, and the lease reaper.
+// Idempotent; active sweeps finish on their own.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		close(c.hbStop)
+		c.bgCancel()
 		if c.opts.HeartbeatInterval > 0 {
 			<-c.hbDone
 		}
+		c.bgWG.Wait()
 	})
 }
+
+// Epoch returns this coordinator's fencing generation.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// SteppedDown reports whether this coordinator discovered it was superseded
+// by a higher epoch and refused further work.
+func (c *Coordinator) SteppedDown() bool { return c.stepped.Load() }
+
+// Gossip returns the coordinator's gossiper (nil when GossipInterval is
+// unset) — the Handler routes /fleet/gossip to it, and tests drive
+// exchanges through it directly.
+func (c *Coordinator) Gossip() *Gossiper { return c.gossip }
 
 // Metrics returns the coordinator's counters under the fleet scope.
 func (c *Coordinator) Metrics() metrics.Snapshot { return c.reg.Snapshot() }
@@ -230,6 +316,11 @@ func (c *Coordinator) heartbeatLoop() {
 			return
 		case <-t.C:
 		}
+		// Fencing rides the heartbeat: a standby that took over has claimed
+		// a higher epoch in the shared manifest, and this (possibly
+		// partitioned-and-returned) primary must notice and stand down
+		// before it re-drives the fleet.
+		c.checkEpochFence()
 		for _, w := range c.mem.due(time.Now()) {
 			select {
 			case <-c.hbStop:
@@ -241,27 +332,138 @@ func (c *Coordinator) heartbeatLoop() {
 	}
 }
 
+// checkEpochFence reads the shared manifest and steps down when a higher
+// coordinator epoch has been claimed there. No-op without a checkpoint dir
+// (nothing shared to fence on) or once already stepped down.
+func (c *Coordinator) checkEpochFence() {
+	if c.opts.CheckpointDir == "" || c.stepped.Load() {
+		return
+	}
+	m, err := runner.ReadManifest(c.opts.CheckpointDir)
+	if err != nil || m.Fleet == nil {
+		return // no manifest (or no fleet section) — nothing claims the run
+	}
+	if m.Fleet.Epoch > c.epoch {
+		c.stepDown(m.Fleet.Epoch)
+	}
+}
+
+// stepDown retires this coordinator after a takeover: it stops accepting
+// sweeps (503), fails its active runs, and never writes the manifest again
+// — the new epoch's coordinator owns the run now, and two writers would be
+// the exact split-brain the epochs exist to prevent.
+func (c *Coordinator) stepDown(newer uint64) {
+	if c.stepped.Swap(true) {
+		return
+	}
+	c.stepDowns.Inc()
+	c.log.Printf("fleet: coordinator epoch %d superseded by epoch %d on disk; stepping down", c.epoch, newer)
+	err := fmt.Errorf("%w: epoch %d superseded by %d", errSteppedDown, c.epoch, newer)
+	for _, r := range c.snapshotRuns() {
+		r.fail(err)
+	}
+}
+
+// onGossipRumor folds an adopted gossip rumor into the failure detector.
+// Rumors are confirmed, never trusted: a death rumor only raises suspicion
+// (the detector's own probes adjudicate), while an alive rumor at a fresh
+// incarnation is first-person testimony — only the member itself bumps its
+// incarnation — and re-admits exactly like a /fleet/join announcement.
+func (c *Coordinator) onGossipRumor(url string, st MemberState, inc uint64) {
+	worker, err := normalizeWorkerURL(url)
+	if err != nil || worker == c.opts.Advertise {
+		return
+	}
+	switch st {
+	case StateAlive:
+		if inc > 0 || c.mem.state(worker) == StateDead {
+			// A refutation (inc > 0) or a previously-unknown joiner heard
+			// about via a third party: admit/revive through the join path.
+			switch c.mem.admit(worker) {
+			case transJoined:
+				c.log.Printf("fleet: worker %s discovered via gossip; admitting", worker)
+				c.admitToRuns(worker)
+			case transRejoined:
+				c.log.Printf("fleet: worker %s refuted its death via gossip (incarnation %d); re-admitting", worker, inc)
+				c.admitToRuns(worker)
+			case transRecovered:
+				c.admitToRuns(worker)
+			}
+		}
+	case StateSuspect, StateDead:
+		if c.mem.state(worker) == StateAlive {
+			c.log.Printf("fleet: gossip rumors worker %s %s; confirming via probes before acting", worker, st)
+			c.suspectWorker(worker)
+		}
+	}
+}
+
+// gossipSet publishes a locally-detected state change into the rumor mill.
+func (c *Coordinator) gossipSet(worker string, st MemberState) {
+	if c.gossip != nil {
+		c.gossip.SetPeerState(worker, st)
+	}
+}
+
+// leaseReaperLoop re-dispatches cells whose leases lapsed: the holder died
+// (or stalled) without resolving them, so their queues get them back. Runs
+// only when leasing is on.
+func (c *Coordinator) leaseReaperLoop(ctx context.Context) {
+	interval := c.opts.LeaseTTL / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		expired := c.leases.expired(time.Now())
+		if len(expired) == 0 {
+			continue
+		}
+		c.leaseExp.Add(uint64(len(expired)))
+		requeued := 0
+		for _, r := range c.snapshotRuns() {
+			requeued += r.requeueExpired(expired)
+		}
+		if requeued > 0 {
+			c.log.Printf("fleet: %d lease(s) expired; re-dispatching %d unresolved cell(s)", len(expired), requeued)
+			for _, r := range c.snapshotRuns() {
+				r.checkpointFleet()
+			}
+		}
+	}
+}
+
 // applyProbe feeds one heartbeat answer into the detector and applies the
 // transition to every active sweep.
 func (c *Coordinator) applyProbe(worker string, ok bool) {
 	switch c.mem.probeResult(worker, ok) {
 	case transSuspected:
 		c.log.Printf("fleet: worker %s suspect (heartbeat missed); pausing dispatch, keeping its cells", worker)
+		c.gossipSet(worker, StateSuspect)
 		for _, r := range c.snapshotRuns() {
 			r.pauseWorker(worker)
 		}
 	case transDied:
 		c.deaths.Inc()
 		c.log.Printf("fleet: worker %s dead (suspicion window elapsed), re-sharding its cells", worker)
+		c.gossipSet(worker, StateDead)
 		for _, r := range c.snapshotRuns() {
 			r.removeWorker(worker)
 			r.checkpointFleet()
 		}
 	case transRecovered:
 		c.log.Printf("fleet: worker %s answered again before the suspicion window elapsed; resuming (no re-shard)", worker)
+		c.gossipSet(worker, StateAlive)
 		c.admitToRuns(worker)
 	case transRevived:
 		c.log.Printf("fleet: worker %s returned from the dead (false death); re-admitting as a fresh member", worker)
+		c.gossipSet(worker, StateAlive)
 		c.admitToRuns(worker)
 	}
 }
@@ -274,6 +476,7 @@ func (c *Coordinator) declareDead(worker string) {
 		return
 	}
 	c.deaths.Inc()
+	c.gossipSet(worker, StateDead)
 	for _, r := range c.snapshotRuns() {
 		r.removeWorker(worker)
 		r.checkpointFleet()
@@ -288,6 +491,7 @@ func (c *Coordinator) suspectWorker(worker string) {
 		return
 	}
 	c.log.Printf("fleet: worker %s suspect (dispatch failed and health probe missed); pausing dispatch, keeping its cells", worker)
+	c.gossipSet(worker, StateSuspect)
 	for _, r := range c.snapshotRuns() {
 		r.pauseWorker(worker)
 	}
@@ -347,6 +551,10 @@ func (c *Coordinator) admitToRuns(worker string) {
 	}
 }
 
+// errSteppedDown answers sweeps on a coordinator that lost its epoch race:
+// a standby claimed the run, and this instance refuses to double-drive it.
+var errSteppedDown = errors.New("fleet: coordinator stepped down (superseded by a newer epoch)")
+
 // errBadRequest marks request-shaped failures (unknown org/benchmark,
 // oversized grid) so the HTTP layer can answer 400 exactly like a worker.
 type errBadRequest struct{ err error }
@@ -392,6 +600,7 @@ type sweepRun struct {
 	ring     *Ring
 	workers  map[string]*runWorker
 	queues   map[string][]*fleetCell
+	byHash   map[string]*fleetCell // cache hash → cell, for lease bookkeeping
 	results  map[string]sweepapi.Cell
 	failures map[string]runner.CellFailure
 	pending  int // unresolved unique cells
@@ -410,6 +619,9 @@ type sweepRun struct {
 // when the whole fleet is lost. Worker-quarantined cells are not an
 // error; they appear in Response.Failures.
 func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.Response, error) {
+	if c.stepped.Load() {
+		return nil, errSteppedDown
+	}
 	grid, err := sweepapi.BuildGrid(req, c.opts.MaxCells)
 	if err != nil {
 		return nil, &errBadRequest{err: err}
@@ -435,11 +647,15 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 		req:      req,
 		workers:  map[string]*runWorker{},
 		queues:   map[string][]*fleetCell{},
+		byHash:   map[string]*fleetCell{},
 		results:  map[string]sweepapi.Cell{},
 		failures: map[string]runner.CellFailure{},
 		pending:  len(order),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	for _, fc := range order {
+		s.byHash[fc.hash] = fc
+	}
 
 	if c.opts.CheckpointDir != "" {
 		cp, err := runner.OpenCheckpoint(c.opts.CheckpointDir, grid.Jobs, c.opts.Resume)
@@ -487,6 +703,39 @@ func (c *Coordinator) Run(ctx context.Context, req sweepapi.Request) (*sweepapi.
 	for _, fc := range order {
 		owner := s.ring.Owner(fc.key)
 		s.queues[owner] = append(s.queues[owner], fc)
+	}
+
+	// Resuming over a crashed coordinator's manifest: adopt its outstanding
+	// leases. Cells under a still-live lease are deferred — pulled out of
+	// the queues until the grant lapses (the lease reaper re-queues them) —
+	// so this coordinator never races a prior holder that may yet be
+	// computing. Expired grants were dropped by adopt and dispatch at once.
+	if s.cp != nil && c.opts.Resume && c.leases != nil {
+		if fs := s.cp.Fleet(); fs != nil && len(fs.Leases) > 0 {
+			deferred := map[*fleetCell]bool{}
+			for _, l := range c.leases.adopt(fs.Leases, time.Now()) {
+				fc := s.byHash[l.Hash]
+				if fc == nil || s.cp.Done(l.Hash) {
+					// Not this sweep's cell, or already resolved by the
+					// prior coordinator: nothing to wait for.
+					c.leases.release(l.Hash)
+					continue
+				}
+				deferred[fc] = true
+			}
+			if len(deferred) > 0 {
+				for w, q := range s.queues {
+					kept := q[:0]
+					for _, fc := range q {
+						if !deferred[fc] {
+							kept = append(kept, fc)
+						}
+					}
+					s.queues[w] = kept
+				}
+				c.log.Printf("fleet: resumed with %d cell(s) under live leases; deferring them until the grants lapse", len(deferred))
+			}
+		}
 	}
 
 	// Register with the coordinator so membership transitions reach this
@@ -765,6 +1014,15 @@ func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 			}
 		}
 		s.co.dispatched.Inc()
+		if s.co.leases != nil {
+			// Grant (or re-grant) the dispatch lease and persist it before
+			// the cell leaves: a coordinator crashing mid-dispatch must
+			// leave a manifest that says exactly which cells were in whose
+			// hands, and until when those grants fence re-dispatch.
+			s.co.leases.grant(fc.hash, worker, time.Now())
+			s.co.leaseGrant.Inc()
+			s.checkpointFleet()
+		}
 		resp, err := s.co.client.RunCell(s.ctx, worker, req)
 		if err == nil {
 			s.resolve(fc, resp)
@@ -783,7 +1041,13 @@ func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 			if wait > 2*time.Second {
 				wait = 2 * time.Second
 			}
-			sleepCtx(s.ctx, wait)
+			if err := waitBackoff(s.ctx, wait); err != nil {
+				// The sweep's remaining budget cannot cover the backoff:
+				// fail fast with the deadline-tagged error instead of
+				// sleeping into the deadline.
+				s.fail(err)
+				return
+			}
 			continue
 		case errors.As(err, &perm):
 			// The worker rejected the cell itself; no other worker will
@@ -811,7 +1075,10 @@ func (s *sweepRun) dispatch(worker string, fc *fleetCell) {
 			attempts++
 			if attempts <= s.co.opts.DispatchRetries {
 				s.co.retries.Inc()
-				sleepCtx(s.ctx, time.Duration(attempts)*100*time.Millisecond)
+				if err := waitBackoff(s.ctx, time.Duration(attempts)*100*time.Millisecond); err != nil {
+					s.fail(err)
+					return
+				}
 				continue
 			}
 			// Out of retries: is the worker gone, or is the cell cursed?
@@ -874,6 +1141,7 @@ func (s *sweepRun) resolve(fc *fleetCell, resp *sweepapi.Response) {
 		s.pending--
 	}
 	s.mu.Unlock()
+	s.co.leases.release(fc.hash)
 	s.cp.MarkDone(fc.hash)
 	s.cond.Broadcast()
 }
@@ -887,7 +1155,45 @@ func (s *sweepRun) recordFailure(fc *fleetCell, cf runner.CellFailure) {
 		s.pending--
 	}
 	s.mu.Unlock()
+	s.co.leases.release(fc.hash)
 	s.cond.Broadcast()
+}
+
+// requeueExpired puts the cells of lapsed leases back onto their ring
+// owners' queues — unless they already resolved, already wait in a queue,
+// or the sweep is over. Returns how many cells it re-queued.
+func (s *sweepRun) requeueExpired(hashes []string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
+	if s.closed || s.fatal != nil || s.pending == 0 || s.ring.Len() == 0 {
+		return 0
+	}
+	queued := map[*fleetCell]bool{}
+	for _, q := range s.queues {
+		for _, fc := range q {
+			queued[fc] = true
+		}
+	}
+	requeued := 0
+	for _, h := range hashes {
+		fc := s.byHash[h]
+		if fc == nil || queued[fc] {
+			continue
+		}
+		if _, done := s.results[fc.key]; done {
+			continue
+		}
+		if _, failed := s.failures[fc.key]; failed {
+			continue
+		}
+		owner := s.ring.Owner(fc.key)
+		s.queues[owner] = append(s.queues[owner], fc)
+		requeued++
+	}
+	return requeued
 }
 
 // requeue puts one cell back onto its ring owner's queue: the failing
@@ -917,13 +1223,22 @@ func (s *sweepRun) fatalLocked(err error) {
 	s.cond.Broadcast()
 }
 
-// checkpointFleet writes the current sharding picture and membership
-// event log into the manifest. Callers must NOT hold s.mu.
+// checkpointFleet writes the current sharding picture, membership event
+// log, coordinator epoch, and outstanding leases into the manifest —
+// after checking the fence: a higher epoch already on disk means a standby
+// took over, and writing would re-open the split brain the epoch exists to
+// close. Callers must NOT hold s.mu.
 func (s *sweepRun) checkpointFleet() {
 	if s.cp == nil {
 		return
 	}
+	s.co.checkEpochFence()
+	if s.co.stepped.Load() {
+		return
+	}
 	fs := &runner.FleetState{Assignments: map[string][]string{}}
+	fs.Epoch = s.co.epoch
+	fs.Leases = s.co.leases.snapshot()
 	s.mu.Lock()
 	for w, rw := range s.workers {
 		if rw.status == runGone {
@@ -944,19 +1259,6 @@ func (s *sweepRun) checkpointFleet() {
 	fs.Dead = s.co.mem.byState(StateDead)
 	fs.Events = s.co.mem.eventLog()
 	s.cp.SetFleet(fs)
-}
-
-// sleepCtx sleeps for d or until ctx dies.
-func sleepCtx(ctx context.Context, d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-ctx.Done():
-	}
 }
 
 // firstLine trims a message to its first line, like the runner's failure
@@ -987,7 +1289,33 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/sweep", c.handleSweep)
 	mux.HandleFunc("/fleet/join", c.handleJoin)
+	mux.HandleFunc("/fleet/gossip", c.handleGossip)
 	return mux
+}
+
+// handleGossip serves the anti-entropy exchange on the coordinator side:
+// workers (and the standby) push their views here and take the
+// coordinator's merged view home. 501 when gossip is disabled, mirroring
+// the worker's unsupported-capability convention.
+func (c *Coordinator) handleGossip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if c.gossip == nil {
+		writeError(w, http.StatusNotImplemented, "gossip disabled on this coordinator")
+		return
+	}
+	var gr sweepapi.GossipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&gr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad gossip body: "+err.Error())
+		return
+	}
+	resp := c.gossip.Exchange(gr)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		c.log.Printf("fleet: gossip response: %v", err)
+	}
 }
 
 // handleJoin serves runtime worker registration: a new worker joins the
@@ -1015,14 +1343,17 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	case transJoined:
 		status = "joined"
 		c.log.Printf("fleet: worker %s joined at runtime", worker)
+		c.gossipSet(worker, StateAlive)
 		c.admitToRuns(worker)
 	case transRejoined:
 		status = "rejoined"
 		c.log.Printf("fleet: worker %s re-joined after death; re-admitting as a fresh member", worker)
+		c.gossipSet(worker, StateAlive)
 		c.admitToRuns(worker)
 	case transRecovered:
 		status = "already-member"
 		c.log.Printf("fleet: suspect worker %s announced itself; resuming (no re-shard)", worker)
+		c.gossipSet(worker, StateAlive)
 		c.admitToRuns(worker)
 	default:
 		status = "already-member"
@@ -1082,6 +1413,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 	case errors.As(err, &bad):
 		writeError(w, http.StatusBadRequest, bad.Error())
+		return
+	case errors.Is(err, errSteppedDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "sweep cancelled: "+err.Error())

@@ -1,0 +1,391 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cameo/internal/faultinject"
+	"cameo/internal/metrics"
+	"cameo/internal/sweepapi"
+)
+
+// Gossiper maintains a versioned fleet view — member URL, state, and
+// incarnation — and keeps it convergent with the rest of the fleet by
+// SWIM-style push-pull anti-entropy: each tick it picks one random non-dead
+// peer, POSTs its whole view to /fleet/gossip, and merges the peer's view
+// from the response. Two exchanges leave both sides with the union of what
+// either knew, so any rumor reaches every member in O(log n) rounds without
+// the coordinator brokering anything.
+//
+// Merge rules (per entry, remote vs local):
+//
+//   - higher incarnation wins outright;
+//   - equal incarnations: the worse state wins (dead > suspect > alive), so
+//     a death rumor is not silently shouted down by stale "alive" entries;
+//   - a not-alive rumor about *ourselves* is refuted, never adopted: we bump
+//     our own incarnation past the rumor's, and the refreshed alive entry
+//     supersedes the rumor fleet-wide on the next exchanges. Only a member
+//     bumps its own incarnation — that asymmetry is what lets a
+//     falsely-accused worker overrule the whole fleet.
+//
+// The zero-value Gossiper is not usable; construct with NewGossiper.
+type Gossiper struct {
+	self     string
+	observer bool
+	interval time.Duration
+	client   *Client
+	onView   func(peers []string)
+	onRumor  func(url string, state MemberState, incarnation uint64)
+	logf     func(format string, v ...any)
+
+	mu        sync.Mutex
+	view      map[string]peerEntry
+	selfInc   uint64
+	rng       *rand.Rand
+	lastAlive string // fingerprint of the last OnView notification
+
+	reg         *metrics.Registry
+	exchanges   *metrics.Counter
+	exchFails   *metrics.Counter
+	merged      *metrics.Counter
+	refutations *metrics.Counter
+}
+
+// peerEntry is one member's versioned state in the local view.
+type peerEntry struct {
+	state MemberState
+	inc   uint64
+}
+
+// GossipOptions configures a Gossiper.
+type GossipOptions struct {
+	// Self is this member's own advertise URL — the name it gossips under
+	// and the name it refutes rumors about. Required.
+	Self string
+	// Seeds are the initial peers seeded into the view as alive — typically
+	// the -peers flag list (workers) or the worker roster (coordinator).
+	Seeds []string
+	// Interval is the anti-entropy cadence (<=0: 2s). Each tick is jittered
+	// ±25% so fleet-wide exchanges decorrelate.
+	Interval time.Duration
+	// Seed drives the peer-pick and jitter RNG (0: 1) — a fixed seed makes
+	// a gossip schedule replayable for convergence tests and chaos drills.
+	Seed uint64
+	// Observer marks a member (coordinator or standby) that monitors the
+	// fleet but is not a cache peer: it gossips its view but never
+	// advertises itself in it, and receivers do not adopt it.
+	Observer bool
+	// Chaos, when non-nil, wires the deterministic transport fault plan
+	// under every exchange (site fleet/gossip).
+	Chaos *faultinject.Plan
+	// OnView, when non-nil, is called (outside the gossiper's lock) with
+	// the sorted non-dead peers — self excluded — whenever that set
+	// changes. This is how a worker's PeerTier tracks joins and deaths.
+	OnView func(peers []string)
+	// OnRumor, when non-nil, is called (outside the lock) for every remote
+	// entry the merge adopts — how a coordinator turns gossip into
+	// failure-detector evidence (confirming rumors, never trusting them).
+	OnRumor func(url string, state MemberState, incarnation uint64)
+	// Log receives progress lines; nil discards them.
+	Log func(format string, v ...any)
+}
+
+// NewGossiper builds a gossiper with Self alive at incarnation 1 (observers
+// track themselves without advertising) and every seed alive at
+// incarnation 0 — any real rumor about a seed supersedes the placeholder.
+func NewGossiper(opts GossipOptions) *Gossiper {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+	g := &Gossiper{
+		self:     opts.Self,
+		observer: opts.Observer,
+		interval: opts.Interval,
+		client:   NewClient(0, opts.Chaos),
+		onView:   opts.OnView,
+		onRumor:  opts.OnRumor,
+		logf:     opts.Log,
+		view:     map[string]peerEntry{},
+		selfInc:  1,
+		rng:      rand.New(rand.NewSource(int64(opts.Seed))),
+		reg:      metrics.NewRegistry(),
+	}
+	sc := g.reg.Scope("fleet/gossip")
+	g.exchanges = sc.Counter("exchanges")
+	g.exchFails = sc.Counter("exchange_failures")
+	g.merged = sc.Counter("rumors_merged")
+	g.refutations = sc.Counter("refutations")
+	for _, s := range opts.Seeds {
+		if s != "" && s != g.self {
+			g.view[s] = peerEntry{state: StateAlive, inc: 0}
+		}
+	}
+	return g
+}
+
+// parsePeerState maps a wire state string back to a MemberState. Unknown
+// strings decay to suspect — conservative: an unparseable rumor pauses
+// nothing permanently and kills nobody.
+func parsePeerState(s string) MemberState {
+	switch s {
+	case "alive":
+		return StateAlive
+	case "dead":
+		return StateDead
+	default:
+		return StateSuspect
+	}
+}
+
+// stateRank orders states by badness for the equal-incarnation tie-break.
+func stateRank(s MemberState) int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// snapshotLocked renders the view as sorted wire entries. Self is included
+// (at its current incarnation) unless this member is an observer.
+func (g *Gossiper) snapshotLocked() []sweepapi.PeerInfo {
+	out := make([]sweepapi.PeerInfo, 0, len(g.view)+1)
+	if !g.observer {
+		out = append(out, sweepapi.PeerInfo{URL: g.self, State: StateAlive.String(), Incarnation: g.selfInc})
+	}
+	for url, e := range g.view {
+		out = append(out, sweepapi.PeerInfo{URL: url, State: e.state.String(), Incarnation: e.inc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// request builds the push half of an exchange.
+func (g *Gossiper) request() sweepapi.GossipRequest {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return sweepapi.GossipRequest{From: g.self, Observer: g.observer, View: g.snapshotLocked()}
+}
+
+// Exchange is the receiving side of POST /fleet/gossip: merge the sender's
+// view (adopting a previously-unknown non-observer sender as alive) and
+// answer with our own merged view. Safe for concurrent use; this is the
+// method a worker's HTTP server and a coordinator's Handler both route to.
+func (g *Gossiper) Exchange(req sweepapi.GossipRequest) sweepapi.GossipResponse {
+	view := req.View
+	if req.From != "" && !req.Observer {
+		// The sender speaks for itself: that is as authoritative as an
+		// alive entry at its self-declared incarnation, even when its view
+		// payload omits or understates it.
+		found := false
+		for _, e := range view {
+			if e.URL == req.From {
+				found = true
+				break
+			}
+		}
+		if !found {
+			view = append(append([]sweepapi.PeerInfo(nil), view...),
+				sweepapi.PeerInfo{URL: req.From, State: StateAlive.String(), Incarnation: 0})
+		}
+	}
+	g.merge(view)
+	g.mu.Lock()
+	resp := sweepapi.GossipResponse{View: g.snapshotLocked()}
+	g.mu.Unlock()
+	return resp
+}
+
+// merge folds remote entries into the local view under the SWIM rules and
+// fires OnRumor/OnView for what changed.
+func (g *Gossiper) merge(remote []sweepapi.PeerInfo) {
+	type rumor struct {
+		url   string
+		state MemberState
+		inc   uint64
+	}
+	var adopted []rumor
+	g.mu.Lock()
+	for _, e := range remote {
+		if e.URL == "" {
+			continue
+		}
+		st := parsePeerState(e.State)
+		if e.URL == g.self {
+			// Refutation: a rumor that we are suspect or dead at an
+			// incarnation current enough to stick is overruled by bumping
+			// our own incarnation past it. Stale rumors need no answer —
+			// our existing advertisement already supersedes them.
+			if st != StateAlive && e.Incarnation >= g.selfInc {
+				g.selfInc = e.Incarnation + 1
+				g.refutations.Inc()
+				g.logf("fleet: gossip rumored us %s@%d; refuting as alive@%d", st, e.Incarnation, g.selfInc)
+			}
+			continue
+		}
+		cur, known := g.view[e.URL]
+		if known && (e.Incarnation < cur.inc ||
+			(e.Incarnation == cur.inc && stateRank(st) <= stateRank(cur.state))) {
+			continue
+		}
+		g.view[e.URL] = peerEntry{state: st, inc: e.Incarnation}
+		g.merged.Inc()
+		adopted = append(adopted, rumor{url: e.URL, state: st, inc: e.Incarnation})
+	}
+	g.mu.Unlock()
+	if g.onRumor != nil {
+		for _, r := range adopted {
+			g.onRumor(r.url, r.state, r.inc)
+		}
+	}
+	if len(adopted) > 0 {
+		g.notify()
+	}
+}
+
+// SetPeerState records a locally-detected state change (the coordinator's
+// suspicion detector feeding the rumor mill) at the member's current
+// incarnation. A false accusation is recoverable by design: the accused
+// refutes at incarnation+1 and the refutation wins the merge everywhere.
+func (g *Gossiper) SetPeerState(url string, state MemberState) {
+	if url == "" || url == g.self {
+		return
+	}
+	g.mu.Lock()
+	cur := g.view[url]
+	changed := cur.state != state
+	if changed {
+		g.view[url] = peerEntry{state: state, inc: cur.inc}
+	}
+	g.mu.Unlock()
+	if changed {
+		g.notify()
+	}
+}
+
+// Alive returns the sorted non-dead peers, self excluded — the set OnView
+// reports. Suspects are included: a suspected worker can still answer cache
+// fetches, and fetch failures are tolerated; only confirmed death removes a
+// peer.
+func (g *Gossiper) Alive() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aliveLocked()
+}
+
+func (g *Gossiper) aliveLocked() []string {
+	var out []string
+	for url, e := range g.view {
+		if e.state != StateDead {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View returns the full versioned view as sorted wire entries (self
+// included unless observer) — for /fleet/gossip answers, standby takeover
+// rosters, and tests.
+func (g *Gossiper) View() []sweepapi.PeerInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.snapshotLocked()
+}
+
+// Incarnation returns this member's own incarnation number (bumps only via
+// refutation).
+func (g *Gossiper) Incarnation() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.selfInc
+}
+
+// notify fires OnView when the non-dead peer set changed since last time.
+func (g *Gossiper) notify() {
+	if g.onView == nil {
+		return
+	}
+	g.mu.Lock()
+	alive := g.aliveLocked()
+	fp := ""
+	for _, a := range alive {
+		fp += a + "\n"
+	}
+	changed := fp != g.lastAlive
+	if changed {
+		g.lastAlive = fp
+	}
+	g.mu.Unlock()
+	if changed {
+		g.onView(alive)
+	}
+}
+
+// pickPeer selects one random non-dead peer to exchange with (empty when
+// the view has none). The seeded RNG makes the schedule replayable.
+func (g *Gossiper) pickPeer() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	candidates := g.aliveLocked()
+	if len(candidates) == 0 {
+		return ""
+	}
+	return candidates[g.rng.Intn(len(candidates))]
+}
+
+// gossipOnce runs one full push-pull round: pick a peer, exchange views,
+// merge the answer. An unreachable peer only costs this round — the next
+// tick picks again — but is counted, so drills can assert the rumor plane
+// saw the partition.
+func (g *Gossiper) gossipOnce(ctx context.Context) {
+	peer := g.pickPeer()
+	if peer == "" {
+		return
+	}
+	resp, err := g.client.Gossip(ctx, peer, g.request())
+	if err != nil {
+		g.exchFails.Inc()
+		if ctx.Err() == nil {
+			g.logf("fleet: gossip with %s: %v", peer, err)
+		}
+		return
+	}
+	g.exchanges.Inc()
+	g.merge(resp.View)
+}
+
+// Run drives the anti-entropy loop until ctx dies: one exchange per
+// jittered interval (±25%, seeded — decorrelated across the fleet yet
+// replayable per seed).
+func (g *Gossiper) Run(ctx context.Context) {
+	for {
+		g.mu.Lock()
+		f := 0.75 + 0.5*g.rng.Float64()
+		g.mu.Unlock()
+		t := time.NewTimer(time.Duration(float64(g.interval) * f))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		g.gossipOnce(ctx)
+	}
+}
+
+// Metrics returns the gossip counters (exchanges, exchange_failures,
+// rumors_merged, refutations) under the fleet/gossip scope.
+func (g *Gossiper) Metrics() metrics.Snapshot { return g.reg.Snapshot() }

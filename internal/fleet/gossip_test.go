@@ -1,0 +1,356 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cameo/internal/faultinject"
+	"cameo/internal/sweepapi"
+)
+
+// gossipCluster wires n gossipers into an in-memory fleet where exchanges
+// happen synchronously, round by round — the deterministic harness the
+// convergence bound is pinned against. Member i gossips as
+// "http://node-i" with seed i+1. Crashed members neither gossip nor answer
+// — an exchange aimed at one is a wasted round, like a real timeout.
+type gossipCluster struct {
+	urls    []string
+	members map[string]*Gossiper
+	crashed map[string]bool
+}
+
+func newGossipCluster(n int) *gossipCluster {
+	gc := &gossipCluster{members: map[string]*Gossiper{}, crashed: map[string]bool{}}
+	for i := 0; i < n; i++ {
+		gc.urls = append(gc.urls, fmt.Sprintf("http://node-%d", i))
+	}
+	for i, u := range gc.urls {
+		var seeds []string
+		for _, s := range gc.urls {
+			if s != u {
+				seeds = append(seeds, s)
+			}
+		}
+		gc.members[u] = NewGossiper(GossipOptions{Self: u, Seeds: seeds, Seed: uint64(i + 1)})
+	}
+	return gc
+}
+
+// round runs one synchronous anti-entropy round: every live member exchanges
+// with its seeded-RNG-picked peer.
+func (gc *gossipCluster) round() {
+	for _, u := range gc.urls {
+		if gc.crashed[u] {
+			continue
+		}
+		g := gc.members[u]
+		peer := g.pickPeer()
+		if peer == "" || gc.crashed[peer] {
+			continue
+		}
+		target, ok := gc.members[peer]
+		if !ok {
+			continue
+		}
+		resp := target.Exchange(g.request())
+		g.merge(resp.View)
+	}
+}
+
+// converged reports whether every live member agrees that url is in state
+// want.
+func (gc *gossipCluster) converged(url string, want MemberState) bool {
+	for _, u := range gc.urls {
+		if u == url || gc.crashed[u] {
+			continue
+		}
+		g := gc.members[u]
+		g.mu.Lock()
+		e, ok := g.view[url]
+		g.mu.Unlock()
+		if !ok || e.state != want {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGossipConvergenceBound pins the anti-entropy convergence rate: one of
+// 8 members crashes, one member learns of the death, and the rumor must
+// reach every survivor within 12 synchronous rounds under the fixed seeds.
+// Epidemic dissemination is O(log n) in expectation; the bound is
+// deliberately loose enough to be schedule-stable yet tight enough that a
+// broken merge (a rumor that stops spreading) fails fast. The schedule is
+// fully seeded, so this test is deterministic, not probabilistic.
+func TestGossipConvergenceBound(t *testing.T) {
+	gc := newGossipCluster(8)
+	dead := gc.urls[3]
+	gc.crashed[dead] = true
+	gc.members[gc.urls[0]].SetPeerState(dead, StateDead)
+
+	const bound = 12
+	for r := 1; r <= bound; r++ {
+		gc.round()
+		if gc.converged(dead, StateDead) {
+			t.Logf("death rumor converged after %d round(s)", r)
+			return
+		}
+	}
+	t.Fatalf("death rumor about %s did not reach all 7 survivors within %d rounds", dead, bound)
+}
+
+// TestGossipLiveClusterFullMesh: with nobody crashed, every member ends up
+// seeing every other member alive — and a false death rumor injected at one
+// member is washed out fleet-wide by the accused's refutation.
+func TestGossipLiveClusterFullMesh(t *testing.T) {
+	gc := newGossipCluster(5)
+	accused := gc.urls[2]
+	// A death rumor at the accused's current incarnation: it cannot be beaten
+	// by stale alive entries (equal-inc tie-break favors the worse state), so
+	// only the accused's own refutation at incarnation 2 can wash it out —
+	// the final all-alive assertion therefore proves the refutation spread.
+	gc.members[gc.urls[4]].merge([]sweepapi.PeerInfo{{URL: accused, State: "dead", Incarnation: 1}})
+
+	for r := 0; r < 12; r++ {
+		gc.round()
+	}
+	for _, u := range gc.urls {
+		var want []string
+		for _, s := range gc.urls {
+			if s != u {
+				want = append(want, s)
+			}
+		}
+		if got := gc.members[u].Alive(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("member %s alive view = %v, want all other members %v", u, got, want)
+		}
+	}
+	if inc := gc.members[accused].Incarnation(); inc < 2 {
+		t.Fatalf("falsely-accused member never refuted: incarnation still %d", inc)
+	}
+}
+
+// TestGossipRefutation is the false-death drill: a rumor that a live member
+// is dead must be overruled by the member itself — it bumps its own
+// incarnation, and the refreshed alive entry supersedes the rumor at every
+// third party, because alive@inc+1 outranks dead@inc.
+func TestGossipRefutation(t *testing.T) {
+	accused := NewGossiper(GossipOptions{Self: "http://a", Seeds: []string{"http://b"}})
+	witness := NewGossiper(GossipOptions{Self: "http://b", Seeds: []string{"http://a"}})
+
+	// The witness hears (and believes) the false rumor first.
+	witness.merge([]sweepapi.PeerInfo{{URL: "http://a", State: "dead", Incarnation: 1}})
+	if got := witness.Alive(); len(got) != 0 {
+		t.Fatalf("witness still lists %v alive after the death rumor", got)
+	}
+
+	// The rumor reaches the accused, who refutes by outliving it.
+	accused.merge([]sweepapi.PeerInfo{{URL: "http://a", State: "dead", Incarnation: 1}})
+	if inc := accused.Incarnation(); inc != 2 {
+		t.Fatalf("accused incarnation = %d after refuting dead@1, want 2", inc)
+	}
+	if counterValue(t, accused.Metrics(), "fleet/gossip/refutations") != 1 {
+		t.Fatal("refutations counter did not record the refutation")
+	}
+
+	// One push-pull exchange later the witness believes the member again.
+	resp := witness.Exchange(accused.request())
+	if got, want := witness.Alive(), []string{"http://a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("witness alive view after refutation = %v, want %v", got, want)
+	}
+	// And the exchange answer carries the refutation onward.
+	found := false
+	for _, e := range resp.View {
+		if e.URL == "http://a" && e.State == "alive" && e.Incarnation == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exchange answer does not carry alive@2 for the refuted member: %+v", resp.View)
+	}
+}
+
+// TestGossipMergePrecedence pins the SWIM merge rules: higher incarnation
+// wins; equal incarnations resolve to the worse state; stale rumors lose.
+func TestGossipMergePrecedence(t *testing.T) {
+	g := NewGossiper(GossipOptions{Self: "http://self"})
+	peer := "http://p"
+
+	g.merge([]sweepapi.PeerInfo{{URL: peer, State: "alive", Incarnation: 3}})
+	// Equal incarnation, worse state: dead wins.
+	g.merge([]sweepapi.PeerInfo{{URL: peer, State: "dead", Incarnation: 3}})
+	if got := g.Alive(); len(got) != 0 {
+		t.Fatalf("dead@3 should beat alive@3; alive view = %v", got)
+	}
+	// Lower incarnation: stale alive loses to the standing dead rumor.
+	g.merge([]sweepapi.PeerInfo{{URL: peer, State: "alive", Incarnation: 2}})
+	if got := g.Alive(); len(got) != 0 {
+		t.Fatalf("alive@2 should lose to dead@3; alive view = %v", got)
+	}
+	// Higher incarnation: the member's own refutation wins outright.
+	g.merge([]sweepapi.PeerInfo{{URL: peer, State: "alive", Incarnation: 4}})
+	if got, want := g.Alive(), []string{peer}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("alive@4 should beat dead@3; alive view = %v, want %v", got, want)
+	}
+	// Unknown state strings decay to suspect — never to dead.
+	g.merge([]sweepapi.PeerInfo{{URL: peer, State: "zombie", Incarnation: 5}})
+	if got, want := g.Alive(), []string{peer}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unparseable state should decay to suspect (still non-dead); alive view = %v, want %v", got, want)
+	}
+}
+
+// TestGossipObserverNotAdopted: a coordinator gossips as an observer — its
+// view spreads, but it never becomes a cache peer at the receivers.
+func TestGossipObserverNotAdopted(t *testing.T) {
+	obs := NewGossiper(GossipOptions{Self: "http://coord", Observer: true, Seeds: []string{"http://w1", "http://w2"}})
+	worker := NewGossiper(GossipOptions{Self: "http://w1", Seeds: []string{"http://w2"}})
+
+	worker.Exchange(obs.request())
+	for _, u := range worker.Alive() {
+		if u == "http://coord" {
+			t.Fatal("worker adopted the observer coordinator as a peer")
+		}
+	}
+	// The observer's own snapshot must not advertise itself either.
+	for _, e := range obs.View() {
+		if e.URL == "http://coord" {
+			t.Fatal("observer advertises itself in its view")
+		}
+	}
+}
+
+// TestGossipSenderAdoption: a previously-unknown non-observer sender is
+// adopted from its From field alone — how a joiner becomes fetchable
+// fleet-wide without the coordinator brokering anything.
+func TestGossipSenderAdoption(t *testing.T) {
+	var mu sync.Mutex
+	var views [][]string
+	g := NewGossiper(GossipOptions{
+		Self: "http://w1",
+		OnView: func(peers []string) {
+			mu.Lock()
+			views = append(views, append([]string(nil), peers...))
+			mu.Unlock()
+		},
+	})
+	g.Exchange(sweepapi.GossipRequest{From: "http://joiner", View: nil})
+	if got, want := g.Alive(), []string{"http://joiner"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("alive view after join exchange = %v, want %v", got, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(views) == 0 || !reflect.DeepEqual(views[len(views)-1], []string{"http://joiner"}) {
+		t.Fatalf("OnView did not report the joiner; notifications: %v", views)
+	}
+}
+
+// gossipHTTPHandler exposes a Gossiper at /fleet/gossip the way the worker
+// server and coordinator Handler do — the minimal wire surface for
+// end-to-end exchange tests.
+func gossipHTTPHandler(g *Gossiper) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/gossip", func(w http.ResponseWriter, r *http.Request) {
+		var req sweepapi.GossipRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(g.Exchange(req)) //nolint:errcheck
+	})
+	return mux
+}
+
+// TestGossipOverHTTP drives one real push-pull exchange through the worker
+// endpoint: two gossipers behind httptest servers, one round, both learn
+// each other.
+func TestGossipOverHTTP(t *testing.T) {
+	gB := NewGossiper(GossipOptions{Self: "http://b-advertise"})
+	srvB := httptest.NewServer(gossipHTTPHandler(gB))
+	defer srvB.Close()
+
+	gA := NewGossiper(GossipOptions{Self: "http://a-advertise", Seeds: []string{srvB.URL}})
+	gA.gossipOnce(context.Background())
+
+	if counterValue(t, gA.Metrics(), "fleet/gossip/exchanges") != 1 {
+		t.Fatal("exchange did not complete")
+	}
+	foundA := false
+	for _, u := range gB.Alive() {
+		if u == "http://a-advertise" {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Fatalf("receiver did not adopt the sender; view = %v", gB.Alive())
+	}
+}
+
+// TestGossipUnderChaosPartition: the fleet/gossip fault site isolates the
+// rumor plane — a partitioned gossiper's exchanges fail (and are counted)
+// while the same peer remains reachable to an unpartitioned one.
+func TestGossipUnderChaosPartition(t *testing.T) {
+	target := NewGossiper(GossipOptions{Self: "http://target"})
+	srv := httptest.NewServer(gossipHTTPHandler(target))
+	defer srv.Close()
+
+	plan := faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteFleetGossip, Kind: faultinject.Partition, Prob: 1,
+	})
+	cut := NewGossiper(GossipOptions{Self: "http://cut", Seeds: []string{srv.URL}, Chaos: plan})
+	cut.gossipOnce(context.Background())
+	if counterValue(t, cut.Metrics(), "fleet/gossip/exchange_failures") != 1 {
+		t.Fatal("partitioned exchange was not counted as a failure")
+	}
+	if counterValue(t, cut.Metrics(), "fleet/gossip/exchanges") != 0 {
+		t.Fatal("partitioned exchange somehow completed")
+	}
+
+	open := NewGossiper(GossipOptions{Self: "http://open", Seeds: []string{srv.URL}})
+	open.gossipOnce(context.Background())
+	if counterValue(t, open.Metrics(), "fleet/gossip/exchanges") != 1 {
+		t.Fatal("unpartitioned gossiper could not reach the same peer")
+	}
+}
+
+// TestGossipConcurrentExchanges hammers one gossiper from many goroutines —
+// exchanges, local state sets, and view reads at once — so the race
+// detector can adjudicate the locking. Run with -race.
+func TestGossipConcurrentExchanges(t *testing.T) {
+	g := NewGossiper(GossipOptions{Self: "http://self", Seeds: []string{"http://seed"}, OnView: func([]string) {}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				g.Exchange(sweepapi.GossipRequest{
+					From: fmt.Sprintf("http://peer-%d", i),
+					View: []sweepapi.PeerInfo{{URL: fmt.Sprintf("http://rumor-%d-%d", i, k), State: "alive", Incarnation: uint64(k)}},
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				g.SetPeerState(fmt.Sprintf("http://rumor-%d-%d", i, k), StateSuspect)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				g.Alive()
+				g.View()
+				g.Incarnation()
+			}
+		}()
+	}
+	wg.Wait()
+}

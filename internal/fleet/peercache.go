@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"cameo/internal/faultinject"
@@ -30,8 +30,11 @@ type PeerTier struct {
 	local  *runner.DiskCache
 	client *http.Client
 
-	mu    sync.RWMutex
-	peers []string // base URLs ("http://host:port")
+	// peers holds an immutable []string snapshot of peer base URLs
+	// ("http://host:port"), replaced wholesale by SetPeers (copy-on-write).
+	// Readers load one snapshot and iterate it unlocked, so a live gossip
+	// view update never blocks — or tears — an in-flight cache fetch.
+	peers atomic.Value
 
 	reg        *metrics.Registry
 	localHits  *metrics.Counter
@@ -53,10 +56,10 @@ func NewPeerTier(local *runner.DiskCache, peers []string, timeout time.Duration)
 	}
 	t := &PeerTier{
 		local:  local,
-		peers:  append([]string(nil), peers...),
 		client: &http.Client{Timeout: timeout},
 		reg:    metrics.NewRegistry(),
 	}
+	t.peers.Store(append([]string(nil), peers...))
 	sc := t.reg.Scope("fleet/peercache")
 	t.localHits = sc.Counter("local_hits")
 	t.peerHits = sc.Counter("peer_hits")
@@ -75,12 +78,18 @@ func (t *PeerTier) SetChaos(plan *faultinject.Plan) {
 	t.client.Transport = newChaosTransport(t.client.Transport, plan)
 }
 
-// SetPeers replaces the peer list (tests wire peers up after the httptest
-// servers exist; cameod knows them at flag-parse time).
+// SetPeers replaces the peer list, copy-on-write: the input is copied into
+// a fresh snapshot and published atomically, so concurrent Loads keep the
+// list they started with and the next Load sees the new one. Safe to call
+// at any time — this is how the gossip view keeps a long-lived worker's
+// cache tier current as members join and die, without restarts.
 func (t *PeerTier) SetPeers(peers []string) {
-	t.mu.Lock()
-	t.peers = append([]string(nil), peers...)
-	t.mu.Unlock()
+	t.peers.Store(append([]string(nil), peers...))
+}
+
+// Peers returns the current peer snapshot. Callers must not mutate it.
+func (t *PeerTier) Peers() []string {
+	return t.peers.Load().([]string)
 }
 
 // Load implements runner.Cache: local disk first, then each peer in order.
@@ -89,10 +98,7 @@ func (t *PeerTier) Load(hash string) (system.Result, bool) {
 		t.localHits.Inc()
 		return res, true
 	}
-	t.mu.RLock()
-	peers := t.peers
-	t.mu.RUnlock()
-	for _, p := range peers {
+	for _, p := range t.Peers() {
 		data, err := t.fetch(p, hash)
 		if err != nil {
 			if err != errNotFound {
@@ -152,9 +158,7 @@ func (t *PeerTier) Store(hash string, res system.Result) {
 // touching the network.
 func (t *PeerTier) Warm(peers, hashes []string) (hits, misses int) {
 	if len(peers) == 0 {
-		t.mu.RLock()
-		peers = t.peers
-		t.mu.RUnlock()
+		peers = t.Peers()
 	}
 	for _, h := range hashes {
 		if _, ok := t.local.LoadRaw(h); ok {

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -321,5 +323,54 @@ func TestPeerTierWarm(t *testing.T) {
 	}
 	if got := counterValue(t, fresh.Metrics(), "fleet/peercache/rejects"); got == 0 {
 		t.Errorf("rejects = 0, want > 0 (corrupt envelope must be counted)")
+	}
+}
+
+// TestPeerTierConcurrentSetPeers races live peer-list updates (the gossip
+// OnView feed) against lookups and warms. The copy-on-write snapshot means
+// readers see some complete peer list — never a torn one — and the race
+// detector adjudicates. Run with -race.
+func TestPeerTierConcurrentSetPeers(t *testing.T) {
+	remote := openDisk(t)
+	remote.Store(testHash, testResult())
+	envelope, ok := remote.LoadRaw(testHash)
+	if !ok {
+		t.Fatalf("remote cache lost its own entry")
+	}
+	peer := peerStub(t, http.StatusOK, envelope)
+
+	tier := NewPeerTier(openDisk(t), []string{peer.URL}, time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				// Alternate between shapes so readers observe real churn.
+				if k%2 == 0 {
+					tier.SetPeers([]string{peer.URL, fmt.Sprintf("http://ghost-%d-%d", i, k)})
+				} else {
+					tier.SetPeers([]string{peer.URL})
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if got := tier.Peers(); len(got) < 1 || len(got) > 2 {
+					t.Errorf("torn peer snapshot: %v", got)
+					return
+				}
+				tier.Load(testHash)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the churn settles the tier still resolves through the live peer.
+	tier.SetPeers([]string{peer.URL})
+	if _, ok := tier.Load(testHash); !ok {
+		t.Fatal("peer load failed after concurrent SetPeers churn")
 	}
 }

@@ -19,6 +19,7 @@ func TestSiteForPath(t *testing.T) {
 		"/readyz":       faultinject.SiteFleetHeartbeat,
 		"/cache/abc123": faultinject.SiteFleetCacheFetch,
 		"/cache/warm":   faultinject.SiteFleetCacheFetch,
+		"/fleet/gossip": faultinject.SiteFleetGossip,
 	}
 	for path, want := range cases {
 		if got := siteForPath(path); got != want {

@@ -50,6 +50,28 @@ type FleetState struct {
 	// number — never wall-clock, so a resumed coordinator replays the
 	// same history bytes regardless of when the churn happened.
 	Events []FleetEvent `json:"events,omitempty"`
+	// Epoch is the coordinator generation that owns this manifest. A
+	// standby taking over bumps it and writes the claim; a coordinator
+	// that reads a higher epoch than its own from disk has been superseded
+	// and must step down (split-brain fencing). Zero means the pre-epoch
+	// format — any claimant may adopt.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Leases are the outstanding cell dispatches, sorted by hash: which
+	// worker each in-flight cell was handed to and until when that grant
+	// is exclusive. An expired lease marks its cell safely re-dispatchable;
+	// an unexpired one tells a crash-recovering coordinator the cell may
+	// still be computing and is worth waiting out.
+	Leases []CellLease `json:"leases,omitempty"`
+}
+
+// CellLease is one time-bounded dispatch grant: cell hash, holder, and the
+// absolute expiry. This is the one place the manifest records wall-clock
+// time — a lease is meaningless without it — and it is deliberately kept
+// out of Events so the membership history stays byte-reproducible.
+type CellLease struct {
+	Hash          string `json:"hash"`
+	Worker        string `json:"worker"`
+	ExpiresUnixMS int64  `json:"expires_unix_ms"`
 }
 
 // FleetEvent is one membership change. Seq is a coordinator-wide monotonic
@@ -256,6 +278,46 @@ func (cp *Checkpoint) flushLocked() error {
 		return fmt.Errorf("runner: writing manifest: %w", err)
 	}
 	if err := os.Rename(tmp, cp.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("runner: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and validates the manifest under dir without opening a
+// checkpoint — how a standby coordinator tails the primary's progress and
+// how an active coordinator checks whether it has been superseded (a higher
+// fleet epoch on disk than its own). Returns os.ErrNotExist-wrapping errors
+// when no manifest is present.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("runner: manifest %s is unreadable: %w", manifestPath(dir), err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("runner: manifest %s has schema %q, want %q", manifestPath(dir), m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// WriteManifest atomically rewrites the manifest under dir (tmp + rename,
+// like the checkpoint's own flush). Used by a standby coordinator to claim
+// a higher epoch on the interrupted run's manifest before taking over.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := manifestPath(dir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runner: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("runner: publishing manifest: %w", err)
 	}

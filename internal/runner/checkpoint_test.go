@@ -173,3 +173,82 @@ func TestCheckpointSingleNodeManifestUnchanged(t *testing.T) {
 		t.Errorf("single-node manifest mentions fleet state:\n%s", data)
 	}
 }
+
+// TestCheckpointEpochLeasesRoundTrip: the coordinator-resilience fields —
+// fleet epoch and outstanding cell leases — survive a checkpoint
+// write/reopen cycle intact, because a standby's takeover decisions are
+// made entirely from what this round-trip preserves.
+func TestCheckpointEpochLeasesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jobs := testJobs(3)
+	cp, err := OpenCheckpoint(dir, jobs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := []CellLease{
+		{Hash: jobs[0].Hash(), Worker: "http://a:1", ExpiresUnixMS: 1_700_000_000_123},
+		{Hash: jobs[1].Hash(), Worker: "http://b:1", ExpiresUnixMS: 1_700_000_000_456},
+	}
+	cp.SetFleet(&FleetState{
+		Workers: []string{"http://a:1", "http://b:1"},
+		Epoch:   3,
+		Leases:  leases,
+	})
+
+	cp2, err := OpenCheckpoint(dir, jobs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := cp2.Fleet()
+	if fs == nil {
+		t.Fatal("resumed checkpoint lost the fleet section")
+	}
+	if fs.Epoch != 3 {
+		t.Errorf("resumed epoch = %d, want 3", fs.Epoch)
+	}
+	if len(fs.Leases) != len(leases) {
+		t.Fatalf("resumed %d leases, want %d", len(fs.Leases), len(leases))
+	}
+	for i, l := range fs.Leases {
+		if l != leases[i] {
+			t.Errorf("lease %d = %+v, want %+v", i, l, leases[i])
+		}
+	}
+}
+
+// TestReadWriteManifest: the standalone manifest accessors used for standby
+// tailing and epoch claiming — atomic write, validated read, and the
+// os.IsNotExist contract for the no-manifest case.
+func TestReadWriteManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); !os.IsNotExist(err) {
+		t.Fatalf("ReadManifest on empty dir = %v, want IsNotExist", err)
+	}
+
+	m := &Manifest{
+		Schema: ManifestSchema,
+		RunID:  strings.Repeat("ab", 32),
+		Total:  4,
+		Done:   []string{"h1", "h2"},
+		Fleet:  &FleetState{Workers: []string{"http://a:1"}, Epoch: 9},
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != m.RunID || got.Total != 4 || len(got.Done) != 2 ||
+		got.Fleet == nil || got.Fleet.Epoch != 9 {
+		t.Fatalf("ReadManifest round-trip = %+v, want %+v", got, m)
+	}
+
+	// A foreign-schema manifest is refused, not misread.
+	if err := WriteManifest(dir, &Manifest{Schema: "someone-elses-v7"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema read = %v, want schema error", err)
+	}
+}

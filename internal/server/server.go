@@ -76,6 +76,18 @@ type Options struct {
 	Log *log.Logger
 	// Execute overrides cell execution (tests). Nil runs real simulations.
 	Execute func(ctx context.Context, j runner.Job) system.Result
+	// Gossip, when non-nil, serves POST /fleet/gossip: the worker's half of
+	// the fleet's anti-entropy membership exchange (fleet.Gossiper
+	// implements it). Nil answers 501, like the other optional
+	// capabilities.
+	Gossip GossipExchanger
+}
+
+// GossipExchanger is the membership capability behind POST /fleet/gossip:
+// merge the sender's versioned fleet view and answer with our own, SWIM
+// push-pull style.
+type GossipExchanger interface {
+	Exchange(req sweepapi.GossipRequest) sweepapi.GossipResponse
 }
 
 // Server is the sweep service. Create with New, mount Handler on an
@@ -190,7 +202,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/cache/warm", s.handleWarm)
 	mux.HandleFunc("/cache/", s.handleCache)
+	mux.HandleFunc("/fleet/gossip", s.handleGossip)
 	return s.protect(mux)
+}
+
+// handleGossip serves the worker's side of the fleet's anti-entropy
+// membership exchange. A worker without a gossiper answers 501 — same
+// convention as the warm endpoint on a peerless cache.
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.opts.Gossip == nil {
+		writeError(w, http.StatusNotImplemented, "no gossiper configured")
+		return
+	}
+	var req sweepapi.GossipRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad gossip body: "+err.Error())
+		return
+	}
+	resp := s.opts.Gossip.Exchange(req)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.opts.Log.Printf("gossip response: %v", err)
+	}
 }
 
 // protect is the panic-recovery middleware: a panicking handler answers 500

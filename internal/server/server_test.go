@@ -686,3 +686,82 @@ func TestCacheWarmWithoutTier(t *testing.T) {
 		t.Errorf("warm without a tier = %d, want 501", resp.StatusCode)
 	}
 }
+
+// stubExchanger implements the GossipExchanger hook: it records the request
+// and answers a canned view.
+type stubExchanger struct {
+	mu   sync.Mutex
+	last sweepapi.GossipRequest
+}
+
+func (g *stubExchanger) Exchange(req sweepapi.GossipRequest) sweepapi.GossipResponse {
+	g.mu.Lock()
+	g.last = req
+	g.mu.Unlock()
+	return sweepapi.GossipResponse{View: []sweepapi.PeerInfo{
+		{URL: "http://answered", State: "alive", Incarnation: 4},
+	}}
+}
+
+// TestGossipEndpoint: POST /fleet/gossip routes the body to the configured
+// exchanger and returns its merged view.
+func TestGossipEndpoint(t *testing.T) {
+	g := &stubExchanger{}
+	_, ts := newTestServer(t, Options{Gossip: g})
+
+	body := `{"from":"http://sender","view":[{"url":"http://rumor","state":"suspect","incarnation":2}]}`
+	resp, err := http.Post(ts.URL+"/fleet/gossip", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gossip = %d, want 200", resp.StatusCode)
+	}
+	var out sweepapi.GossipResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.View) != 1 || out.View[0].URL != "http://answered" || out.View[0].Incarnation != 4 {
+		t.Fatalf("gossip answer = %+v, want the exchanger's view", out)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.last.From != "http://sender" || len(g.last.View) != 1 || g.last.View[0].State != "suspect" {
+		t.Fatalf("exchanger saw %+v, want the posted request", g.last)
+	}
+}
+
+// TestGossipEndpointWithoutGossiper: no gossiper configured answers 501 —
+// the same optional-capability convention as /cache/warm without a tier —
+// and malformed bodies or wrong methods are rejected before the exchanger.
+func TestGossipEndpointWithoutGossiper(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/fleet/gossip", "application/json", strings.NewReader(`{"from":"x","view":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("gossip without a gossiper = %d, want 501", resp.StatusCode)
+	}
+
+	_, ts2 := newTestServer(t, Options{Gossip: &stubExchanger{}})
+	gresp, err := http.Get(ts2.URL + "/fleet/gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /fleet/gossip = %d, want 405", gresp.StatusCode)
+	}
+	bresp, err := http.Post(ts2.URL+"/fleet/gossip", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed gossip body = %d, want 400", bresp.StatusCode)
+	}
+}

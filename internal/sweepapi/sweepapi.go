@@ -99,6 +99,36 @@ type JoinResponse struct {
 	Status string `json:"status"`
 }
 
+// PeerInfo is one member's entry in a gossiped fleet view: the member's
+// advertised base URL, its observed state ("alive", "suspect", or "dead"),
+// and its incarnation number. Incarnations implement SWIM-style refutation:
+// only the member itself ever bumps its own incarnation, so an `alive`
+// entry at incarnation i+1 supersedes a `dead` rumor at incarnation i —
+// the one mechanism that lets a falsely-accused worker overrule the fleet.
+type PeerInfo struct {
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// GossipRequest is the POST /fleet/gossip body: the sender's full versioned
+// view, push-pull style. From is the sender's own advertise URL so the
+// receiver can adopt a previously-unknown sender into its view; Observer
+// marks a sender (a coordinator or standby) that monitors the fleet but is
+// not itself a cache peer — receivers merge its view without adopting it.
+type GossipRequest struct {
+	From     string     `json:"from"`
+	Observer bool       `json:"observer,omitempty"`
+	View     []PeerInfo `json:"view"`
+}
+
+// GossipResponse completes the push-pull exchange: the receiver's merged
+// view, which the sender merges in turn. Two exchanges therefore leave both
+// sides with the union of what either knew.
+type GossipResponse struct {
+	View []PeerInfo `json:"view"`
+}
+
 // WarmRequest is the POST /cache/warm body the coordinator pushes to a
 // joining worker: the cache hashes of the cells the ring just moved to it,
 // plus the peer base URLs that may already hold those entries. The worker

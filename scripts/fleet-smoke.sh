@@ -230,3 +230,62 @@ curl -fsS -X POST -d "$d1sweep" "http://$co3_addr/sweep" -o "$workdir/fleet-d3.j
 cmp "$workdir/reference-d1.json" "$workdir/fleet-d3.json"
 
 echo "fleet membership drills passed"
+
+# === (g) Coordinator SIGKILL mid-sweep: a standby confirms the death, ======
+# === claims the next epoch from the shared manifest, and finishes the ======
+# === sweep byte-identically with zero recompute of cached cells. ===========
+co4_addr=127.0.0.1:18448
+sb_addr=127.0.0.1:18449
+
+"$workdir/cameod" -addr "$co4_addr" -coordinator \
+  -workers "http://$w3_addr,http://$w4_addr" -cachedir "$workdir/co4-manifest" \
+  -heartbeat 100ms -suspect-misses 1 -dead-misses 3 -lease-ttl 1s \
+  2>"$workdir/co4.log" &
+co4pid=$!; pids+=("$co4pid")
+wait_healthy "http://$co4_addr" "$workdir/co4.log"
+
+"$workdir/cameod" -addr "$sb_addr" -standby "http://$co4_addr" \
+  -workers "http://$w3_addr,http://$w4_addr" -cachedir "$workdir/co4-manifest" \
+  -heartbeat 100ms -suspect-misses 1 -dead-misses 3 -lease-ttl 1s \
+  2>"$workdir/sb.log" &
+pids+=("$!")
+wait_healthy "http://$sb_addr" "$workdir/sb.log"
+
+# While the primary lives, the standby refuses sweeps instead of forking.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST -d "$d2sweep" "http://$sb_addr/sweep")
+[ "$code" = 503 ] || { echo "standby answered $code while the primary was alive, want 503"; exit 1; }
+
+d4sweep='{"org":"cameo","benchmarks":["sphinx3","milc","gcc","mcf"],"sweep":"seed","values":[31,32,33,34],"instr":2000000,"cores":4}'
+curl -fsS -X POST -d "$d4sweep" "http://$ref_addr/sweep" -o "$workdir/reference-d4.json"
+curl -sS -X POST -d "$d4sweep" "http://$co4_addr/sweep" -o /dev/null &
+curlpid=$!
+sleep 0.4
+kill -KILL "$co4pid" 2>/dev/null || true
+wait "$curlpid" || true
+
+for _ in $(seq 1 100); do
+  grep -q "standby took over as coordinator epoch" "$workdir/sb.log" && break
+  sleep 0.1
+done
+grep -q "standby took over as coordinator epoch" "$workdir/sb.log" || {
+  echo "standby never took over after the coordinator SIGKILL"; cat "$workdir/sb.log"; exit 1; }
+
+# The promoted standby completes the interrupted sweep byte-identically.
+curl -fsS -X POST -d "$d4sweep" "http://$sb_addr/sweep" -o "$workdir/fleet-d4.json"
+cmp "$workdir/reference-d4.json" "$workdir/fleet-d4.json" || {
+  echo "post-takeover sweep differs from single-node reference"
+  cat "$workdir/sb.log"; exit 1; }
+
+# Zero recompute of cached cells: a repeat through the promoted coordinator
+# moves no cells_executed counter anywhere in the fleet.
+before=$(( $(metric "http://$w3_addr" server/cells_executed) \
+         + $(metric "http://$w4_addr" server/cells_executed) ))
+curl -fsS -X POST -d "$d4sweep" "http://$sb_addr/sweep" -o "$workdir/fleet-d4b.json"
+cmp "$workdir/reference-d4.json" "$workdir/fleet-d4b.json"
+after=$(( $(metric "http://$w3_addr" server/cells_executed) \
+        + $(metric "http://$w4_addr" server/cells_executed) ))
+if [ "$after" -ne "$before" ]; then
+  echo "post-takeover repeat recomputed $((after - before)) cells, want 0"; exit 1
+fi
+
+echo "coordinator takeover drill passed"
